@@ -1,0 +1,60 @@
+"""Ablation benchmarks: each optimization's individual contribution.
+
+Covers the design decisions DESIGN.md lists: inlining, grouping,
+tiling, tight-vs-naive tile shapes.  The storage ablation is a footprint
+assertion (scratchpads must shrink memory drastically) since disabling
+scratchpads alone would change parallel-execution semantics.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import requires_cc
+from repro import CompileOptions, compile_pipeline
+from repro.bench.harness import DEFAULT_TILES, make_instance
+from repro.codegen.build import build_native
+
+pytestmark = requires_cc
+
+APP = "harris"
+
+
+@pytest.fixture(scope="module")
+def instance(instances):
+    return instances(APP)
+
+
+def _pipe(instance, options, name):
+    plan = compile_pipeline(instance.app.outputs, instance.values,
+                            options, name=name).plan
+    pipe = build_native(plan, name)
+    pipe(instance.values, instance.inputs)
+    return pipe
+
+
+OPT = CompileOptions.optimized(DEFAULT_TILES[APP])
+
+CONFIGS = {
+    "full_opt": OPT,
+    "no_inline": replace(OPT, inline=False),
+    "no_grouping": replace(OPT, group=False),
+    "no_tiling": CompileOptions.base(),
+    "naive_overlap": replace(OPT, tight_overlap=False),
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_ablation(benchmark, instance, config):
+    pipe = _pipe(instance, CONFIGS[config], f"ablb_{config}")
+    benchmark(pipe, instance.values, instance.inputs)
+
+
+def test_storage_footprint_reduction(instance):
+    """Section 3.6: scratchpads shrink intermediate storage dramatically."""
+    from repro.compiler.storage import storage_footprint
+    plan = compile_pipeline(instance.app.outputs, instance.values,
+                            OPT).plan
+    fp = storage_footprint(plan, instance.values)
+    fused = fp["full_bytes"] + fp["scratch_bytes"]
+    assert fp["unfused_bytes"] > 3 * fused

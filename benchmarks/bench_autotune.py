@@ -1,0 +1,67 @@
+"""Figure 9 benchmark: autotuned vs default vs worst configurations.
+
+The scatter itself is produced by ``python -m repro.bench.figure9``;
+here pytest-benchmark measures the end points: the best configuration a
+coarse model-restricted sweep finds, the harness default, and a bad
+configuration — demonstrating the spread the autotuner navigates — plus
+the stochastic wide-space search best (the OpenTuner axis).
+"""
+
+import pytest
+
+from benchmarks.conftest import requires_cc
+from repro import CompileOptions, compile_pipeline
+from repro.autotune.tuner import TuneConfig, autotune
+from repro.codegen.build import build_native
+
+pytestmark = requires_cc
+
+APP = "camera"
+
+
+@pytest.fixture(scope="module")
+def tuned(instances):
+    instance = instances(APP)
+    space = [TuneConfig((tx, ty), th)
+             for tx in (16, 64, 256) for ty in (16, 64, 256)
+             for th in (0.2, 0.5)]
+    report = autotune(instance.app.outputs, instance.values,
+                      instance.values, instance.inputs, space=space,
+                      n_threads=1, repeats=1, name="bench_fig9")
+    return instance, report
+
+
+def _native_for(instance, config: TuneConfig, name: str):
+    plan = compile_pipeline(instance.app.outputs, instance.values,
+                            config.options(), name=name).plan
+    return build_native(plan, name)
+
+
+def test_best_config(benchmark, tuned):
+    instance, report = tuned
+    best = report.best(parallel=False)
+    pipe = _native_for(instance, best.config, "fig9_best")
+    pipe(instance.values, instance.inputs)
+    benchmark(pipe, instance.values, instance.inputs)
+
+
+def test_worst_config(benchmark, tuned):
+    instance, report = tuned
+    worst = max(report.results, key=lambda r: r.time_single_ms)
+    pipe = _native_for(instance, worst.config, "fig9_worst")
+    pipe(instance.values, instance.inputs)
+    benchmark(pipe, instance.values, instance.inputs)
+
+
+def test_random_search_best(benchmark, tuned):
+    from repro.autotune.random_search import random_search
+    instance, _ = tuned
+    report = random_search(instance.app.outputs, instance.values,
+                           instance.values, instance.inputs, budget=10,
+                           n_threads=1, name="fig9_rand")
+    best = report.best()
+    plan = compile_pipeline(instance.app.outputs, instance.values,
+                            best.config.options(), name="fig9_randbest").plan
+    pipe = build_native(plan, "fig9_randbest")
+    pipe(instance.values, instance.inputs)
+    benchmark(pipe, instance.values, instance.inputs)

@@ -1,0 +1,38 @@
+"""Table 2 benchmark: PolyMage (opt+vec) on every application.
+
+Regenerates the absolute-time column of Table 2 (at the configured
+scale) via pytest-benchmark.  ``python -m repro.bench.table2`` prints the
+full table including comparator speedups.
+"""
+
+import pytest
+
+from benchmarks.conftest import requires_cc
+from repro.bench.harness import APP_BUILDERS, build_variant
+
+pytestmark = requires_cc
+
+APPS = list(APP_BUILDERS)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_polymage_opt_vec(benchmark, instances, app):
+    instance = instances(app)
+    run = build_variant(instance, "opt+vec")
+    run(1)  # warm up (paper protocol discards the first run)
+    benchmark(run, 1)
+
+
+@pytest.mark.parametrize("app", ["unsharp", "harris", "pyramid_blend"])
+def test_opencv_like_baseline(benchmark, instances, app):
+    """The OpenCV column of Table 2 (the three apps the paper reports)."""
+    from repro.baselines import opencv_like
+    instance = instances(app)
+    imgs = list(instance.inputs.values())
+    if app == "unsharp":
+        benchmark(opencv_like.unsharp_like, imgs[0])
+    elif app == "harris":
+        benchmark(opencv_like.harris_like, imgs[0])
+    else:
+        levels = 4 if instance.scale == "paper" else 3
+        benchmark(opencv_like.pyramid_blend_like, *imgs, levels)

@@ -1,0 +1,81 @@
+"""Figure 5 benchmark: tiled vs untiled execution of the 1-D chain.
+
+Figure 5's property table is model-level (see
+``python -m repro.bench.figure5``); this suite grounds it by executing
+the chain with overlapped tiling against the unfused baseline, and
+asserts the model's qualitative ordering.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import requires_cc
+from repro import CompileOptions, compile_pipeline
+from repro.bench.figure5 import figure5_chain
+from repro.codegen.build import build_native
+
+pytestmark = requires_cc
+
+N_SIZE = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def chain():
+    N, fin, stages = figure5_chain()
+    values = {N: N_SIZE}
+    rng = np.random.default_rng(0)
+    inputs = {fin: rng.random(N_SIZE + 2, dtype=np.float32)}
+    return N, fin, stages, values, inputs
+
+
+def test_overlapped_tiled(benchmark, chain):
+    N, fin, stages, values, inputs = chain
+    plan = compile_pipeline([stages[-1]], values,
+                            CompileOptions.optimized((4096,)),
+                            name="fig5_tiled").plan
+    pipe = build_native(plan, "fig5_tiled")
+    pipe(values, inputs)
+    benchmark(pipe, values, inputs)
+
+
+def test_unfused(benchmark, chain):
+    N, fin, stages, values, inputs = chain
+    plan = compile_pipeline([stages[-1]], values, CompileOptions.base(),
+                            name="fig5_base").plan
+    pipe = build_native(plan, "fig5_base")
+    pipe(values, inputs)
+    benchmark(pipe, values, inputs)
+
+
+def test_split_tiled_interpreter(benchmark, chain):
+    """Split tiling, executed (extension): correct but needs full buffers
+    for every stage — the storage cost the paper's analysis predicts."""
+    from repro.runtime.split_executor import execute_plan_split
+    N, fin, stages, values, inputs = chain
+    plan = compile_pipeline([stages[-1]], values,
+                            CompileOptions.optimized((4096,)),
+                            name="fig5_split").plan
+    out_split = execute_plan_split(plan, values, inputs)
+    benchmark(execute_plan_split, plan, values, inputs)
+
+
+def test_strategy_model_matches_paper_table(chain):
+    """Figure 5 bottom-right: only overlapped tiling has parallelism,
+    locality and zero communication; the price is bounded redundancy."""
+    from repro.compiler.align_scale import compute_group_transforms
+    from repro.compiler.alt_tiling import compare_strategies
+    from repro.pipeline.graph import PipelineGraph
+    from repro.pipeline.ir import PipelineIR
+
+    N, fin, stages, values, inputs = chain
+    ir = PipelineIR(PipelineGraph([stages[-1]]))
+    transforms = compute_group_transforms(ir, stages, stages[-1])
+    over, split, para = compare_strategies(ir, transforms, stages, 0,
+                                           4096, values)
+    assert over.parallel and over.cross_tile_live_values == 0
+    assert over.redundancy > 0
+    assert split.parallel and split.phases == 2
+    assert split.redundancy == 0 and split.cross_tile_live_values > 0
+    assert not para.parallel and para.phases == para.concurrent_tiles * \
+        (para.phases // para.concurrent_tiles)
+    assert para.concurrent_tiles == 1

@@ -1,0 +1,37 @@
+"""Figure 10 benchmark: the four PolyMage variants per application.
+
+Measures base / base+vec / opt / opt+vec so the speedup bars of
+Figure 10 can be recomputed from the pytest-benchmark report.  The
+qualitative claims: opt+vec wins everywhere; vectorization pays off far
+more under tiling than without (locality gates SIMD).
+"""
+
+import pytest
+
+from benchmarks.conftest import requires_cc
+from repro.bench.harness import VARIANTS, build_variant
+
+pytestmark = requires_cc
+
+#: Figure 10's six charts (unsharp is in Table 2 only)
+FIGURE10_APPS = ("interpolate", "harris", "pyramid_blend", "bilateral",
+                 "camera", "local_laplacian")
+
+
+@pytest.mark.parametrize("app", FIGURE10_APPS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant(benchmark, instances, app, variant):
+    instance = instances(app)
+    run = build_variant(instance, variant)
+    run(1)
+    benchmark(run, 1)
+
+
+@pytest.mark.parametrize("app", ("harris", "camera"))
+@pytest.mark.parametrize("n_threads", (2, 4))
+def test_opt_vec_threads(benchmark, instances, app, n_threads):
+    """The thread axis of Figure 10 (bounded by this machine's cores)."""
+    instance = instances(app)
+    run = build_variant(instance, "opt+vec")
+    run(n_threads)
+    benchmark(run, n_threads)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suites.
+
+Benchmarks run at ``small`` scale (512x512) by default so the full suite
+finishes in minutes; set ``REPRO_BENCH_SCALE=paper`` for Table 2's image
+sizes.  All suites require a C compiler (they measure the native
+backend, as the paper does) and are skipped without one.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import make_instance
+from repro.codegen.build import compiler_available
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+requires_cc = pytest.mark.skipif(not compiler_available(),
+                                 reason="no C compiler found")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def instances():
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = make_instance(name, SCALE)
+        return cache[name]
+
+    return get

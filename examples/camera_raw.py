@@ -1,0 +1,45 @@
+"""Camera RAW processing: Bayer mosaic in, colour image out.
+
+Runs the 32-stage camera pipeline on a synthetic GRBG RAW frame and
+shows the compiler fusing everything except the tone-curve LUT::
+
+    python examples/camera_raw.py [rows cols]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.camera import build_pipeline
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+
+    app = build_pipeline()
+    values = {app.params["R"]: rows, app.params["C"]: cols}
+    rng = np.random.default_rng(11)
+    inputs = app.make_inputs(values, rng)
+
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((32, 256)),
+                                name="camera_example")
+    print(compiled.summary())
+    print("\nNote the single fused group covering demosaic + colour "
+          "correction,\nwith the LUT ('curve') kept separate — the "
+          "paper reports the same structure.\n")
+
+    out = compiled(values, inputs)["sharpened"]
+    raw = next(iter(inputs.values()))
+    print(f"RAW in : {raw.shape} {raw.dtype}, "
+          f"range [{raw.min()}, {raw.max()}]")
+    print(f"RGB out: {out.shape} {out.dtype}, "
+          f"range [{out.min():.3f}, {out.max():.3f}]")
+    for name, channel in zip("RGB", out):
+        print(f"  {name}: mean {channel.mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Harris corner detection end-to-end (the paper's running example).
+
+Builds the Figure 1 pipeline, prints its stage graph (Figure 2) and the
+compiler's decisions, runs it on a synthetic image with both backends,
+and reports detected corners::
+
+    python examples/harris_corners.py [rows cols]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.harris import build_pipeline
+from repro.data import smooth_image
+from repro.pipeline.graph import PipelineGraph
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+
+    app = build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    I = app.images[0]
+
+    print("pipeline graph (Figure 2):")
+    print(PipelineGraph(app.outputs).dot())
+
+    values = {R: rows, C: cols}
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((32, 256)),
+                                name="harris_example")
+    print("\ncompiler decisions:")
+    print(compiled.summary())
+
+    rng = np.random.default_rng(7)
+    image = np.zeros((rows + 2, cols + 2), np.float32)
+    image[1:-1, 1:-1] = smooth_image(rows, cols, rng)
+    # plant a checkerboard patch: strong, localised corners
+    s = rows // 8
+    patch = np.indices((s, s)).sum(axis=0) % 2
+    image[8:8 + s, 8:8 + s] = patch.astype(np.float32)
+
+    out = compiled(values, {I: image})["harris"]
+    threshold = out.max() * 0.2
+    corners = np.argwhere(out > threshold)
+    print(f"\nresponse: max={out.max():.5f}; "
+          f"{len(corners)} pixels above 20% of peak")
+    print(f"strongest corner at {tuple(np.unravel_index(out.argmax(), out.shape))}")
+
+    try:
+        native = compiled.build()
+    except Exception as exc:
+        print(f"(skipping native backend: {exc})")
+        return
+    nat = native(values, {I: image}, n_threads=2)["harris"]
+    print(f"native backend agrees: "
+          f"{np.allclose(nat, out, rtol=1e-4, atol=1e-6)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: write a small pipeline, compile it, run it both ways.
+
+A two-stage blur/sharpen pipeline written directly in the DSL —
+the shortest end-to-end tour of the public API::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CompileOptions, compile_pipeline
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Stencil, Variable,
+)
+
+
+def main() -> None:
+    # -- 1. declare parameters, the input image and the domain -----------
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R + 2, C + 2], name="input")
+
+    x, y = Variable("x"), Variable("y")
+    row, col = Interval(0, R + 1, 1), Interval(0, C + 1, 1)
+    interior = (Condition(x, ">=", 1) & Condition(x, "<=", R)
+                & Condition(y, ">=", 1) & Condition(y, "<=", C))
+
+    # -- 2. define the stages ---------------------------------------------
+    blur = Function(varDom=([x, y], [row, col]), typ=Float, name="blur")
+    blur.defn = [Case(interior, Stencil(I(x, y), 1.0 / 16,
+                                        [[1, 2, 1],
+                                         [2, 4, 2],
+                                         [1, 2, 1]]))]
+
+    sharpen = Function(varDom=([x, y], [row, col]), typ=Float,
+                       name="sharpen")
+    sharpen.defn = [Case(interior, 2.0 * I(x, y) - blur(x, y))]
+
+    # -- 3. compile: inlining, grouping, overlapped tiling, storage -------
+    estimates = {R: 1024, C: 1024}
+    compiled = compile_pipeline([sharpen], estimates,
+                                CompileOptions.optimized((32, 256)),
+                                name="quickstart")
+    print(compiled.summary())
+
+    # -- 4. run with the NumPy interpreter backend ------------------------
+    rng = np.random.default_rng(0)
+    values = {R: 1024, C: 1024}
+    image = rng.random((1026, 1026), dtype=np.float32)
+    out = compiled(values, {I: image})["sharpen"]
+    print(f"\ninterpreter output: shape={out.shape}, "
+          f"mean={out[1:-1, 1:-1].mean():.4f}")
+
+    # -- 5. and with generated C compiled by the system compiler ----------
+    try:
+        native = compiled.build()
+    except Exception as exc:  # no C compiler available
+        print(f"(skipping native backend: {exc})")
+        return
+    nat = native(values, {I: image}, n_threads=2)["sharpen"]
+    print(f"native output matches: "
+          f"{np.allclose(nat, out, rtol=1e-5, atol=1e-6)}")
+    print(f"\ngenerated C is {len(compiled.c_source().splitlines())} "
+          "lines; see examples/show_generated_code.py")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Print the generated C for Harris corner detection (paper Figure 7).
+
+Shows the code the compiler emits for the paper's running example — the
+OpenMP-parallel tile loops, per-thread scratchpads for Ix/Iy/Sxx/Syy/Sxy,
+clamped (`imax`/`imin`) loop bounds per case region, and `ivdep`-marked
+vectorizable inner loops::
+
+    python examples/show_generated_code.py [--full]
+"""
+
+import sys
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.harris import build_pipeline
+
+
+def main() -> None:
+    app = build_pipeline()
+    values = {app.params["R"]: 6400, app.params["C"]: 6400}
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((32, 256)),
+                                name="harris")
+    source = compiled.c_source()
+    lines = source.splitlines()
+    print(f"// {len(lines)} lines generated from the "
+          f"~50-line DSL specification\n")
+    if "--full" in sys.argv:
+        print(source)
+        return
+    # show the group body (the Figure 7 excerpt)
+    start = next(i for i, l in enumerate(lines) if "group 0" in l)
+    print("\n".join(lines[start:start + 60]))
+    print("    ... (run with --full for the whole translation unit)")
+
+
+if __name__ == "__main__":
+    main()

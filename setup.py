@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` in offline environments that
+lack the `wheel` package (legacy editable install path)."""
+from setuptools import setup
+
+setup()

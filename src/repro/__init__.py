@@ -1,0 +1,17 @@
+"""PolyMage reproduction: a DSL and optimizing compiler for image
+processing pipelines (Mullapudi, Vasista, Bondhugula — ASPLOS 2015).
+
+Public API::
+
+    from repro import compile_pipeline, CompileOptions
+    from repro.lang import (Parameter, Variable, Interval, Condition, Case,
+                            Image, Function, Accumulator, Stencil, ...)
+"""
+
+from repro.api import CompiledPipeline, compile_pipeline
+from repro.compiler.options import CompileOptions
+
+__version__ = "1.0.0"
+
+__all__ = ["CompileOptions", "CompiledPipeline", "compile_pipeline",
+           "__version__"]

@@ -1,0 +1,93 @@
+"""Top-level public API of the PolyMage reproduction.
+
+Typical use::
+
+    from repro import CompileOptions, compile_pipeline
+
+    compiled = compile_pipeline([harris], estimates={R: 6400, C: 6400})
+    print(compiled.summary())
+    out = compiled(param_values={R: rows, C: cols}, inputs={I: image})
+    result = out["harris"]
+
+``compile_pipeline`` runs the whole middle end (inlining, bounds checking,
+grouping, overlapped tiling, storage mapping) once; the returned
+:class:`CompiledPipeline` can then be executed any number of times, for
+any parameter values, with either backend:
+
+* the NumPy interpreter (default, portable), or
+* generated C compiled with a system C compiler
+  (:meth:`CompiledPipeline.build`, see :mod:`repro.codegen`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import PipelinePlan, compile_plan
+from repro.lang.constructs import Parameter
+from repro.lang.image import Image
+from repro.pipeline.graph import Stage
+from repro.runtime.executor import execute_plan
+
+
+class CompiledPipeline:
+    """A compiled pipeline: executable, inspectable, C-generatable."""
+
+    def __init__(self, plan: PipelinePlan, name: str = "pipeline"):
+        self.plan = plan
+        self.name = name
+        self._built = None
+
+    # -- execution ---------------------------------------------------------
+    def __call__(self, param_values: Mapping[Parameter, int],
+                 inputs: Mapping[Image, np.ndarray],
+                 *, vectorize: bool = True,
+                 n_threads: int = 1) -> dict[str, np.ndarray]:
+        """Execute with the NumPy interpreter backend."""
+        return execute_plan(self.plan, param_values, inputs,
+                            vectorize=vectorize, n_threads=n_threads)
+
+    execute = __call__
+
+    # -- C backend -----------------------------------------------------------
+    def c_source(self) -> str:
+        """Generate C source implementing the pipeline (Figure 7 style)."""
+        from repro.codegen.cgen import generate_c
+        return generate_c(self.plan, self.name)
+
+    def build(self, **kwargs):
+        """Compile the generated C with the system compiler and return a
+        callable :class:`repro.codegen.build.NativePipeline`."""
+        from repro.codegen.build import build_native
+        if self._built is None:
+            self._built = build_native(self.plan, self.name, **kwargs)
+        return self._built
+
+    # -- inspection ------------------------------------------------------------
+    def summary(self) -> str:
+        return self.plan.summary()
+
+    @property
+    def options(self) -> CompileOptions:
+        return self.plan.options
+
+    @property
+    def outputs(self) -> list[Stage]:
+        return self.plan.outputs
+
+
+def compile_pipeline(outputs: Sequence[Stage],
+                     estimates: Mapping[Parameter, int],
+                     options: CompileOptions | None = None,
+                     name: str = "pipeline") -> CompiledPipeline:
+    """Compile a pipeline given its live-out stages.
+
+    ``estimates`` supply a representative value per :class:`Parameter` —
+    the heuristics optimize for sizes around them, but the compiled
+    pipeline remains valid for all parameter values.
+    """
+    plan = compile_plan(outputs, estimates, options)
+    return CompiledPipeline(plan, name)

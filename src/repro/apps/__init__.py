@@ -1,0 +1,24 @@
+"""The seven benchmark applications of the paper's evaluation (Table 2).
+
+Each module exposes ``build_pipeline(...) -> AppSpec``; :data:`ALL_APPS`
+maps benchmark names to their builders for the harness.
+"""
+
+from repro.apps import (
+    bilateral, camera, harris, interpolate, laplacian, pyramid, unsharp,
+)
+from repro.apps.base import AppSpec
+
+#: name -> zero-argument builder producing the paper-scale pipeline
+ALL_APPS = {
+    "unsharp": unsharp.build_pipeline,
+    "bilateral": bilateral.build_pipeline,
+    "harris": harris.build_pipeline,
+    "camera": camera.build_pipeline,
+    "pyramid_blend": pyramid.build_pipeline,
+    "interpolate": interpolate.build_pipeline,
+    "local_laplacian": laplacian.build_pipeline,
+}
+
+__all__ = ["ALL_APPS", "AppSpec", "bilateral", "camera", "harris",
+           "interpolate", "laplacian", "pyramid", "unsharp"]

@@ -1,0 +1,50 @@
+"""Common scaffolding for the benchmark applications (paper Section 4).
+
+Each application module exposes ``build_pipeline(...) -> AppSpec``.  An
+:class:`AppSpec` bundles the DSL pipeline (outputs, images, parameters)
+with a NumPy *reference implementation* used both as the correctness
+oracle in tests and as the stage-at-a-time "library" baseline in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.lang.constructs import Parameter
+from repro.lang.image import Image
+from repro.pipeline.graph import Stage
+
+
+@dataclass
+class AppSpec:
+    """A benchmark application: DSL pipeline + oracle + input synthesis."""
+
+    name: str
+    params: dict[str, Parameter]
+    images: tuple[Image, ...]
+    outputs: tuple[Stage, ...]
+    #: parameter estimates for the paper's evaluation image size
+    default_estimates: dict[Parameter, int]
+    #: reference(inputs, param_values) -> {output_name: ndarray}
+    reference: Callable[[Mapping[Image, np.ndarray], Mapping[Parameter, int]],
+                        dict[str, np.ndarray]]
+    #: make_inputs(param_values, rng) -> {Image: ndarray}
+    make_inputs: Callable[[Mapping[Parameter, int], np.random.Generator],
+                          dict[Image, np.ndarray]]
+
+    def small_estimates(self, size: int = 64) -> dict[Parameter, int]:
+        """Estimates scaled down for fast tests: every spatial parameter
+        becomes ``size`` (non-spatial parameters keep their defaults)."""
+        out = {}
+        for param, value in self.default_estimates.items():
+            out[param] = size if value > 4 * size else value
+        return out
+
+    @property
+    def n_stages(self) -> int:
+        from repro.pipeline.graph import PipelineGraph
+        return len(PipelineGraph(self.outputs))

@@ -1,0 +1,199 @@
+"""Bilateral grid (Table 2: 7 stages, 2560x1536).
+
+Fast bilateral filtering via the grid structure of Chen et al.: a
+histogram-style reduction scatters pixels into a coarse
+(space x space x intensity) grid (value and weight channels), the grid is
+blurred with 5-tap stencils along z, x and y, and the output is sliced
+back out with trilinear interpolation and homogeneous normalisation.
+
+The reduction stages form their own group (the compiler does not fuse
+reductions, matching the paper); the blur stencils fuse together; the
+slice's intensity coordinate is data-dependent, so it stays separate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.data.synth import smooth_image
+from repro.lang import (
+    Accumulate, Accumulator, Case, Cast, Condition, Float, Function, Image,
+    Int, Interval, Max, Min, Parameter, Select, Sum, Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2560, 1536
+
+#: spatial cell size and number of intensity bins
+S_SIGMA = 8
+Z_BINS = 16
+
+KERNEL = (1.0, 4.0, 6.0, 4.0, 1.0)
+
+
+def build_pipeline(name_prefix: str = "") -> AppSpec:
+    """Construct the bilateral-grid pipeline of Table 2."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R, C], name=name_prefix + "Ib")
+
+    x, y = Variable("x"), Variable("y")
+    gx, gy, gz = Variable("gx"), Variable("gy"), Variable("gz")
+    row, col = Interval(0, R - 1, 1), Interval(0, C - 1, 1)
+    grid_x = Interval(0, R / S_SIGMA, 1)
+    grid_y = Interval(0, C / S_SIGMA, 1)
+    grid_z = Interval(0, Z_BINS, 1)
+
+    def bin_of(value):
+        return Cast(Int, Min(Max(value * Z_BINS + 0.5, 0.0),
+                             float(Z_BINS)))
+
+    # 1-2. scatter pixels into the grid (weight and value channels)
+    gridw = Accumulator(redDom=([x, y], [row, col]),
+                        varDom=([gx, gy, gz], [grid_x, grid_y, grid_z]),
+                        typ=Float, name=name_prefix + "gridw")
+    gridw.defn = Accumulate(
+        gridw(x // S_SIGMA, y // S_SIGMA, bin_of(I(x, y))), 1.0, Sum)
+    gridv = Accumulator(redDom=([x, y], [row, col]),
+                        varDom=([gx, gy, gz], [grid_x, grid_y, grid_z]),
+                        typ=Float, name=name_prefix + "gridv")
+    gridv.defn = Accumulate(
+        gridv(x // S_SIGMA, y // S_SIGMA, bin_of(I(x, y))), I(x, y), Sum)
+
+    def grid_fn(name: str) -> Function:
+        return Function(varDom=([gx, gy, gz], [grid_x, grid_y, grid_z]),
+                        typ=Float, name=name_prefix + name)
+
+    # 3-8. blur the grid along z, x, y
+    def blur(src, name: str, axis: int) -> Function:
+        f = grid_fn(name)
+        if axis == 2:
+            cond = (Condition(gz, ">=", 2)
+                    & Condition(gz, "<=", Z_BINS - 2))
+            taps = [src(gx, gy, gz + t - 2) for t in range(5)]
+        elif axis == 0:
+            cond = (Condition(gx, ">=", 2)
+                    & Condition(gx, "<=", R / S_SIGMA - 2))
+            taps = [src(gx + t - 2, gy, gz) for t in range(5)]
+        else:
+            cond = (Condition(gy, ">=", 2)
+                    & Condition(gy, "<=", C / S_SIGMA - 2))
+            taps = [src(gx, gy + t - 2, gz) for t in range(5)]
+        f.defn = [Case(cond, sum((KERNEL[t] / 16.0) * taps[t]
+                                 for t in range(5)))]
+        return f
+
+    blurz_w = blur(gridw, "blurz_w", 2)
+    blurx_w = blur(blurz_w, "blurx_w", 0)
+    blury_w = blur(blurx_w, "blury_w", 1)
+    blurz_v = blur(gridv, "blurz_v", 2)
+    blurx_v = blur(blurz_v, "blurx_v", 0)
+    blury_v = blur(blurx_v, "blury_v", 1)
+
+    # 9. trilinear slice with homogeneous normalisation
+    out = Function(varDom=([x, y], [row, col]), typ=Float,
+                   name=name_prefix + "bilateral")
+    zf = I(x, y) * Z_BINS
+    zi = Cast(Int, Min(Max(zf, 0.0), float(Z_BINS - 1)))
+    zt = zf - Cast(Float, zi)
+    xi = x // S_SIGMA
+    yi = y // S_SIGMA
+    xt = Cast(Float, x - S_SIGMA * xi) * (1.0 / S_SIGMA)
+    yt = Cast(Float, y - S_SIGMA * yi) * (1.0 / S_SIGMA)
+
+    def trilerp(grid):
+        def lerp(a, b, t):
+            return a * (1.0 - t) + b * t
+        c00 = lerp(grid(xi, yi, zi), grid(xi, yi, zi + 1), zt)
+        c01 = lerp(grid(xi, yi + 1, zi), grid(xi, yi + 1, zi + 1), zt)
+        c10 = lerp(grid(xi + 1, yi, zi), grid(xi + 1, yi, zi + 1), zt)
+        c11 = lerp(grid(xi + 1, yi + 1, zi),
+                   grid(xi + 1, yi + 1, zi + 1), zt)
+        return lerp(lerp(c00, c01, yt), lerp(c10, c11, yt), xt)
+
+    weight = trilerp(blury_w)
+    value = trilerp(blury_v)
+    out.defn = Select(weight > 0.0, value / weight, 0.0)
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        return {I: smooth_image(values[R], values[C], rng)}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {out.name: reference_bilateral(np.asarray(inputs[I]))}
+
+    return AppSpec(
+        name="bilateral",
+        params={"R": R, "C": C},
+        images=(I,),
+        outputs=(out,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation
+# ---------------------------------------------------------------------------
+
+def reference_bilateral(I: np.ndarray) -> np.ndarray:
+    """NumPy oracle: grid scatter, 5-tap blurs, trilinear slice."""
+    I = I.astype(np.float32)
+    R, C = I.shape
+    GX, GY, GZ = R // S_SIGMA + 1, C // S_SIGMA + 1, Z_BINS + 1
+
+    xs, ys = np.meshgrid(np.arange(R), np.arange(C), indexing="ij")
+    zi = np.clip(I * Z_BINS + 0.5, 0.0, float(Z_BINS)).astype(np.int64)
+    gridw = np.zeros((GX, GY, GZ), np.float32)
+    gridv = np.zeros((GX, GY, GZ), np.float32)
+    np.add.at(gridw, (xs // S_SIGMA, ys // S_SIGMA, zi), 1.0)
+    np.add.at(gridv, (xs // S_SIGMA, ys // S_SIGMA, zi),
+              I.astype(np.float32))
+
+    k = np.array(KERNEL, np.float32) / 16.0
+
+    def blur_axis(g, axis, lo, hi):
+        out = np.zeros_like(g)
+        idx = [slice(None)] * 3
+        src = [slice(None)] * 3
+        idx[axis] = slice(lo, hi + 1)
+        acc = np.zeros_like(g[tuple(idx)])
+        for t in range(5):
+            src[axis] = slice(lo + t - 2, hi + t - 1)
+            acc += k[t] * g[tuple(src)]
+        out[tuple(idx)] = acc
+        return out
+
+    def blur_all(g):
+        g = blur_axis(g, 2, 2, Z_BINS - 2)
+        g = blur_axis(g, 0, 2, GX - 3)  # gx in [2, R/S - 2]
+        g = blur_axis(g, 1, 2, GY - 3)
+        return g
+
+    bw = blur_all(gridw)
+    bv = blur_all(gridv)
+
+    zf = I * Z_BINS
+    zi = np.clip(zf, 0.0, float(Z_BINS - 1)).astype(np.int64)
+    zt = (zf - zi).astype(np.float32)
+    xi = xs // S_SIGMA
+    yi = ys // S_SIGMA
+    xt = ((xs - S_SIGMA * xi) / S_SIGMA).astype(np.float32)
+    yt = ((ys - S_SIGMA * yi) / S_SIGMA).astype(np.float32)
+
+    def trilerp(g):
+        def lerp(a, b, t):
+            return a * (1.0 - t) + b * t
+        c00 = lerp(g[xi, yi, zi], g[xi, yi, zi + 1], zt)
+        c01 = lerp(g[xi, yi + 1, zi], g[xi, yi + 1, zi + 1], zt)
+        c10 = lerp(g[xi + 1, yi, zi], g[xi + 1, yi, zi + 1], zt)
+        c11 = lerp(g[xi + 1, yi + 1, zi], g[xi + 1, yi + 1, zi + 1], zt)
+        return lerp(lerp(c00, c01, yt), lerp(c10, c11, yt), xt)
+
+    w = trilerp(bw)
+    v = trilerp(bv)
+    out = np.zeros_like(I)
+    np.divide(v, w, out=out, where=w > 0)
+    return out.astype(np.float32)

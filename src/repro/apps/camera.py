@@ -1,0 +1,321 @@
+"""Camera RAW processing pipeline (Table 2: 32 stages, 2528x1920).
+
+A FrankenCamera-style pipeline processing a GRBG Bayer mosaic into a
+colour image: hot-pixel suppression, deinterleaving into four half-
+resolution planes, gradient-aware demosaicking (separate vertical /
+horizontal interpolation stages with selection, as in the Halide/FCam
+``camera_pipe``), parity-based re-interleaving to full resolution, a 3x3
+colour-correction matrix, and a tone curve applied through a
+data-dependent lookup table (the paper notes the LUT stages are the one
+part its compiler keeps out of the fused group).
+
+Sizes must be even.  The reference implementation mirrors every stage.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.data.synth import bayer_raw
+from repro.lang import (
+    Case, Cast, Condition, Float, Function, Image, Int, Interval, Max, Min,
+    Parameter, Pow, Select, UShort, Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2528, 1920
+
+#: white balance gains, colour correction matrix (sRGB-ish), tone curve
+WB_R, WB_G, WB_B = 1.15, 1.0, 1.25
+CCM = ((1.6, -0.4, -0.2),
+       (-0.3, 1.5, -0.2),
+       (-0.1, -0.5, 1.6))
+GAMMA = 1.0 / 2.2
+LUT_SIZE = 1024
+SHARPEN_WEIGHT = 0.5
+
+
+def build_pipeline(name_prefix: str = "") -> AppSpec:
+    """Construct the 32-stage camera RAW pipeline of Table 2."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    raw = Image(UShort, [R, C], name=name_prefix + "raw")
+
+    x, y = Variable("x"), Variable("y")
+    full_r, full_c = Interval(0, R - 1, 1), Interval(0, C - 1, 1)
+    half_r, half_c = Interval(0, R / 2 - 1, 1), Interval(0, C / 2 - 1, 1)
+
+    def full_fn(name: str) -> Function:
+        return Function(varDom=([x, y], [full_r, full_c]), typ=Float,
+                        name=name_prefix + name)
+
+    def half_fn(name: str) -> Function:
+        return Function(varDom=([x, y], [half_r, half_c]), typ=Float,
+                        name=name_prefix + name)
+
+    # 1. scale to [0, 1] and suppress hot pixels against 2-away neighbours
+    scaled = full_fn("scaled")
+    scaled.defn = Cast(Float, raw(x, y)) * (1.0 / (LUT_SIZE - 1))
+
+    inner2 = (Condition(x, ">=", 2) & Condition(x, "<=", R - 3)
+              & Condition(y, ">=", 2) & Condition(y, "<=", C - 3))
+    denoised = full_fn("denoised")
+    neighbour_max = Max(Max(scaled(x - 2, y), scaled(x + 2, y)),
+                        Max(scaled(x, y - 2), scaled(x, y + 2)))
+    neighbour_min = Min(Min(scaled(x - 2, y), scaled(x + 2, y)),
+                        Min(scaled(x, y - 2), scaled(x, y + 2)))
+    denoised.defn = [Case(inner2, Min(Max(scaled(x, y), neighbour_min),
+                                      neighbour_max))]
+
+    # 2. deinterleave the GRBG mosaic into four half-res planes
+    raw_gr = half_fn("raw_gr")
+    raw_gr.defn = denoised(2 * x, 2 * y)
+    raw_r = half_fn("raw_r")
+    raw_r.defn = denoised(2 * x, 2 * y + 1)
+    raw_b = half_fn("raw_b")
+    raw_b.defn = denoised(2 * x + 1, 2 * y)
+    raw_gb = half_fn("raw_gb")
+    raw_gb.defn = denoised(2 * x + 1, 2 * y + 1)
+
+    # 3. per-channel white balance
+    gr = half_fn("gr")
+    gr.defn = raw_gr(x, y) * WB_G
+    r = half_fn("r")
+    r.defn = raw_r(x, y) * WB_R
+    b = half_fn("b")
+    b.defn = raw_b(x, y) * WB_B
+    gb = half_fn("gb")
+    gb.defn = raw_gb(x, y) * WB_G
+
+    half_inner = (Condition(x, ">=", 1) & Condition(x, "<=", R / 2 - 2)
+                  & Condition(y, ">=", 1) & Condition(y, "<=", C / 2 - 2))
+
+    def interp(name: str, expr) -> Function:
+        f = half_fn(name)
+        f.defn = [Case(half_inner, expr)]
+        return f
+
+    # 4. demosaic: green at red/blue via gradient-selected interpolation
+    gv_r = interp("gv_r", (gb(x - 1, y) + gb(x, y)) * 0.5)
+    gh_r = interp("gh_r", (gr(x, y + 1) + gr(x, y)) * 0.5)
+    from repro.lang import Abs
+    g_r = interp("g_r", Select(
+        Abs(gb(x - 1, y) - gb(x, y)) < Abs(gr(x, y + 1) - gr(x, y)),
+        gv_r(x, y), gh_r(x, y)))
+
+    gv_b = interp("gv_b", (gr(x + 1, y) + gr(x, y)) * 0.5)
+    gh_b = interp("gh_b", (gb(x, y - 1) + gb(x, y)) * 0.5)
+    g_b = interp("g_b", Select(
+        Abs(gr(x + 1, y) - gr(x, y)) < Abs(gb(x, y - 1) - gb(x, y)),
+        gv_b(x, y), gh_b(x, y)))
+
+    # red/blue at the other sites, with green-ratio correction
+    r_gr = interp("r_gr", (r(x, y - 1) + r(x, y)) * 0.5
+                  + gr(x, y) - (g_r(x, y - 1) + g_r(x, y)) * 0.5)
+    b_gr = interp("b_gr", (b(x - 1, y) + b(x, y)) * 0.5
+                  + gr(x, y) - (g_b(x - 1, y) + g_b(x, y)) * 0.5)
+    r_gb = interp("r_gb", (r(x, y) + r(x + 1, y)) * 0.5
+                  + gb(x, y) - (g_r(x, y) + g_r(x + 1, y)) * 0.5)
+    b_gb = interp("b_gb", (b(x, y) + b(x, y + 1)) * 0.5
+                  + gb(x, y) - (g_b(x, y) + g_b(x, y + 1)) * 0.5)
+    r_b = interp("r_b", (r(x, y) + r(x + 1, y - 1) + r(x + 1, y)
+                         + r(x, y - 1)) * 0.25
+                 + g_b(x, y) - (g_r(x, y) + g_r(x + 1, y - 1)
+                                + g_r(x + 1, y) + g_r(x, y - 1)) * 0.25)
+    b_r = interp("b_r", (b(x, y) + b(x - 1, y + 1) + b(x - 1, y)
+                         + b(x, y + 1)) * 0.25
+                 + g_r(x, y) - (g_b(x, y) + g_b(x - 1, y + 1)
+                                + g_b(x - 1, y) + g_b(x, y + 1)) * 0.25)
+
+    # 5. interleave back to full resolution (parity cases)
+    even_x = Condition(x % 2, "==", 0)
+    odd_x = Condition(x % 2, "==", 1)
+    even_y = Condition(y % 2, "==", 0)
+    odd_y = Condition(y % 2, "==", 1)
+
+    full_g = full_fn("full_g")
+    full_g.defn = [
+        Case(even_x & even_y, gr(x // 2, y // 2)),
+        Case(even_x & odd_y, g_r(x // 2, y // 2)),
+        Case(odd_x & even_y, g_b(x // 2, y // 2)),
+        Case(odd_x & odd_y, gb(x // 2, y // 2)),
+    ]
+    full_red = full_fn("full_red")
+    full_red.defn = [
+        Case(even_x & even_y, r_gr(x // 2, y // 2)),
+        Case(even_x & odd_y, r(x // 2, y // 2)),
+        Case(odd_x & even_y, r_b(x // 2, y // 2)),
+        Case(odd_x & odd_y, r_gb(x // 2, y // 2)),
+    ]
+    full_blue = full_fn("full_blue")
+    full_blue.defn = [
+        Case(even_x & even_y, b_gr(x // 2, y // 2)),
+        Case(even_x & odd_y, b_r(x // 2, y // 2)),
+        Case(odd_x & even_y, b(x // 2, y // 2)),
+        Case(odd_x & odd_y, b_gb(x // 2, y // 2)),
+    ]
+
+    # 6. colour correction matrix
+    channels = (full_red, full_g, full_blue)
+    corrected = []
+    for ci, name in enumerate(("corr_r", "corr_g", "corr_b")):
+        f = full_fn(name)
+        f.defn = sum(CCM[ci][k] * channels[k](x, y) for k in range(3))
+        corrected.append(f)
+
+    # 7. tone curve as a LUT, applied through data-dependent lookups
+    z = Variable("z")
+    curve = Function(varDom=([z], [Interval(0, LUT_SIZE - 1, 1)]),
+                     typ=Float, name=name_prefix + "curve")
+    curve.defn = Pow(Cast(Float, z) * (1.0 / (LUT_SIZE - 1)), GAMMA)
+
+    c = Variable("c")
+    processed = Function(
+        varDom=([c, x, y], [Interval(0, 2, 1), full_r, full_c]),
+        typ=Float, name=name_prefix + "processed")
+    clamped = []
+    for f in corrected:
+        idx = Cast(Int, Min(Max(f(x, y), 0.0), 1.0) * (LUT_SIZE - 1))
+        clamped.append(curve(idx))
+    processed.defn = [
+        Case(Condition(c, "==", 0), clamped[0]),
+        Case(Condition(c, "==", 1), clamped[1]),
+        Case(Condition(c, "==", 2), clamped[2]),
+    ]
+
+    # 8. final unsharp-mask sharpening
+    inner1 = (Condition(x, ">=", 1) & Condition(x, "<=", R - 2)
+              & Condition(y, ">=", 1) & Condition(y, "<=", C - 2))
+    blurred = Function(
+        varDom=([c, x, y], [Interval(0, 2, 1), full_r, full_c]),
+        typ=Float, name=name_prefix + "blurred")
+    blurred.defn = [Case(inner1, sum(
+        processed(c, x + i, y + j)
+        for i in (-1, 0, 1) for j in (-1, 0, 1)) / 9.0)]
+    sharpened = Function(
+        varDom=([c, x, y], [Interval(0, 2, 1), full_r, full_c]),
+        typ=Float, name=name_prefix + "sharpened")
+    sharpened.defn = [Case(inner1,
+                           processed(c, x, y) * (1.0 + SHARPEN_WEIGHT)
+                           - blurred(c, x, y) * SHARPEN_WEIGHT)]
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        return {raw: bayer_raw(values[R], values[C], rng)}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {sharpened.name: reference_camera(np.asarray(inputs[raw]))}
+
+    return AppSpec(
+        name="camera",
+        params={"R": R, "C": C},
+        images=(raw,),
+        outputs=(sharpened,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (stage-by-stage mirror)
+# ---------------------------------------------------------------------------
+
+def reference_camera(raw: np.ndarray) -> np.ndarray:
+    """Stage-by-stage NumPy oracle mirroring the DSL pipeline exactly."""
+    R, C = raw.shape
+    scaled = raw.astype(np.float32) / (LUT_SIZE - 1)
+
+    denoised = np.zeros_like(scaled)
+    core = np.s_[2:R - 2, 2:C - 2]
+    nmax = np.maximum.reduce([scaled[0:R - 4, 2:C - 2],
+                              scaled[4:R, 2:C - 2],
+                              scaled[2:R - 2, 0:C - 4],
+                              scaled[2:R - 2, 4:C]])
+    nmin = np.minimum.reduce([scaled[0:R - 4, 2:C - 2],
+                              scaled[4:R, 2:C - 2],
+                              scaled[2:R - 2, 0:C - 4],
+                              scaled[2:R - 2, 4:C]])
+    denoised[core] = np.minimum(np.maximum(scaled[core], nmin), nmax)
+
+    gr = denoised[0::2, 0::2] * np.float32(WB_G)
+    r = denoised[0::2, 1::2] * np.float32(WB_R)
+    b = denoised[1::2, 0::2] * np.float32(WB_B)
+    gb = denoised[1::2, 1::2] * np.float32(WB_G)
+    H, W_ = R // 2, C // 2
+
+    def interior(arr):
+        out = np.zeros((H, W_), np.float32)
+        out[1:H - 1, 1:W_ - 1] = arr
+        return out
+
+    ix = np.s_[1:H - 1, 1:W_ - 1]
+
+    def sh(a, dx, dy):
+        return a[1 + dx:H - 1 + dx, 1 + dy:W_ - 1 + dy]
+
+    gv_r = interior((sh(gb, -1, 0) + sh(gb, 0, 0)) * 0.5)
+    gh_r = interior((sh(gr, 0, 1) + sh(gr, 0, 0)) * 0.5)
+    g_r = interior(np.where(
+        np.abs(sh(gb, -1, 0) - sh(gb, 0, 0))
+        < np.abs(sh(gr, 0, 1) - sh(gr, 0, 0)),
+        gv_r[ix], gh_r[ix]))
+
+    gv_b = interior((sh(gr, 1, 0) + sh(gr, 0, 0)) * 0.5)
+    gh_b = interior((sh(gb, 0, -1) + sh(gb, 0, 0)) * 0.5)
+    g_b = interior(np.where(
+        np.abs(sh(gr, 1, 0) - sh(gr, 0, 0))
+        < np.abs(sh(gb, 0, -1) - sh(gb, 0, 0)),
+        gv_b[ix], gh_b[ix]))
+
+    r_gr = interior((sh(r, 0, -1) + sh(r, 0, 0)) * 0.5 + sh(gr, 0, 0)
+                    - (sh(g_r, 0, -1) + sh(g_r, 0, 0)) * 0.5)
+    b_gr = interior((sh(b, -1, 0) + sh(b, 0, 0)) * 0.5 + sh(gr, 0, 0)
+                    - (sh(g_b, -1, 0) + sh(g_b, 0, 0)) * 0.5)
+    r_gb = interior((sh(r, 0, 0) + sh(r, 1, 0)) * 0.5 + sh(gb, 0, 0)
+                    - (sh(g_r, 0, 0) + sh(g_r, 1, 0)) * 0.5)
+    b_gb = interior((sh(b, 0, 0) + sh(b, 0, 1)) * 0.5 + sh(gb, 0, 0)
+                    - (sh(g_b, 0, 0) + sh(g_b, 0, 1)) * 0.5)
+    r_b = interior((sh(r, 0, 0) + sh(r, 1, -1) + sh(r, 1, 0)
+                    + sh(r, 0, -1)) * 0.25 + sh(g_b, 0, 0)
+                   - (sh(g_r, 0, 0) + sh(g_r, 1, -1) + sh(g_r, 1, 0)
+                      + sh(g_r, 0, -1)) * 0.25)
+    b_r = interior((sh(b, 0, 0) + sh(b, -1, 1) + sh(b, -1, 0)
+                    + sh(b, 0, 1)) * 0.25 + sh(g_r, 0, 0)
+                   - (sh(g_b, 0, 0) + sh(g_b, -1, 1) + sh(g_b, -1, 0)
+                      + sh(g_b, 0, 1)) * 0.25)
+
+    def interleave(ee, eo, oe, oo):
+        out = np.zeros((R, C), np.float32)
+        out[0::2, 0::2] = ee
+        out[0::2, 1::2] = eo
+        out[1::2, 0::2] = oe
+        out[1::2, 1::2] = oo
+        return out
+
+    full_g = interleave(gr, g_r, g_b, gb)
+    full_red = interleave(r_gr, r, r_b, r_gb)
+    full_blue = interleave(b_gr, b_r, b, b_gb)
+
+    rgb = np.stack([full_red, full_g, full_blue])
+    corrected = np.einsum("ck,kxy->cxy",
+                          np.array(CCM, np.float32), rgb)
+
+    lut = (np.arange(LUT_SIZE, dtype=np.float32)
+           / (LUT_SIZE - 1)) ** np.float32(GAMMA)
+    idx = (np.clip(corrected, 0.0, 1.0)
+           * (LUT_SIZE - 1)).astype(np.int64)
+    processed = lut[idx].astype(np.float32)
+
+    blurred = np.zeros_like(processed)
+    acc = np.zeros_like(processed[:, 1:R - 1, 1:C - 1])
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            acc += processed[:, 1 + i:R - 1 + i, 1 + j:C - 1 + j]
+    blurred[:, 1:R - 1, 1:C - 1] = acc / 9.0
+    sharpened = np.zeros_like(processed)
+    sharpened[:, 1:R - 1, 1:C - 1] = (
+        processed[:, 1:R - 1, 1:C - 1] * (1.0 + SHARPEN_WEIGHT)
+        - blurred[:, 1:R - 1, 1:C - 1] * SHARPEN_WEIGHT)
+    return sharpened

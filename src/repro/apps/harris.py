@@ -1,0 +1,150 @@
+"""Harris corner detection (paper Figure 1, evaluated in Table 2).
+
+An 11-stage pipeline: Sobel-style derivative stencils ``Ix``/``Iy``,
+point-wise products ``Ixx``/``Ixy``/``Iyy``, 3x3 box sums ``Sxx``/``Sxy``/
+``Syy``, and the point-wise ``det``/``trace``/``harris`` response.  The
+DSL specification below mirrors the paper's listing line for line.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Stencil, Variable,
+)
+
+#: Image size used in the paper's evaluation (6400 x 6400).
+PAPER_SIZE = 6400
+
+
+def build_pipeline(name_prefix: str = "") -> AppSpec:
+    """Construct the Harris pipeline exactly as in the paper's Figure 1."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R + 2, C + 2], name=name_prefix + "I")
+
+    x, y = Variable("x"), Variable("y")
+    row, col = Interval(0, R + 1, 1), Interval(0, C + 1, 1)
+
+    c = (Condition(x, ">=", 1) & Condition(x, "<=", R)
+         & Condition(y, ">=", 1) & Condition(y, "<=", C))
+    cb = (Condition(x, ">=", 2) & Condition(x, "<=", R - 1)
+          & Condition(y, ">=", 2) & Condition(y, "<=", C - 1))
+
+    def fn(name: str) -> Function:
+        return Function(varDom=([x, y], [row, col]), typ=Float,
+                        name=name_prefix + name)
+
+    Iy = fn("Iy")
+    Iy.defn = [Case(c, Stencil(I(x, y), 1.0 / 12,
+                               [[-1, -2, -1],
+                                [0, 0, 0],
+                                [1, 2, 1]]))]
+
+    Ix = fn("Ix")
+    Ix.defn = [Case(c, Stencil(I(x, y), 1.0 / 12,
+                               [[-1, 0, 1],
+                                [-2, 0, 2],
+                                [-1, 0, 1]]))]
+
+    Ixx = fn("Ixx")
+    Ixx.defn = [Case(c, Ix(x, y) * Ix(x, y))]
+
+    Iyy = fn("Iyy")
+    Iyy.defn = [Case(c, Iy(x, y) * Iy(x, y))]
+
+    Ixy = fn("Ixy")
+    Ixy.defn = [Case(c, Ix(x, y) * Iy(x, y))]
+
+    Sxx, Syy, Sxy = fn("Sxx"), fn("Syy"), fn("Sxy")
+    for out, src in [(Sxx, Ixx), (Syy, Iyy), (Sxy, Ixy)]:
+        out.defn = [Case(cb, Stencil(src(x, y), 1,
+                                     [[1, 1, 1],
+                                      [1, 1, 1],
+                                      [1, 1, 1]]))]
+
+    det = fn("det")
+    det.defn = [Case(cb, Sxx(x, y) * Syy(x, y) - Sxy(x, y) * Sxy(x, y))]
+
+    trace = fn("trace")
+    trace.defn = [Case(cb, Sxx(x, y) + Syy(x, y))]
+
+    harris = fn("harris")
+    coarsity = det(x, y) - 0.04 * trace(x, y) * trace(x, y)
+    harris.defn = [Case(cb, coarsity)]
+
+    params = {"R": R, "C": C}
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        r, cval = values[R], values[C]
+        return {I: rng.random((r + 2, cval + 2), dtype=np.float32)}
+
+    def reference(inputs: Mapping[Image, np.ndarray],
+                  values: Mapping[Parameter, int]) -> dict[str, np.ndarray]:
+        return {harris.name: reference_harris(np.asarray(inputs[I],
+                                                         dtype=np.float32))}
+
+    return AppSpec(
+        name="harris",
+        params=params,
+        images=(I,),
+        outputs=(harris,),
+        default_estimates={R: PAPER_SIZE, C: PAPER_SIZE},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+def reference_harris(I: np.ndarray) -> np.ndarray:
+    """Stage-at-a-time NumPy oracle for the Harris pipeline.
+
+    Matches the DSL semantics: stages are zero outside their case regions.
+    """
+    I = I.astype(np.float32)
+    rows, cols = I.shape
+    R, C = rows - 2, cols - 2
+
+    def zeros() -> np.ndarray:
+        return np.zeros_like(I)
+
+    Ix, Iy = zeros(), zeros()
+    # interior: x in [1, R], y in [1, C]
+    core = np.s_[1:R + 1, 1:C + 1]
+    Iy[core] = (
+        -I[0:R, 0:C] - 2 * I[0:R, 1:C + 1] - I[0:R, 2:C + 2]
+        + I[2:R + 2, 0:C] + 2 * I[2:R + 2, 1:C + 1] + I[2:R + 2, 2:C + 2]
+    ) / 12.0
+    Ix[core] = (
+        -I[0:R, 0:C] + I[0:R, 2:C + 2]
+        - 2 * I[1:R + 1, 0:C] + 2 * I[1:R + 1, 2:C + 2]
+        - I[2:R + 2, 0:C] + I[2:R + 2, 2:C + 2]
+    ) / 12.0
+
+    Ixx, Iyy, Ixy = zeros(), zeros(), zeros()
+    Ixx[core] = Ix[core] * Ix[core]
+    Iyy[core] = Iy[core] * Iy[core]
+    Ixy[core] = Ix[core] * Iy[core]
+
+    def box3(src: np.ndarray) -> np.ndarray:
+        """3x3 box sum on the cb interior."""
+        out = zeros()
+        out[2:R, 2:C] = (
+            src[1:R - 1, 1:C - 1] + src[1:R - 1, 2:C] + src[1:R - 1, 3:C + 1]
+            + src[2:R, 1:C - 1] + src[2:R, 2:C] + src[2:R, 3:C + 1]
+            + src[3:R + 1, 1:C - 1] + src[3:R + 1, 2:C] + src[3:R + 1, 3:C + 1]
+        )
+        return out
+
+    Sxx, Syy, Sxy = box3(Ixx), box3(Iyy), box3(Ixy)
+
+    harris = zeros()
+    inner = np.s_[2:R, 2:C]
+    det = Sxx[inner] * Syy[inner] - Sxy[inner] * Sxy[inner]
+    trace = Sxx[inner] + Syy[inner]
+    harris[inner] = det - 0.04 * trace * trace
+    return harris

@@ -1,0 +1,180 @@
+"""Multiscale interpolation (Table 2: 49 stages, 2560x1536x3).
+
+Interpolates colour through transparent regions at multiple scales (the
+classic ``interpolate`` pipeline): alpha-premultiplied RGBA is
+downsampled into a pyramid (separable ``downx``/``downy``), then
+reconstructed coarse-to-fine — each level adds the upsampled coarser
+interpolation wherever its own alpha leaves a gap — and finally
+normalised by the accumulated alpha.
+
+Sizes must be divisible by ``2**(levels-1)``; borders are zero-padded.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.apps._pyr import level_interval
+from repro.data.synth import rgb_image
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Select, Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2560, 1536
+DEFAULT_LEVELS = 10
+
+W = (0.25, 0.5, 0.25)
+
+
+def build_pipeline(levels: int = DEFAULT_LEVELS,
+                   name_prefix: str = "") -> AppSpec:
+    """Construct the multiscale-interpolation pipeline of Table 2."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [4, R + 1, C + 1], name=name_prefix + "Irgba")
+
+    c, x, y = Variable("c"), Variable("x"), Variable("y")
+    chan = Interval(0, 3, 1)
+
+    def fn(name: str, l: int, y_level: int | None = None) -> Function:
+        return Function(
+            varDom=([c, x, y], [chan, level_interval(R, l),
+                                level_interval(C, l if y_level is None
+                                               else y_level)]),
+            typ=Float, name=name_prefix + name)
+
+    # alpha-premultiply
+    premul = fn("premul", 0)
+    premul.defn = [
+        Case(Condition(c, "<=", 2), I(c, x, y) * I(3, x, y)),
+        Case(Condition(c, ">=", 3), I(3, x, y)),
+    ]
+
+    def interior(l: int, half_x: bool, half_y: bool):
+        cond = None
+        if half_x:
+            cond = (Condition(x, ">=", 1)
+                    & Condition(x, "<=", R / (2 ** l) - 1))
+        if half_y:
+            cy = (Condition(y, ">=", 1)
+                  & Condition(y, "<=", C / (2 ** l) - 1))
+            cond = cy if cond is None else cond & cy
+        return cond
+
+    # downsampled pyramid
+    d = [premul]
+    for l in range(1, levels):
+        dx = fn(f"downx{l}", l, y_level=l - 1)
+        prev = d[-1]
+        dx.defn = [Case(interior(l, True, False), sum(
+            W[i] * prev(c, 2 * x + i - 1, y) for i in range(3)))]
+        dy = fn(f"downy{l}", l)
+        dy.defn = [Case(interior(l, True, True), sum(
+            W[j] * dx(c, x, 2 * y + j - 1) for j in range(3)))]
+        d.append(dy)
+
+    # coarse-to-fine interpolation with separable upsampling
+    u = d[levels - 1]
+    for l in range(levels - 2, -1, -1):
+        upx = fn(f"upx{l}", l, y_level=l + 1)
+        upx.defn = 0.5 * (u(c, x // 2, y) + u(c, (x + 1) // 2, y))
+        upy = fn(f"upy{l}", l)
+        upy.defn = 0.5 * (upx(c, x, y // 2) + upx(c, x, (y + 1) // 2))
+        interp = fn(f"interp{l}", l)
+        interp.defn = (d[l](c, x, y)
+                       + (1.0 - d[l](3, x, y)) * upy(c, x, y))
+        u = interp
+
+    final = Function(
+        varDom=([c, x, y], [Interval(0, 2, 1), level_interval(R, 0),
+                            level_interval(C, 0)]),
+        typ=Float, name=name_prefix + "interpolated")
+    final.defn = Select(u(3, x, y) > 0.0,
+                        u(c, x, y) / u(3, x, y), 0.0)
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        r, cl = values[R], values[C]
+        rgba = np.zeros((4, r + 1, cl + 1), np.float32)
+        rgba[:3, :r, :cl] = rgb_image(r, cl, rng)
+        alpha = (smooth_alpha(r, cl, rng))
+        rgba[3, :r, :cl] = alpha
+        rgba[:3] *= 1.0  # colours stored straight; premul happens in-DSL
+        return {I: rgba}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {final.name: reference_interpolate(np.asarray(inputs[I]),
+                                                  levels)}
+
+    return AppSpec(
+        name="interpolate",
+        params={"R": R, "C": C},
+        images=(I,),
+        outputs=(final,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+def smooth_alpha(rows: int, cols: int, rng: np.random.Generator
+                 ) -> np.ndarray:
+    """An alpha mask with transparent holes to interpolate through."""
+    from repro.data.synth import smooth_image
+    alpha = smooth_image(rows, cols, rng)
+    return (alpha > 0.35).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation
+# ---------------------------------------------------------------------------
+
+def _ref_downx(src: np.ndarray) -> np.ndarray:
+    S = src.shape[-2] - 1
+    out = np.zeros(src.shape[:-2] + (S // 2 + 1, src.shape[-1]), src.dtype)
+    xs = np.arange(1, S // 2)
+    if len(xs):
+        out[..., 1:S // 2, :] = sum(
+            W[i] * src[..., 2 * xs + i - 1, :] for i in range(3))
+    return out
+
+
+def _ref_downy(src: np.ndarray) -> np.ndarray:
+    S = src.shape[-1] - 1
+    out = np.zeros(src.shape[:-1] + (S // 2 + 1,), src.dtype)
+    ys = np.arange(1, S // 2)
+    if len(ys):
+        acc = sum(W[j] * src[..., 2 * ys + j - 1] for j in range(3))
+        acc[..., 0, :] = 0
+        acc[..., -1, :] = 0
+        out[..., 1:S // 2] = acc
+    return out
+
+
+def reference_interpolate(rgba: np.ndarray, levels: int) -> np.ndarray:
+    """NumPy oracle: premultiply, pyramid, coarse-to-fine fill, normalise."""
+    rgba = rgba.astype(np.float32)
+    premul = rgba.copy()
+    premul[:3] = rgba[:3] * rgba[3]
+
+    d = [premul]
+    for _ in range(1, levels):
+        d.append(_ref_downy(_ref_downx(d[-1])))
+
+    u = d[levels - 1]
+    for l in range(levels - 2, -1, -1):
+        fine_r = d[l].shape[-2]
+        fine_c = d[l].shape[-1]
+        xs = np.arange(fine_r)
+        upx = 0.5 * (u[..., xs // 2, :] + u[..., (xs + 1) // 2, :])
+        ys = np.arange(fine_c)
+        upy = 0.5 * (upx[..., ys // 2] + upx[..., (ys + 1) // 2])
+        u = d[l] + (1.0 - d[l][3:4]) * upy
+
+    w = u[3]
+    out = np.zeros_like(u[:3])
+    np.divide(u[:3], w[None], out=out, where=w[None] > 0)
+    return out.astype(np.float32)

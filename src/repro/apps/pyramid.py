@@ -1,0 +1,234 @@
+"""Pyramid blending (Table 2: 44 stages, 2048x2048x3; Figure 8).
+
+Blends two multi-focus images with a mask through Laplacian pyramids:
+Gaussian pyramids of both inputs and the mask (separable ``downx`` /
+``downy`` stages, as in Figure 8's graph), Laplacian levels
+``l = g_l - up(g_{l+1})``, per-level mask blending, and collapse.
+
+Image sizes must be divisible by ``2**(levels-1)``.  Borders use the
+zero-padding convention of :mod:`repro.apps._pyr`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.apps._pyr import level_interval, up2_c
+from repro.data.synth import multifocus_pair
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2048, 2048
+DEFAULT_LEVELS = 4
+
+W = (0.25, 0.5, 0.25)
+
+
+def build_pipeline(levels: int = DEFAULT_LEVELS,
+                   name_prefix: str = "") -> AppSpec:
+    """Construct the pyramid-blending pipeline (Figure 8, Table 2)."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    A = Image(Float, [3, R + 1, C + 1], name=name_prefix + "A")
+    B = Image(Float, [3, R + 1, C + 1], name=name_prefix + "B")
+    M = Image(Float, [R + 1, C + 1], name=name_prefix + "M")
+
+    c, x, y = Variable("c"), Variable("x"), Variable("y")
+    chan = Interval(0, 2, 1)
+
+    def dom(l: int):
+        return [chan, level_interval(R, l), level_interval(C, l)]
+
+    def dom2(l: int):
+        return [level_interval(R, l), level_interval(C, l)]
+
+    def fn(name: str, l: int, with_chan: bool = True) -> Function:
+        if with_chan:
+            return Function(varDom=([c, x, y], dom(l)), typ=Float,
+                            name=name_prefix + name)
+        return Function(varDom=([x, y], dom2(l)), typ=Float,
+                        name=name_prefix + name)
+
+    def interior(l: int, half_x: bool, half_y: bool):
+        sx = R / (2 ** l)
+        sy = C / (2 ** l)
+        cond = None
+        if half_x:
+            cond = Condition(x, ">=", 1) & Condition(x, "<=", sx - 1)
+        if half_y:
+            cy = Condition(y, ">=", 1) & Condition(y, "<=", sy - 1)
+            cond = cy if cond is None else cond & cy
+        return cond
+
+    # Gaussian pyramids: separable downx (halves x) then downy (halves y).
+    def build_gaussian(source, with_chan: bool, tag: str):
+        levels_list = [source]
+        for l in range(1, levels):
+            if with_chan:
+                dx = Function(
+                    varDom=([c, x, y],
+                            [chan, level_interval(R, l),
+                             level_interval(C, l - 1)]),
+                    typ=Float, name=f"{name_prefix}downx_{tag}{l}")
+                prev = levels_list[-1]
+                dx.defn = [Case(interior(l, True, False), sum(
+                    W[i] * prev(c, 2 * x + i - 1, y) for i in range(3)))]
+                dy = fn(f"downy_{tag}{l}", l)
+                dy.defn = [Case(interior(l, True, True), sum(
+                    W[j] * dx(c, x, 2 * y + j - 1) for j in range(3)))]
+            else:
+                dx = Function(
+                    varDom=([x, y],
+                            [level_interval(R, l), level_interval(C, l - 1)]),
+                    typ=Float, name=f"{name_prefix}downx_{tag}{l}")
+                prev = levels_list[-1]
+                dx.defn = [Case(interior(l, True, False), sum(
+                    W[i] * prev(2 * x + i - 1, y) for i in range(3)))]
+                dy = fn(f"downy_{tag}{l}", l, with_chan=False)
+                dy.defn = [Case(interior(l, True, True), sum(
+                    W[j] * dx(x, 2 * y + j - 1) for j in range(3)))]
+            levels_list.append(dy)
+        return levels_list
+
+    gA = build_gaussian(A, True, "A")
+    gB = build_gaussian(B, True, "B")
+    gM = build_gaussian(M, False, "M")
+
+    # Laplacian levels: l_k = g_k - up(g_{k+1}); the coarsest level is the
+    # Gaussian top itself.
+    def build_laplacian(g, tag: str):
+        laps = []
+        for l in range(levels - 1):
+            up = fn(f"up_{tag}{l}", l)
+            up.defn = up2_c(g[l + 1], c, x, y)
+            lap = fn(f"lap_{tag}{l}", l)
+            lap.defn = g[l](c, x, y) - up(c, x, y)
+            laps.append(lap)
+        laps.append(g[levels - 1])
+        return laps
+
+    lA = build_laplacian(gA, "A")
+    lB = build_laplacian(gB, "B")
+
+    # Blend each level with the mask pyramid.
+    blend = []
+    for l in range(levels):
+        bl = fn(f"blend{l}", l)
+        bl.defn = (gM[l](x, y) * lA[l](c, x, y)
+                   + (1.0 - gM[l](x, y)) * lB[l](c, x, y))
+        blend.append(bl)
+
+    # Collapse: out_{levels-1} = blend_{levels-1};
+    # out_l = blend_l + up(out_{l+1}).
+    out = blend[levels - 1]
+    for l in range(levels - 2, -1, -1):
+        upo = fn(f"upout{l}", l)
+        upo.defn = up2_c(out, c, x, y)
+        nxt = fn(f"out{l}" if l else "blended", l)
+        nxt.defn = blend[l](c, x, y) + upo(c, x, y)
+        out = nxt
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        r, cl = values[R], values[C]
+        a = np.zeros((3, r + 1, cl + 1), np.float32)
+        b = np.zeros((3, r + 1, cl + 1), np.float32)
+        m = np.zeros((r + 1, cl + 1), np.float32)
+        left, right, mask = multifocus_pair(r, cl, rng)
+        a[:, :r, :cl] = left
+        b[:, :r, :cl] = right
+        m[:r, :cl] = mask
+        return {A: a, B: b, M: m}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {out.name: reference_blend(
+            np.asarray(inputs[A]), np.asarray(inputs[B]),
+            np.asarray(inputs[M]), levels)}
+
+    return AppSpec(
+        name="pyramid_blend",
+        params={"R": R, "C": C},
+        images=(A, B, M),
+        outputs=(out,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (identical zero-pad semantics)
+# ---------------------------------------------------------------------------
+
+def _ref_downx(src: np.ndarray) -> np.ndarray:
+    """Halve the second-to-last axis with [1,2,1]/4 on the interior."""
+    S = src.shape[-2] - 1
+    out_shape = src.shape[:-2] + (S // 2 + 1, src.shape[-1])
+    out = np.zeros(out_shape, src.dtype)
+    xs = np.arange(1, S // 2)
+    if len(xs):
+        acc = sum(W[i] * src[..., 2 * xs + i - 1, :] for i in range(3))
+        out[..., 1:S // 2, :] = acc
+    return out
+
+
+def _ref_downy(src: np.ndarray) -> np.ndarray:
+    S = src.shape[-1] - 1
+    out_shape = src.shape[:-1] + (S // 2 + 1,)
+    out = np.zeros(out_shape, src.dtype)
+    ys = np.arange(1, S // 2)
+    if len(ys):
+        acc = sum(W[j] * src[..., 2 * ys + j - 1] for j in range(3))
+        # downx already zeroed its border rows; mask x border too
+        acc[..., 0, :] = 0
+        acc[..., -1, :] = 0
+        out[..., 1:S // 2] = acc
+    return out
+
+
+def _ref_up(src: np.ndarray, fine_shape: tuple[int, int]) -> np.ndarray:
+    S, T = fine_shape
+    x = np.arange(S)
+    y = np.arange(T)
+    x0, x1 = x // 2, (x + 1) // 2
+    y0, y1 = y // 2, (y + 1) // 2
+    return 0.25 * (src[..., x0[:, None], y0[None, :]]
+                   + src[..., x1[:, None], y0[None, :]]
+                   + src[..., x0[:, None], y1[None, :]]
+                   + src[..., x1[:, None], y1[None, :]])
+
+
+def reference_blend(A: np.ndarray, B: np.ndarray, M: np.ndarray,
+                    levels: int) -> np.ndarray:
+    """NumPy oracle with identical zero-pad pyramid semantics."""
+    A = A.astype(np.float32)
+    B = B.astype(np.float32)
+    M = M.astype(np.float32)
+
+    def gaussian(img):
+        g = [img]
+        for _ in range(1, levels):
+            g.append(_ref_downy(_ref_downx(g[-1])))
+        return g
+
+    gA, gB, gM = gaussian(A), gaussian(B), gaussian(M)
+
+    def laplacian(g):
+        laps = []
+        for l in range(levels - 1):
+            fine_shape = g[l].shape[-2:]
+            laps.append(g[l] - _ref_up(g[l + 1], fine_shape))
+        laps.append(g[levels - 1])
+        return laps
+
+    lA, lB = laplacian(gA), laplacian(gB)
+    blend = [gM[l][None, :, :] * lA[l] + (1.0 - gM[l][None, :, :]) * lB[l]
+             for l in range(levels)]
+    out = blend[levels - 1]
+    for l in range(levels - 2, -1, -1):
+        out = blend[l] + _ref_up(out, blend[l].shape[-2:])
+    return out.astype(np.float32)

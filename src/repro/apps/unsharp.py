@@ -1,0 +1,106 @@
+"""Unsharp mask (Table 2: 4 stages, 2048x2048x3).
+
+A separable 5-tap Gaussian blur followed by a thresholded sharpening
+mask: ``masked = |I - blur| < t ? I : (1 + w) * I - w * blur``.  The
+simplest of the paper's benchmarks — a straight chain of two stencils and
+two point-wise stages that fuses into a single group.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.data.synth import rgb_image
+from repro.lang import (
+    Abs, Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Select, Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2048, 2048
+
+KERNEL = (1.0, 4.0, 6.0, 4.0, 1.0)
+WEIGHT = 3.0
+THRESHOLD = 0.001
+
+
+def build_pipeline(name_prefix: str = "") -> AppSpec:
+    """Construct the 4-stage unsharp-mask pipeline of Table 2."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [3, R + 4, C + 4], name=name_prefix + "Iu")
+
+    c, x, y = Variable("c"), Variable("x"), Variable("y")
+    chan = Interval(0, 2, 1)
+    row = Interval(0, R + 3, 1)
+    col = Interval(0, C + 3, 1)
+
+    inner_x = Condition(x, ">=", 2) & Condition(x, "<=", R + 1)
+    inner_y = Condition(y, ">=", 2) & Condition(y, "<=", C + 1)
+
+    blurx = Function(varDom=([c, x, y], [chan, row, col]), typ=Float,
+                     name=name_prefix + "blurx")
+    blurx.defn = [Case(inner_x, sum(
+        (KERNEL[i] / 16.0) * I(c, x + i - 2, y) for i in range(5)))]
+
+    blury = Function(varDom=([c, x, y], [chan, row, col]), typ=Float,
+                     name=name_prefix + "blury")
+    blury.defn = [Case(inner_x & inner_y, sum(
+        (KERNEL[j] / 16.0) * blurx(c, x, y + j - 2) for j in range(5)))]
+
+    sharpen = Function(varDom=([c, x, y], [chan, row, col]), typ=Float,
+                       name=name_prefix + "sharpen")
+    sharpen.defn = [Case(inner_x & inner_y,
+                         I(c, x, y) * (1.0 + WEIGHT)
+                         - blury(c, x, y) * WEIGHT)]
+
+    masked = Function(varDom=([c, x, y], [chan, row, col]), typ=Float,
+                      name=name_prefix + "masked")
+    masked.defn = [Case(inner_x & inner_y,
+                        Select(Abs(I(c, x, y) - blury(c, x, y))
+                               < THRESHOLD,
+                               I(c, x, y), sharpen(c, x, y)))]
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        r, cl = values[R], values[C]
+        return {I: rgb_image(r + 4, cl + 4, rng)}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {masked.name: reference_unsharp(np.asarray(inputs[I]))}
+
+    return AppSpec(
+        name="unsharp",
+        params={"R": R, "C": C},
+        images=(I,),
+        outputs=(masked,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+def reference_unsharp(I: np.ndarray) -> np.ndarray:
+    """Stage-at-a-time oracle with the DSL's zero-boundary semantics."""
+    I = I.astype(np.float32)
+    _, rows, cols = I.shape
+    R, C = rows - 4, cols - 4
+    k = np.array(KERNEL, dtype=np.float32) / 16.0
+
+    blurx = np.zeros_like(I)
+    for i in range(5):
+        blurx[:, 2:R + 2, :] += k[i] * I[:, i:R + i, :]
+    blury = np.zeros_like(I)
+    for j in range(5):
+        blury[:, :, 2:C + 2] += k[j] * blurx[:, :, j:C + j]
+    blury[:, :2, :] = 0
+    blury[:, R + 2:, :] = 0
+
+    core = np.s_[:, 2:R + 2, 2:C + 2]
+    sharpen = np.zeros_like(I)
+    sharpen[core] = I[core] * (1.0 + WEIGHT) - blury[core] * WEIGHT
+    masked = np.zeros_like(I)
+    masked[core] = np.where(np.abs(I[core] - blury[core]) < THRESHOLD,
+                            I[core], sharpen[core])
+    return masked

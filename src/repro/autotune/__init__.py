@@ -1,0 +1,13 @@
+"""Autotuning (paper Section 3.8): the model-restricted sweep and the
+stochastic wide-space baseline used for the OpenTuner comparison."""
+
+from repro.autotune.random_search import (
+    RandomConfig, SearchReport, SearchResult, random_search, sample_config,
+)
+from repro.autotune.tuner import (
+    TuneConfig, TuneResult, TuningReport, autotune, default_space,
+)
+
+__all__ = ["RandomConfig", "SearchReport", "SearchResult", "TuneConfig",
+           "TuneResult", "TuningReport", "autotune", "default_space",
+           "random_search", "sample_config"]

@@ -1,0 +1,119 @@
+"""Stochastic configuration search — the OpenTuner stand-in.
+
+The paper compares its model-restricted sweep against Halide schedules
+found by OpenTuner's stochastic search over a much larger space.  This
+module reproduces that axis: configurations are sampled at random from a
+*wide* space (arbitrary power-of-two tiles from 4 to 1024, continuous
+thresholds, inlining and grouping toggles) under a fixed evaluation
+budget, and the best-so-far trajectory is recorded.  With equal budgets
+the restricted model-driven sweep reliably finds better points — the
+paper's Section 5 argument that "only a small subset of the space
+matters in practice".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+
+
+@dataclass(frozen=True)
+class RandomConfig:
+    """One sampled point of the wide space."""
+
+    tile_sizes: tuple[int, ...]
+    overlap_threshold: float
+    inline: bool
+    group: bool
+
+    def options(self) -> CompileOptions:
+        return CompileOptions(tile_sizes=self.tile_sizes,
+                              overlap_threshold=self.overlap_threshold,
+                              inline=self.inline, group=self.group,
+                              tile=self.group)
+
+    def __str__(self) -> str:
+        tiles = "x".join(map(str, self.tile_sizes))
+        return (f"tiles={tiles} othresh={self.overlap_threshold:.2f} "
+                f"inline={self.inline} group={self.group}")
+
+
+@dataclass
+class SearchResult:
+    """One evaluated random configuration and its time."""
+    config: RandomConfig
+    time_ms: float
+
+
+@dataclass
+class SearchReport:
+    """All evaluations of one random-search run."""
+    results: list[SearchResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def best(self) -> SearchResult:
+        if not self.results:
+            raise ValueError("no configuration evaluated successfully")
+        return min(self.results, key=lambda r: r.time_ms)
+
+    def trajectory(self) -> list[float]:
+        """Best-so-far time after each evaluation."""
+        out, best = [], float("inf")
+        for r in self.results:
+            best = min(best, r.time_ms)
+            out.append(best)
+        return out
+
+
+def sample_config(rng: np.random.Generator, n_dims: int) -> RandomConfig:
+    """Draw one configuration from the wide space."""
+    tiles = tuple(int(2 ** rng.integers(2, 11)) for _ in range(n_dims))
+    threshold = float(rng.uniform(0.05, 1.0))
+    inline = bool(rng.integers(0, 2))
+    group = bool(rng.integers(0, 4) > 0)  # mostly grouped, sometimes not
+    return RandomConfig(tiles, threshold, inline, group)
+
+
+def random_search(outputs, estimates: Mapping, param_values: Mapping,
+                  inputs: Mapping, *,
+                  budget: int = 30,
+                  n_dims: int = 2,
+                  backend: str = "native",
+                  n_threads: int = 4,
+                  seed: int = 0,
+                  name: str = "rand") -> SearchReport:
+    """Evaluate ``budget`` random configurations; return all timings."""
+    rng = np.random.default_rng(seed)
+    report = SearchReport()
+    start = time.perf_counter()
+    for i in range(budget):
+        config = sample_config(rng, n_dims)
+        try:
+            plan = compile_plan(outputs, estimates, config.options())
+            if backend == "native":
+                from repro.codegen.build import build_native
+                pipe = build_native(plan, f"{name}_{i}")
+
+                def run():
+                    return pipe(param_values, inputs, n_threads=n_threads)
+            else:
+                from repro.runtime.executor import execute_plan
+
+                def run():
+                    return execute_plan(plan, param_values, inputs,
+                                        n_threads=n_threads)
+            run()  # warm up
+            t0 = time.perf_counter()
+            run()
+            elapsed = (time.perf_counter() - t0) * 1000.0
+        except Exception:
+            continue
+        report.results.append(SearchResult(config, elapsed))
+    report.elapsed_s = time.perf_counter() - start
+    return report

@@ -1,0 +1,142 @@
+"""Model-driven autotuning (paper Section 3.8, Figure 9).
+
+The optimizer reduces the schedule space to tile sizes and the overlap
+threshold; the autotuner exhaustively times that small space — seven tile
+sizes per tiled dimension and three thresholds, i.e. 147 configurations
+for the two-tilable-dimension pipelines of the paper — and reports every
+configuration's single-thread and multi-thread time (the data behind
+Figure 9's scatter plots) plus the best configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.compiler.options import (
+    OVERLAP_THRESHOLD_CHOICES, TILE_SIZE_CHOICES, CompileOptions,
+)
+from repro.compiler.plan import compile_plan
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One point of the autotuning space."""
+
+    tile_sizes: tuple[int, ...]
+    overlap_threshold: float
+
+    def options(self) -> CompileOptions:
+        return CompileOptions.optimized(self.tile_sizes,
+                                        self.overlap_threshold)
+
+    def __str__(self) -> str:
+        tiles = "x".join(map(str, self.tile_sizes))
+        return f"tiles={tiles} othresh={self.overlap_threshold}"
+
+
+@dataclass
+class TuneResult:
+    """Measured times for one configuration (Figure 9's data points)."""
+
+    config: TuneConfig
+    time_single_ms: float
+    time_parallel_ms: float
+    n_groups: int
+
+
+@dataclass
+class TuningReport:
+    """All measurements from one autotuning run."""
+
+    results: list[TuneResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def best(self, parallel: bool = True) -> TuneResult:
+        """The fastest configuration (by parallel or single-thread time)."""
+        if not self.results:
+            raise ValueError("no configurations were measured")
+        key = ((lambda r: r.time_parallel_ms) if parallel
+               else (lambda r: r.time_single_ms))
+        return min(self.results, key=key)
+
+    def scatter(self) -> list[tuple[float, float]]:
+        """(1-thread ms, n-thread ms) pairs — the Figure 9 axes."""
+        return [(r.time_single_ms, r.time_parallel_ms)
+                for r in self.results]
+
+
+def default_space(n_dims: int,
+                  tile_choices: Sequence[int] = TILE_SIZE_CHOICES,
+                  thresholds: Sequence[float] = OVERLAP_THRESHOLD_CHOICES
+                  ) -> list[TuneConfig]:
+    """The paper's restricted space: |tile_choices|^n_dims * |thresholds|."""
+    out = []
+    for tiles in itertools.product(tile_choices, repeat=n_dims):
+        for th in thresholds:
+            out.append(TuneConfig(tiles, th))
+    return out
+
+
+def _time_call(fn: Callable[[], object], repeats: int) -> float:
+    fn()  # warm up (the paper discards the first run)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0
+
+
+def autotune(outputs, estimates: Mapping, param_values: Mapping,
+             inputs: Mapping, *,
+             space: Iterable[TuneConfig] | None = None,
+             n_dims: int = 2,
+             backend: str = "native",
+             n_threads: int = 4,
+             repeats: int = 2,
+             name: str = "tuned") -> TuningReport:
+    """Time every configuration of the (restricted) space.
+
+    ``backend`` is ``"native"`` (generated C, as the paper measures) or
+    ``"interp"`` (NumPy interpreter, for environments without a C
+    compiler).  Configurations whose compilation fails are skipped.
+    """
+    if space is None:
+        space = default_space(n_dims)
+    report = TuningReport()
+    start = time.perf_counter()
+    for i, config in enumerate(space):
+        try:
+            plan = compile_plan(outputs, estimates, config.options())
+        except Exception:
+            continue
+        if backend == "native":
+            from repro.codegen.build import build_native
+            pipe = build_native(plan, f"{name}_{i}")
+
+            def run():
+                return pipe(param_values, inputs, n_threads=n_threads)
+
+            def run_single():
+                return pipe(param_values, inputs, n_threads=1)
+        else:
+            from repro.runtime.executor import execute_plan
+
+            def run():
+                return execute_plan(plan, param_values, inputs,
+                                    n_threads=n_threads)
+
+            def run_single():
+                return execute_plan(plan, param_values, inputs, n_threads=1)
+
+        single = _time_call(run_single, repeats)
+        parallel = _time_call(run, repeats)
+        report.results.append(TuneResult(config, single, parallel,
+                                         len(plan.group_plans)))
+    report.elapsed_s = time.perf_counter() - start
+    return report

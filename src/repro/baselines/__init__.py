@@ -1,0 +1,5 @@
+"""Comparator implementations: the OpenCV-style routine library."""
+
+from repro.baselines import opencv_like
+
+__all__ = ["opencv_like"]

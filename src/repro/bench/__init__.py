@@ -1,0 +1,6 @@
+"""Benchmark harness: one module per paper table/figure.
+
+Run ``python -m repro.bench.<name>`` where name is one of ``table2``,
+``figure5``, ``figure6``, ``figure8``, ``figure9``, ``figure10``,
+``ablations``.  See EXPERIMENTS.md for the recorded results.
+"""

@@ -1,0 +1,97 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+Usage::
+
+    python -m repro.bench.ablations [--scale small|paper] [--app harris]
+
+Measures, on one application:
+
+1. point-wise inlining on/off;
+2. grouping (fusion) on/off, tiling held constant per mode;
+3. overlap threshold sweep (group-count / time trade-off);
+4. tight vs naive tile shapes (Section 3.4's contribution);
+5. storage: scratchpad bytes vs the full buffers fusion replaces
+   (Section 3.6's footprint reduction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro import CompileOptions, compile_pipeline
+from repro.bench.harness import (
+    DEFAULT_TILES, build_variant, format_table, make_instance, time_ms,
+)
+from repro.codegen.build import build_native
+from repro.compiler.storage import storage_footprint
+
+
+def _run(instance, options, label, n_threads):
+    compiled = compile_pipeline(instance.app.outputs, instance.values,
+                                options, name=f"abl_{label}")
+    native = build_native(compiled.plan,
+                          f"abl_{instance.name}_{label}".replace(".", "_"))
+    t = time_ms(lambda: native(instance.values, instance.inputs,
+                               n_threads=n_threads))
+    return t, compiled.plan
+
+
+def run_ablations(scale: str = "small", app: str = "harris",
+                  n_threads: int = 2, out=sys.stdout) -> None:
+    """Measure each optimization knob in isolation and print the tables."""
+    instance = make_instance(app, scale)
+    tiles = DEFAULT_TILES[app]
+    opt = CompileOptions.optimized(tiles)
+
+    rows = []
+    for label, options in [
+        ("full (opt)", opt),
+        ("no inlining", replace(opt, inline=False)),
+        ("no grouping", replace(opt, group=False)),
+        ("no tiling", CompileOptions.base()),
+        ("naive overlap", replace(opt, tight_overlap=False)),
+    ]:
+        t, plan = _run(instance, options, label.replace(" ", "_"),
+                       n_threads)
+        rows.append([label, t, len(plan.group_plans),
+                     len(plan.ir.stages)])
+    print(f"\n## Ablations: {app} (scale={scale}, "
+          f"{n_threads} threads)\n", file=out)
+    print(format_table(["configuration", "time ms", "groups", "stages"],
+                       rows), file=out)
+
+    # threshold sweep
+    rows = []
+    for th in (0.1, 0.2, 0.4, 0.5, 0.8):
+        t, plan = _run(instance, opt.with_threshold(th),
+                       f"th{int(th * 100)}", n_threads)
+        rows.append([th, t, len(plan.group_plans)])
+    print(f"\n### Overlap threshold sweep\n", file=out)
+    print(format_table(["threshold", "time ms", "groups"], rows), file=out)
+
+    # storage footprint
+    compiled = compile_pipeline(instance.app.outputs, instance.values, opt)
+    fp = storage_footprint(compiled.plan, instance.values)
+    print(f"\n### Storage footprint (Section 3.6)\n", file=out)
+    print(format_table(
+        ["full buffers (bytes)", "scratchpads (bytes)",
+         "unfused would need (bytes)", "reduction"],
+        [[fp["full_bytes"], fp["scratch_bytes"], fp["unfused_bytes"],
+          f'{fp["unfused_bytes"] / max(fp["full_bytes"] + fp["scratch_bytes"], 1):.1f}x']]),
+        file=out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["paper", "small", "tiny"])
+    parser.add_argument("--app", default="harris")
+    parser.add_argument("--threads", type=int, default=2)
+    args = parser.parse_args()
+    run_ablations(args.scale, args.app, args.threads)
+
+
+if __name__ == "__main__":
+    main()

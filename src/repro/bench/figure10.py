@@ -1,0 +1,68 @@
+"""Regenerate Figure 10: speedup of each variant over base (1 thread).
+
+Usage::
+
+    python -m repro.bench.figure10 [--scale small|paper] [--apps ...]
+                                   [--threads 1,2,4]
+
+For each application, times the four PolyMage variants — base, base+vec,
+opt, opt+vec — across thread counts and prints speedups relative to
+``base`` on one thread, the same normalisation as the paper's bar
+charts.  The claims to check: ``opt+vec`` dominates; vectorization helps
+far more *with* tiling than without (the paper measures 3.74x vs 1.12x
+on one Harris thread); ``base`` saturates early as bandwidth binds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import (
+    APP_BUILDERS, VARIANTS, build_variant, format_table, make_instance,
+    time_ms,
+)
+
+
+def run_figure10(scale: str = "small",
+                 apps: list[str] | None = None,
+                 threads: tuple[int, ...] = (1, 2, 4),
+                 out=sys.stdout) -> dict[str, dict]:
+    """Measure and print per-app variant speedups (Figure 10 analog)."""
+    apps = apps or list(APP_BUILDERS)
+    results: dict[str, dict] = {}
+    for name in apps:
+        instance = make_instance(name, scale)
+        times: dict[tuple[str, int], float] = {}
+        for variant in VARIANTS:
+            run = build_variant(instance, variant)
+            for n in threads:
+                times[(variant, n)] = time_ms(lambda: run(n))
+        base_1 = times[("base", 1)]
+        headers = ["variant"] + [f"{n} thr" for n in threads]
+        rows = []
+        for variant in VARIANTS:
+            rows.append([variant] + [base_1 / times[(variant, n)]
+                                     for n in threads])
+        print(f"\n## Figure 10 analog: {name} (scale={scale}; "
+              f"speedup over base @1 thread)\n", file=out)
+        print(format_table(headers, rows), file=out)
+        results[name] = {"times": times, "base_1": base_1}
+        print(f"  [{name}] done", file=sys.stderr)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["paper", "small", "tiny"])
+    parser.add_argument("--apps", default=None)
+    parser.add_argument("--threads", default="1,2,4")
+    args = parser.parse_args()
+    apps = args.apps.split(",") if args.apps else None
+    threads = tuple(int(t) for t in args.threads.split(","))
+    run_figure10(args.scale, apps, threads)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate Figure 5: overlapped vs split vs parallelogram tiling.
+
+Usage::
+
+    python -m repro.bench.figure5 [--size N] [--tile T]
+
+Builds the paper's three-function 1-D chain (``f1 = fin``, ``f2 =
+f1(x-1) + f1(x+1)``, ``fout = f2(x-1) * f2(x+1)``), fuses it, and prints
+the quantitative version of Figure 5's property table for each strategy:
+concurrent tiles, phases, redundant-computation fraction, and values
+live across tile boundaries.  The paper's qualitative claims to verify:
+only overlapped tiling combines full parallelism with zero cross-tile
+communication, at the price of bounded redundancy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import format_table
+from repro.compiler.align_scale import compute_group_transforms
+from repro.compiler.alt_tiling import compare_strategies
+from repro.lang import Case, Condition, Float, Function, Image, Int, \
+    Interval, Parameter, Variable
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+
+def figure5_chain():
+    """The chain from Figure 5 (bottom left)."""
+    N = Parameter(Int, "N")
+    fin = Image(Float, [N + 2], name="fin")
+    x = Variable("x")
+    dom = Interval(0, N + 1, 1)
+    inner = Condition(x, ">=", 1) & Condition(x, "<=", N)
+
+    f1 = Function(varDom=([x], [dom]), typ=Float, name="f1")
+    f1.defn = fin(x)
+    f2 = Function(varDom=([x], [dom]), typ=Float, name="f2")
+    f2.defn = [Case(inner, f1(x - 1) + f1(x + 1))]
+    fout = Function(varDom=([x], [dom]), typ=Float, name="fout")
+    fout.defn = [Case(inner, f2(x - 1) * f2(x + 1))]
+    return N, fin, (f1, f2, fout)
+
+
+def run_figure5(size: int = 4096, tile: int = 64, out=sys.stdout):
+    """Print the quantitative Figure 5 strategy comparison."""
+    N, fin, stages = figure5_chain()
+    f1, f2, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    assert transforms is not None
+    stats = compare_strategies(ir, transforms, stages, dim=0, tile=tile,
+                               params={N: size})
+    headers = ["strategy", "concurrent tiles", "phases",
+               "redundancy", "cross-tile live values", "parallel?"]
+    rows = [[s.strategy, s.concurrent_tiles, s.phases,
+             f"{s.redundancy:.4f}", s.cross_tile_live_values,
+             "yes" if s.parallel else "no (wavefront)"] for s in stats]
+    print(f"\n## Figure 5 analog (N={size}, tile={tile})\n", file=out)
+    print(format_table(headers, rows), file=out)
+    return stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=4096)
+    parser.add_argument("--tile", type=int, default=64)
+    args = parser.parse_args()
+    run_figure5(args.size, args.tile)
+
+
+if __name__ == "__main__":
+    main()

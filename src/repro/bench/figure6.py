@@ -1,0 +1,156 @@
+"""Regenerate Figure 6: tight vs over-approximated overlapped tiles.
+
+Usage::
+
+    python -m repro.bench.figure6 [--size N] [--tile T] [--measure]
+
+Builds the paper's heterogeneous five-function chain (down-sampling then
+up-sampling) and reports, per stage, the halo computed by the tight
+per-level construction of Section 3.4 against the naive uniform
+dependence-cone over-approximation, plus the total redundancy fraction of
+each.  With ``--measure`` it additionally compiles Harris with both
+constructions (the ``tight_overlap`` option) and times them, showing the
+over-approximation costs real execution time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from repro.bench.harness import build_variant, format_table, make_instance, \
+    time_ms
+from repro.compiler.align_scale import compute_group_transforms
+from repro.compiler.tiling import group_halos, naive_halos
+from repro.lang import Float, Function, Image, Int, Interval, Parameter, \
+    Variable
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+
+def figure6_chain():
+    """The paper's heterogeneous five-function up/down-sampling chain."""
+    R = Parameter(Int, "R")
+    fin = Image(Float, [16 * R], name="fin6")
+    x = Variable("x")
+
+    def fn(name, lo, hi):
+        return Function(varDom=([x], [Interval(lo, hi, 1)]), typ=Float,
+                        name=name)
+
+    f = fn("f", 0, 8 * R)
+    f.defn = fin(x)
+    g = fn("g", 1, 4 * R - 1)
+    g.defn = f(2 * x - 1) * f(2 * x + 1)
+    h = fn("h", 1, 2 * R - 1)
+    h.defn = g(2 * x - 1) * g(2 * x + 1)
+    fup = fn("fup", 2, 2 * R - 4)
+    fup.defn = h(x // 2) * h(x // 2 + 1)
+    fout = fn("fout", 4, 2 * R - 4)
+    fout.defn = fup(x // 2)
+    return R, (f, g, h, fup, fout)
+
+
+def run_figure6(size: int = 1024, tile: int = 64, measure: bool = False,
+                out=sys.stdout):
+    """Print tight-vs-naive halos; optionally measure the runtime cost."""
+    R, stages = figure6_chain()
+    ir = PipelineIR(PipelineGraph([stages[-1]]))
+    transforms = compute_group_transforms(ir, stages, stages[-1])
+    assert transforms is not None
+    tight = group_halos(ir, transforms, stages)
+    naive = naive_halos(ir, transforms, stages)
+    headers = ["stage", "scale", "tight halo", "naive halo"]
+    rows = []
+    total_tight = Fraction(0)
+    total_naive = Fraction(0)
+    for s in stages:
+        t = tight[s].widths()[0]
+        n = naive[s].widths()[0]
+        total_tight += t
+        total_naive += n
+        rows.append([s.name, str(transforms[s].scales[0]), str(t), str(n)])
+    print(f"\n## Figure 6 analog (heterogeneous chain, tile={tile})\n",
+          file=out)
+    print(format_table(headers, rows), file=out)
+    print(f"\ntotal overlap: tight={total_tight} naive={total_naive} "
+          f"(over-approximation {float(total_naive / max(total_tight, Fraction(1))):.2f}x)",
+          file=out)
+
+    if measure:
+        times, halo_widths = measure_tight_vs_naive()
+        print(f"\nheterogeneous 8-stage group (wide stencil mid-chain), "
+              f"1536x1536:", file=out)
+        print(f"  tight construction: halo {halo_widths['tight']}, "
+              f"{times['tight']:.2f} ms", file=out)
+        print(f"  naive construction: halo {halo_widths['naive']}, "
+              f"{times['naive']:.2f} ms "
+              f"({times['naive'] / times['tight']:.2f}x slower)", file=out)
+    return tight, naive
+
+
+def heterogeneous_group(n_stages: int = 8, wide_at: int = 4):
+    """A chain with one wide (9x9) stencil mid-group and narrow (3x1)
+    stencils elsewhere — the shape on which the naive uniform-cone
+    construction badly over-approximates the tight per-level one."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    Ih = Image(Float, [R + 80, C + 80], name="Ihet")
+    x, y = Variable("x"), Variable("y")
+    from repro.lang import Case, Condition, Stencil
+    dom = [Interval(0, R + 79, 1), Interval(0, C + 79, 1)]
+    cond = (Condition(x, ">=", 40) & Condition(x, "<=", R + 39)
+            & Condition(y, ">=", 40) & Condition(y, "<=", C + 39))
+    prev = Ih
+    stages = []
+    for i in range(n_stages):
+        f = Function(varDom=([x, y], dom), typ=Float, name=f"het{i}")
+        if i == wide_at:
+            f.defn = [Case(cond, Stencil(prev(x, y), 1.0 / 81,
+                                         [[1] * 9 for _ in range(9)]))]
+        else:
+            f.defn = [Case(cond, Stencil(prev(x, y), 1.0 / 3,
+                                         [[1], [1], [1]]))]
+        stages.append(f)
+        prev = f
+    return (R, C), Ih, stages
+
+
+def measure_tight_vs_naive(size: int = 1536):
+    """Time the tight and naive constructions on the heterogeneous group."""
+    import numpy as np
+    from dataclasses import replace
+    from repro import CompileOptions, compile_pipeline
+    from repro.codegen.build import build_native
+
+    (R, C), Ih, stages = heterogeneous_group()
+    values = {R: size, C: size}
+    inputs = {Ih: np.random.default_rng(0).random(
+        (size + 80, size + 80), dtype=np.float32)}
+    times = {}
+    halo_widths = {}
+    for label, tight_flag in (("tight", True), ("naive", False)):
+        options = replace(CompileOptions.optimized((32, 128), 5.0),
+                          tight_overlap=tight_flag, inline=False)
+        plan = compile_pipeline(stages[-1:], values, options,
+                                name=f"fig6m_{label}").plan
+        bottom = plan.stage_by_name("het0")
+        halo_widths[label] = tuple(
+            str(w) for w in plan.group_plans[0].group.halos[bottom]
+            .widths())
+        native = build_native(plan, f"fig6m_{label}")
+        times[label] = time_ms(lambda: native(values, inputs))
+    return times, halo_widths
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1024)
+    parser.add_argument("--tile", type=int, default=64)
+    parser.add_argument("--measure", action="store_true")
+    args = parser.parse_args()
+    run_figure6(args.size, args.tile, args.measure)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Regenerate Figure 8: the grouping of the Pyramid Blending pipeline.
+
+Usage::
+
+    python -m repro.bench.figure8 [--levels L] [--size N] [--tiles a,b,c]
+
+Compiles pyramid blending at the paper's scale and prints the groups the
+heuristic forms (the dashed boxes of Figure 8), each with its stages,
+their pyramid scales, and the storage classification.  The property to
+verify: groups span pyramid levels (mixed scales within a box) and the
+number of groups is far below the stage count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps import pyramid
+from repro.bench.harness import format_table
+from repro.compiler.storage import SCRATCH
+
+
+def run_figure8(levels: int = 4, size: int = 2048,
+                tiles: tuple[int, ...] = (8, 64, 256), out=sys.stdout):
+    """Compile pyramid blending and print its grouping (Figure 8 analog)."""
+    app = pyramid.build_pipeline(levels=levels)
+    values = {app.params["R"]: size, app.params["C"]: size}
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized(tiles),
+                                name="figure8")
+    plan = compiled.plan
+    print(f"\n## Figure 8 analog: pyramid blending grouping "
+          f"(levels={levels}, {size}x{size}, tiles={tiles})\n", file=out)
+    print(f"{len(plan.ir.stages)} stages -> "
+          f"{len(plan.group_plans)} groups\n", file=out)
+    rows = []
+    for i, gp in enumerate(plan.group_plans):
+        scales = set()
+        scratch = 0
+        for stage in gp.ordered_stages:
+            if gp.transforms is not None:
+                scales.update(str(s)
+                              for s in gp.transforms[stage].scales)
+            if plan.storage[stage].kind == SCRATCH:
+                scratch += 1
+        rows.append([
+            i, len(gp.ordered_stages),
+            ", ".join(s.name for s in gp.ordered_stages),
+            "{" + ", ".join(sorted(scales)) + "}",
+            scratch,
+        ])
+    print(format_table(
+        ["group", "#stages", "stages", "scales", "#scratch"], rows),
+        file=out)
+    print("\nGraphviz rendering (dashed clusters = groups, as in the "
+          "paper's figure):\nrun with --dot to print it.", file=out)
+    return plan
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--levels", type=int, default=4)
+    parser.add_argument("--size", type=int, default=2048)
+    parser.add_argument("--tiles", default="8,64,256")
+    parser.add_argument("--dot", action="store_true",
+                        help="also print the clustered graphviz source")
+    args = parser.parse_args()
+    tiles = tuple(int(t) for t in args.tiles.split(","))
+    plan = run_figure8(args.levels, args.size, tiles)
+    if args.dot:
+        print()
+        print(plan.grouping.dot())
+
+
+if __name__ == "__main__":
+    main()

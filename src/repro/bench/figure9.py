@@ -1,0 +1,90 @@
+"""Regenerate Figure 9: autotuning scatter (1-thread vs N-thread time).
+
+Usage::
+
+    python -m repro.bench.figure9 [--scale small|paper] [--apps ...]
+                                  [--threads N] [--grid coarse|paper]
+
+For the three applications of the paper's Figure 9 (Pyramid Blending,
+Camera Pipeline, Multiscale Interpolation) the model-restricted space is
+swept — tile sizes per tiled dimension and the three overlap thresholds —
+and each configuration's single-thread / N-thread times are printed (the
+figure's scatter points), plus the best configuration and total sweep
+time (the paper reports under 30 minutes per benchmark).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+
+from repro.autotune.tuner import TuneConfig, autotune
+from repro.bench.harness import format_table, make_instance
+
+FIGURE9_APPS = ("pyramid_blend", "camera", "interpolate")
+
+#: tuned dimensions per app (group-dim order used by its main group)
+APP_NDIMS = {"pyramid_blend": 3, "camera": 2, "interpolate": 3}
+
+
+def space_for(name: str, grid: str) -> list[TuneConfig]:
+    """The tuning space for one app (coarse grid or the paper 147-point one)."""
+    if grid == "paper":
+        tiles = (8, 16, 32, 64, 128, 256, 512)
+        thresholds = (0.2, 0.4, 0.5)
+    else:
+        tiles = (16, 64, 256)
+        thresholds = (0.2, 0.5)
+    ndims = APP_NDIMS[name]
+    out = []
+    spatial = itertools.product(tiles, repeat=min(2, ndims))
+    for t in spatial:
+        full = ((4,) + t) if ndims == 3 else t
+        for th in thresholds:
+            out.append(TuneConfig(full, th))
+    return out
+
+
+def run_figure9(scale: str = "small", apps=None, threads: int = 4,
+                grid: str = "coarse", out=sys.stdout) -> dict:
+    """Sweep and print the Figure 9 scatter data per app."""
+    apps = apps or FIGURE9_APPS
+    results = {}
+    for name in apps:
+        instance = make_instance(name, scale)
+        report = autotune(
+            instance.app.outputs, instance.values, instance.values,
+            instance.inputs, space=space_for(name, grid),
+            n_threads=threads, name=f"fig9_{name}")
+        rows = [[str(r.config), r.time_single_ms, r.time_parallel_ms,
+                 r.n_groups] for r in report.results]
+        print(f"\n## Figure 9 analog: {name} (scale={scale}, "
+              f"{len(report.results)} configs, sweep took "
+              f"{report.elapsed_s:.1f}s)\n", file=out)
+        print(format_table(
+            ["config", "t(1) ms", f"t({threads}) ms", "groups"], rows),
+            file=out)
+        best = report.best()
+        print(f"\nbest: {best.config} -> {best.time_parallel_ms:.2f} ms "
+              f"({threads} threads)", file=out)
+        results[name] = report
+        print(f"  [{name}] done", file=sys.stderr)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["paper", "small", "tiny"])
+    parser.add_argument("--apps", default=None)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--grid", default="coarse",
+                        choices=["coarse", "paper"])
+    args = parser.parse_args()
+    apps = args.apps.split(",") if args.apps else None
+    run_figure9(args.scale, apps, args.threads, args.grid)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Regenerate Table 2: absolute times and comparator speedups per app.
+
+Usage::
+
+    python -m repro.bench.table2 [--scale paper|small|tiny] [--threads N]
+                                 [--apps a,b,...] [--search-budget K]
+
+Columns mirror the paper's: stage count, image size, PolyMage (opt+vec)
+times at 1/2/N threads, the OpenCV-style library time (the three apps the
+paper reports it for), and speedups of PolyMage (opt+vec, N threads) over
+(a) the best configuration found by stochastic wide-space search with a
+small budget (the OpenTuner stand-in) and (b) the no-fusion tuned variant
+(``base+vec``, standing in for Halide's hand-tuned schedules where those
+do not fuse).  Paper values are printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.autotune.random_search import random_search
+from repro.baselines import opencv_like
+from repro.bench.harness import (
+    APP_BUILDERS, PAPER_TABLE2, AppInstance, build_variant, format_table,
+    make_instance, spec_lines, time_ms,
+)
+from repro.pipeline.graph import PipelineGraph
+
+
+def opencv_time(instance: AppInstance) -> float | None:
+    """Time the OpenCV-style composition (None where the paper has '-')."""
+    name = instance.name
+    imgs = list(instance.inputs.values())
+    if name == "unsharp":
+        return time_ms(lambda: opencv_like.unsharp_like(imgs[0]))
+    if name == "harris":
+        return time_ms(lambda: opencv_like.harris_like(imgs[0]))
+    if name == "pyramid_blend":
+        a, b, m = imgs
+        levels = 4 if instance.scale == "paper" else 3
+        return time_ms(lambda: opencv_like.pyramid_blend_like(
+            a, b, m, levels))
+    return None
+
+
+def run_table2(scale: str = "small", threads: int = 4,
+               apps: list[str] | None = None,
+               search_budget: int = 12,
+               out=sys.stdout) -> list[list]:
+    """Measure and print the Table 2 analog; returns the rows."""
+    apps = apps or list(APP_BUILDERS)
+    headers = ["Benchmark", "Stages", "LoC", "Size",
+               "t(1) ms", "t(2) ms", f"t({threads}) ms",
+               "OpenCV ms", "x RandSearch", "x NoFusion",
+               "paper t(16)", "paper x OT", "paper x H-tuned"]
+    rows = []
+    for name in apps:
+        instance = make_instance(name, scale)
+        paper = PAPER_TABLE2[name]
+        n_stages = len(PipelineGraph(instance.app.outputs))
+
+        opt = build_variant(instance, "opt+vec")
+        t1 = time_ms(lambda: opt(1))
+        t2 = time_ms(lambda: opt(2))
+        tn = time_ms(lambda: opt(threads))
+
+        nofusion = build_variant(instance, "base+vec")
+        t_nf = time_ms(lambda: nofusion(threads))
+
+        report = random_search(
+            instance.app.outputs, instance.values, instance.values,
+            instance.inputs, budget=search_budget, n_threads=threads,
+            name=f"t2rand_{name}")
+        t_rand = report.best().time_ms if report.results else None
+
+        t_cv = opencv_time(instance)
+        rows.append([
+            name, n_stages, spec_lines(name),
+            "x".join(str(v) for v in instance.values.values()),
+            t1, t2, tn, t_cv,
+            (t_rand / tn) if t_rand else None,
+            t_nf / tn,
+            paper["t16_ms"], paper["speedup_opentuner"],
+            paper["speedup_htuned"],
+        ])
+        print(f"  [{name}] done", file=sys.stderr)
+    print(f"\n## Table 2 analog (scale={scale}, threads={threads})\n",
+          file=out)
+    print(format_table(headers, rows), file=out)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["paper", "small", "tiny"])
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--apps", default=None)
+    parser.add_argument("--search-budget", type=int, default=12)
+    args = parser.parse_args()
+    apps = args.apps.split(",") if args.apps else None
+    run_table2(args.scale, args.threads, apps, args.search_budget)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""C code generation backend (paper Section 3.7).
+
+:mod:`repro.codegen.cgen` emits Figure 7-style C for a compiled plan;
+:mod:`repro.codegen.build` compiles it with the system C compiler and
+wraps the shared object in a callable :class:`NativePipeline`.
+"""
+
+from repro.codegen.build import (
+    BuildError, NativePipeline, build_native, compiler_available,
+    find_compiler,
+)
+from repro.codegen.cgen import CodegenError, generate_c
+
+__all__ = ["BuildError", "CodegenError", "NativePipeline", "build_native",
+           "compiler_available", "find_compiler", "generate_c"]

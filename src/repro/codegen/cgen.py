@@ -1,0 +1,807 @@
+"""C code generation (paper Section 3.7, Figure 7).
+
+Emits a single C function implementing the compiled pipeline.  The
+generated code has the same structure as the paper's Figure 7:
+
+* an OpenMP-parallel loop over the leading tile dimension of each tiled
+  group, with tile-local scratchpad allocations at the top of its body;
+* per-stage loop nests whose bounds are clamped intersections of the tile
+  region with each case's bound constraints (``max(1, 32*Ti)`` style);
+* relative (tile-origin) indexing into scratchpads, absolute indexing
+  into full buffers;
+* ``#pragma GCC ivdep`` on unit-stride innermost loops so the C
+  compiler's vectorizer can do its job (the paper relies on icc the same
+  way).
+
+Floor division/modulo helpers keep integer semantics identical to the
+DSL's (and NumPy's) flooring behaviour, which C's truncating division
+does not provide.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from math import lcm
+from typing import Hashable, Mapping, Sequence
+
+from repro.compiler.plan import GroupPlan, PipelinePlan
+from repro.compiler.storage import SCRATCH
+from repro.compiler.tiling import Halo
+from repro.lang.constructs import Parameter, Variable
+from repro.lang.expr import (
+    BinOp, BoolExpr, Call, Cast, CondAnd, Condition, CondNot, CondOr, Expr,
+    Literal, Reference, Select, TrueCond,
+)
+from repro.lang.function import Accumulator, Reduction
+from repro.lang.image import Image
+from repro.lang.types import DType
+from repro.pipeline.graph import Stage
+from repro.pipeline.ir import StageIR
+from repro.poly.affine import AffExpr, analyze_access, to_affine
+from repro.poly.iset import DimBounds
+
+PRELUDE = r"""
+#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* floor division / modulo with Python semantics */
+static inline long fdiv(long a, long b) {
+    long q = a / b, r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+static inline long cdiv(long a, long b) { return -fdiv(-a, b); }
+static inline long pmod(long a, long b) {
+    long r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+static inline long imin(long a, long b) { return a < b ? a : b; }
+static inline long imax(long a, long b) { return a > b ? a : b; }
+static inline double dmin(double a, double b) { return a < b ? a : b; }
+static inline double dmax(double a, double b) { return a > b ? a : b; }
+static inline long iclamp(long v, long lo, long hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+"""
+
+
+def _sanitize(name: str) -> str:
+    out = re.sub(r"\W", "_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+class CWriter:
+    """Tiny indentation-aware source writer."""
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.depth + line if line else "")
+
+    def open(self, line: str) -> None:
+        self.emit(line + " {")
+        self.depth += 1
+
+    def close(self, suffix: str = "") -> None:
+        self.depth -= 1
+        self.emit("}" + suffix)
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class CodegenError(RuntimeError):
+    """The plan contains a construct the C backend does not support."""
+
+
+class _Namer:
+    def __init__(self):
+        self.used: set[str] = set()
+        self.map: dict[tuple[int, str], str] = {}
+
+    def name(self, obj: Hashable, prefix: str, base: str) -> str:
+        """Unique C identifier for ``obj`` under ``prefix``."""
+        key = (id(obj), prefix)
+        if key in self.map:
+            return self.map[key]
+        candidate = prefix + _sanitize(base)
+        n = candidate
+        i = 1
+        while n in self.used:
+            n = f"{candidate}_{i}"
+            i += 1
+        self.used.add(n)
+        self.map[key] = n
+        return n
+
+
+def _is_float_expr(expr: Expr) -> bool:
+    """Light type inference: does the expression produce floating values?"""
+    if isinstance(expr, Literal):
+        return isinstance(expr.value, float)
+    if isinstance(expr, Variable) or isinstance(expr, Parameter):
+        return isinstance(expr, Parameter) and expr.dtype.is_float
+    if isinstance(expr, Reference):
+        return expr.function.dtype.is_float
+    if isinstance(expr, Cast):
+        return expr.dtype.is_float
+    if isinstance(expr, BinOp):
+        if expr.op == "/":
+            return True
+        if expr.op in ("//", "%"):
+            return False
+        return _is_float_expr(expr.left) or _is_float_expr(expr.right)
+    if isinstance(expr, Select):
+        return (_is_float_expr(expr.true_expr)
+                or _is_float_expr(expr.false_expr))
+    if isinstance(expr, Call):
+        return True
+    from repro.lang.expr import UnOp
+    if isinstance(expr, UnOp):
+        return _is_float_expr(expr.operand)
+    return False
+
+
+class CGenerator:
+    """Generates the C implementation of one :class:`PipelinePlan`."""
+
+    def __init__(self, plan: PipelinePlan, name: str = "pipeline"):
+        self.plan = plan
+        self.func_name = "pipe_" + _sanitize(name)
+        self.w = CWriter()
+        self.names = _Namer()
+        self.params: list[Parameter] = sorted(
+            plan.estimates, key=lambda p: p.name)
+        self.images: list[Image] = list(plan.ir.graph.inputs)
+        self.outputs: list[Stage] = list(plan.outputs)
+        self._scratch_sizes: dict[Stage, tuple[int, ...]] = {}
+        self._liveout_local: set[Stage] = set()
+
+    # -- naming -------------------------------------------------------------
+    def buf(self, obj) -> str:
+        """C name of the full buffer backing an image, output or stage."""
+        if isinstance(obj, Image):
+            return self.names.name(obj, "im_", obj.name)
+        if obj in set(self.outputs):
+            return self.names.name(obj, "out_", obj.name)
+        return self.names.name(obj, "b_", obj.name)
+
+    def scratch(self, stage: Stage) -> str:
+        return self.names.name(stage, "s_", stage.name)
+
+    def param(self, p: Parameter) -> str:
+        return self.names.name(p, "", p.name)
+
+    # -- affine emission -------------------------------------------------------
+    def affine_int(self, aff: AffExpr, rounding: str,
+                   var_names: Mapping[Hashable, str] | None = None) -> str:
+        """Emit an affine expression as an integer, flooring or ceiling.
+
+        Rational coefficients are scaled to a common denominator and
+        resolved with exact integer division helpers.
+        """
+        var_names = var_names or {}
+        denom = lcm(aff.const.denominator,
+                    *[c.denominator for _, c in aff.terms]) \
+            if aff.terms or aff.const.denominator != 1 else 1
+        terms = []
+        const = aff.const * denom
+        assert const.denominator == 1
+        for sym, coeff in aff.terms:
+            c = coeff * denom
+            assert c.denominator == 1
+            if isinstance(sym, Parameter):
+                sym_name = self.param(sym)
+            else:
+                sym_name = var_names.get(id(sym))
+                if sym_name is None:
+                    raise CodegenError(
+                        f"affine bound uses unbound symbol {sym!r}")
+            if c == 1:
+                terms.append(sym_name)
+            else:
+                terms.append(f"{int(c)}L*{sym_name}")
+        if const != 0 or not terms:
+            terms.append(f"{int(const)}L")
+        body = " + ".join(terms).replace("+ -", "- ")
+        if denom == 1:
+            return f"({body})"
+        helper = "fdiv" if rounding == "floor" else "cdiv"
+        return f"{helper}({body}, {denom}L)"
+
+    def dim_lower(self, bounds: DimBounds, var_names=None) -> str:
+        """Emit ``max`` of the lower-bound expressions."""
+        parts = [self.affine_int(b, "ceil", var_names) for b in bounds.lowers]
+        out = parts[0]
+        for p in parts[1:]:
+            out = f"imax({out}, {p})"
+        return out
+
+    def dim_upper(self, bounds: DimBounds, var_names=None) -> str:
+        """Emit ``min`` of the upper-bound expressions."""
+        parts = [self.affine_int(b, "floor", var_names) for b in bounds.uppers]
+        out = parts[0]
+        for p in parts[1:]:
+            out = f"imin({out}, {p})"
+        return out
+
+    # -- expressions -------------------------------------------------------------
+    def expr(self, e: Expr, var_names: Mapping[int, str]) -> str:
+        """Emit a value expression as C."""
+        if isinstance(e, Literal):
+            if isinstance(e.value, float):
+                return repr(e.value)
+            return str(e.value)
+        if isinstance(e, Variable):
+            name = var_names.get(id(e))
+            if name is None:
+                raise CodegenError(f"free variable {e.name!r}")
+            return name
+        if isinstance(e, Parameter):
+            return self.param(e)
+        if isinstance(e, BinOp):
+            left = self.expr(e.left, var_names)
+            right = self.expr(e.right, var_names)
+            if e.op == "/":
+                if _is_float_expr(e.left) or _is_float_expr(e.right):
+                    return f"({left} / {right})"
+                return f"((double)({left}) / (double)({right}))"
+            if e.op == "//":
+                return f"fdiv({left}, {right})"
+            if e.op == "%":
+                return f"pmod({left}, {right})"
+            return f"({left} {e.op} {right})"
+        from repro.lang.expr import UnOp
+        if isinstance(e, UnOp):
+            return f"(-{self.expr(e.operand, var_names)})"
+        if isinstance(e, Cast):
+            return f"(({e.dtype.c_name})({self.expr(e.operand, var_names)}))"
+        if isinstance(e, Select):
+            return (f"({self.cond(e.condition, var_names)} ? "
+                    f"{self.expr(e.true_expr, var_names)} : "
+                    f"{self.expr(e.false_expr, var_names)})")
+        if isinstance(e, Call):
+            args = [self.expr(a, var_names) for a in e.args]
+            if e.name in ("min", "max"):
+                helper = ("dmin" if e.name == "min" else "dmax") \
+                    if any(_is_float_expr(a) for a in e.args) else \
+                    ("imin" if e.name == "min" else "imax")
+                out = args[0]
+                for a in args[1:]:
+                    out = f"{helper}({out}, {a})"
+                return out
+            c_fn = {"abs": "fabs", "atan": "atan", "pow": "pow"}.get(
+                e.name, e.name)
+            return f"{c_fn}({', '.join(args)})"
+        if isinstance(e, Reference):
+            return self.reference(e, var_names)
+        raise CodegenError(f"cannot generate code for {e!r}")
+
+    def cond(self, c: BoolExpr, var_names) -> str:
+        """Emit a condition tree as a C boolean expression."""
+        if isinstance(c, TrueCond):
+            return "1"
+        if isinstance(c, Condition):
+            return (f"({self.expr(c.lhs, var_names)} {c.op} "
+                    f"{self.expr(c.rhs, var_names)})")
+        if isinstance(c, CondAnd):
+            return (f"({self.cond(c.left, var_names)} && "
+                    f"{self.cond(c.right, var_names)})")
+        if isinstance(c, CondOr):
+            return (f"({self.cond(c.left, var_names)} || "
+                    f"{self.cond(c.right, var_names)})")
+        if isinstance(c, CondNot):
+            return f"(!{self.cond(c.operand, var_names)})"
+        raise CodegenError(f"cannot generate condition {c!r}")
+
+    def reference(self, ref: Reference, var_names) -> str:
+        """Emit a buffer access, clamping data-dependent indices."""
+        producer = ref.function
+        indices = []
+        for d, arg in enumerate(ref.args):
+            idx = self.expr(arg, var_names)
+            form = analyze_access(arg)
+            if form is None:
+                # data-dependent index: clamp to the stored extent, like
+                # the interpreter backend's clipped gather
+                lo, hi = self._extent_names(producer, d)
+                idx = f"iclamp((long)({idx}), {lo}, {hi})"
+            indices.append(idx)
+        if producer in self._scratch_sizes:
+            return self._scratch_access(producer, indices)
+        return self._full_access(producer, indices)
+
+    def _extent_names(self, producer, d: int) -> tuple[str, str]:
+        base = self.scratch(producer) if producer in self._scratch_sizes \
+            else self.buf(producer)
+        return f"{base}_lo{d}", f"{base}_hi{d}"
+
+    def _full_access(self, producer, indices: list[str]) -> str:
+        base = self.buf(producer)
+        ndim = producer.ndim
+        parts = []
+        for d, idx in enumerate(indices):
+            term = f"(({idx}) - {base}_lo{d})"
+            for dd in range(d + 1, ndim):
+                term += f"*{base}_n{dd}"
+            parts.append(term)
+        return f"{base}[{' + '.join(parts)}]"
+
+    def _scratch_access(self, producer, indices: list[str]) -> str:
+        base = self.scratch(producer)
+        sizes = self._scratch_sizes[producer]
+        parts = []
+        for d, idx in enumerate(indices):
+            term = f"(({idx}) - {base}_lo{d})"
+            for dd in range(d + 1, len(sizes)):
+                term += f"*{sizes[dd]}"
+            parts.append(term)
+        return f"{base}[{' + '.join(parts)}]"
+
+    # -- top level ----------------------------------------------------------------
+    def generate(self) -> str:
+        """Emit the full translation unit for the plan."""
+        w = self.w
+        w.emit("/* Generated by the PolyMage reproduction compiler. */")
+        w.emit(PRELUDE)
+        args = ["int _nthreads"]
+        args += [f"long {self.param(p)}" for p in self.params]
+        for img in self.images:
+            args.append(f"const {img.dtype.c_name}* restrict {self.buf(img)}")
+        for out in self.outputs:
+            args.append(f"{out.dtype.c_name}* restrict {self.buf(out)}")
+        w.open(f"void {self.func_name}({', '.join(args)})")
+        w.emit("#ifdef _OPENMP")
+        w.emit("if (_nthreads > 0) omp_set_num_threads(_nthreads);")
+        w.emit("#endif")
+        w.emit("(void)_nthreads;")
+
+        self._emit_buffer_geometry()
+        self._emit_intermediate_allocs()
+
+        for i, gp in enumerate(self.plan.group_plans):
+            w.emit()
+            w.emit(f"/* group {i}: "
+                   f"{', '.join(s.name for s in gp.ordered_stages)} */")
+            if gp.is_tiled:
+                self._emit_tiled_group(gp)
+            else:
+                self._emit_untiled_group(gp)
+
+        self._emit_frees()
+        w.close()
+        return str(w)
+
+    # -- geometry -------------------------------------------------------------------
+    def _emit_buffer_geometry(self) -> None:
+        w = self.w
+        w.emit("/* buffer geometry */")
+        for img in self.images:
+            base = self.buf(img)
+            for d, extent in enumerate(img.extents):
+                aff = to_affine(extent, params_only=True)
+                w.emit(f"const long {base}_n{d} = "
+                       f"{self.affine_int(aff, 'floor')};")
+                w.emit(f"const long {base}_lo{d} = 0;")
+                w.emit(f"const long {base}_hi{d} = {base}_n{d} - 1;")
+        for stage, decision in self.plan.storage.items():
+            if decision.kind == SCRATCH:
+                continue
+            base = self.buf(stage)
+            stage_ir = self.plan.ir[stage]
+            for d, bounds in enumerate(stage_ir.domain.bounds):
+                w.emit(f"const long {base}_lo{d} = {self.dim_lower(bounds)};")
+                w.emit(f"const long {base}_hi{d} = {self.dim_upper(bounds)};")
+                w.emit(f"const long {base}_n{d} = "
+                       f"{base}_hi{d} - {base}_lo{d} + 1;")
+
+    def _emit_intermediate_allocs(self) -> None:
+        w = self.w
+        output_set = set(self.outputs)
+        self._intermediate_fulls = []
+        for stage, decision in self.plan.storage.items():
+            if decision.kind == SCRATCH or stage in output_set:
+                continue
+            base = self.buf(stage)
+            stage_ir = self.plan.ir[stage]
+            size = " * ".join(f"{base}_n{d}" for d in range(stage_ir.ndim))
+            ctype = stage.dtype.c_name
+            w.emit(f"{ctype}* {base} = ({ctype}*)calloc({size}, "
+                   f"sizeof({ctype}));")
+            self._intermediate_fulls.append(base)
+        for out in self.outputs:
+            base = self.buf(out)
+            stage_ir = self.plan.ir[out]
+            size = " * ".join(f"{base}_n{d}" for d in range(stage_ir.ndim))
+            w.emit(f"memset({base}, 0, {size} * sizeof({out.dtype.c_name}));")
+
+    def _emit_frees(self) -> None:
+        for base in self._intermediate_fulls:
+            self.w.emit(f"free({base});")
+
+    # -- untiled groups ------------------------------------------------------------
+    def _emit_untiled_group(self, gp: GroupPlan) -> None:
+        for stage in gp.ordered_stages:
+            stage_ir = self.plan.ir[stage]
+            if stage_ir.is_accumulator:
+                self._emit_accumulator(stage_ir)
+            elif stage_ir.is_self_referential:
+                self._emit_self_referential(stage_ir)
+            else:
+                self._emit_stage_full(stage_ir)
+
+    def _domain_bound_names(self, stage_ir: StageIR, prefix: str
+                            ) -> list[tuple[str, str]]:
+        """Declare lo/hi variables for the stage's full domain."""
+        out = []
+        for d, bounds in enumerate(stage_ir.domain.bounds):
+            lo = f"{prefix}_lb{d}"
+            hi = f"{prefix}_ub{d}"
+            self.w.emit(f"long {lo} = {self.dim_lower(bounds)};")
+            self.w.emit(f"long {hi} = {self.dim_upper(bounds)};")
+            out.append((lo, hi))
+        return out
+
+    def _emit_case_loops(self, stage_ir: StageIR,
+                         region: list[tuple[str, str]],
+                         parallel: bool = False) -> None:
+        """One loop nest per case, bounds clamped to region & case box."""
+        w = self.w
+        target_name = (self.scratch(stage_ir.stage)
+                       if stage_ir.stage in self._scratch_sizes
+                       else self.buf(stage_ir.stage))
+        for ci, case in enumerate(stage_ir.cases):
+            w.open(f"/* case {ci} of {stage_ir.name} */ ")
+            var_names: dict[int, str] = {}
+            loop_vars = []
+            for d, var in enumerate(stage_ir.variables):
+                v = f"i{d}"
+                var_names[id(var)] = v
+                loop_vars.append(v)
+            # clamp region bounds with the case's bound constraints
+            dim_bounds = []
+            for d, var in enumerate(stage_ir.variables):
+                lo_expr, hi_expr = region[d]
+                extra = case.split.bounds.get(var)
+                if extra:
+                    lowers, uppers = extra
+                    for b in lowers:
+                        lo_expr = f"imax({lo_expr}, " \
+                                  f"{self.affine_int(b, 'ceil')})"
+                    for b in uppers:
+                        hi_expr = f"imin({hi_expr}, " \
+                                  f"{self.affine_int(b, 'floor')})"
+                dim_bounds.append((lo_expr, hi_expr))
+            for d, (lo_expr, hi_expr) in enumerate(dim_bounds):
+                w.emit(f"long c{d}lb = {lo_expr};")
+                w.emit(f"long c{d}ub = {hi_expr};")
+            for d, v in enumerate(loop_vars):
+                innermost = d == len(loop_vars) - 1
+                if d == 0 and parallel:
+                    w.emit("#pragma omp parallel for")
+                elif innermost and not case.split.residual:
+                    unroll = self.plan.options.unroll
+                    if unroll > 1:
+                        w.emit(f"#pragma GCC unroll {unroll}")
+                    w.emit("#pragma GCC ivdep")
+                w.open(f"for (long {v} = c{d}lb; {v} <= c{d}ub; {v}++)")
+            body = f"{self._store(stage_ir, var_names)} = " \
+                   f"({stage_ir.stage.dtype.c_name})" \
+                   f"({self.expr(case.expression, var_names)});"
+            if case.split.residual:
+                conds = " && ".join(self.cond(c, var_names)
+                                    for c in case.split.residual)
+                w.emit(f"if ({conds}) {body}")
+            else:
+                w.emit(body)
+            for _ in loop_vars:
+                w.close()
+            w.close()
+
+    def _store(self, stage_ir: StageIR, var_names) -> str:
+        indices = [var_names[id(v)] for v in stage_ir.variables]
+        if stage_ir.stage in self._scratch_sizes:
+            return self._scratch_access(stage_ir.stage, indices)
+        return self._full_access(stage_ir.stage, indices)
+
+    def _emit_stage_full(self, stage_ir: StageIR) -> None:
+        w = self.w
+        w.open("")
+        prefix = "d_" + _sanitize(stage_ir.name)
+        region = self._domain_bound_names(stage_ir, prefix)
+        self._emit_case_loops(stage_ir, region, parallel=True)
+        w.close()
+
+    def _emit_accumulator(self, stage_ir: StageIR) -> None:
+        w = self.w
+        acc = stage_ir.accumulate
+        assert acc is not None
+        base = self.buf(stage_ir.stage)
+        ctype = stage_ir.stage.dtype.c_name
+        dtype = stage_ir.stage.dtype
+        if dtype.is_float:
+            extreme_hi, extreme_lo = "INFINITY", "-INFINITY"
+        else:
+            import numpy as np
+            info = np.iinfo(dtype.np_dtype)
+            extreme_hi, extreme_lo = str(info.max), str(info.min)
+        init = {
+            Reduction.Sum: "0",
+            Reduction.Min: f"({ctype})({extreme_hi})",
+            Reduction.Max: f"({ctype})({extreme_lo})",
+        }[acc.op]
+        w.open("")
+        # initialise over the variable domain
+        var_names: dict[int, str] = {}
+        for d, var in enumerate(stage_ir.variables):
+            v = f"a{d}"
+            var_names[id(var)] = v
+            bounds = stage_ir.domain.bounds[d]
+            w.open(f"for (long {v} = {self.dim_lower(bounds)}; "
+                   f"{v} <= {self.dim_upper(bounds)}; {v}++)")
+        w.emit(f"{self._store(stage_ir, var_names)} = {init};")
+        for _ in stage_ir.variables:
+            w.close()
+        # reduce over the reduction domain
+        red_names: dict[int, str] = {}
+        assert stage_ir.reduction_domain is not None
+        for d, var in enumerate(stage_ir.stage.red_variables):
+            v = f"r{d}"
+            red_names[id(var)] = v
+            bounds = stage_ir.reduction_domain.bounds[d]
+            w.open(f"for (long {v} = {self.dim_lower(bounds)}; "
+                   f"{v} <= {self.dim_upper(bounds)}; {v}++)")
+        idx_names = []
+        guards = []
+        for d, arg in enumerate(acc.target.args):
+            iv = f"ti{d}"
+            w.emit(f"long {iv} = (long)({self.expr(arg, red_names)});")
+            lo = f"{base}_lo{d}"
+            hi = f"{base}_hi{d}"
+            guards.append(f"{iv} >= {lo} && {iv} <= {hi}")
+            idx_names.append(iv)
+        value = self.expr(acc.value, red_names)
+        slot = self._full_access(stage_ir.stage, idx_names)
+        update = {
+            Reduction.Sum: f"{slot} += ({ctype})({value});",
+            Reduction.Min: f"{slot} = ({ctype})dmin({slot}, {value});",
+            Reduction.Max: f"{slot} = ({ctype})dmax({slot}, {value});",
+        }[acc.op]
+        w.emit(f"if ({' && '.join(guards)}) {update}")
+        for _ in stage_ir.stage.red_variables:
+            w.close()
+        w.close()
+
+    def _emit_self_referential(self, stage_ir: StageIR) -> None:
+        """Sequential scalar loop nest with per-point case dispatch."""
+        w = self.w
+        w.open("")
+        var_names: dict[int, str] = {}
+        for d, var in enumerate(stage_ir.variables):
+            v = f"q{d}"
+            var_names[id(var)] = v
+            bounds = stage_ir.domain.bounds[d]
+            w.open(f"for (long {v} = {self.dim_lower(bounds)}; "
+                   f"{v} <= {self.dim_upper(bounds)}; {v}++)")
+        for case in stage_ir.cases:
+            cond = self.cond(case.condition, var_names)
+            w.emit(f"if ({cond}) {self._store(stage_ir, var_names)} = "
+                   f"({stage_ir.stage.dtype.c_name})"
+                   f"({self.expr(case.expression, var_names)});")
+        for _ in stage_ir.variables:
+            w.close()
+        w.close()
+
+    # -- tiled groups -----------------------------------------------------------------
+    def _scratch_size(self, stage: Stage, gp: GroupPlan) -> tuple[int, ...]:
+        """Static scratchpad extents: tile size plus halo, with slack for
+        rational scaling (known at code generation time, like Figure 7)."""
+        transforms = gp.transforms
+        assert transforms is not None
+        halo = gp.group.halos[stage]
+        t = transforms[stage]
+        sizes = []
+        for d in range(self.plan.ir[stage].ndim):
+            g = t.dim_map[d]
+            scale = t.scales[d]
+            tau = gp.tile_sizes[g]
+            width = (Fraction(tau) + halo.left[g] + halo.right[g]) / scale
+            sizes.append(int(width) + 3)
+        return tuple(sizes)
+
+    def _emit_tiled_group(self, gp: GroupPlan) -> None:
+        w = self.w
+        ir = self.plan.ir
+        transforms = gp.transforms
+        assert transforms is not None
+        ndim = transforms.ndim
+        space_lo = []
+        space_hi = []
+        w.open("")
+        # tile space: hull of scaled live-out domains, per group dim
+        for g in range(ndim):
+            lo_parts, hi_parts = [], []
+            for stage in gp.liveouts:
+                t = transforms[stage]
+                d = t.stage_dim(g)
+                if d is None:
+                    continue
+                bounds = ir[stage].domain.bounds[d]
+                scale = t.scales[d]
+                lo = self.dim_lower(bounds)
+                hi = self.dim_upper(bounds)
+                if scale == 1:
+                    lo_parts.append(lo)
+                    hi_parts.append(hi)
+                else:
+                    n, dnm = scale.numerator, scale.denominator
+                    lo_parts.append(f"fdiv({lo}*{n}L, {dnm}L)")
+                    hi_parts.append(f"cdiv({hi}*{n}L, {dnm}L)")
+            lo_expr = lo_parts[0]
+            hi_expr = hi_parts[0]
+            for p in lo_parts[1:]:
+                lo_expr = f"imin({lo_expr}, {p})"
+            for p in hi_parts[1:]:
+                hi_expr = f"imax({hi_expr}, {p})"
+            w.emit(f"long g{g}lo = {lo_expr}, g{g}hi = {hi_expr};")
+            w.emit(f"long T{g}f = fdiv(g{g}lo, {gp.tile_sizes[g]}), "
+                   f"T{g}l = fdiv(g{g}hi, {gp.tile_sizes[g]});")
+            space_lo.append(f"g{g}lo")
+            space_hi.append(f"g{g}hi")
+
+        # live-outs consumed inside the group also get a tile-local
+        # scratchpad (with halo); their owned sub-region is copied out to
+        # the full buffer after evaluation.
+        members = set(gp.ordered_stages)
+        liveout_local = {s for s in gp.liveouts
+                         if any(c in members
+                                for c in ir.graph.consumers(s))}
+        scratch_stages = [s for s in gp.ordered_stages
+                          if self.plan.storage[s].kind == SCRATCH
+                          or s in liveout_local]
+        for stage in scratch_stages:
+            self._scratch_sizes[stage] = self._scratch_size(stage, gp)
+        self._liveout_local = liveout_local
+
+        # One parallel region: scratchpads are allocated once per thread
+        # and reused by all the tiles that thread executes sequentially
+        # (Section 3.6).
+        w.emit("#pragma omp parallel")
+        w.open("")
+        for stage in scratch_stages:
+            sizes = self._scratch_sizes[stage]
+            total = 1
+            for s in sizes:
+                total *= s
+            ctype = stage.dtype.c_name
+            w.emit(f"{ctype}* {self.scratch(stage)} = "
+                   f"({ctype}*)malloc({total} * sizeof({ctype}));")
+        w.emit("#pragma omp for schedule(dynamic)")
+        w.open(f"for (long T0 = T0f; T0 <= T0l; T0++)")
+        for g in range(1, ndim):
+            w.open(f"for (long T{g} = T{g}f; T{g} <= T{g}l; T{g}++)")
+        for g in range(ndim):
+            tau = gp.tile_sizes[g]
+            w.emit(f"long t{g}lo = T{g}*{tau}, t{g}hi = t{g}lo + {tau} - 1;")
+
+        # per-stage regions (tile scope), then evaluation, in topo order
+        for stage in gp.ordered_stages:
+            self._emit_tiled_stage_region(gp, ir[stage])
+        for stage in gp.ordered_stages:
+            self._emit_tiled_stage_body(gp, ir[stage])
+
+        for g in range(1, ndim):
+            w.close()
+        w.close()  # T0
+        for stage in scratch_stages:
+            w.emit(f"free({self.scratch(stage)});")
+        w.close()  # omp parallel region
+        w.close()
+        for stage in scratch_stages:
+            del self._scratch_sizes[stage]
+
+    def _emit_tiled_stage_region(self, gp: GroupPlan,
+                                 stage_ir: StageIR) -> None:
+        """Declare the stage's per-tile region bounds at tile scope."""
+        w = self.w
+        transforms = gp.transforms
+        assert transforms is not None
+        stage = stage_ir.stage
+        t = transforms[stage]
+        halo = gp.group.halos[stage]
+        base = _sanitize(stage_ir.name)
+        is_scratch = stage in self._scratch_sizes
+        for d in range(stage_ir.ndim):
+            g = t.dim_map[d]
+            scale = t.scales[d]
+            l, r = halo.left[g], halo.right[g]
+            # region_lo = max(dom_lo, ceil((t_lo - l) / scale))
+            sn, sd = scale.numerator, scale.denominator
+            ln, ld = l.numerator, l.denominator
+            rn, rd = r.numerator, r.denominator
+            lo_num = f"(t{g}lo*{ld}L - {ln}L)*{sd}L"
+            hi_num = f"(t{g}hi*{rd}L + {rn}L)*{sd}L"
+            lo = f"cdiv({lo_num}, {sn * ld}L)"
+            hi = f"fdiv({hi_num}, {sn * rd}L)"
+            bounds = stage_ir.domain.bounds[d]
+            lo = f"imax({self.dim_lower(bounds)}, {lo})"
+            hi = f"imin({self.dim_upper(bounds)}, {hi})"
+            w.emit(f"long {base}_rl{d} = {lo};")
+            w.emit(f"long {base}_rh{d} = {hi};")
+            if is_scratch:
+                sbase = self.scratch(stage)
+                w.emit(f"long {sbase}_lo{d} = {base}_rl{d};")
+                w.emit(f"long {sbase}_hi{d} = {base}_rh{d};")
+
+    def _emit_tiled_stage_body(self, gp: GroupPlan,
+                               stage_ir: StageIR) -> None:
+        w = self.w
+        transforms = gp.transforms
+        assert transforms is not None
+        stage = stage_ir.stage
+        t = transforms[stage]
+        base = _sanitize(stage_ir.name)
+        is_scratch = stage in self._scratch_sizes
+        region = [(f"{base}_rl{d}", f"{base}_rh{d}")
+                  for d in range(stage_ir.ndim)]
+        w.open(f"/* {stage_ir.name} */ ")
+        if is_scratch:
+            # zero-fill so points no case covers read as 0 (NumPy parity)
+            sizes = self._scratch_sizes[stage]
+            total = 1
+            for s in sizes:
+                total *= s
+            w.emit(f"memset({self.scratch(stage)}, 0, "
+                   f"{total} * sizeof({stage.dtype.c_name}));")
+            self._emit_case_loops(stage_ir, region)
+            if stage in self._liveout_local:
+                # copy the owned sub-region out to the full buffer
+                copy_vars: dict[int, str] = {}
+                for d in range(stage_ir.ndim):
+                    g = t.dim_map[d]
+                    scale = t.scales[d]
+                    sn, sd = scale.numerator, scale.denominator
+                    olo = f"cdiv(t{g}lo*{sd}L, {sn}L)"
+                    ohi = f"fdiv(t{g}hi*{sd}L, {sn}L)"
+                    w.emit(f"long {base}_cl{d} = "
+                           f"imax({region[d][0]}, {olo});")
+                    w.emit(f"long {base}_ch{d} = "
+                           f"imin({region[d][1]}, {ohi});")
+                for d, var in enumerate(stage_ir.variables):
+                    v = f"k{d}"
+                    copy_vars[id(var)] = v
+                    w.open(f"for (long {v} = {base}_cl{d}; "
+                           f"{v} <= {base}_ch{d}; {v}++)")
+                indices = [copy_vars[id(v)] for v in stage_ir.variables]
+                w.emit(f"{self._full_access(stage, indices)} = "
+                       f"{self._scratch_access(stage, indices)};")
+                for _ in stage_ir.variables:
+                    w.close()
+        else:
+            # live-out: evaluate only the owned sub-region directly into
+            # the full buffer (tiles partition ownership)
+            owned = []
+            for d in range(stage_ir.ndim):
+                g = t.dim_map[d]
+                scale = t.scales[d]
+                sn, sd = scale.numerator, scale.denominator
+                olo = f"cdiv(t{g}lo*{sd}L, {sn}L)"
+                ohi = f"fdiv(t{g}hi*{sd}L, {sn}L)"
+                w.emit(f"long {base}_ol{d} = imax({region[d][0]}, {olo});")
+                w.emit(f"long {base}_oh{d} = imin({region[d][1]}, {ohi});")
+                owned.append((f"{base}_ol{d}", f"{base}_oh{d}"))
+            self._emit_case_loops(stage_ir, owned)
+        w.close()
+
+
+def generate_c(plan: PipelinePlan, name: str = "pipeline") -> str:
+    """Generate the complete C translation unit for a compiled pipeline."""
+    return CGenerator(plan, name).generate()

@@ -1,0 +1,44 @@
+"""The PolyMage middle end (paper Section 3).
+
+Phases: initial schedules (:mod:`repro.compiler.schedule`), alignment and
+scaling (:mod:`repro.compiler.align_scale`), dependence analysis
+(:mod:`repro.compiler.deps`), overlapped tiling (:mod:`repro.compiler.tiling`),
+grouping (:mod:`repro.compiler.grouping`), storage mapping
+(:mod:`repro.compiler.storage`), all assembled by
+:func:`repro.compiler.plan.compile_plan`.
+"""
+
+from repro.compiler.align_scale import (
+    GroupTransforms, StageTransform, compute_group_transforms,
+)
+from repro.compiler.deps import (
+    DepRange, EdgeDependence, dependence_vectors, edge_dependences,
+    group_dependences,
+)
+from repro.compiler.grouping import Group, GroupingResult, group_pipeline
+from repro.compiler.options import (
+    OVERLAP_THRESHOLD_CHOICES, TILE_SIZE_CHOICES, CompileOptions,
+)
+from repro.compiler.plan import GroupPlan, PipelinePlan, compile_plan
+from repro.compiler.schedule import initial_schedule, initial_schedules
+from repro.compiler.storage import (
+    FULL, SCRATCH, StorageDecision, classify_storage,
+)
+from repro.compiler.tiling import (
+    Halo, TileShape, compute_tile_regions, estimate_relative_overlap,
+    group_halos, group_liveouts, naive_halos, stage_tile_region,
+    tile_shape_slopes,
+)
+
+__all__ = [
+    "CompileOptions", "DepRange", "EdgeDependence", "FULL", "Group",
+    "GroupPlan", "GroupTransforms", "GroupingResult", "Halo",
+    "OVERLAP_THRESHOLD_CHOICES", "PipelinePlan", "SCRATCH", "SCRATCH",
+    "StageTransform", "StorageDecision", "TILE_SIZE_CHOICES", "TileShape",
+    "classify_storage", "compile_plan", "compute_group_transforms",
+    "compute_tile_regions", "dependence_vectors", "edge_dependences",
+    "estimate_relative_overlap", "group_dependences", "group_halos",
+    "group_liveouts", "group_pipeline", "initial_schedule",
+    "initial_schedules", "naive_halos", "stage_tile_region",
+    "tile_shape_slopes",
+]

@@ -1,0 +1,207 @@
+"""Alignment and scaling of stage schedules (paper Section 3.3).
+
+Overlapped tiling of a group is only possible when every intra-group
+dependence is captured by (bounded) constant vectors.  Up/down-sampling
+accesses such as ``h(x // 2)`` or ``g(2*x - 1)`` produce non-constant
+vectors under the initial schedules; scaling each stage's schedule by the
+right rational factor restores constancy (Figure 6: ``f: x``, ``g: 2x``,
+``h: 4x``, ``f_up: 2x``).  Alignment maps each stage's dimensions onto the
+group's canonical dimensions (those of the *root*, the group's sink).
+
+:func:`compute_group_transforms` propagates scales and dimension maps
+backwards from the root along intra-group edges.  It returns ``None`` when
+the group cannot be aligned/scaled — data-dependent accesses, reflected or
+multi-variable indices, or conflicting requirements like the paper's
+``f(x) = g(x/2) + g(x/4)`` example — in which case the grouping heuristic
+must not merge across the offending edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.lang.constructs import Variable
+from repro.pipeline.graph import Stage
+from repro.pipeline.ir import PipelineIR, StageIR
+from repro.poly.imap import Schedule, ScheduleDim
+
+
+@dataclass(frozen=True)
+class StageTransform:
+    """Placement of one stage in the group's coordinate space.
+
+    ``dim_map[d]`` is the group dimension that stage dimension ``d`` maps
+    to; ``scales[d]`` the rational scaling of that dimension.  A stage
+    point ``x`` has group coordinate ``scales[d] * x[d]`` along
+    ``dim_map[d]``.
+    """
+
+    dim_map: tuple[int, ...]
+    scales: tuple[Fraction, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dim_map)
+
+    def group_scale(self, group_dim: int) -> Fraction | None:
+        """Scale of the stage dimension mapped to ``group_dim``."""
+        for d, g in enumerate(self.dim_map):
+            if g == group_dim:
+                return self.scales[d]
+        return None
+
+    def stage_dim(self, group_dim: int) -> int | None:
+        for d, g in enumerate(self.dim_map):
+            if g == group_dim:
+                return d
+        return None
+
+
+class GroupTransforms:
+    """Alignment/scaling result for a whole group."""
+
+    def __init__(self, root: Stage, transforms: dict[Stage, StageTransform]):
+        self.root = root
+        self.transforms = transforms
+
+    def __getitem__(self, stage: Stage) -> StageTransform:
+        return self.transforms[stage]
+
+    def __contains__(self, stage: Stage) -> bool:
+        return stage in self.transforms
+
+    @property
+    def ndim(self) -> int:
+        return self.transforms[self.root].ndim
+
+    def scaled_schedule(self, stage: Stage, level: int) -> Schedule:
+        """The stage's schedule after alignment and scaling (for display)."""
+        t = self.transforms[stage]
+        dims: list[ScheduleDim | None] = [None] * t.ndim
+        for d, g in enumerate(t.dim_map):
+            dims[g] = ScheduleDim(stage.variables[d], t.scales[d])
+        assert all(d is not None for d in dims)
+        return Schedule(level, tuple(dims))  # type: ignore[arg-type]
+
+
+def _access_requirements(consumer_ir: StageIR, producer: Stage):
+    """Per-access (producer_dim -> binding) maps.
+
+    A binding is either ``(var, coeff, divisor)`` for an index driven by
+    one consumer variable, or ``("const", value)`` for a constant index
+    (e.g. the alpha channel read ``d(3, x, y)``) — the latter yields a
+    bounded dependence when the consumer dimension it pairs with has
+    constant extent, which :func:`repro.compiler.deps.edge_dependences`
+    verifies.
+
+    Returns ``None`` when any access to the producer is unusable for
+    constant dependences: non-affine, index mixing several variables,
+    parametric offsets, or non-positive variable coefficients.
+    """
+    requirement_sets = []
+    for access in consumer_ir.accesses_to(producer):
+        mapping = {}
+        for d, form in enumerate(access.forms):
+            if form is None:
+                return None
+            if form.aff.parameters():
+                return None  # parametric offset -> non-constant dependence
+            variables = form.aff.variables()
+            if len(variables) == 0:
+                mapping[d] = ("const", form.aff.const / form.divisor)
+                continue
+            if len(variables) != 1:
+                return None
+            var = variables[0]
+            coeff = form.aff.coefficient(var)
+            if coeff <= 0:
+                return None  # reflections/degenerate accesses not alignable
+            mapping[d] = (var, coeff, form.divisor)
+        if len(mapping) != len(access.forms):
+            return None
+        # each producer dim must bind a distinct consumer variable
+        bound_vars = [b[0] for b in mapping.values() if b[0] != "const"]
+        if len(set(map(id, bound_vars))) != len(bound_vars):
+            return None
+        requirement_sets.append(mapping)
+    return requirement_sets
+
+
+def compute_group_transforms(ir: PipelineIR, stages: Iterable[Stage],
+                             root: Stage) -> GroupTransforms | None:
+    """Align and scale all ``stages`` against the ``root`` stage.
+
+    Walks intra-group edges backwards from the root.  For an access whose
+    ``d``-th index is ``floor((a * v + b) / m)`` with consumer variable
+    ``v`` of scale ``s_c``, the producer's dimension ``d`` must have scale
+    ``s_p = s_c * m / a`` for the dependence along that dimension to be a
+    bounded constant.  Conflicting requirements (from different consumers
+    or different accesses) make the group infeasible.
+    """
+    group = set(stages)
+    if root not in group:
+        raise ValueError("the root stage must be part of the group")
+
+    root_ir = ir[root]
+    if root_ir.is_accumulator or root_ir.is_self_referential:
+        return None
+    transforms: dict[Stage, StageTransform] = {
+        root: StageTransform(tuple(range(root_ir.ndim)),
+                             tuple(Fraction(1) for _ in range(root_ir.ndim)))}
+
+    # Process consumers before their producers (reverse topological order).
+    order = [s for s in ir.graph.topological_order() if s in group]
+    for consumer in reversed(order):
+        if consumer not in transforms:
+            # Not reachable from the root through in-group consumers: the
+            # candidate set is not a well-formed group.
+            return None
+        consumer_ir = ir[consumer]
+        ct = transforms[consumer]
+        var_info: dict[int, tuple[int, Fraction]] = {}
+        for d, var in enumerate(consumer_ir.variables):
+            var_info[id(var)] = (ct.dim_map[d], ct.scales[d])
+        for producer in ir.graph.producers(consumer):
+            if producer not in group:
+                continue
+            producer_ir = ir[producer]
+            if producer_ir.is_accumulator or producer_ir.is_self_referential:
+                return None
+            requirement_sets = _access_requirements(consumer_ir, producer)
+            if requirement_sets is None:
+                return None
+            for mapping in requirement_sets:
+                dim_map: list[int] = []
+                scales: list[Fraction] = []
+                feasible = True
+                for d in range(producer_ir.ndim):
+                    binding = mapping[d]
+                    if binding[0] == "const":
+                        # positional fallback: a constant index pins the
+                        # producer dim to the consumer's d-th dimension
+                        if d >= consumer_ir.ndim:
+                            feasible = False
+                            break
+                        dim_map.append(ct.dim_map[d])
+                        scales.append(ct.scales[d])
+                        continue
+                    var, coeff, divisor = binding
+                    group_dim, consumer_scale = var_info[id(var)]
+                    dim_map.append(group_dim)
+                    scales.append(consumer_scale * divisor / coeff)
+                if not feasible:
+                    return None
+                if len(set(dim_map)) != len(dim_map):
+                    return None  # two producer dims landing on one group dim
+                candidate = StageTransform(tuple(dim_map), tuple(scales))
+                existing = transforms.get(producer)
+                if existing is None:
+                    transforms[producer] = candidate
+                elif existing != candidate:
+                    return None  # e.g. g(x/2) + g(x/4): conflicting scales
+
+    if set(transforms) != group:
+        return None
+    return GroupTransforms(root, transforms)

@@ -1,0 +1,145 @@
+"""Alternative tiling strategies for comparison (paper Figure 5).
+
+PolyMage uses overlapped tiling; Figure 5 contrasts it with split and
+parallelogram tiling on a fused group.  This module models all three on
+a compiled group and reports the properties the paper's table lists:
+
+==============  ===========  ========  ==========
+strategy        parallelism  locality  redundancy
+==============  ===========  ========  ==========
+overlapped      yes          yes       yes (overlap recomputed)
+split           yes (2 phases)  yes    no (boundary values kept live)
+parallelogram   no (wavefront)  yes    no
+==============  ===========  ========  ==========
+
+The statistics are exact counts for a given tile size and group, derived
+from the same dependence analysis the real tiler uses, so the trade-off
+curves of Figure 5 can be regenerated quantitatively (see
+``python -m repro.bench.figure5``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.compiler.align_scale import GroupTransforms
+from repro.compiler.deps import edge_dependences
+from repro.compiler.tiling import group_halos, group_liveouts
+from repro.pipeline.graph import Stage
+from repro.pipeline.ir import PipelineIR
+
+
+@dataclass(frozen=True)
+class TilingStats:
+    """Quantitative properties of one tiling strategy on one group."""
+
+    strategy: str
+    #: tiles executable concurrently in the widest phase
+    concurrent_tiles: int
+    #: number of sequential phases (1 = fully parallel; n_tiles = wavefront)
+    phases: int
+    #: extra points computed, as a fraction of the non-redundant work
+    redundancy: float
+    #: values that must stay live across tile boundaries (communication)
+    cross_tile_live_values: int
+
+    @property
+    def parallel(self) -> bool:
+        return self.concurrent_tiles > 1 and self.phases <= 2
+
+
+def _group_geometry(ir: PipelineIR, transforms: GroupTransforms,
+                    stages: Iterable[Stage], dim: int,
+                    params: Mapping) -> tuple[int, Fraction, Fraction, int]:
+    """(extent, max left reach, max right reach, n_stages) along ``dim``."""
+    stages = list(stages)
+    left = Fraction(0)
+    right = Fraction(0)
+    extent = 0
+    for consumer in stages:
+        for producer in ir.graph.producers(consumer):
+            if producer not in set(stages):
+                continue
+            dep = edge_dependences(ir, transforms, producer, consumer)
+            rng = dep.ranges[dim]
+            left = max(left, rng.hi)
+            right = max(right, -rng.lo)
+    for stage in stages:
+        box = ir[stage].domain.concretize(params)
+        if box is not None:
+            d = transforms[stage].stage_dim(dim)
+            if d is not None:
+                extent = max(extent, box[d].size)
+    return extent, left, right, len(stages)
+
+
+def overlapped_stats(ir: PipelineIR, transforms: GroupTransforms,
+                     stages: Iterable[Stage], dim: int, tile: int,
+                     params: Mapping) -> TilingStats:
+    """Figure 5 statistics for overlapped tiling of the group."""
+    stages = list(stages)
+    extent, left, right, _ = _group_geometry(ir, transforms, stages, dim,
+                                             params)
+    n_tiles = max(1, math.ceil(extent / tile))
+    halos = group_halos(ir, transforms, stages)
+    redundant = 0
+    total = 0
+    for stage in stages:
+        box = ir[stage].domain.concretize(params)
+        if box is None:
+            continue
+        d = transforms[stage].stage_dim(dim)
+        if d is None:
+            continue
+        size = box[d].size
+        width = halos[stage].widths()[dim]
+        per_tile_extra = float(width)
+        redundant += per_tile_extra * (n_tiles - 1)
+        total += size
+    return TilingStats("overlapped", n_tiles, 1,
+                       redundant / max(total, 1), 0)
+
+
+def split_stats(ir: PipelineIR, transforms: GroupTransforms,
+                stages: Iterable[Stage], dim: int, tile: int,
+                params: Mapping) -> TilingStats:
+    """Figure 5 statistics for two-phase split tiling."""
+    stages = list(stages)
+    extent, left, right, n_stages = _group_geometry(ir, transforms, stages,
+                                                    dim, params)
+    n_tiles = max(1, math.ceil(extent / tile))
+    # upward tiles in phase 1, downward in phase 2; boundary values stay
+    # live: each phase boundary needs the dependence reach per level
+    reach = float(left + right)
+    live = int(reach * (n_stages - 1)) * max(0, n_tiles - 1)
+    return TilingStats("split", math.ceil(n_tiles / 2) or 1, 2, 0.0, live)
+
+
+def parallelogram_stats(ir: PipelineIR, transforms: GroupTransforms,
+                        stages: Iterable[Stage], dim: int, tile: int,
+                        params: Mapping) -> TilingStats:
+    """Figure 5 statistics for skewed (wavefront) parallelogram tiling."""
+    stages = list(stages)
+    extent, left, right, n_stages = _group_geometry(ir, transforms, stages,
+                                                    dim, params)
+    n_tiles = max(1, math.ceil(extent / tile))
+    # skewed tiles depend on their predecessor: wavefront execution, and
+    # with group height << tile size this degenerates to sequential tiles
+    reach = float(max(left, right))
+    live = int(reach * (n_stages - 1)) * max(0, n_tiles - 1)
+    return TilingStats("parallelogram", 1, n_tiles, 0.0, live)
+
+
+def compare_strategies(ir: PipelineIR, transforms: GroupTransforms,
+                       stages: Iterable[Stage], dim: int, tile: int,
+                       params: Mapping) -> list[TilingStats]:
+    """Figure 5's comparison table for one group and tile size."""
+    stages = list(stages)
+    return [
+        overlapped_stats(ir, transforms, stages, dim, tile, params),
+        split_stats(ir, transforms, stages, dim, tile, params),
+        parallelogram_stats(ir, transforms, stages, dim, tile, params),
+    ]

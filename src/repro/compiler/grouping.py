@@ -1,0 +1,224 @@
+"""Greedy overlap-bounded grouping of pipeline stages (Algorithm 1).
+
+Starting from singleton groups, the heuristic repeatedly merges a group
+into its *single* child group when (a) the merged group can be aligned and
+scaled so all internal dependences are bounded constants, and (b) the
+redundant computation introduced by overlapped tiling — the relative
+overlap — stays below the threshold.  Candidates are visited in decreasing
+size order (by the parameter estimates).  The loop restarts after every
+merge and terminates when no merge applies; since each merge reduces the
+number of groups by one, at most ``|S| - 1`` iterations occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.compiler.align_scale import GroupTransforms, compute_group_transforms
+from repro.compiler.tiling import (
+    Halo, estimate_relative_overlap, group_halos, group_liveouts,
+    naive_halos,
+)
+from repro.lang.constructs import Parameter
+from repro.pipeline.graph import Stage
+from repro.pipeline.ir import PipelineIR
+
+
+@dataclass
+class Group:
+    """A set of stages fused together with overlapped tiling.
+
+    ``transforms`` is ``None`` for groups that cannot be tiled (single
+    accumulator or self-referential stages); such groups are executed with
+    their natural loop structure.
+    """
+
+    stages: list[Stage]
+    root: Stage
+    transforms: GroupTransforms | None
+    halos: dict[Stage, Halo] = field(default_factory=dict)
+
+    @property
+    def is_tiled(self) -> bool:
+        return self.transforms is not None and len(self.stages) >= 1
+
+    @property
+    def name(self) -> str:
+        return "+".join(s.name for s in self.stages)
+
+    def __contains__(self, stage: Stage) -> bool:
+        return stage in set(self.stages)
+
+
+class GroupingResult:
+    """Outcome of Algorithm 1: groups in a valid execution order."""
+
+    def __init__(self, groups: list[Group], ir: PipelineIR):
+        self.groups = groups
+        self.ir = ir
+        self.assignment: dict[Stage, Group] = {}
+        for group in groups:
+            for stage in group.stages:
+                self.assignment[stage] = group
+
+    def group_of(self, stage: Stage) -> Group:
+        return self.assignment[stage]
+
+    def summary(self) -> str:
+        """One line per group: kind and member stages."""
+        lines = []
+        for i, group in enumerate(self.groups):
+            kind = "tiled" if group.is_tiled and len(group.stages) > 1 else \
+                ("single" if group.is_tiled else "untiled")
+            lines.append(f"group {i} ({kind}): {group.name}")
+        return "\n".join(lines)
+
+    def dot(self) -> str:
+        """Graphviz rendering with one cluster per group — the dashed
+        boxes of the paper's Figure 8."""
+        lines = ["digraph grouping {", "  compound=true;"]
+        for i, group in enumerate(self.groups):
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append('    style=dashed;')
+            lines.append(f'    label="group {i}";')
+            for stage in group.stages:
+                lines.append(f'    "{stage.name}";')
+            lines.append("  }")
+        for img in self.ir.graph.inputs:
+            lines.append(f'  "{img.name}" [shape=box];')
+        emitted = set()
+        from repro.pipeline.graph import stage_references
+        for stage in self.ir.graph.stages:
+            for ref in stage_references(stage):
+                src = ref.function
+                key = (id(src), id(stage))
+                if key in emitted or src is stage:
+                    continue
+                emitted.add(key)
+                lines.append(f'  "{src.name}" -> "{stage.name}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _is_unmergeable(ir: PipelineIR, stage: Stage) -> bool:
+    stage_ir = ir[stage]
+    return stage_ir.is_accumulator or stage_ir.is_self_referential
+
+
+def _group_size(ir: PipelineIR, group: Group,
+                estimates: Mapping[Parameter, int]) -> int:
+    return sum(ir[s].size_estimate(estimates) for s in group.stages)
+
+
+def _children(ir: PipelineIR, assignment: Mapping[Stage, Group],
+              group: Group) -> set[int]:
+    """Ids of distinct child groups of ``group`` in the condensed graph."""
+    out: set[int] = set()
+    members = set(group.stages)
+    for stage in group.stages:
+        for consumer in ir.graph.consumers(stage):
+            if consumer not in members:
+                out.add(id(assignment[consumer]))
+    return out
+
+
+def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
+                   tile_sizes: Sequence[int],
+                   overlap_threshold: float | Fraction,
+                   min_size: int = 0,
+                   tight_overlap: bool = True) -> GroupingResult:
+    """Run Algorithm 1 and return the final grouping.
+
+    ``tile_sizes`` is indexed per group dimension (cycled if a group has
+    more dimensions).  ``min_size`` optionally keeps very small groups
+    (lookup tables and the like) from initiating merges, mirroring the
+    paper's use of the estimates.
+    """
+    threshold = Fraction(overlap_threshold).limit_denominator(10 ** 6)
+
+    groups: list[Group] = []
+    assignment: dict[Stage, Group] = {}
+    for stage in ir.graph.topological_order():
+        transforms = None
+        if not _is_unmergeable(ir, stage):
+            transforms = compute_group_transforms(ir, [stage], stage)
+        group = Group([stage], stage, transforms)
+        groups.append(group)
+        assignment[stage] = group
+
+    id_to_group = {id(g): g for g in groups}
+
+    while True:
+        converged = True
+        # candidate groups: exactly one child group
+        candidates = []
+        for group in groups:
+            children = _children(ir, assignment, group)
+            if len(children) != 1:
+                continue
+            child = id_to_group[children.pop()]
+            candidates.append((group, child))
+        candidates.sort(key=lambda gc: -_group_size(ir, gc[0], estimates))
+
+        for group, child in candidates:
+            if min_size and _group_size(ir, group, estimates) < min_size:
+                continue
+            if any(_is_unmergeable(ir, s) for s in group.stages):
+                continue
+            if any(_is_unmergeable(ir, s) for s in child.stages):
+                continue
+            merged_stages = [
+                s for s in ir.graph.topological_order()
+                if s in set(group.stages) | set(child.stages)]
+            transforms = compute_group_transforms(ir, merged_stages,
+                                                  child.root)
+            if transforms is None:
+                continue  # cannot make dependence vectors constant
+            from repro.compiler.deps import NonConstantDependence
+            halo_fn = group_halos if tight_overlap else naive_halos
+            try:
+                halos = halo_fn(ir, transforms, merged_stages)
+            except NonConstantDependence:
+                continue  # constant-index dependence over parametric extent
+            relative_overlap = estimate_relative_overlap(halos, tile_sizes)
+            if relative_overlap >= threshold:
+                continue  # too much redundant computation
+            merged = Group(merged_stages, child.root, transforms, halos)
+            groups.remove(group)
+            groups.remove(child)
+            groups.append(merged)
+            del id_to_group[id(group)], id_to_group[id(child)]
+            id_to_group[id(merged)] = merged
+            for stage in merged_stages:
+                assignment[stage] = merged
+            converged = False
+            break
+        if converged:
+            break
+
+    # Fill halos for groups that never merged.
+    halo_fn = group_halos if tight_overlap else naive_halos
+    for group in groups:
+        if group.transforms is not None and not group.halos:
+            group.halos = halo_fn(ir, group.transforms, group.stages)
+
+    return GroupingResult(_execution_order(ir, groups, assignment), ir)
+
+
+def _execution_order(ir: PipelineIR, groups: list[Group],
+                     assignment: Mapping[Stage, Group]) -> list[Group]:
+    """Topologically sort the condensed group graph."""
+    condensed = nx.DiGraph()
+    for group in groups:
+        condensed.add_node(id(group))
+    for producer, consumer in ir.graph.edges():
+        gp, gc = assignment[producer], assignment[consumer]
+        if gp is not gc:
+            condensed.add_edge(id(gp), id(gc))
+    id_to_group = {id(g): g for g in groups}
+    order = list(nx.topological_sort(condensed))
+    return [id_to_group[i] for i in order]

@@ -1,0 +1,78 @@
+"""Compilation options: the small parameter space the autotuner explores.
+
+The model-driven approach collapses the schedule space to tile sizes and
+an overlap threshold (paper Section 3.8): seven tile sizes per dimension
+(8..512) and three thresholds (0.2, 0.4, 0.5).  The remaining switches
+select the paper's evaluation variants — ``base`` (inline only) versus
+``opt`` (grouping + tiling + storage), matching Figure 10's
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+#: tile sizes explored by the autotuner (paper Section 3.8)
+TILE_SIZE_CHOICES = (8, 16, 32, 64, 128, 256, 512)
+
+#: overlap thresholds explored by the autotuner
+OVERLAP_THRESHOLD_CHOICES = (0.2, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything that shapes the generated implementation."""
+
+    #: tile size per group dimension (cycled when a group has more dims);
+    #: the paper's Figure 7 uses (32, 256) for Harris.
+    tile_sizes: tuple[int, ...] = (32, 256)
+    #: Algorithm 1's redundant-computation bound
+    overlap_threshold: float = 0.4
+    #: fold point-wise stages into consumers
+    inline: bool = True
+    #: run Algorithm 1; False keeps every stage in its own group
+    group: bool = True
+    #: overlapped-tile execution; False scans full domains stage by stage
+    tile: bool = True
+    #: skip merging groups smaller than this many points (0 disables)
+    min_group_size: int = 0
+    #: use the tight per-level tile shapes of Section 3.4; False falls back
+    #: to the uniform dependence-cone over-approximation (Figure 6's naive
+    #: construction) — an ablation knob, measurably more redundant
+    tight_overlap: bool = True
+    #: unroll factor hinted to the C compiler on innermost loops
+    #: (Section 3.7 mentions unrolling; 0 leaves it to the compiler)
+    unroll: int = 0
+
+    def __post_init__(self):
+        if not self.tile_sizes:
+            raise ValueError("at least one tile size is required")
+        if any(t < 1 for t in self.tile_sizes):
+            raise ValueError("tile sizes must be positive")
+        if not 0 < self.overlap_threshold:
+            raise ValueError("overlap threshold must be positive")
+        if self.unroll < 0:
+            raise ValueError("unroll factor must be non-negative")
+
+    def tile_size(self, dim: int) -> int:
+        return self.tile_sizes[dim % len(self.tile_sizes)]
+
+    # -- paper evaluation variants ---------------------------------------
+    @staticmethod
+    def base() -> "CompileOptions":
+        """PolyMage (base): scalar optimizations + inlining only."""
+        return CompileOptions(inline=True, group=False, tile=False)
+
+    @staticmethod
+    def optimized(tile_sizes: Sequence[int] = (32, 256),
+                  overlap_threshold: float = 0.4) -> "CompileOptions":
+        """PolyMage (opt): grouping, overlapped tiling, storage mapping."""
+        return CompileOptions(tile_sizes=tuple(tile_sizes),
+                              overlap_threshold=overlap_threshold)
+
+    def with_tiles(self, tile_sizes: Sequence[int]) -> "CompileOptions":
+        return replace(self, tile_sizes=tuple(tile_sizes))
+
+    def with_threshold(self, threshold: float) -> "CompileOptions":
+        return replace(self, overlap_threshold=threshold)

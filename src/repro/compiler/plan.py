@@ -1,0 +1,210 @@
+"""Assembly of the final execution plan.
+
+`compile_plan` runs the whole middle end — inlining, IR lowering, bounds
+checking, grouping, alignment/scaling, storage mapping — and packages the
+result as a :class:`PipelinePlan`, the single structure both execution
+backends (NumPy interpreter and C code generator) consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence
+
+from repro.compiler.align_scale import GroupTransforms, compute_group_transforms
+from repro.compiler.grouping import Group, GroupingResult, group_pipeline
+from repro.compiler.options import CompileOptions
+from repro.compiler.storage import (
+    FULL, SCRATCH, StorageDecision, classify_storage,
+)
+from repro.compiler.tiling import group_liveouts
+from repro.lang.constructs import Parameter
+from repro.pipeline.boundscheck import check_bounds
+from repro.pipeline.graph import PipelineGraph, Stage
+from repro.pipeline.inline import inline_pipeline
+from repro.pipeline.ir import PipelineIR
+from repro.poly.interval import IntInterval
+
+
+@dataclass
+class GroupPlan:
+    """One group, ready for execution or code generation."""
+
+    group: Group
+    ordered_stages: list[Stage]
+    liveouts: list[Stage]
+    tile_sizes: tuple[int, ...]
+
+    @property
+    def is_tiled(self) -> bool:
+        return self.group.is_tiled
+
+    @property
+    def transforms(self) -> GroupTransforms | None:
+        return self.group.transforms
+
+    def tile_space(self, ir: PipelineIR,
+                   param_env: Mapping[Hashable, int]
+                   ) -> tuple[IntInterval, ...] | None:
+        """Hull, per group dimension, of the live-outs' scaled domains."""
+        assert self.transforms is not None
+        ndim = self.transforms.ndim
+        los: list[Fraction | None] = [None] * ndim
+        his: list[Fraction | None] = [None] * ndim
+        for stage in self.liveouts:
+            box = ir[stage].domain.concretize(param_env)
+            if box is None:
+                continue
+            t = self.transforms[stage]
+            for d in range(len(box)):
+                g = t.dim_map[d]
+                scale = t.scales[d]
+                lo = scale * box[d].lo
+                hi = scale * box[d].hi
+                los[g] = lo if los[g] is None else min(los[g], lo)
+                his[g] = hi if his[g] is None else max(his[g], hi)
+        if any(l is None for l in los):
+            return None
+        return tuple(IntInterval(math.floor(l), math.ceil(h))
+                     for l, h in zip(los, his))
+
+    def tiles(self, ir: PipelineIR, param_env: Mapping[Hashable, int]):
+        """Iterate over tile boxes (group coordinates) covering the group."""
+        space = self.tile_space(ir, param_env)
+        if space is None:
+            return
+        ndim = len(space)
+        ranges = []
+        for d in range(ndim):
+            tau = self.tile_sizes[d]
+            first = space[d].lo // tau
+            last = space[d].hi // tau
+            ranges.append(range(first, last + 1))
+
+        def rec(d: int, prefix: list[IntInterval]):
+            if d == ndim:
+                yield tuple(prefix)
+                return
+            tau = self.tile_sizes[d]
+            for t in ranges[d]:
+                prefix.append(IntInterval(t * tau, (t + 1) * tau - 1))
+                yield from rec(d + 1, prefix)
+                prefix.pop()
+
+        yield from rec(0, [])
+
+
+@dataclass
+class PipelinePlan:
+    """The complete compiled form of a pipeline."""
+
+    ir: PipelineIR
+    grouping: GroupingResult
+    group_plans: list[GroupPlan]
+    storage: dict[Stage, StorageDecision]
+    options: CompileOptions
+    estimates: dict[Parameter, int]
+    #: original user-facing output stage -> (possibly cloned) plan stage
+    output_map: dict[Stage, Stage]
+    inlined_names: tuple[str, ...]
+
+    @property
+    def outputs(self) -> list[Stage]:
+        return list(self.output_map.values())
+
+    def stage_by_name(self, name: str) -> Stage:
+        for stage in self.ir.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r}")
+
+    def summary(self) -> str:
+        """Human-readable description of groups, storage and inlining."""
+        lines = [f"pipeline: {len(self.ir.stages)} stages, "
+                 f"{len(self.group_plans)} groups "
+                 f"(inlined: {', '.join(self.inlined_names) or 'none'})"]
+        for i, gp in enumerate(self.group_plans):
+            kind = "tiled" if gp.is_tiled else "untiled"
+            scratch = [s.name for s in gp.ordered_stages
+                       if self.storage[s].kind == SCRATCH]
+            lines.append(
+                f"  group {i} [{kind}] stages: "
+                f"{', '.join(s.name for s in gp.ordered_stages)}"
+                + (f" | scratch: {', '.join(scratch)}" if scratch else ""))
+        return "\n".join(lines)
+
+
+def compile_plan(outputs: Sequence[Stage],
+                 estimates: Mapping[Parameter, int],
+                 options: CompileOptions | None = None) -> PipelinePlan:
+    """Run the middle end and produce a :class:`PipelinePlan`.
+
+    ``outputs`` are the live-out stages; ``estimates`` map every parameter
+    to a representative value (the generated implementation stays valid
+    for all parameter values — estimates only guide the heuristics).
+    """
+    options = options or CompileOptions()
+    estimates = dict(estimates)
+    original_outputs = tuple(outputs)
+
+    if options.inline:
+        inlined = inline_pipeline(original_outputs, estimates)
+        plan_outputs = inlined.outputs
+        inlined_names = tuple(s.name for s in inlined.inlined)
+    else:
+        plan_outputs = original_outputs
+        inlined_names = ()
+
+    graph = PipelineGraph(plan_outputs)
+    ir = PipelineIR(graph)
+    check_bounds(ir, estimates)
+
+    if options.group:
+        grouping = group_pipeline(ir, estimates, options.tile_sizes,
+                                  options.overlap_threshold,
+                                  options.min_group_size,
+                                  options.tight_overlap)
+    else:
+        from repro.compiler.tiling import group_halos
+        groups = []
+        for stage in graph.topological_order():
+            stage_ir = ir[stage]
+            transforms = None
+            if options.tile and not (stage_ir.is_accumulator
+                                     or stage_ir.is_self_referential):
+                transforms = compute_group_transforms(ir, [stage], stage)
+            group = Group([stage], stage, transforms)
+            if transforms is not None:
+                group.halos = group_halos(ir, transforms, [stage])
+            groups.append(group)
+        grouping = GroupingResult(groups, ir)
+
+    if not options.tile:
+        # Tiling disabled: demote every group to untiled execution.
+        for group in grouping.groups:
+            group.transforms = None
+
+    storage = classify_storage(ir, grouping)
+
+    group_plans = []
+    for group in grouping.groups:
+        ordered = [s for s in graph.topological_order()
+                   if s in set(group.stages)]
+        liveouts = group_liveouts(ir, group.stages)
+        ndim = group.transforms.ndim if group.transforms is not None else 0
+        tile_sizes = tuple(options.tile_size(d) for d in range(ndim))
+        group_plans.append(GroupPlan(group, ordered, liveouts, tile_sizes))
+
+    output_map = dict(zip(original_outputs, plan_outputs))
+    return PipelinePlan(
+        ir=ir,
+        grouping=grouping,
+        group_plans=group_plans,
+        storage=storage,
+        options=options,
+        estimates=estimates,
+        output_map=output_map,
+        inlined_names=inlined_names,
+    )

@@ -1,0 +1,24 @@
+"""Initial schedules (paper Section 3.1).
+
+The initial schedule of a stage is ``(x0, ..., xn) -> (level, x0, ..., xn)``
+where *level* is the stage's level in a topological sort of the pipeline
+graph — e.g. ``Ix: (x, y) -> (0, x, y)`` and ``Sxx: (x, y) -> (2, x, y)``
+for Harris corner detection.  Alignment and scaling later refine the
+spatial dimensions (see :mod:`repro.compiler.align_scale`).
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.ir import PipelineIR, StageIR
+from repro.poly.imap import Schedule
+
+
+def initial_schedule(stage_ir: StageIR) -> Schedule:
+    """The implicit schedule a stage has before any transformation."""
+    return Schedule.initial(stage_ir.level, stage_ir.variables)
+
+
+def initial_schedules(ir: PipelineIR) -> dict:
+    """Initial schedules for every stage of a pipeline, keyed by stage."""
+    return {stage_ir.stage: initial_schedule(stage_ir)
+            for stage_ir in ir.ordered()}

@@ -1,0 +1,5 @@
+"""Synthetic input data generators (see :mod:`repro.data.synth`)."""
+
+from repro.data.synth import bayer_raw, multifocus_pair, rgb_image, smooth_image
+
+__all__ = ["bayer_raw", "multifocus_pair", "rgb_image", "smooth_image"]

@@ -1,0 +1,81 @@
+"""Synthetic input generation (substitute for the paper's photographs).
+
+The paper's experiments measure throughput on fixed-size images; content
+does not affect the code paths except through data-dependent accesses
+(LUTs, histograms), which synthetic data exercises just as well.  Each
+generator returns float32/uint8/uint16 arrays shaped like the paper's
+inputs: RGB photos, multi-focus pairs with masks for pyramid blending,
+and Bayer-mosaic RAW frames for the camera pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def smooth_image(rows: int, cols: int, rng: np.random.Generator,
+                 octaves: int = 4) -> np.ndarray:
+    """A smooth random field in [0, 1] — photograph-like statistics."""
+    out = np.zeros((rows, cols), dtype=np.float32)
+    amplitude = 1.0
+    for o in range(octaves):
+        step = max(1, min(rows, cols) >> (octaves - o))
+        coarse = rng.random((rows // step + 2, cols // step + 2))
+        ix = np.arange(rows) / step
+        iy = np.arange(cols) / step
+        x0 = ix.astype(int)
+        y0 = iy.astype(int)
+        fx = (ix - x0)[:, None]
+        fy = (iy - y0)[None, :]
+        c00 = coarse[np.ix_(x0, y0)]
+        c10 = coarse[np.ix_(x0 + 1, y0)]
+        c01 = coarse[np.ix_(x0, y0 + 1)]
+        c11 = coarse[np.ix_(x0 + 1, y0 + 1)]
+        layer = (c00 * (1 - fx) * (1 - fy) + c10 * fx * (1 - fy)
+                 + c01 * (1 - fx) * fy + c11 * fx * fy)
+        out += (amplitude * layer).astype(np.float32)
+        amplitude *= 0.5
+    out -= out.min()
+    peak = out.max()
+    if peak > 0:
+        out /= peak
+    return out
+
+
+def rgb_image(rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    """A (3, rows, cols) float32 RGB image in [0, 1]."""
+    return np.stack([smooth_image(rows, cols, rng) for _ in range(3)])
+
+
+def multifocus_pair(rows: int, cols: int, rng: np.random.Generator
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two images sharp in complementary halves, plus the blend mask.
+
+    Mirrors the paper's pyramid-blending inputs (Figure 8): each input has
+    one half out of focus; the mask selects the sharp half.
+    """
+    sharp = rgb_image(rows, cols, rng)
+    blurred = sharp.copy()
+    blurred[:, :, 1:-1] = (blurred[:, :, :-2] + blurred[:, :, 1:-1]
+                           + blurred[:, :, 2:]) / 3.0
+    left = sharp.copy()
+    left[:, :, cols // 2:] = blurred[:, :, cols // 2:]
+    right = blurred.copy()
+    right[:, :, cols // 2:] = sharp[:, :, cols // 2:]
+    mask = np.zeros((rows, cols), dtype=np.float32)
+    mask[:, :cols // 2] = 1.0
+    return left, right, mask
+
+
+def bayer_raw(rows: int, cols: int, rng: np.random.Generator,
+              bits: int = 10) -> np.ndarray:
+    """A (rows, cols) uint16 GRBG Bayer mosaic, as a camera sensor emits."""
+    rgb = rgb_image(rows, cols, rng)
+    scale = float((1 << bits) - 1)
+    raw = np.zeros((rows, cols), dtype=np.float32)
+    raw[0::2, 0::2] = rgb[1, 0::2, 0::2]  # G on red rows
+    raw[0::2, 1::2] = rgb[0, 0::2, 1::2]  # R
+    raw[1::2, 0::2] = rgb[2, 1::2, 0::2]  # B
+    raw[1::2, 1::2] = rgb[1, 1::2, 1::2]  # G on blue rows
+    noisy = raw + rng.normal(0, 0.003, raw.shape).astype(np.float32)
+    return np.clip(noisy * scale, 0, scale).astype(np.uint16)

@@ -1,0 +1,32 @@
+"""The PolyMage DSL, embedded in Python (paper Section 2).
+
+Everything a pipeline author needs is importable from this package::
+
+    from repro.lang import (
+        Parameter, Variable, Interval, Condition, Case,
+        Image, Function, Accumulator, Accumulate, Stencil, Sum,
+        Int, Float, Double, UChar,
+    )
+"""
+
+from repro.lang.constructs import Case, Condition, Interval, Parameter, Variable
+from repro.lang.expr import (
+    Abs, Atan, BoolExpr, Cast, Ceil, Cos, Exp, Expr, Floor, Literal, Log, Max,
+    Min, Pow, Reference, Select, Sin, Sqrt, Tan, TrueCond,
+)
+from repro.lang.function import (
+    Accumulate, Accumulator, Function, MaxOp, MinOp, Reduction, Stencil, Sum,
+)
+from repro.lang.image import Image
+from repro.lang.types import (
+    Char, Double, DType, Float, Int, Long, Short, UChar, UInt, ULong, UShort,
+)
+
+__all__ = [
+    "Abs", "Accumulate", "Accumulator", "Atan", "BoolExpr", "Case", "Cast",
+    "Ceil", "Char", "Condition", "Cos", "Double", "DType", "Exp", "Expr",
+    "Float", "Floor", "Function", "Image", "Int", "Interval", "Literal",
+    "Log", "Long", "Max", "MaxOp", "Min", "MinOp", "Parameter", "Pow",
+    "Reduction", "Reference", "Select", "Short", "Sin", "Sqrt", "Stencil",
+    "Sum", "Tan", "TrueCond", "UChar", "UInt", "ULong", "UShort", "Variable",
+]

@@ -1,0 +1,102 @@
+"""Core user-facing constructs: Parameter, Variable, Interval, Case.
+
+``Condition`` lives in :mod:`repro.lang.expr` (conditions are part of the
+expression tree) and is re-exported here so user code can import everything
+from one place, as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.lang.expr import (  # noqa: F401  (re-exports)
+    BoolExpr, Condition, Expr, TrueCond, wrap,
+)
+from repro.lang.types import DType, Int
+
+_counter = itertools.count()
+
+
+def _fresh_name(prefix: str) -> str:
+    return f"_{prefix}{next(_counter)}"
+
+
+class Parameter(Expr):
+    """A named scalar input to the pipeline (e.g. image width/height).
+
+    Parameters may appear in interval bounds, conditions and value
+    expressions.  Their concrete values are supplied when the compiled
+    pipeline is executed; *estimates* are supplied at compile time to guide
+    grouping (see :class:`repro.compiler.grouping.GroupingContext`).
+    """
+
+    __slots__ = ("dtype", "name")
+
+    def __init__(self, dtype: DType = Int, name: str | None = None):
+        if not isinstance(dtype, DType):
+            raise TypeError("Parameter expects a DType")
+        self.dtype = dtype
+        self.name = name or _fresh_name("p")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class Variable(Expr):
+    """An integer variable labelling one dimension of a function domain."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str | None = None):
+        self.name = name or _fresh_name("x")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class Interval:
+    """An inclusive integer range ``[lower, upper]`` with a step.
+
+    Bounds must be affine expressions in parameters and constants; this is
+    validated when the pipeline is compiled (the front end rejects bounds
+    mentioning variables or function values).
+    """
+
+    __slots__ = ("lower", "upper", "step")
+
+    def __init__(self, lower, upper, step: int = 1):
+        self.lower = wrap(lower)
+        self.upper = wrap(upper)
+        if not isinstance(step, int) or step == 0:
+            raise ValueError("Interval step must be a non-zero integer")
+        self.step = step
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lower!r}, {self.upper!r}, {self.step})"
+
+
+class Case:
+    """One piece of a piece-wise function definition.
+
+    ``Case(condition, expression)`` — the expression defines the function
+    wherever the condition holds.  Cases of one function must be mutually
+    exclusive; the front end checks the *bound-constraint* fragment of this
+    statically and reports overlaps it can prove.
+    """
+
+    __slots__ = ("condition", "expression")
+
+    def __init__(self, condition: BoolExpr, expression):
+        if not isinstance(condition, BoolExpr):
+            raise TypeError("Case expects a Condition as its first argument")
+        self.condition = condition
+        self.expression = wrap(expression)
+
+    def __repr__(self) -> str:
+        return f"Case({self.condition!r}, {self.expression!r})"

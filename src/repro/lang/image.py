@@ -1,0 +1,49 @@
+"""The ``Image`` construct — a typed multi-dimensional pipeline input."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang.constructs import _fresh_name
+from repro.lang.expr import Expr, Reference, wrap
+from repro.lang.types import DType
+
+
+class Image:
+    """An input image: a function on an integer grid supplied by the caller.
+
+    ``Image(Float, [R + 2, C + 2])`` declares a 2-D input whose extent along
+    each dimension is an affine expression in parameters and constants.  The
+    valid coordinate range of dimension ``d`` is ``[0, extent[d] - 1]``.
+
+    Accessing pixels is done by calling the image like a function:
+    ``I(x, y)`` yields a :class:`~repro.lang.expr.Reference`.
+    """
+
+    __slots__ = ("dtype", "extents", "name")
+
+    def __init__(self, dtype: DType, extents: Iterable, name: str | None = None):
+        if not isinstance(dtype, DType):
+            raise TypeError("Image expects a DType as its first argument")
+        self.dtype = dtype
+        self.extents = tuple(wrap(e) for e in extents)
+        if not self.extents:
+            raise ValueError("Image needs at least one dimension")
+        self.name = name or _fresh_name("img")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    def __call__(self, *args) -> Reference:
+        if len(args) != self.ndim:
+            raise TypeError(
+                f"image {self.name!r} has {self.ndim} dimensions, "
+                f"accessed with {len(args)} indices")
+        return Reference(self, args)
+
+    def __repr__(self) -> str:
+        return f"Image({self.dtype}, {list(self.extents)!r}, name={self.name!r})"
+
+    def __hash__(self) -> int:
+        return id(self)

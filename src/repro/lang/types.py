@@ -1,0 +1,64 @@
+"""Scalar data types of the PolyMage DSL.
+
+Each :class:`DType` pairs a DSL-level name with the NumPy dtype used by the
+interpreter backend and the C type name used by the code generator.  The
+module-level constants (``Int``, ``Float``, ``UChar``, ...) are the values
+users pass to :class:`~repro.lang.function.Function` and
+:class:`~repro.lang.image.Image`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar type usable for images, functions and parameters."""
+
+    name: str
+    np_dtype: np.dtype
+    c_name: str
+    is_float: bool
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Char = DType("Char", np.dtype(np.int8), "signed char", False)
+UChar = DType("UChar", np.dtype(np.uint8), "unsigned char", False)
+Short = DType("Short", np.dtype(np.int16), "short", False)
+UShort = DType("UShort", np.dtype(np.uint16), "unsigned short", False)
+Int = DType("Int", np.dtype(np.int32), "int", False)
+UInt = DType("UInt", np.dtype(np.uint32), "unsigned int", False)
+Long = DType("Long", np.dtype(np.int64), "long", False)
+ULong = DType("ULong", np.dtype(np.uint64), "unsigned long", False)
+Float = DType("Float", np.dtype(np.float32), "float", True)
+Double = DType("Double", np.dtype(np.float64), "double", True)
+
+ALL_TYPES = (Char, UChar, Short, UShort, Int, UInt, Long, ULong, Float, Double)
+
+_BY_NAME = {t.name: t for t in ALL_TYPES}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a :class:`DType` by its DSL name (e.g. ``"Float"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown DSL type name: {name!r}") from None
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Return the type of an arithmetic result combining ``a`` and ``b``.
+
+    Mirrors NumPy promotion, restricted to the DSL type set.
+    """
+    res = np.promote_types(a.np_dtype, b.np_dtype)
+    for t in ALL_TYPES:
+        if t.np_dtype == res:
+            return t
+    # Fall back to Double for anything NumPy widens beyond our set.
+    return Double

@@ -1,0 +1,14 @@
+"""Pipeline front end: graph extraction, IR lowering, bounds checking,
+point-wise inlining (paper Section 3, first compiler phases)."""
+
+from repro.pipeline.boundscheck import BoundsError, BoundsViolation, check_bounds
+from repro.pipeline.graph import CycleError, PipelineGraph, Stage, stage_references
+from repro.pipeline.inline import InlineResult, find_inlinable, inline_pipeline
+from repro.pipeline.ir import AccessInfo, CaseIR, PipelineIR, StageIR, lower_stage
+
+__all__ = [
+    "AccessInfo", "BoundsError", "BoundsViolation", "CaseIR", "CycleError",
+    "InlineResult", "PipelineGraph", "PipelineIR", "Stage", "StageIR",
+    "check_bounds", "find_inlinable", "inline_pipeline", "lower_stage",
+    "stage_references",
+]

@@ -1,0 +1,284 @@
+"""Point-wise inlining (paper Section 3, front end).
+
+Substitutes the definitions of point-wise producer stages into their
+consumers — the paper's example is folding ``Ixx/Ixy/Iyy/det/trace`` of
+Harris corner detection away so only the stencil stages remain (compare
+Figure 7's scratchpad list).  Inlining a point-wise stage trades a little
+redundant computation (its expression is duplicated per consuming access)
+for locality and fewer buffers; stencil/sampling stages are never inlined
+because the redundancy would multiply with their tap count.
+
+A producer is inlined when all of the following hold:
+
+* it is a point-wise :class:`~repro.lang.function.Function` (not an
+  accumulator, not self-referential, not a pipeline output);
+* it has a single case;
+* under the parameter estimates, every consumer access provably lands
+  inside that case's region (so dropping the case condition is safe).
+
+The pass is purely functional: user stage objects are never mutated.
+Stages whose definitions change are *cloned*, and every downstream
+reference is redirected to the clone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.lang.constructs import Case, Parameter
+from repro.lang.expr import (
+    BinOp, BoolExpr, Call, Cast, CondAnd, Condition, CondNot, CondOr, Expr,
+    Literal, Reference, Select, TrueCond, UnOp,
+)
+from repro.lang.function import Accumulate, Accumulator, Function
+from repro.lang.image import Image
+from repro.pipeline.graph import PipelineGraph, Stage
+from repro.pipeline.ir import PipelineIR, StageIR
+from repro.poly.interval import IntInterval, evaluate_access
+
+
+def rewrite_expr(expr: Expr,
+                 on_reference: Callable[[Reference], Expr | None]) -> Expr:
+    """Rebuild ``expr`` bottom-up, letting ``on_reference`` replace accesses.
+
+    ``on_reference`` receives a Reference whose arguments have already been
+    rewritten; returning ``None`` keeps the reference as-is.
+    """
+    if isinstance(expr, Reference):
+        new_args = [rewrite_expr(a, on_reference) for a in expr.args]
+        candidate = Reference(expr.function, new_args)
+        replaced = on_reference(candidate)
+        return candidate if replaced is None else replaced
+    if isinstance(expr, Literal) or not list(expr.children()):
+        # Leaves: literals, variables, parameters.
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rewrite_expr(expr.left, on_reference),
+                     rewrite_expr(expr.right, on_reference))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, rewrite_expr(expr.operand, on_reference))
+    if isinstance(expr, Call):
+        return Call(expr.name,
+                    [rewrite_expr(a, on_reference) for a in expr.args])
+    if isinstance(expr, Cast):
+        return Cast(expr.dtype, rewrite_expr(expr.operand, on_reference))
+    if isinstance(expr, Select):
+        return Select(rewrite_condition(expr.condition, on_reference),
+                      rewrite_expr(expr.true_expr, on_reference),
+                      rewrite_expr(expr.false_expr, on_reference))
+    raise TypeError(f"cannot rewrite expression node {expr!r}")
+
+
+def rewrite_condition(cond: BoolExpr,
+                      on_reference: Callable[[Reference], Expr | None]
+                      ) -> BoolExpr:
+    """Rebuild a condition tree, rewriting embedded value expressions."""
+    if isinstance(cond, TrueCond):
+        return cond
+    if isinstance(cond, Condition):
+        return Condition(rewrite_expr(cond.lhs, on_reference), cond.op,
+                         rewrite_expr(cond.rhs, on_reference))
+    if isinstance(cond, CondAnd):
+        return CondAnd(rewrite_condition(cond.left, on_reference),
+                       rewrite_condition(cond.right, on_reference))
+    if isinstance(cond, CondOr):
+        return CondOr(rewrite_condition(cond.left, on_reference),
+                      rewrite_condition(cond.right, on_reference))
+    if isinstance(cond, CondNot):
+        return CondNot(rewrite_condition(cond.operand, on_reference))
+    raise TypeError(f"cannot rewrite condition node {cond!r}")
+
+
+def _single_case_region_covers(ir: PipelineIR, producer_ir: StageIR,
+                               estimates: Mapping[Parameter, int]) -> bool:
+    """Check every consumer access falls inside the producer's case region."""
+    target_case = producer_ir.cases[0]
+    target_box = target_case.box.concretize(estimates)
+    if target_box is None:
+        return False
+    if not target_case.split.is_pure_bounds:
+        return False
+    producer = producer_ir.stage
+    for consumer in ir.graph.consumers(producer):
+        consumer_ir = ir[consumer]
+        envs = []
+        if consumer_ir.is_accumulator:
+            var_box = consumer_ir.domain.concretize(estimates)
+            red_box = consumer_ir.reduction_domain.concretize(estimates)
+            if var_box is None or red_box is None:
+                return False
+            env: dict = dict(estimates)
+            env.update(zip(consumer_ir.variables, var_box))
+            env.update(zip(consumer_ir.stage.red_variables, red_box))
+            envs.append(env)
+        else:
+            for case in consumer_ir.cases:
+                box = case.box.concretize(estimates)
+                if box is None:
+                    continue
+                env = dict(estimates)
+                env.update(zip(consumer_ir.variables, box))
+                envs.append(env)
+        for access in consumer_ir.accesses_to(producer):
+            if not access.is_affine:
+                return False
+            for env in envs:
+                try:
+                    ranges = [evaluate_access(f, env) for f in access.forms]
+                except KeyError:
+                    return False
+                for rng, dom in zip(ranges, target_box):
+                    if not dom.contains(rng):
+                        return False
+    return True
+
+
+def find_inlinable(ir: PipelineIR,
+                   estimates: Mapping[Parameter, int]) -> set[Stage]:
+    """The set of stages that satisfy all inlining criteria."""
+    inlinable: set[Stage] = set()
+    for stage_ir in ir.ordered():
+        if stage_ir.is_accumulator or stage_ir.is_output:
+            continue
+        if stage_ir.is_self_referential:
+            continue
+        if not stage_ir.is_pointwise:
+            continue
+        if len(stage_ir.cases) != 1:
+            continue
+        if not _single_case_region_covers(ir, stage_ir, estimates):
+            continue
+        inlinable.add(stage_ir.stage)
+    return inlinable
+
+
+class InlineResult:
+    """Outcome of the inlining pass."""
+
+    def __init__(self, outputs: tuple[Stage, ...],
+                 replacements: dict[Stage, Stage],
+                 inlined: tuple[Stage, ...]):
+        #: Live-out stages of the rewritten pipeline (clones where needed).
+        self.outputs = outputs
+        #: original stage -> surviving (possibly cloned) stage
+        self.replacements = replacements
+        #: original stages that were folded away
+        self.inlined = inlined
+
+
+def inline_pipeline(outputs, estimates: Mapping[Parameter, int]
+                    ) -> InlineResult:
+    """Run the inlining pass over a pipeline given by its outputs."""
+    graph = PipelineGraph(outputs)
+    ir = PipelineIR(graph)
+    inlinable = find_inlinable(ir, estimates)
+
+    # body of each inlined stage, with upstream rewrites already applied
+    bodies: dict[Stage, Expr] = {}
+    # surviving original stage -> clone (or itself when unchanged)
+    survivors: dict[Stage, Stage] = {}
+
+    def make_rewriter(self_stage: Stage | None, self_clone: Stage | None):
+        def on_reference(ref: Reference) -> Expr | None:
+            producer = ref.function
+            if isinstance(producer, Image):
+                return None
+            if producer is self_stage and self_clone is not None:
+                return Reference(self_clone, ref.args)
+            if producer in bodies:
+                body = bodies[producer]
+                mapping = dict(zip(producer.variables, ref.args))
+                return _substitute_everywhere(body, mapping)
+            replacement = survivors.get(producer)
+            if replacement is not None and replacement is not producer:
+                return Reference(replacement, ref.args)
+            return None
+        return on_reference
+
+    for stage in graph.topological_order():
+        stage_ir = ir[stage]
+        if stage in inlinable:
+            case = stage.defn[0]
+            body = rewrite_expr(case.expression, make_rewriter(None, None))
+            bodies[stage] = body
+            continue
+        if isinstance(stage, Accumulator):
+            rewriter = make_rewriter(None, None)
+            new_target_args = [rewrite_expr(a, rewriter)
+                               for a in stage.defn.target.args]
+            new_value = rewrite_expr(stage.defn.value, rewriter)
+            changed = not (
+                all(a is b for a, b in zip(new_target_args,
+                                           stage.defn.target.args))
+                and new_value is stage.defn.value)
+            if not changed:
+                survivors[stage] = stage
+                continue
+            clone = Accumulator(
+                redDom=(list(stage.red_variables), list(stage.red_intervals)),
+                varDom=(list(stage.variables), list(stage.intervals)),
+                typ=stage.dtype, name=stage.name)
+            clone.defn = Accumulate(Reference(clone, new_target_args),
+                                    new_value, stage.defn.op)
+            survivors[stage] = clone
+            continue
+
+        # Ordinary function: rewrite all cases; clone if anything changed.
+        clone = Function(varDom=(list(stage.variables), list(stage.intervals)),
+                         typ=stage.dtype, name=stage.name)
+        rewriter = make_rewriter(stage, clone)
+        new_cases = []
+        changed = False
+        for case in stage.defn:
+            new_cond = rewrite_condition(case.condition, rewriter)
+            new_expr = rewrite_expr(case.expression, rewriter)
+            if new_cond is not case.condition or new_expr is not case.expression:
+                changed = True
+            new_cases.append(Case(new_cond, new_expr)
+                             if not isinstance(new_cond, TrueCond)
+                             else Case(TrueCond(), new_expr))
+        if not changed:
+            survivors[stage] = stage
+            continue
+        clone.defn = new_cases
+        survivors[stage] = clone
+
+    new_outputs = tuple(survivors[out] for out in graph.outputs)
+    return InlineResult(new_outputs, survivors, tuple(bodies))
+
+
+def _substitute_everywhere(body: Expr, mapping: dict) -> Expr:
+    """Substitute domain variables by argument expressions, deeply."""
+    def on_reference(ref: Reference) -> Expr | None:
+        return None
+
+    def rewrite(expr: Expr) -> Expr:
+        if expr in mapping:
+            return mapping[expr]
+        if isinstance(expr, Reference):
+            return Reference(expr.function, [rewrite(a) for a in expr.args])
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if isinstance(expr, UnOp):
+            return UnOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, Call):
+            return Call(expr.name, [rewrite(a) for a in expr.args])
+        if isinstance(expr, Cast):
+            return Cast(expr.dtype, rewrite(expr.operand))
+        if isinstance(expr, Select):
+            return Select(_rewrite_cond(expr.condition),
+                          rewrite(expr.true_expr), rewrite(expr.false_expr))
+        return expr
+
+    def _rewrite_cond(cond: BoolExpr) -> BoolExpr:
+        if isinstance(cond, Condition):
+            return Condition(rewrite(cond.lhs), cond.op, rewrite(cond.rhs))
+        if isinstance(cond, CondAnd):
+            return CondAnd(_rewrite_cond(cond.left), _rewrite_cond(cond.right))
+        if isinstance(cond, CondOr):
+            return CondOr(_rewrite_cond(cond.left), _rewrite_cond(cond.right))
+        if isinstance(cond, CondNot):
+            return CondNot(_rewrite_cond(cond.operand))
+        return cond
+
+    return rewrite(body)

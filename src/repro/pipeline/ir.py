@@ -1,0 +1,194 @@
+"""Intermediate representation of a pipeline: stages with polyhedral domains.
+
+The front end lowers each DSL stage into a :class:`StageIR` carrying its
+parametric domain box, its cases with bound-tightened boxes, and the
+classified access functions of every reference — everything the compiler
+phases (alignment/scaling, dependence analysis, tiling, grouping, storage)
+operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.lang.constructs import Case, Parameter, Variable
+from repro.lang.expr import (
+    BoolExpr, Expr, Reference, TrueCond, condition_references, references,
+)
+from repro.lang.function import Accumulate, Accumulator, Function
+from repro.lang.image import Image
+from repro.pipeline.graph import PipelineGraph, Stage
+from repro.poly.affine import AccessForm, analyze_access
+from repro.poly.interval import IntInterval, evaluate_access
+from repro.poly.iset import ParametricBox, SplitCondition, split_condition
+
+Producer = Union[Stage, Image]
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One reference from a stage to a producer, with classified indices.
+
+    ``forms[d]`` is the :class:`AccessForm` of the d-th index, or ``None``
+    when that index is data-dependent / non-affine (only affine accesses
+    are analysed, per the paper).
+    """
+
+    reference: Reference
+    producer: Producer
+    forms: tuple[AccessForm | None, ...]
+
+    @property
+    def is_affine(self) -> bool:
+        return all(f is not None for f in self.forms)
+
+    def range_box(self, var_env) -> tuple[IntInterval | None, ...]:
+        """Interval range of each index over ``var_env`` (None if unknown)."""
+        out = []
+        for form in self.forms:
+            if form is None:
+                out.append(None)
+            else:
+                out.append(evaluate_access(form, var_env))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class CaseIR:
+    """One case of a function: condition split + tightened domain box."""
+
+    condition: BoolExpr
+    expression: Expr
+    split: SplitCondition
+    box: ParametricBox
+
+
+@dataclass
+class StageIR:
+    """A stage plus everything the optimizer needs to know about it."""
+
+    stage: Stage
+    domain: ParametricBox
+    cases: tuple[CaseIR, ...]
+    accesses: tuple[AccessInfo, ...]
+    level: int
+    is_output: bool
+    is_self_referential: bool
+    reduction_domain: ParametricBox | None = None
+    accumulate: Accumulate | None = None
+
+    @property
+    def name(self) -> str:
+        return self.stage.name
+
+    @property
+    def ndim(self) -> int:
+        return self.stage.ndim
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(self.stage.variables)
+
+    @property
+    def is_accumulator(self) -> bool:
+        return isinstance(self.stage, Accumulator)
+
+    @property
+    def is_pointwise(self) -> bool:
+        """True when every access reads producers at the stage's own point.
+
+        A stage is point-wise when each of its (affine) accesses maps the
+        d-th index to exactly the stage's d-th domain variable with
+        coefficient 1 and offset 0 — i.e. value at ``(x, y)`` depends only
+        on producer values at ``(x, y)``.
+        """
+        if self.is_accumulator or self.is_self_referential:
+            return False
+        own = self.variables
+        for access in self.accesses:
+            if len(access.forms) != len(own):
+                return False
+            for d, form in enumerate(access.forms):
+                if form is None or not form.is_plain_affine:
+                    return False
+                aff = form.aff
+                if (aff.coefficient(own[d]) != 1 or aff.const != 0
+                        or len(aff.terms) != 1):
+                    return False
+        return True
+
+    def accesses_to(self, producer: Producer) -> list[AccessInfo]:
+        return [a for a in self.accesses if a.producer is producer]
+
+    def size_estimate(self, estimates: Mapping[Parameter, int]) -> int:
+        return self.domain.size_estimate(estimates)
+
+
+def _collect_accesses(stage: Stage) -> tuple[AccessInfo, ...]:
+    refs: list[Reference] = []
+    if isinstance(stage, Accumulator):
+        body = stage.defn
+        for arg in body.target.args:
+            refs.extend(references(arg))
+        refs.extend(references(body.value))
+        # The target itself is an access only through its argument
+        # references (collected above); the accumulator's own cells are
+        # written, not read.
+    else:
+        for case in stage.defn:
+            refs.extend(condition_references(case.condition))
+            refs.extend(references(case.expression))
+    infos = []
+    for ref in refs:
+        forms = tuple(analyze_access(arg) for arg in ref.args)
+        infos.append(AccessInfo(ref, ref.function, forms))
+    return tuple(infos)
+
+
+def lower_stage(stage: Stage, graph: PipelineGraph) -> StageIR:
+    """Lower one DSL stage into its IR form."""
+    domain = ParametricBox.from_intervals(stage.variables, stage.intervals)
+    cases: list[CaseIR] = []
+    reduction_domain = None
+    accumulate = None
+    if isinstance(stage, Accumulator):
+        reduction_domain = ParametricBox.from_intervals(
+            stage.red_variables, stage.red_intervals)
+        accumulate = stage.defn
+    else:
+        for case in stage.defn:
+            split = split_condition(case.condition)
+            box = domain.tighten(split.bounds)
+            cases.append(CaseIR(case.condition, case.expression, split, box))
+    return StageIR(
+        stage=stage,
+        domain=domain,
+        cases=tuple(cases),
+        accesses=_collect_accesses(stage),
+        level=graph.level(stage),
+        is_output=graph.is_output(stage),
+        is_self_referential=stage in graph.self_referential,
+        reduction_domain=reduction_domain,
+        accumulate=accumulate,
+    )
+
+
+class PipelineIR:
+    """IR of a whole pipeline: the graph plus a :class:`StageIR` per stage."""
+
+    def __init__(self, graph: PipelineGraph):
+        self.graph = graph
+        self.stages: dict[Stage, StageIR] = {
+            stage: lower_stage(stage, graph) for stage in graph.stages}
+
+    def __getitem__(self, stage: Stage) -> StageIR:
+        return self.stages[stage]
+
+    def ordered(self) -> list[StageIR]:
+        return [self.stages[s] for s in self.graph.topological_order()]
+
+    def input_domain(self, image: Image) -> ParametricBox:
+        synthetic_vars = tuple(Variable(f"_{image.name}{d}")
+                               for d in range(image.ndim))
+        return ParametricBox.from_extents(synthetic_vars, image.extents)

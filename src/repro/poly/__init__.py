@@ -1,0 +1,25 @@
+"""A small polyhedral layer built from scratch (isl substitute).
+
+Provides exactly the slice of polyhedral machinery PolyMage uses: affine
+expressions over variables and parameters (:mod:`repro.poly.affine`),
+parametric box-shaped integer sets with condition tightening
+(:mod:`repro.poly.iset`), interval propagation through access functions
+(:mod:`repro.poly.interval`), and schedules as affine maps
+(:mod:`repro.poly.imap`).
+"""
+
+from repro.poly.affine import (
+    AccessForm, AffExpr, NotAffineError, analyze_access, to_affine,
+)
+from repro.poly.imap import Schedule, ScheduleDim
+from repro.poly.interval import IntInterval, evaluate_access, evaluate_affine
+from repro.poly.iset import (
+    DimBounds, ParametricBox, SplitCondition, split_condition,
+)
+
+__all__ = [
+    "AccessForm", "AffExpr", "DimBounds", "IntInterval", "NotAffineError",
+    "ParametricBox", "Schedule", "ScheduleDim", "SplitCondition",
+    "analyze_access", "evaluate_access", "evaluate_affine",
+    "split_condition", "to_affine",
+]

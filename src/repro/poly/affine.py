@@ -1,0 +1,298 @@
+"""Affine expressions over DSL symbols — the algebraic core of the compiler.
+
+An :class:`AffExpr` is a linear combination of symbols (DSL
+:class:`~repro.lang.constructs.Variable` and
+:class:`~repro.lang.constructs.Parameter` objects) with rational
+coefficients plus a rational constant.  The compiler extracts these from
+DSL expression trees (:func:`to_affine`) to represent domains, schedules,
+access functions and dependence vectors, playing the role the integer set
+library's ``aff`` plays in the original implementation.
+
+Accesses with integer (floor) division — the up-sampling pattern
+``g(x // 2)`` — are captured by :class:`AccessForm` with a divisor, since a
+single floor of an affine expression is all the language's sampling
+patterns need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.lang.constructs import Parameter, Variable
+from repro.lang.expr import BinOp, Cast, Expr, Literal, UnOp
+
+
+class NotAffineError(Exception):
+    """Raised when an expression is not affine in symbols and constants."""
+
+
+def _as_fraction(value) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        frac = Fraction(value).limit_denominator(1 << 24)
+        if float(frac) != value:
+            raise NotAffineError(f"non-rational coefficient: {value!r}")
+        return frac
+    raise NotAffineError(f"cannot treat {value!r} as a rational constant")
+
+
+@dataclass(frozen=True)
+class AffExpr:
+    """``sum(coeff[s] * s for s in terms) + const`` with rational numbers."""
+
+    terms: tuple[tuple[Hashable, Fraction], ...] = ()
+    const: Fraction = Fraction(0)
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def constant(value) -> "AffExpr":
+        return AffExpr((), _as_fraction(value))
+
+    @staticmethod
+    def symbol(sym: Hashable, coeff=1) -> "AffExpr":
+        """The affine expression ``coeff * sym``."""
+        c = _as_fraction(coeff)
+        if c == 0:
+            return AffExpr()
+        return AffExpr(((sym, c),), Fraction(0))
+
+    @staticmethod
+    def from_terms(terms: Mapping[Hashable, Fraction], const) -> "AffExpr":
+        cleaned = tuple(sorted(
+            ((s, c) for s, c in terms.items() if c != 0),
+            key=lambda item: id(item[0])))
+        return AffExpr(cleaned, _as_fraction(const))
+
+    def _term_map(self) -> dict[Hashable, Fraction]:
+        return dict(self.terms)
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other: "AffExpr | int | Fraction") -> "AffExpr":
+        if not isinstance(other, AffExpr):
+            other = AffExpr.constant(other)
+        terms = self._term_map()
+        for sym, coeff in other.terms:
+            terms[sym] = terms.get(sym, Fraction(0)) + coeff
+        return AffExpr.from_terms(terms, self.const + other.const)
+
+    def __sub__(self, other: "AffExpr | int | Fraction") -> "AffExpr":
+        if not isinstance(other, AffExpr):
+            other = AffExpr.constant(other)
+        return self + other.scale(-1)
+
+    def scale(self, factor) -> "AffExpr":
+        f = _as_fraction(factor)
+        return AffExpr.from_terms(
+            {s: c * f for s, c in self.terms}, self.const * f)
+
+    def shift(self, delta) -> "AffExpr":
+        return AffExpr(self.terms, self.const + _as_fraction(delta))
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def coefficient(self, sym: Hashable) -> Fraction:
+        for s, c in self.terms:
+            if s is sym:
+                return c
+        return Fraction(0)
+
+    def symbols(self) -> tuple[Hashable, ...]:
+        return tuple(s for s, _ in self.terms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        return tuple(s for s, _ in self.terms if isinstance(s, Variable))
+
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(s for s, _ in self.terms if isinstance(s, Parameter))
+
+    def drop(self, sym: Hashable) -> "AffExpr":
+        """Remove ``sym``'s term (i.e. set its coefficient to zero)."""
+        return AffExpr(tuple((s, c) for s, c in self.terms if s is not sym),
+                       self.const)
+
+    def substitute(self, env: Mapping[Hashable, "AffExpr"]) -> "AffExpr":
+        """Replace symbols by affine expressions."""
+        out = AffExpr.constant(self.const)
+        for sym, coeff in self.terms:
+            repl = env.get(sym)
+            if repl is None:
+                out = out + AffExpr.symbol(sym, coeff)
+            else:
+                out = out + repl.scale(coeff)
+        return out
+
+    def evaluate(self, env: Mapping[Hashable, int]) -> Fraction:
+        """Evaluate with concrete integer symbol values."""
+        total = self.const
+        for sym, coeff in self.terms:
+            if sym not in env:
+                raise KeyError(f"no value bound for symbol {sym!r}")
+            total += coeff * env[sym]
+        return total
+
+    def evaluate_int(self, env: Mapping[Hashable, int]) -> int:
+        """Evaluate and require an integral result."""
+        value = self.evaluate(env)
+        if value.denominator != 1:
+            raise ValueError(f"expected integral value, got {value}")
+        return int(value)
+
+    def __repr__(self) -> str:
+        parts = []
+        for sym, coeff in self.terms:
+            name = getattr(sym, "name", repr(sym))
+            if coeff == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self.const != 0 or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+ZERO = AffExpr()
+ONE = AffExpr.constant(1)
+
+
+def to_affine(expr: Expr, params_only: bool = False) -> AffExpr:
+    """Convert a DSL expression into an :class:`AffExpr`.
+
+    Raises :class:`NotAffineError` when the expression involves function
+    references, non-linear arithmetic, floor division or math calls.  With
+    ``params_only`` set, DSL variables are also rejected — used for
+    validating interval bounds and image extents.
+    """
+    if isinstance(expr, Literal):
+        return AffExpr.constant(expr.value)
+    if isinstance(expr, Parameter):
+        return AffExpr.symbol(expr)
+    if isinstance(expr, Variable):
+        if params_only:
+            raise NotAffineError(
+                f"variable {expr.name!r} not allowed in this context")
+        return AffExpr.symbol(expr)
+    if isinstance(expr, UnOp):
+        return to_affine(expr.operand, params_only).scale(-1)
+    if isinstance(expr, Cast):
+        return to_affine(expr.operand, params_only)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return (to_affine(expr.left, params_only)
+                    + to_affine(expr.right, params_only))
+        if expr.op == "-":
+            return (to_affine(expr.left, params_only)
+                    - to_affine(expr.right, params_only))
+        if expr.op == "*":
+            left = to_affine(expr.left, params_only)
+            right = to_affine(expr.right, params_only)
+            if left.is_constant:
+                return right.scale(left.const)
+            if right.is_constant:
+                return left.scale(right.const)
+            raise NotAffineError("product of two non-constant expressions")
+        if expr.op == "/":
+            right = to_affine(expr.right, params_only)
+            if right.is_constant and right.const != 0:
+                return to_affine(expr.left, params_only).scale(1 / right.const)
+            raise NotAffineError("division by a non-constant expression")
+        raise NotAffineError(f"operator {expr.op!r} is not affine")
+    raise NotAffineError(f"{expr!r} is not an affine expression")
+
+
+@dataclass(frozen=True)
+class AccessForm:
+    """Canonical form of one index expression of a function access.
+
+    Represents ``floor(aff / divisor)``; ``divisor == 1`` means a plain
+    affine index.  ``None`` results from :func:`analyze_access` signal
+    data-dependent or otherwise non-affine indices (e.g. ``f(g(x, y))``),
+    which the compiler does not analyse — matching the paper, such
+    accesses block grouping but still execute correctly.
+    """
+
+    aff: AffExpr
+    divisor: int = 1
+
+    def __post_init__(self):
+        if self.divisor < 1:
+            raise ValueError("divisor must be a positive integer")
+
+    @property
+    def is_plain_affine(self) -> bool:
+        return self.divisor == 1
+
+    def variables(self) -> tuple[Variable, ...]:
+        return self.aff.variables()
+
+    def __repr__(self) -> str:
+        if self.divisor == 1:
+            return f"AccessForm({self.aff!r})"
+        return f"AccessForm(({self.aff!r}) // {self.divisor})"
+
+
+def analyze_access(expr: Expr) -> AccessForm | None:
+    """Classify one access index expression.
+
+    Returns an :class:`AccessForm` for affine and singly-sampled indices —
+    one floor division by a positive integer constant, optionally combined
+    with integer-constant shifts, using the identity
+    ``floor(a / m) + c == floor((a + m * c) / m)`` — or ``None`` for
+    anything else (data-dependent indices, nested sampling, reflections of
+    sampled indices, ...).
+    """
+    try:
+        return AccessForm(to_affine(expr))
+    except NotAffineError:
+        pass
+    return _analyze_sampled(expr)
+
+
+def _constant_int(expr: Expr) -> int | None:
+    try:
+        aff = to_affine(expr)
+    except NotAffineError:
+        return None
+    if not aff.is_constant or aff.const.denominator != 1:
+        return None
+    return int(aff.const)
+
+
+def _analyze_sampled(expr: Expr) -> AccessForm | None:
+    if isinstance(expr, BinOp) and expr.op == "//":
+        try:
+            numerator = to_affine(expr.left)
+            denominator = to_affine(expr.right)
+        except NotAffineError:
+            return None
+        if not denominator.is_constant:
+            return None
+        div = denominator.const
+        if div.denominator != 1 or div <= 0:
+            return None
+        return AccessForm(numerator, int(div))
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        # fold integer-constant shifts into the floor's numerator
+        left_const = _constant_int(expr.left)
+        right_const = _constant_int(expr.right)
+        if right_const is not None:
+            inner = _analyze_sampled(expr.left)
+            if inner is None or inner.divisor == 1:
+                return None
+            shift = right_const if expr.op == "+" else -right_const
+            return AccessForm(inner.aff.shift(inner.divisor * shift),
+                              inner.divisor)
+        if left_const is not None and expr.op == "+":
+            inner = _analyze_sampled(expr.right)
+            if inner is None or inner.divisor == 1:
+                return None
+            return AccessForm(inner.aff.shift(inner.divisor * left_const),
+                              inner.divisor)
+    return None

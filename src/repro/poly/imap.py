@@ -1,0 +1,100 @@
+"""Schedules as affine maps (paper Section 3.1).
+
+A stage's schedule is a parametric relation from its domain to a
+multi-dimensional time stamp.  For this compiler's purposes a schedule is
+fully described by:
+
+* a *level* — the leading time dimension, the stage's level in a
+  topological sort of the pipeline graph;
+* per spatial dimension, a :class:`ScheduleDim` carrying the domain
+  variable together with the *scaling* factor and *alignment offset*
+  introduced by Section 3.3's transformations.  The scaled coordinate of a
+  point ``x`` along that dimension is ``scale * x + offset``.
+
+The identity schedule (scale 1, offset 0, domain order) is the paper's
+"initial schedule"; alignment/scaling rewrite it in place before grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+
+from repro.lang.constructs import Variable
+
+
+@dataclass(frozen=True)
+class ScheduleDim:
+    """One spatial dimension of a schedule: ``time = scale * var + offset``."""
+
+    variable: Variable
+    scale: Fraction = Fraction(1)
+    offset: Fraction = Fraction(0)
+
+    def apply(self, value: Fraction | int) -> Fraction:
+        return self.scale * value + self.offset
+
+    def __repr__(self) -> str:
+        return f"{self.scale}*{self.variable.name} + {self.offset}"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A level plus one :class:`ScheduleDim` per spatial dimension.
+
+    The full time stamp of a domain point ``(x0, ..., xn)`` is
+    ``(level, s0*x0 + o0, ..., sn*xn + on)`` — dimension order follows the
+    stage's domain order after alignment.
+    """
+
+    level: int
+    dims: tuple[ScheduleDim, ...]
+
+    @staticmethod
+    def initial(level: int, variables) -> "Schedule":
+        return Schedule(level, tuple(ScheduleDim(v) for v in variables))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def dim_for(self, var: Variable) -> ScheduleDim:
+        for dim in self.dims:
+            if dim.variable is var:
+                return dim
+        raise KeyError(f"variable {var.name!r} not in schedule")
+
+    def dim_position(self, var: Variable) -> int:
+        for i, dim in enumerate(self.dims):
+            if dim.variable is var:
+                return i
+        raise KeyError(f"variable {var.name!r} not in schedule")
+
+    def with_level(self, level: int) -> "Schedule":
+        return replace(self, level=level)
+
+    def with_dim(self, index: int, dim: ScheduleDim) -> "Schedule":
+        """Return a copy with dimension ``index`` replaced."""
+        dims = list(self.dims)
+        dims[index] = dim
+        return replace(self, dims=tuple(dims))
+
+    def scaled(self, index: int, scale: Fraction, offset: Fraction) -> "Schedule":
+        dim = self.dims[index]
+        return self.with_dim(index, ScheduleDim(dim.variable, scale, offset))
+
+    def relation_str(self, name: str) -> str:
+        """Human-readable relation, e.g. ``Ix: (x, y) -> (0, x, y)``."""
+        domain = ", ".join(d.variable.name for d in self.dims)
+        image = [str(self.level)]
+        for dim in self.dims:
+            part = dim.variable.name
+            if dim.scale != 1:
+                part = f"{dim.scale}*{part}"
+            if dim.offset != 0:
+                part = f"{part} + {dim.offset}"
+            image.append(part)
+        return f"{name}: ({domain}) -> ({', '.join(image)})"
+
+    def __repr__(self) -> str:
+        return self.relation_str("schedule")

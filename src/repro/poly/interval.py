@@ -1,0 +1,117 @@
+"""Concrete integer interval arithmetic.
+
+Used for region propagation through access functions: given the box a
+consumer tile evaluates, the compiler/runtime computes the box each
+producer must cover by pushing intervals through the (affine or sampled)
+access forms.  This is the workhorse behind overlapped-tile shapes,
+scratchpad sizing and static bounds checking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping
+
+from repro.poly.affine import AccessForm, AffExpr
+
+
+@dataclass(frozen=True)
+class IntInterval:
+    """A non-empty inclusive integer range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- structure --------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains(self, other: "IntInterval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "IntInterval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    # -- set-ish operations -----------------------------------------------
+    def intersect(self, other: "IntInterval") -> "IntInterval | None":
+        """Intersection, or ``None`` when the ranges are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return IntInterval(lo, hi)
+
+    def hull(self, other: "IntInterval") -> "IntInterval":
+        return IntInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def expand(self, left: int, right: int) -> "IntInterval":
+        return IntInterval(self.lo - left, self.hi + right)
+
+    def clamp_to(self, other: "IntInterval") -> "IntInterval | None":
+        return self.intersect(other)
+
+    # -- arithmetic -------------------------------------------------------
+    def shift(self, delta: int) -> "IntInterval":
+        return IntInterval(self.lo + delta, self.hi + delta)
+
+    def scale(self, factor: Fraction | int) -> "IntInterval":
+        """Multiply by a rational; result is the integer hull."""
+        f = Fraction(factor)
+        a = self.lo * f
+        b = self.hi * f
+        lo, hi = (a, b) if a <= b else (b, a)
+        return IntInterval(math.floor(lo), math.ceil(hi))
+
+    def floordiv(self, divisor: int) -> "IntInterval":
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        return IntInterval(self.lo // divisor, self.hi // divisor)
+
+    def __add__(self, other: "IntInterval") -> "IntInterval":
+        return IntInterval(self.lo + other.lo, self.hi + other.hi)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def evaluate_affine(aff: AffExpr,
+                    env: Mapping[Hashable, "IntInterval | int"]) -> IntInterval:
+    """Evaluate an affine expression over an interval environment.
+
+    Symbols bound to ints are treated as degenerate intervals.  The result
+    is the integer hull of the exact rational range.
+    """
+    lo = hi = aff.const
+    for sym, coeff in aff.terms:
+        try:
+            value = env[sym]
+        except KeyError:
+            raise KeyError(f"no interval bound for symbol {sym!r}") from None
+        if isinstance(value, int):
+            value = IntInterval(value, value)
+        if coeff >= 0:
+            lo += coeff * value.lo
+            hi += coeff * value.hi
+        else:
+            lo += coeff * value.hi
+            hi += coeff * value.lo
+    return IntInterval(math.floor(lo), math.ceil(hi))
+
+
+def evaluate_access(form: AccessForm,
+                    env: Mapping[Hashable, "IntInterval | int"]) -> IntInterval:
+    """Range of ``floor(aff / divisor)`` over an interval environment."""
+    base = evaluate_affine(form.aff, env)
+    if form.divisor == 1:
+        return base
+    return base.floordiv(form.divisor)

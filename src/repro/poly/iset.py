@@ -1,0 +1,239 @@
+"""Parametric integer sets, specialised to the boxes the DSL produces.
+
+Function domains in the language are products of intervals whose bounds
+are affine in parameters, optionally tightened per-:class:`Case` by bound
+constraints (``x >= 1 & x <= R``).  :class:`ParametricBox` represents such
+a set as, per dimension, a list of lower-bound and upper-bound affine
+expressions over parameters — their max/min at concretisation time gives
+the exact box, mirroring how isl-generated loop bounds carry ``max``/
+``min`` of affine forms (cf. the ``max(1, 32*Ti)`` bounds in the paper's
+Figure 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence
+
+from repro.lang.constructs import Interval, Parameter, Variable
+from repro.lang.expr import (
+    BoolExpr, CondAnd, Condition, CondNot, CondOr, TrueCond,
+)
+from repro.poly.affine import AffExpr, NotAffineError, to_affine
+from repro.poly.interval import IntInterval
+
+
+@dataclass(frozen=True)
+class DimBounds:
+    """Bounds of one dimension: ``max(lowers) <= x <= min(uppers)``."""
+
+    lowers: tuple[AffExpr, ...]
+    uppers: tuple[AffExpr, ...]
+
+    def concretize(self, param_env: Mapping[Hashable, int]) -> IntInterval | None:
+        """Evaluate to a concrete interval; ``None`` when empty."""
+        lo = max(math.ceil(b.evaluate(param_env)) for b in self.lowers)
+        hi = min(math.floor(b.evaluate(param_env)) for b in self.uppers)
+        if lo > hi:
+            return None
+        return IntInterval(lo, hi)
+
+    def add_lower(self, bound: AffExpr) -> "DimBounds":
+        return DimBounds(self.lowers + (bound,), self.uppers)
+
+    def add_upper(self, bound: AffExpr) -> "DimBounds":
+        return DimBounds(self.lowers, self.uppers + (bound,))
+
+
+class ParametricBox:
+    """A product of per-dimension :class:`DimBounds` over named variables."""
+
+    def __init__(self, variables: Sequence[Variable],
+                 bounds: Sequence[DimBounds]):
+        if len(variables) != len(bounds):
+            raise ValueError("one DimBounds required per variable")
+        self.variables = tuple(variables)
+        self.bounds = tuple(bounds)
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def from_intervals(variables: Sequence[Variable],
+                       intervals: Sequence[Interval]) -> "ParametricBox":
+        """Build from DSL intervals, validating bounds are parameter-affine."""
+        dims = []
+        for var, ivl in zip(variables, intervals):
+            try:
+                lo = to_affine(ivl.lower, params_only=True)
+                hi = to_affine(ivl.upper, params_only=True)
+            except NotAffineError as exc:
+                raise ValueError(
+                    f"interval bounds for {var.name!r} must be affine in "
+                    f"parameters and constants: {exc}") from exc
+            dims.append(DimBounds((lo,), (hi,)))
+        return ParametricBox(variables, dims)
+
+    @staticmethod
+    def from_extents(variables: Sequence[Variable],
+                     extents: Sequence) -> "ParametricBox":
+        """Image-style box ``[0, extent - 1]`` per dimension."""
+        dims = []
+        for var, extent in zip(variables, extents):
+            hi = to_affine(extent, params_only=True).shift(-1)
+            dims.append(DimBounds((AffExpr.constant(0),), (hi,)))
+        return ParametricBox(variables, dims)
+
+    # -- structure --------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.variables)
+
+    def dim_index(self, var: Variable) -> int:
+        for i, v in enumerate(self.variables):
+            if v is var:
+                return i
+        raise KeyError(f"variable {var.name!r} is not a dimension")
+
+    # -- operations -------------------------------------------------------
+    def concretize(self, param_env: Mapping[Hashable, int]
+                   ) -> tuple[IntInterval, ...] | None:
+        """Evaluate to concrete intervals; ``None`` if any dim is empty."""
+        out = []
+        for dim in self.bounds:
+            interval = dim.concretize(param_env)
+            if interval is None:
+                return None
+            out.append(interval)
+        return tuple(out)
+
+    def size_estimate(self, param_env: Mapping[Hashable, int]) -> int:
+        """Number of points under concrete parameter values (0 if empty)."""
+        box = self.concretize(param_env)
+        if box is None:
+            return 0
+        total = 1
+        for interval in box:
+            total *= interval.size
+        return total
+
+    def tighten(self, per_var_bounds: Mapping[Variable,
+                                              tuple[list[AffExpr], list[AffExpr]]]
+                ) -> "ParametricBox":
+        """Intersect with extra lower/upper bounds keyed by variable."""
+        dims = list(self.bounds)
+        for var, (lowers, uppers) in per_var_bounds.items():
+            try:
+                idx = self.dim_index(var)
+            except KeyError:
+                continue
+            dim = dims[idx]
+            for bound in lowers:
+                dim = dim.add_lower(bound)
+            for bound in uppers:
+                dim = dim.add_upper(bound)
+            dims[idx] = dim
+        return ParametricBox(self.variables, dims)
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{v.name}: [{'|'.join(map(repr, d.lowers))}, "
+            f"{'|'.join(map(repr, d.uppers))}]"
+            for v, d in zip(self.variables, self.bounds))
+        return f"ParametricBox({dims})"
+
+
+# ---------------------------------------------------------------------------
+# Condition analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SplitCondition:
+    """A condition split into per-variable bound constraints and a residue.
+
+    ``bounds`` maps each variable to ``(lower_bounds, upper_bounds)`` lists
+    of parameter-affine expressions.  ``residual`` collects the conjuncts
+    the box representation cannot absorb (disjunctions, multi-variable or
+    data-dependent comparisons); they must still be evaluated point-wise at
+    execution time.
+    """
+
+    bounds: dict[Variable, tuple[list[AffExpr], list[AffExpr]]]
+    residual: list[BoolExpr]
+
+    @property
+    def is_pure_bounds(self) -> bool:
+        return not self.residual
+
+
+def split_condition(cond: BoolExpr) -> SplitCondition:
+    """Separate bound constraints of a conjunction from everything else."""
+    bounds: dict[Variable, tuple[list[AffExpr], list[AffExpr]]] = {}
+    residual: list[BoolExpr] = []
+
+    def add_bound(var: Variable, kind: str, bound: AffExpr) -> None:
+        entry = bounds.setdefault(var, ([], []))
+        if kind == "lower":
+            entry[0].append(bound)
+        else:
+            entry[1].append(bound)
+
+    for term in cond.conjuncts():
+        if isinstance(term, TrueCond):
+            continue
+        if not isinstance(term, Condition):
+            residual.append(term)
+            continue
+        normalized = _normalize_comparison(term)
+        if normalized is None:
+            residual.append(term)
+            continue
+        for var, kind, bound in normalized:
+            add_bound(var, kind, bound)
+    return SplitCondition(bounds, residual)
+
+
+def _normalize_comparison(cond: Condition):
+    """Turn ``lhs op rhs`` into bounds on a single variable, if possible.
+
+    Returns a list of ``(variable, 'lower'|'upper', parameter-affine bound)``
+    tuples, or ``None`` when the comparison is not a single-variable bound
+    constraint.
+    """
+    try:
+        diff = to_affine(cond.lhs) - to_affine(cond.rhs)
+    except NotAffineError:
+        return None
+    variables = diff.variables()
+    if len(variables) != 1:
+        return None
+    var = variables[0]
+    coeff = diff.coefficient(var)
+    rest = diff.drop(var)  # diff == coeff*var + rest
+    # coeff*var + rest  op  0   =>   var  op'  -rest/coeff
+    bound = rest.scale(Fraction(-1) / coeff)
+    op = cond.op
+    if coeff < 0:
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                "==": "==", "!=": "!="}
+        op = flip[op]
+    if op == "==":
+        return [(var, "lower", bound), (var, "upper", bound)]
+    if op == "!=":
+        return None
+    # Strict comparisons on integers: nudge by an epsilon smaller than any
+    # rational gap our coefficients can produce, so that the ceil/floor at
+    # concretisation time lands on the right integer for both integral and
+    # fractional bounds (var < 2 -> var <= 1, var < 5/2 -> var <= 2).  The
+    # denominator is kept small enough that the C code generator can scale
+    # bounds to exact integer arithmetic without overflowing 64 bits.
+    epsilon = Fraction(1, 1 << 14)
+    if op == "<":
+        return [(var, "upper", bound.shift(-epsilon))]
+    if op == "<=":
+        return [(var, "upper", bound)]
+    if op == ">":
+        return [(var, "lower", bound.shift(epsilon))]
+    if op == ">=":
+        return [(var, "lower", bound)]
+    raise AssertionError(f"unhandled comparison {op}")

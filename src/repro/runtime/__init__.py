@@ -1,0 +1,9 @@
+"""Interpreter backend: NumPy evaluation of compiled pipeline plans."""
+
+from repro.runtime.buffers import BufferView
+from repro.runtime.evaluator import EvaluationError, Evaluator
+from repro.runtime.executor import ExecutionError, execute_plan
+from repro.runtime.split_executor import SplitTilingError, execute_plan_split
+
+__all__ = ["BufferView", "EvaluationError", "Evaluator", "ExecutionError",
+           "SplitTilingError", "execute_plan", "execute_plan_split"]

@@ -1,0 +1,88 @@
+"""Buffer views for the interpreter backend.
+
+A :class:`BufferView` couples an ndarray with the domain origin it
+represents, so stages can be stored in *full* buffers (origin = domain
+lower bound) or tile-local *scratchpads* (origin = region lower bound)
+and read through the same interface.  Reads clip indices to the stored
+extent: case conditions guarantee clipped values are never actually used,
+clipping just keeps speculative evaluation in-bounds (the generated C
+clamps loop bounds the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.poly.interval import IntInterval
+
+
+class BufferView:
+    """An ndarray plus the coordinate of its ``[0, ..., 0]`` element."""
+
+    __slots__ = ("array", "origin")
+
+    def __init__(self, array: np.ndarray, origin: Sequence[int]):
+        if array.ndim != len(tuple(origin)):
+            raise ValueError("origin must have one entry per array dim")
+        self.array = array
+        self.origin = tuple(int(o) for o in origin)
+
+    @classmethod
+    def allocate(cls, box: Sequence[IntInterval], dtype: np.dtype,
+                 fill: float | int = 0) -> "BufferView":
+        """Allocate a zero/``fill``-initialised buffer covering ``box``."""
+        shape = tuple(ivl.size for ivl in box)
+        if fill == 0:
+            array = np.zeros(shape, dtype=dtype)
+        else:
+            array = np.full(shape, fill, dtype=dtype)
+        return cls(array, tuple(ivl.lo for ivl in box))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    def covers(self, box: Sequence[IntInterval]) -> bool:
+        return all(o <= ivl.lo and ivl.hi < o + n
+                   for o, n, ivl in zip(self.origin, self.shape, box))
+
+    # -- reads ------------------------------------------------------------
+    def read_strided(self, dim_specs: Sequence[tuple[int, int, int, int]]
+                     ) -> np.ndarray | None:
+        """Read via slices, one ``(a, b, lo, hi)`` spec per dimension.
+
+        Selects ``array[a*v + b - origin]`` for ``v`` in ``[lo, hi]``.
+        Returns ``None`` when any index would fall outside the stored
+        extent (the caller falls back to the clipped gather).
+        """
+        slices = []
+        for (a, b, lo, hi), org, n in zip(dim_specs, self.origin, self.shape):
+            start = a * lo + b - org
+            last = a * hi + b - org
+            if start < 0 or last >= n:
+                return None
+            slices.append(slice(start, last + 1, a))
+        return self.array[tuple(slices)]
+
+    def read_gather(self, index_arrays: Sequence[np.ndarray | int]
+                    ) -> np.ndarray:
+        """Clipped fancy-indexed read with broadcastable index arrays."""
+        rel = []
+        for idx, org, n in zip(index_arrays, self.origin, self.shape):
+            r = np.asarray(idx) - org
+            rel.append(np.clip(r, 0, n - 1))
+        return self.array[tuple(rel)]
+
+    # -- writes -----------------------------------------------------------
+    def region_slices(self, box: Sequence[IntInterval]) -> tuple[slice, ...]:
+        return tuple(slice(ivl.lo - o, ivl.hi - o + 1)
+                     for ivl, o in zip(box, self.origin))
+
+    def write_region(self, box: Sequence[IntInterval],
+                     values: np.ndarray) -> None:
+        self.array[self.region_slices(box)] = values
+
+    def read_region(self, box: Sequence[IntInterval]) -> np.ndarray:
+        return self.array[self.region_slices(box)]

@@ -1,0 +1,246 @@
+"""Execution of compiled pipeline plans (interpreter backend).
+
+Runs a :class:`~repro.compiler.plan.PipelinePlan` on concrete parameter
+values and input arrays.  Groups execute in dependence order; tiled groups
+iterate over overlapped tiles — optionally on a thread pool, tiles being
+embarrassingly parallel by construction — evaluating intermediate stages
+into tile-local scratchpads and writing each live-out's *owned* sub-region
+into its full buffer.  Untiled groups (accumulators, self-referential
+stages, and every group when tiling is disabled) are evaluated stage by
+stage over full domains.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.compiler.plan import GroupPlan, PipelinePlan
+from repro.compiler.storage import SCRATCH
+from repro.compiler.tiling import compute_tile_regions, stage_tile_region
+from repro.lang.constructs import Parameter
+from repro.lang.image import Image
+from repro.pipeline.graph import Stage
+from repro.pipeline.ir import StageIR
+from repro.poly.affine import to_affine
+from repro.poly.interval import IntInterval
+from repro.runtime.buffers import BufferView
+from repro.runtime.evaluator import Evaluator
+
+
+class ExecutionError(RuntimeError):
+    """Raised for invalid inputs or unsupported stage shapes."""
+
+
+def execute_plan(plan: PipelinePlan,
+                 param_values: Mapping[Parameter, int],
+                 inputs: Mapping[Image, np.ndarray],
+                 *, vectorize: bool = True,
+                 n_threads: int = 1) -> dict[str, np.ndarray]:
+    """Run a compiled pipeline; returns output arrays keyed by stage name."""
+    params = dict(param_values)
+    buffers: dict[Hashable, BufferView] = {}
+    for image in plan.ir.graph.inputs:
+        try:
+            array = inputs[image]
+        except KeyError:
+            raise ExecutionError(
+                f"missing input array for image {image.name!r}") from None
+        extents = tuple(
+            to_affine(e, params_only=True).evaluate_int(params)
+            for e in image.extents)
+        array = np.asarray(array, dtype=image.dtype.np_dtype)
+        if array.shape != extents:
+            raise ExecutionError(
+                f"input {image.name!r} has shape {array.shape}, "
+                f"expected {extents}")
+        buffers[image] = BufferView(array, (0,) * array.ndim)
+
+    for group_plan in plan.group_plans:
+        if group_plan.is_tiled:
+            _run_tiled_group(plan, group_plan, params, buffers,
+                             vectorize, n_threads)
+        else:
+            _run_untiled_group(plan, group_plan, params, buffers, vectorize)
+
+    outputs: dict[str, np.ndarray] = {}
+    for original, stage in plan.output_map.items():
+        outputs[original.name] = buffers[stage].array
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# Untiled execution
+# ---------------------------------------------------------------------------
+
+def _allocate_full(stage_ir: StageIR, params) -> BufferView:
+    box = stage_ir.domain.concretize(params)
+    if box is None:
+        raise ExecutionError(
+            f"stage {stage_ir.name!r} has an empty domain under the given "
+            "parameters")
+    return BufferView.allocate(box, stage_ir.stage.dtype.np_dtype)
+
+
+def _run_untiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
+                       buffers, vectorize: bool) -> None:
+    evaluator = Evaluator(params, buffers, vectorize)
+    for stage in group_plan.ordered_stages:
+        stage_ir = plan.ir[stage]
+        if stage_ir.is_accumulator:
+            box = stage_ir.domain.concretize(params)
+            if box is None:
+                raise ExecutionError(
+                    f"accumulator {stage_ir.name!r} has an empty domain")
+            init = Evaluator.reduction_init(stage_ir.accumulate.op,
+                                            stage_ir.stage.dtype.np_dtype)
+            view = BufferView.allocate(box, stage_ir.stage.dtype.np_dtype,
+                                       fill=init)
+            buffers[stage] = view
+            evaluator.accumulate(stage_ir, view)
+        elif stage_ir.is_self_referential:
+            buffers[stage] = _run_self_referential(stage_ir, params,
+                                                   buffers, vectorize)
+        else:
+            view = _allocate_full(stage_ir, params)
+            buffers[stage] = view
+            box = stage_ir.domain.concretize(params)
+            view.write_region(box, evaluator.stage_values(stage_ir, box))
+
+
+def _self_loop_dims(stage_ir: StageIR) -> list[int]:
+    """Dimensions that must be iterated sequentially for self-references."""
+    loop_dims: set[int] = set()
+    for access in stage_ir.accesses:
+        if access.producer is not stage_ir.stage:
+            continue
+        for d, form in enumerate(access.forms):
+            if form is None:
+                raise ExecutionError(
+                    f"self-reference of {stage_ir.name!r} must use affine "
+                    "indices")
+            own = stage_ir.variables[d]
+            if (form.divisor != 1 or form.aff.coefficient(own) != 1
+                    or form.aff.const != 0 or len(form.aff.terms) != 1):
+                loop_dims.add(d)
+    return sorted(loop_dims)
+
+
+def _check_self_access_order(stage_ir: StageIR, loop_dims: list[int]) -> None:
+    """Every self-access must read lexicographically earlier points."""
+    for access in stage_ir.accesses:
+        if access.producer is not stage_ir.stage:
+            continue
+        offsets = []
+        for d in loop_dims:
+            form = access.forms[d]
+            own = stage_ir.variables[d]
+            if form.aff.coefficient(own) != 1 or form.divisor != 1:
+                raise ExecutionError(
+                    f"unsupported self-access in {stage_ir.name!r}")
+            offsets.append(form.aff.const)
+        if offsets and offsets[0] == 0 and all(o == 0 for o in offsets):
+            continue  # same point: only legal inside other-case guards
+        for o in offsets:
+            if o < 0:
+                break
+            if o > 0:
+                raise ExecutionError(
+                    f"forward self-reference in {stage_ir.name!r} is not "
+                    "executable")
+
+
+def _run_self_referential(stage_ir: StageIR, params, buffers,
+                          vectorize: bool) -> BufferView:
+    box = stage_ir.domain.concretize(params)
+    if box is None:
+        raise ExecutionError(
+            f"stage {stage_ir.name!r} has an empty domain under the given "
+            "parameters")
+    view = BufferView.allocate(box, stage_ir.stage.dtype.np_dtype)
+    local = dict(buffers)
+    local[stage_ir.stage] = view
+    evaluator = Evaluator(params, local, vectorize)
+    loop_dims = _self_loop_dims(stage_ir)
+    _check_self_access_order(stage_ir, loop_dims)
+
+    def rec(d_index: int, fixed: dict[int, int]) -> None:
+        if d_index == len(loop_dims):
+            region = tuple(
+                IntInterval(fixed[d], fixed[d]) if d in fixed else box[d]
+                for d in range(len(box)))
+            view.write_region(region,
+                              evaluator.stage_values(stage_ir, region))
+            return
+        d = loop_dims[d_index]
+        for v in range(box[d].lo, box[d].hi + 1):
+            fixed[d] = v
+            rec(d_index + 1, fixed)
+        del fixed[d]
+
+    rec(0, {})
+    return view
+
+
+# ---------------------------------------------------------------------------
+# Tiled execution
+# ---------------------------------------------------------------------------
+
+def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
+                     buffers, vectorize: bool, n_threads: int) -> None:
+    ir = plan.ir
+    transforms = group_plan.transforms
+    assert transforms is not None
+    liveouts = group_plan.liveouts
+    for stage in liveouts:
+        buffers[stage] = _allocate_full(ir[stage], params)
+
+    stage_irs = {s: ir[s] for s in group_plan.ordered_stages}
+    domain_boxes = {s: stage_irs[s].domain.concretize(params)
+                    for s in group_plan.ordered_stages}
+    liveout_set = set(liveouts)
+
+    def run_tile(tile_box) -> None:
+        regions = compute_tile_regions(
+            ir, transforms, group_plan.ordered_stages, liveouts,
+            tile_box, params)
+        if not regions:
+            return
+        local: dict[Hashable, BufferView] = dict(buffers)
+        evaluator = Evaluator(params, local, vectorize)
+        for stage in group_plan.ordered_stages:
+            region = regions.get(stage)
+            if region is None:
+                continue
+            stage_ir = stage_irs[stage]
+            values = evaluator.stage_values(stage_ir, region)
+            scratch = BufferView(values, tuple(ivl.lo for ivl in region))
+            local[stage] = scratch
+            if stage in liveout_set:
+                owned = stage_tile_region(transforms[stage],
+                                          domain_boxes[stage], tile_box)
+                if owned is None:
+                    continue
+                clipped = []
+                ok = True
+                for o, r in zip(owned, region):
+                    inter = o.intersect(r)
+                    if inter is None:
+                        ok = False
+                        break
+                    clipped.append(inter)
+                if not ok:
+                    continue
+                owned = tuple(clipped)
+                buffers[stage].write_region(owned,
+                                            scratch.read_region(owned))
+
+    tiles = list(group_plan.tiles(ir, params))
+    if n_threads <= 1 or len(tiles) <= 1:
+        for tile in tiles:
+            run_tile(tile)
+    else:
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(run_tile, tiles))

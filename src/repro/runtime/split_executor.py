@@ -1,0 +1,167 @@
+"""Split-tiled execution — an executable version of Figure 5's comparison.
+
+The paper argues overlapped tiling beats split tiling for image pipelines
+because split tiling must keep tile-boundary values live (full buffers,
+cross-tile communication) even though it does no redundant work.  The
+Halide scheduling language cannot express split tiling at all (paper
+Section 5); this module implements it for 1-D, unit-scale fused groups so
+the trade-off is *measurable*, not just modelled:
+
+* **Phase 1** evaluates upward trapezoids: the bottom stage covers the
+  whole tile; each consumer shrinks inward by its dependence reach.  All
+  tiles are independent.
+* **Phase 2** fills the downward wedges between adjacent trapezoids,
+  reading phase-1 values across tile boundaries.  All boundaries are
+  independent of each other.
+
+Unlike overlapped execution, *every* stage needs a full-size buffer —
+exactly the storage cost the paper's Section 3.2 analysis points at.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.compiler.deps import edge_dependences
+from repro.compiler.plan import GroupPlan, PipelinePlan
+from repro.lang.constructs import Parameter
+from repro.lang.image import Image
+from repro.poly.interval import IntInterval
+from repro.runtime.buffers import BufferView
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.executor import (
+    ExecutionError, _allocate_full, _run_untiled_group,
+)
+
+
+class SplitTilingError(ExecutionError):
+    """The group cannot be executed with split tiling."""
+
+
+def _forward_reaches(plan: PipelinePlan, gp: GroupPlan
+                     ) -> dict[Hashable, tuple[int, int]]:
+    """Per stage, the inward shrink (a, b) of its phase-1 trapezoid.
+
+    Source stages sit at the tile base (0, 0); a consumer shrinks by its
+    producers' shrink plus the dependence reach in each direction.
+    """
+    ir = plan.ir
+    transforms = gp.transforms
+    assert transforms is not None
+    members = set(gp.ordered_stages)
+    reaches: dict[Hashable, tuple[int, int]] = {}
+    for stage in gp.ordered_stages:
+        t = transforms[stage]
+        if t.ndim != 1 or t.scales[0] != 1:
+            raise SplitTilingError(
+                "split-tiled execution supports 1-D, unit-scale groups")
+        a = b = Fraction(0)
+        for producer in ir.graph.producers(stage):
+            if producer not in members:
+                continue
+            pa, pb = reaches[producer]
+            dep = edge_dependences(ir, transforms, producer, stage)
+            rng = dep.ranges[0]
+            a = max(a, pa + max(rng.hi, Fraction(0)))
+            b = max(b, pb + max(-rng.lo, Fraction(0)))
+        reaches[stage] = (a, b)
+    out = {}
+    for stage, (a, b) in reaches.items():
+        if a.denominator != 1 or b.denominator != 1:
+            raise SplitTilingError("non-integral dependence reach")
+        out[stage] = (int(a), int(b))
+    return out
+
+
+def execute_split_group(plan: PipelinePlan, gp: GroupPlan,
+                        params: Mapping[Parameter, int],
+                        buffers: dict, vectorize: bool = True) -> None:
+    """Run one tiled group with two-phase split tiling."""
+    ir = plan.ir
+    reaches = _forward_reaches(plan, gp)
+    tau = gp.tile_sizes[0]
+    widest = max(a + b for a, b in reaches.values())
+    if widest > tau:
+        raise SplitTilingError(
+            f"group is deeper than the tile: wedge width {widest} exceeds "
+            f"tile size {tau}")
+
+    # full buffers for every stage: split tiling keeps boundary values live
+    domain_boxes = {}
+    for stage in gp.ordered_stages:
+        stage_ir = ir[stage]
+        buffers[stage] = _allocate_full(stage_ir, params)
+        domain_boxes[stage] = stage_ir.domain.concretize(params)
+    evaluator = Evaluator(params, buffers, vectorize)
+
+    space = gp.tile_space(ir, params)
+    if space is None:
+        return
+    first = space[0].lo // tau
+    last = space[0].hi // tau
+
+    # phase 1: upward trapezoids, independent per tile
+    for t in range(first, last + 1):
+        t_lo, t_hi = t * tau, (t + 1) * tau - 1
+        for stage in gp.ordered_stages:
+            a, b = reaches[stage]
+            lo, hi = t_lo + a, t_hi - b
+            region = IntInterval(lo, hi).intersect(domain_boxes[stage][0]) \
+                if lo <= hi else None
+            if region is None:
+                continue
+            values = evaluator.stage_values(ir[stage], (region,))
+            buffers[stage].write_region((region,), values)
+
+    # phase 2: downward wedges at every boundary, independent per boundary
+    for e in range(first - 1, last + 1):
+        edge = (e + 1) * tau - 1
+        for stage in gp.ordered_stages:
+            a, b = reaches[stage]
+            if a == 0 and b == 0:
+                continue
+            lo, hi = edge + 1 - b, edge + a
+            region = IntInterval(lo, hi).intersect(domain_boxes[stage][0]) \
+                if lo <= hi else None
+            if region is None:
+                continue
+            values = evaluator.stage_values(ir[stage], (region,))
+            buffers[stage].write_region((region,), values)
+
+
+def execute_plan_split(plan: PipelinePlan,
+                       param_values: Mapping[Parameter, int],
+                       inputs: Mapping[Image, np.ndarray],
+                       *, vectorize: bool = True) -> dict[str, np.ndarray]:
+    """Execute a plan using split tiling for its tiled groups.
+
+    A drop-in alternative to :func:`repro.runtime.executor.execute_plan`
+    for pipelines whose tiled groups are 1-D and unit-scale; used to
+    ground Figure 5's split-tiling column.
+    """
+    from repro.poly.affine import to_affine
+
+    params = dict(param_values)
+    buffers: dict = {}
+    for image in plan.ir.graph.inputs:
+        array = np.asarray(inputs[image], dtype=image.dtype.np_dtype)
+        extents = tuple(
+            to_affine(e, params_only=True).evaluate_int(params)
+            for e in image.extents)
+        if array.shape != extents:
+            raise ExecutionError(
+                f"input {image.name!r} has shape {array.shape}, "
+                f"expected {extents}")
+        buffers[image] = BufferView(array, (0,) * array.ndim)
+
+    for gp in plan.group_plans:
+        if gp.is_tiled:
+            execute_split_group(plan, gp, params, buffers, vectorize)
+        else:
+            _run_untiled_group(plan, gp, params, buffers, vectorize)
+
+    return {original.name: buffers[stage].array
+            for original, stage in plan.output_map.items()}

@@ -1,0 +1,73 @@
+"""Applications at non-default structural configurations.
+
+The pyramid apps are parameterized by level counts; the compiler must
+handle every configuration, not just the paper's defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps import interpolate, laplacian, pyramid
+
+RNG = np.random.default_rng(31)
+
+
+@pytest.mark.parametrize("levels", [2, 3, 4, 5])
+def test_pyramid_levels(levels):
+    app = pyramid.build_pipeline(levels=levels)
+    values = {app.params["R"]: 64, app.params["C"]: 64}
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((8, 16, 16)))
+    out = compiled(values, inputs)
+    for key, exp in expected.items():
+        np.testing.assert_allclose(out[key], exp, rtol=1e-4, atol=1e-5)
+
+
+@pytest.mark.parametrize("levels", [2, 3, 5])
+def test_interpolate_levels(levels):
+    app = interpolate.build_pipeline(levels=levels)
+    values = {app.params["R"]: 64, app.params["C"]: 64}
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((8, 16, 16)))
+    out = compiled(values, inputs)
+    for key, exp in expected.items():
+        np.testing.assert_allclose(out[key], exp, rtol=1e-4, atol=1e-5)
+
+
+@pytest.mark.parametrize("j_levels,levels", [(2, 2), (3, 3), (6, 2)])
+def test_laplacian_configurations(j_levels, levels):
+    app = laplacian.build_pipeline(j_levels=j_levels, levels=levels)
+    values = {app.params["R"]: 32, app.params["C"]: 32}
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((8, 16, 16)))
+    out = compiled(values, inputs)
+    for key, exp in expected.items():
+        err = np.abs(out[key] - exp)
+        assert np.quantile(err, 0.9) < 1e-4 and err.max() < 0.06
+
+
+def test_laplacian_rejects_degenerate_configs():
+    with pytest.raises(ValueError):
+        laplacian.build_pipeline(j_levels=1)
+    with pytest.raises(ValueError):
+        laplacian.build_pipeline(levels=1)
+
+
+@pytest.mark.parametrize("rows,cols", [(32, 64), (96, 32)])
+def test_pyramid_rectangular(rows, cols):
+    app = pyramid.build_pipeline(levels=3)
+    values = {app.params["R"]: rows, app.params["C"]: cols}
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((8, 16, 16)))
+    out = compiled(values, inputs)
+    for key, exp in expected.items():
+        np.testing.assert_allclose(out[key], exp, rtol=1e-4, atol=1e-5)

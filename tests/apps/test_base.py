@@ -1,0 +1,49 @@
+"""Tests for the AppSpec scaffolding."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.harris import build_pipeline
+
+
+def test_registry_has_all_seven():
+    assert set(ALL_APPS) == {
+        "unsharp", "bilateral", "harris", "camera", "pyramid_blend",
+        "interpolate", "local_laplacian"}
+
+
+def test_small_estimates_scales_down():
+    app = build_pipeline()
+    small = app.small_estimates(64)
+    assert all(v == 64 for v in small.values())
+
+
+def test_small_estimates_keeps_small_params():
+    app = build_pipeline()
+    # nothing below 4*size in harris, so all scale; check the rule
+    small = app.small_estimates(10_000)
+    assert small == app.default_estimates
+
+
+def test_n_stages_property():
+    app = build_pipeline()
+    assert app.n_stages == 11
+
+
+def test_make_inputs_shapes_respect_params():
+    app = build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    rng = np.random.default_rng(0)
+    inputs = app.make_inputs({R: 10, C: 20}, rng)
+    assert inputs[app.images[0]].shape == (12, 22)
+
+
+def test_reference_returns_output_names():
+    app = build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 16, C: 16}
+    rng = np.random.default_rng(0)
+    inputs = app.make_inputs(values, rng)
+    ref = app.reference(inputs, values)
+    assert set(ref) == {out.name for out in app.outputs}

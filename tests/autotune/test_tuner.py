@@ -1,0 +1,94 @@
+"""Tests for the model-driven autotuner and the stochastic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.autotune.random_search import (
+    SearchReport, random_search, sample_config,
+)
+from repro.autotune.tuner import (
+    TuneConfig, TuningReport, autotune, default_space,
+)
+
+
+def test_default_space_size_matches_paper():
+    """Seven tile sizes per dimension, three thresholds: 147 configs for
+    two tilable dimensions (Section 3.8)."""
+    space = default_space(2)
+    assert len(space) == 7 * 7 * 3 == 147
+    assert len(default_space(4)) == 7 ** 4 * 3
+
+
+def test_tune_config_options():
+    config = TuneConfig((32, 256), 0.4)
+    options = config.options()
+    assert options.tile_sizes == (32, 256)
+    assert options.overlap_threshold == 0.4
+    assert "32x256" in str(config)
+
+
+@pytest.fixture(scope="module")
+def harris_small():
+    app = build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 96, C: 96}
+    inputs = app.make_inputs(values, np.random.default_rng(1))
+    return app, values, inputs
+
+
+def test_autotune_interp_backend(harris_small):
+    app, values, inputs = harris_small
+    space = [TuneConfig((16, 16), 0.4), TuneConfig((32, 32), 0.4)]
+    report = autotune(app.outputs, values, values, inputs, space=space,
+                      backend="interp", n_threads=2, repeats=1)
+    assert len(report.results) == 2
+    best = report.best()
+    assert best in report.results
+    assert all(r.time_single_ms > 0 and r.time_parallel_ms > 0
+               for r in report.results)
+
+
+def test_autotune_scatter_shape(harris_small):
+    app, values, inputs = harris_small
+    space = [TuneConfig((16, 16), 0.2), TuneConfig((16, 16), 0.5)]
+    report = autotune(app.outputs, values, values, inputs, space=space,
+                      backend="interp", repeats=1)
+    points = report.scatter()
+    assert len(points) == 2
+    assert all(len(p) == 2 for p in points)
+
+
+def test_empty_report_raises():
+    with pytest.raises(ValueError):
+        TuningReport().best()
+    with pytest.raises(ValueError):
+        SearchReport().best()
+
+
+def test_sample_config_in_bounds():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        config = sample_config(rng, 2)
+        assert all(4 <= t <= 1024 and (t & (t - 1)) == 0
+                   for t in config.tile_sizes)
+        assert 0.05 <= config.overlap_threshold <= 1.0
+
+
+def test_random_search_runs(harris_small):
+    app, values, inputs = harris_small
+    report = random_search(app.outputs, values, values, inputs,
+                           budget=3, backend="interp", seed=3)
+    assert len(report.results) >= 1
+    trajectory = report.trajectory()
+    assert trajectory == sorted(trajectory, reverse=True) or \
+        all(trajectory[i + 1] <= trajectory[i]
+            for i in range(len(trajectory) - 1))
+
+
+def test_random_search_deterministic_per_seed(harris_small):
+    app, values, inputs = harris_small
+    rng = np.random.default_rng(42)
+    a = [sample_config(np.random.default_rng(9), 2) for _ in range(5)]
+    b = [sample_config(np.random.default_rng(9), 2) for _ in range(5)]
+    assert a == b

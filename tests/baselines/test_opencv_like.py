@@ -1,0 +1,104 @@
+"""Tests for the OpenCV-style routine library."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import opencv_like as cv
+
+
+RNG = np.random.default_rng(4)
+
+
+def test_sep_filter_identity():
+    img = RNG.random((16, 16), dtype=np.float32)
+    out = cv.sep_filter2d(img, np.array([1.0]), np.array([1.0]))
+    np.testing.assert_allclose(out, img)
+
+
+def test_sep_filter_matches_direct_convolution():
+    img = RNG.random((20, 20), dtype=np.float32)
+    kx = np.array([1, 2, 1], np.float32) / 4
+    ky = np.array([1, 0, -1], np.float32)
+    out = cv.sep_filter2d(img, kx, ky)
+    direct = np.zeros_like(img)
+    for i, wx in enumerate(kx):
+        for j, wy in enumerate(ky):
+            sx, sy = i - 1, j - 1
+            src = np.zeros_like(img)
+            xs = slice(max(0, -sx), min(20, 20 - sx))
+            ys = slice(max(0, -sy), min(20, 20 - sy))
+            src[xs, ys] = img[max(0, sx):min(20, 20 + sx) or 20,
+                              max(0, sy):min(20, 20 + sy) or 20]
+            direct += wx * wy * src
+    np.testing.assert_allclose(out[2:-2, 2:-2], direct[2:-2, 2:-2],
+                               rtol=1e-5)
+
+
+def test_gaussian_preserves_mean_interior():
+    img = np.full((32, 32), 3.5, np.float32)
+    out = cv.gaussian_blur5(img)
+    np.testing.assert_allclose(out[4:-4, 4:-4], 3.5, rtol=1e-6)
+
+
+def test_sobel_detects_edge_orientation():
+    img = np.zeros((16, 16), np.float32)
+    img[:, 8:] = 1.0  # vertical edge
+    gx = cv.sobel(img, 1)
+    gy = cv.sobel(img, 0)
+    assert np.abs(gx[8, 7:9]).max() > 0.5
+    assert np.abs(gy[4:12, 4:12]).max() < 1e-6
+
+
+def test_box_filter_counts_neighbourhood():
+    img = np.ones((8, 8), np.float32)
+    out = cv.box_filter3(img)
+    assert out[4, 4] == pytest.approx(9.0)
+
+
+def test_pyr_down_halves():
+    img = RNG.random((16, 16), dtype=np.float32)
+    out = cv.pyr_down(img)
+    assert out.shape == (8, 8)
+
+
+def test_pyr_up_doubles():
+    img = RNG.random((8, 8), dtype=np.float32)
+    out = cv.pyr_up(img, (16, 16))
+    assert out.shape == (16, 16)
+    # nearest coarse values are averaged: output within input range
+    assert out.min() >= img.min() - 1e-6
+    assert out.max() <= img.max() + 1e-6
+
+
+def test_unsharp_composition_shapes():
+    img = RNG.random((3, 32, 32), dtype=np.float32)
+    out = cv.unsharp_like(img)
+    assert out.shape == img.shape
+    assert np.isfinite(out).all()
+
+
+def test_unsharp_flat_image_unchanged():
+    img = np.full((3, 32, 32), 0.5, np.float32)
+    out = cv.unsharp_like(img)
+    np.testing.assert_allclose(out[:, 4:-4, 4:-4], 0.5, atol=1e-5)
+
+
+def test_harris_composition_peaks_at_corner():
+    img = np.zeros((32, 32), np.float32)
+    img[8:24, 8:24] = 1.0  # a square: four corners
+    response = cv.harris_like(img)
+    peak = np.unravel_index(np.argmax(response), response.shape)
+    corners = {(7, 7), (7, 8), (8, 8), (8, 7), (7, 23), (8, 23), (7, 24),
+               (8, 24), (23, 7), (23, 8), (24, 7), (24, 8), (23, 23),
+               (23, 24), (24, 23), (24, 24)}
+    assert tuple(peak) in corners
+
+
+def test_pyramid_blend_selects_by_mask():
+    a = np.full((3, 32, 32), 1.0, np.float32)
+    b = np.zeros((3, 32, 32), np.float32)
+    mask = np.zeros((32, 32), np.float32)
+    mask[:, :16] = 1.0
+    out = cv.pyramid_blend_like(a, b, mask, levels=3)
+    assert out[:, 12:20, 2:6].mean() > 0.8   # left: image a
+    assert out[:, 12:20, 26:30].mean() < 0.2  # right: image b

@@ -1,0 +1,24 @@
+"""Smoke-run every example script at a small size (examples must not rot)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script,args", [
+    ("quickstart.py", []),
+    ("harris_corners.py", ["64", "64"]),
+    ("pyramid_blend.py", ["64"]),
+    ("camera_raw.py", ["64", "64"]),
+    ("show_generated_code.py", []),
+])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

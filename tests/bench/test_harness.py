@@ -1,0 +1,105 @@
+"""Tests for the bench harness and figure modules (fast paths only)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bench import figure5, figure6, figure8
+from repro.bench.harness import (
+    APP_BUILDERS, DEFAULT_TILES, PAPER_TABLE2, SIZES, format_table,
+    make_instance, time_ms, variant_options,
+)
+
+
+def test_every_app_has_harness_metadata():
+    for name in APP_BUILDERS:
+        assert name in SIZES["paper"]
+        assert name in SIZES["small"]
+        assert name in DEFAULT_TILES
+        assert name in PAPER_TABLE2
+
+
+def test_paper_sizes_match_table2():
+    assert SIZES["paper"]["harris"] == (6400, 6400)
+    assert SIZES["paper"]["camera"] == (2528, 1920)
+    assert SIZES["paper"]["unsharp"] == (2048, 2048)
+
+
+def test_make_instance_tiny():
+    instance = make_instance("harris", "tiny")
+    assert instance.name == "harris"
+    rows, cols = SIZES["tiny"]["harris"]
+    assert list(instance.values.values()) == [rows, cols]
+    img = next(iter(instance.inputs.values()))
+    assert img.shape == (rows + 2, cols + 2)
+
+
+def test_variant_options():
+    options, vec = variant_options("harris", "base")
+    assert not options.group and not options.tile and not vec
+    options, vec = variant_options("harris", "opt+vec")
+    assert options.group and options.tile and vec
+    assert options.tile_sizes == DEFAULT_TILES["harris"]
+
+
+def test_time_ms_discards_first_run():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    t = time_ms(fn, runs=4)
+    assert len(calls) == 4
+    assert t >= 0
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2.5], [None, "x"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in lines)
+    assert "2.50" in text and "-" in text
+
+
+def test_figure5_module():
+    out = io.StringIO()
+    stats = figure5.run_figure5(size=512, tile=32, out=out)
+    text = out.getvalue()
+    assert "overlapped" in text and "parallelogram" in text
+    over, split, para = stats
+    assert over.parallel and not para.parallel
+    assert over.redundancy > 0 and split.redundancy == 0
+
+
+def test_figure6_module():
+    out = io.StringIO()
+    tight, naive = figure6.run_figure6(out=out)
+    text = out.getvalue()
+    assert "tight" in text and "naive" in text
+    assert "over-approximation" in text
+
+
+def test_figure8_module():
+    out = io.StringIO()
+    plan = figure8.run_figure8(levels=3, size=256, tiles=(8, 32, 32),
+                               out=out)
+    text = out.getvalue()
+    assert "groups" in text
+    assert len(plan.group_plans) < len(plan.ir.stages)
+
+
+def test_spec_lines_in_paper_ballpark():
+    """Table 2's LoC column: our DSL specs are the same order of
+    magnitude as the paper's (16-107 lines)."""
+    from repro.bench.harness import spec_lines
+    for name in APP_BUILDERS:
+        lines = spec_lines(name)
+        assert 10 < lines < 200, (name, lines)
+
+
+def test_paper_table2_reference_values():
+    """The paper's own numbers, transcribed for the comparison columns."""
+    assert PAPER_TABLE2["harris"]["t16_ms"] == 18.69
+    assert PAPER_TABLE2["local_laplacian"]["stages"] == 99
+    assert PAPER_TABLE2["camera"]["speedup_htuned"] == 1.04

@@ -1,0 +1,78 @@
+"""Error handling and robustness of the native backend."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.harris import build_pipeline
+from repro.codegen.build import (
+    BuildError, build_native, compiler_available, find_compiler,
+)
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler")
+
+
+@pytest.fixture(scope="module")
+def native():
+    app = build_pipeline()
+    est = {app.params["R"]: 64, app.params["C"]: 64}
+    plan = compile_pipeline(app.outputs, est,
+                            CompileOptions.optimized((16, 16)),
+                            name="nat_err").plan
+    return app, est, build_native(plan, "nat_err")
+
+
+def test_wrong_input_shape_rejected(native):
+    app, est, pipe = native
+    with pytest.raises(ValueError, match="shape"):
+        pipe(est, {app.images[0]: np.zeros((4, 4), np.float32)})
+
+
+def test_empty_domain_rejected(native):
+    app, est, pipe = native
+    R, C = app.params["R"], app.params["C"]
+    # shape check fires first for negative sizes; a matching-but-empty
+    # domain (R = -5 gives extents (-3, -3)) can never be satisfied
+    with pytest.raises(ValueError):
+        pipe({R: -5, C: -5}, {app.images[0]: np.zeros((0, 0), np.float32)})
+
+
+def test_non_contiguous_input_handled(native):
+    """Strided NumPy views are copied to contiguous storage."""
+    app, est, pipe = native
+    rng = np.random.default_rng(0)
+    big = rng.random((2 * 66, 2 * 66), dtype=np.float32)
+    view = big[::2, ::2]  # non-contiguous 66x66
+    assert not view.flags["C_CONTIGUOUS"]
+    out = pipe(est, {app.images[0]: view})["harris"]
+    ref = pipe(est, {app.images[0]: np.ascontiguousarray(view)})["harris"]
+    np.testing.assert_array_equal(out, ref)
+
+
+def test_integer_input_coerced(native):
+    app, est, pipe = native
+    data = np.arange(66 * 66, dtype=np.int64).reshape(66, 66)
+    out = pipe(est, {app.images[0]: data})["harris"]
+    assert np.isfinite(out).all()
+
+
+def test_compile_failure_reports_command(tmp_path):
+    """A broken plan surfaces the compiler invocation and stderr."""
+    from repro.codegen import build as build_mod
+    app = build_pipeline()
+    est = {app.params["R"]: 32, app.params["C"]: 32}
+    plan = compile_pipeline(app.outputs, est, name="nat_broken").plan
+    original = build_mod.generate_c
+    try:
+        build_mod.generate_c = lambda p, n: "this is not C"
+        with pytest.raises(BuildError, match="compilation failed"):
+            build_mod.build_native(plan, "nat_broken",
+                                   cache_dir=tmp_path)
+    finally:
+        build_mod.generate_c = original
+
+
+def test_find_compiler_returns_path():
+    cc = find_compiler()
+    assert cc and ("gcc" in cc or "cc" in cc or "clang" in cc)

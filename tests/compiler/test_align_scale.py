@@ -1,0 +1,156 @@
+"""Alignment and scaling tests, built around the paper's Figure 6 chain."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import Float, Function, Image, Int, Interval, Parameter, Variable
+from repro.compiler.align_scale import compute_group_transforms
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+
+def figure6_chain():
+    """fout(x) = fup(x//2); fup(x) = h(x//2)*h(x//2+1);
+    h(x) = g(2x-1)*g(2x+1); g(x) = f(2x-1)*f(2x+1); f(x) = fin(x)."""
+    R = Parameter(Int, "R")
+    fin = Image(Float, [16 * R], name="fin")
+    x = Variable("x")
+
+    def fn(name, lo, hi):
+        f = Function(varDom=([x], [Interval(lo, hi, 1)]), typ=Float, name=name)
+        return f
+
+    f = fn("f", 0, 8 * R)
+    f.defn = fin(x)
+    g = fn("g", 1, 4 * R - 1)
+    g.defn = f(2 * x - 1) * f(2 * x + 1)
+    h = fn("h", 1, 2 * R - 1)
+    h.defn = g(2 * x - 1) * g(2 * x + 1)
+    fup = fn("fup", 2, 2 * R - 4)
+    fup.defn = h(x // 2) * h(x // 2 + 1)
+    fout = fn("fout", 4, 2 * R - 4)
+    fout.defn = fup(x // 2)
+    return R, fin, (f, g, h, fup, fout)
+
+
+def test_figure6_scales():
+    """Scales must match the paper: f:1, g:2, h:4, fup:2, fout:1."""
+    R, fin, (f, g, h, fup, fout) = figure6_chain()
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, [f, g, h, fup, fout], fout)
+    assert transforms is not None
+    assert transforms[fout].scales == (Fraction(1),)
+    assert transforms[fup].scales == (Fraction(2),)
+    assert transforms[h].scales == (Fraction(4),)
+    assert transforms[g].scales == (Fraction(2),)
+    assert transforms[f].scales == (Fraction(1),)
+
+
+def test_figure6_scaled_schedules_match_paper():
+    R, fin, stages = figure6_chain()
+    f, g, h, fup, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    sched = transforms.scaled_schedule(h, level=2)
+    assert sched.relation_str("h") == "h: (x) -> (2, 4*x)"
+    sched = transforms.scaled_schedule(fup, level=3)
+    assert sched.relation_str("fup") == "fup: (x) -> (3, 2*x)"
+
+
+def test_conflicting_scales_rejected():
+    """The paper's infeasible example: f(x) = g(x/2) + g(x/4)."""
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = g(x // 2) + g(x // 4)
+    ir = PipelineIR(PipelineGraph([f]))
+    assert compute_group_transforms(ir, [f, g], f) is None
+
+
+def test_transposed_access_aligns_with_permutation():
+    R = Parameter(Int, "R")
+    x, y = Variable("x"), Variable("y")
+    dom = [Interval(0, R, 1), Interval(0, R, 1)]
+    g = Function(varDom=([x, y], dom), typ=Float, name="g")
+    g.defn = x + y * 1.0
+    f = Function(varDom=([x, y], dom), typ=Float, name="f")
+    f.defn = g(y, x)
+    ir = PipelineIR(PipelineGraph([f]))
+    transforms = compute_group_transforms(ir, [f, g], f)
+    assert transforms is not None
+    assert transforms[g].dim_map == (1, 0)
+
+
+def test_mixed_transpose_rejected():
+    """The paper's infeasible example: f(x, y) = g(x, y) + g(y, x)."""
+    R = Parameter(Int, "R")
+    x, y = Variable("x"), Variable("y")
+    dom = [Interval(0, R, 1), Interval(0, R, 1)]
+    g = Function(varDom=([x, y], dom), typ=Float, name="g")
+    g.defn = x + y * 1.0
+    f = Function(varDom=([x, y], dom), typ=Float, name="f")
+    f.defn = g(x, y) + g(y, x)
+    ir = PipelineIR(PipelineGraph([f]))
+    assert compute_group_transforms(ir, [f, g], f) is None
+
+
+def test_reflection_rejected():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = g(10 - x)  # negative coefficient: a reflection
+    ir = PipelineIR(PipelineGraph([f]))
+    assert compute_group_transforms(ir, [f, g], f) is None
+
+
+def test_parametric_offset_rejected():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, 2 * R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = g(x + R)
+    ir = PipelineIR(PipelineGraph([f]))
+    assert compute_group_transforms(ir, [f, g], f) is None
+
+
+def test_data_dependent_access_rejected():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    from repro.lang import Cast
+    lut = Function(varDom=([x], [Interval(0, 255, 1)]), typ=Float, name="lut")
+    lut.defn = x * 2.0
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = lut(Cast(Int, I(x)))
+    ir = PipelineIR(PipelineGraph([f]))
+    assert compute_group_transforms(ir, [f, lut], f) is None
+
+
+def test_identity_group_of_one():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = x * 1.0
+    ir = PipelineIR(PipelineGraph([f]))
+    transforms = compute_group_transforms(ir, [f], f)
+    assert transforms is not None
+    assert transforms[f].scales == (Fraction(1),)
+    assert transforms.ndim == 1
+
+
+def test_root_must_be_in_group():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = x * 1.0
+    g = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="g")
+    g.defn = f(x)
+    ir = PipelineIR(PipelineGraph([g]))
+    with pytest.raises(ValueError):
+        compute_group_transforms(ir, [f], g)

@@ -1,0 +1,72 @@
+"""Unit tests for the alternative tiling-strategy models (Figure 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.figure5 import figure5_chain
+from repro.compiler.align_scale import compute_group_transforms
+from repro.compiler.alt_tiling import (
+    TilingStats, compare_strategies, overlapped_stats, parallelogram_stats,
+    split_stats,
+)
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+
+@pytest.fixture(scope="module")
+def chain():
+    N, fin, stages = figure5_chain()
+    ir = PipelineIR(PipelineGraph([stages[-1]]))
+    transforms = compute_group_transforms(ir, stages, stages[-1])
+    return N, ir, transforms, stages
+
+
+def test_overlapped_redundancy_shrinks_with_tile_size(chain):
+    N, ir, transforms, stages = chain
+    params = {N: 4096}
+    small = overlapped_stats(ir, transforms, stages, 0, 32, params)
+    large = overlapped_stats(ir, transforms, stages, 0, 256, params)
+    assert small.redundancy > large.redundancy > 0
+
+
+def test_overlapped_never_communicates(chain):
+    N, ir, transforms, stages = chain
+    stats = overlapped_stats(ir, transforms, stages, 0, 64, {N: 1024})
+    assert stats.cross_tile_live_values == 0
+    assert stats.phases == 1
+    assert stats.parallel
+
+
+def test_split_two_phases_and_liveness(chain):
+    N, ir, transforms, stages = chain
+    stats = split_stats(ir, transforms, stages, 0, 64, {N: 1024})
+    assert stats.phases == 2
+    assert stats.redundancy == 0.0
+    assert stats.cross_tile_live_values > 0
+    assert stats.parallel
+
+
+def test_parallelogram_wavefront(chain):
+    N, ir, transforms, stages = chain
+    stats = parallelogram_stats(ir, transforms, stages, 0, 64, {N: 1024})
+    assert stats.concurrent_tiles == 1
+    assert not stats.parallel
+    assert stats.phases > 1
+
+
+def test_compare_strategies_order(chain):
+    N, ir, transforms, stages = chain
+    over, split, para = compare_strategies(ir, transforms, stages, 0, 64,
+                                           {N: 1024})
+    assert over.strategy == "overlapped"
+    assert split.strategy == "split"
+    assert para.strategy == "parallelogram"
+
+
+def test_more_tiles_more_split_liveness(chain):
+    """Live boundary values grow with the number of tiles."""
+    N, ir, transforms, stages = chain
+    few = split_stats(ir, transforms, stages, 0, 256, {N: 1024})
+    many = split_stats(ir, transforms, stages, 0, 32, {N: 1024})
+    assert many.cross_tile_live_values > few.cross_tile_live_values

@@ -1,0 +1,91 @@
+"""Dependence analysis tests (Section 3.1 vectors, scaled-space ranges)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.compiler.align_scale import compute_group_transforms
+from repro.compiler.deps import (
+    DepRange, dependence_vectors, edge_dependences, group_dependences,
+)
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+from tests.compiler.test_align_scale import figure6_chain
+
+
+def test_dep_range_validation_and_hull():
+    with pytest.raises(ValueError):
+        DepRange(Fraction(1), Fraction(0))
+    a = DepRange(Fraction(-1), Fraction(0))
+    b = DepRange(Fraction(0), Fraction(2))
+    assert a.hull(b) == DepRange(Fraction(-1), Fraction(2))
+
+
+def test_harris_sxx_ixx_dependence_vectors():
+    """The paper's example: Sxx at (x, y) consumes Ixx at the 9 box taps,
+    giving spatial vectors over {-1, 0, 1}^2."""
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    by_name = {s.name: s for s in ir.stages}
+    vectors = set(dependence_vectors(ir, by_name["Ixx"], by_name["Sxx"]))
+    expected = {(Fraction(i), Fraction(j))
+                for i in (-1, 0, 1) for j in (-1, 0, 1)}
+    assert vectors == expected
+
+
+def test_harris_pointwise_dependence_vectors():
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    by_name = {s.name: s for s in ir.stages}
+    vectors = dependence_vectors(ir, by_name["Ix"], by_name["Ixx"])
+    assert set(vectors) == {(Fraction(0), Fraction(0))}
+
+
+def test_figure6_edge_ranges():
+    R, fin, stages = figure6_chain()
+    f, g, h, fup, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+
+    # h(x) = g(2x-1) * g(2x+1): s_p = 2, taps -1 and +1 => [-2, 2]
+    dep = edge_dependences(ir, transforms, g, h)
+    assert dep.ranges[0] == DepRange(Fraction(-2), Fraction(2))
+
+    # fout(x) = fup(x // 2): s_p = 2, floor slack => [0, 1]
+    dep = edge_dependences(ir, transforms, fup, fout)
+    assert dep.ranges[0] == DepRange(Fraction(0), Fraction(1))
+
+    # fup(x) = h(x//2) * h(x//2+1): s_p = 4, m = 2.
+    # tap x//2 has b=0: [0, 2]; tap x//2+1 folds to (x+2)//2, b=2:
+    # [-4, -2].  Hull: [-4, 2].
+    dep = edge_dependences(ir, transforms, h, fup)
+    assert dep.ranges[0] == DepRange(Fraction(-4), Fraction(2))
+
+
+def test_group_dependences_enumerates_edges():
+    R, fin, stages = figure6_chain()
+    fout = stages[-1]
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    deps = group_dependences(ir, transforms, stages)
+    pairs = {(d.producer.name, d.consumer.name) for d in deps}
+    assert pairs == {("f", "g"), ("g", "h"), ("h", "fup"), ("fup", "fout")}
+
+
+def test_max_reach():
+    R, fin, stages = figure6_chain()
+    f, g, h, fup, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    dep = edge_dependences(ir, transforms, g, h)
+    assert dep.max_reach == Fraction(2)
+
+
+def test_dependence_vectors_reject_sampling():
+    R, fin, stages = figure6_chain()
+    f, g, h, fup, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    with pytest.raises(ValueError):
+        dependence_vectors(ir, fup, fout)  # x // 2 is not a unit access

@@ -1,0 +1,173 @@
+"""Property-based tests on core compiler invariants (hypothesis).
+
+Random stencil-chain pipelines and random tile configurations must
+always satisfy:
+
+* groups partition the stage set and execute in dependence order;
+* the union of owned tile regions covers every live-out exactly once;
+* every in-group read is inside the producer's computed region;
+* scratch sizing upper-bounds the actual per-tile regions;
+* executed results are invariant under tiling configuration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, compile_pipeline
+from repro.compiler.tiling import compute_tile_regions, stage_tile_region
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Stencil, Variable,
+)
+
+sizes = st.integers(24, 80)
+tile_sizes = st.sampled_from([4, 8, 16, 32])
+radii = st.lists(st.integers(0, 2), min_size=2, max_size=4)
+thresholds = st.sampled_from([0.2, 0.4, 0.5, 2.0])
+
+
+def build_chain(radii_list):
+    """A 1-D chain of box stencils with the given radii."""
+    R = Parameter(Int, "R")
+    I = Image(Float, [R + 8], name="I")
+    x = Variable("x")
+    dom = Interval(0, R + 7, 1)
+    margin = 4
+    prev = I
+    stages = []
+    for i, radius in enumerate(radii_list):
+        f = Function(varDom=([x], [dom]), typ=Float, name=f"st{i}")
+        cond = (Condition(x, ">=", margin)
+                & Condition(x, "<=", R + 7 - margin))
+        if radius == 0:
+            f.defn = [Case(cond, prev(x) * 1.5)]
+        else:
+            weights = [1] * (2 * radius + 1)
+            f.defn = [Case(cond, Stencil(prev(x), 1.0 / len(weights),
+                                         weights))]
+        stages.append(f)
+        prev = f
+    return R, I, stages
+
+
+@settings(max_examples=25, deadline=None)
+@given(radii, sizes, tile_sizes, thresholds)
+def test_grouping_partitions_and_orders(radii_list, size, tile, threshold):
+    R, I, stages = build_chain(radii_list)
+    plan = compile_pipeline(
+        [stages[-1]], {R: size},
+        CompileOptions.optimized((tile,), threshold)).plan
+    seen = []
+    for gp in plan.group_plans:
+        seen.extend(gp.ordered_stages)
+    assert len(seen) == len(set(map(id, seen))) == len(plan.ir.stages)
+    position = {id(s): i for i, s in enumerate(seen)}
+    for producer, consumer in plan.ir.graph.edges():
+        assert position[id(producer)] < position[id(consumer)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(radii, sizes, tile_sizes, thresholds)
+def test_owned_regions_partition_liveouts(radii_list, size, tile,
+                                          threshold):
+    """Each live-out point is owned by exactly one tile."""
+    R, I, stages = build_chain(radii_list)
+    plan = compile_pipeline(
+        [stages[-1]], {R: size},
+        CompileOptions.optimized((tile,), threshold)).plan
+    values = {R: size}
+    for gp in plan.group_plans:
+        if not gp.is_tiled:
+            continue
+        for stage in gp.liveouts:
+            domain = plan.ir[stage].domain.concretize(values)
+            counts = np.zeros(domain[0].size, dtype=int)
+            for tile_box in gp.tiles(plan.ir, values):
+                owned = stage_tile_region(gp.transforms[stage], domain,
+                                          tile_box)
+                if owned is None:
+                    continue
+                counts[owned[0].lo - domain[0].lo:
+                       owned[0].hi - domain[0].lo + 1] += 1
+            assert (counts == 1).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(radii, sizes, tile_sizes, thresholds)
+def test_tile_regions_cover_reads(radii_list, size, tile, threshold):
+    """Producers' regions contain everything their consumers read."""
+    R, I, stages = build_chain(radii_list)
+    plan = compile_pipeline(
+        [stages[-1]], {R: size},
+        CompileOptions.optimized((tile,), threshold)).plan
+    values = {R: size}
+    for gp in plan.group_plans:
+        if not gp.is_tiled or len(gp.ordered_stages) < 2:
+            continue
+        members = set(gp.ordered_stages)
+        for tile_box in gp.tiles(plan.ir, values):
+            regions = compute_tile_regions(
+                plan.ir, gp.transforms, gp.ordered_stages, gp.liveouts,
+                tile_box, values)
+            for consumer in gp.ordered_stages:
+                if consumer not in regions:
+                    continue
+                consumer_ir = plan.ir[consumer]
+                env = dict(values)
+                env.update(zip(consumer_ir.variables, regions[consumer]))
+                for access in consumer_ir.accesses:
+                    if access.producer not in members \
+                            or access.producer not in regions:
+                        continue
+                    producer_box = plan.ir[access.producer] \
+                        .domain.concretize(values)
+                    for d, rng in enumerate(access.range_box(env)):
+                        clamped = rng.intersect(producer_box[d])
+                        if clamped is None:
+                            continue
+                        assert regions[access.producer][d].contains(clamped)
+
+
+@settings(max_examples=12, deadline=None)
+@given(radii, st.integers(32, 64), tile_sizes)
+def test_results_invariant_under_tiling(radii_list, size, tile):
+    """Output identical for base and any tiled configuration."""
+    R, I, stages = build_chain(radii_list)
+    values = {R: size}
+    rng = np.random.default_rng(size)
+    data = rng.random(size + 8, dtype=np.float32)
+    base = compile_pipeline([stages[-1]], values, CompileOptions.base())
+    ref = base(values, {I: data})[stages[-1].name]
+    tiled = compile_pipeline([stages[-1]], values,
+                             CompileOptions.optimized((tile,), 0.6))
+    out = tiled(values, {I: data})[stages[-1].name]
+    np.testing.assert_allclose(out, ref, rtol=1e-6, atol=1e-7)
+
+
+@settings(max_examples=10, deadline=None)
+@given(radii, st.integers(32, 64), tile_sizes)
+def test_scratch_sizes_bound_regions(radii_list, size, tile):
+    """Static scratch sizing covers every actual per-tile region."""
+    from repro.codegen.cgen import CGenerator
+    R, I, stages = build_chain(radii_list)
+    values = {R: size}
+    plan = compile_pipeline([stages[-1]], values,
+                            CompileOptions.optimized((tile,), 0.6)).plan
+    gen = CGenerator(plan)
+    for gp in plan.group_plans:
+        if not gp.is_tiled:
+            continue
+        scratch = [s for s in gp.ordered_stages
+                   if plan.storage[s].kind == "scratch"]
+        for tile_box in gp.tiles(plan.ir, values):
+            regions = compute_tile_regions(
+                plan.ir, gp.transforms, gp.ordered_stages, gp.liveouts,
+                tile_box, values)
+            for stage in scratch:
+                if stage not in regions:
+                    continue
+                sizes = gen._scratch_size(stage, gp)
+                for d, ivl in enumerate(regions[stage]):
+                    assert ivl.size <= sizes[d]

@@ -1,0 +1,60 @@
+"""Tests for initial schedules (Section 3.1) and the schedule map type."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.compiler.schedule import initial_schedule, initial_schedules
+from repro.lang.constructs import Variable
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+from repro.poly.imap import Schedule, ScheduleDim
+
+
+def test_harris_initial_schedules_match_paper():
+    """The paper's Section 3.1 example: Ix -> (0, x, y), Ixx -> (1, x, y),
+    Sxx -> (2, x, y)."""
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    schedules = initial_schedules(ir)
+    by_name = {s.name: sched for s, sched in schedules.items()}
+    assert by_name["Ix"].level == 0
+    assert by_name["Ixx"].level == 1
+    assert by_name["Sxx"].level == 2
+    sched = by_name["Ix"]
+    assert sched.relation_str("Ix") == "Ix: (x, y) -> (0, x, y)"
+
+
+def test_schedule_dim_apply():
+    x = Variable("x")
+    dim = ScheduleDim(x, Fraction(2), Fraction(1))
+    assert dim.apply(3) == 7
+
+
+def test_schedule_accessors():
+    x, y = Variable("x"), Variable("y")
+    sched = Schedule.initial(2, [x, y])
+    assert sched.ndim == 2
+    assert sched.dim_for(y).variable is y
+    assert sched.dim_position(y) == 1
+    with pytest.raises(KeyError):
+        sched.dim_for(Variable("z"))
+
+
+def test_schedule_transformations():
+    x = Variable("x")
+    sched = Schedule.initial(0, [x])
+    scaled = sched.scaled(0, Fraction(4), Fraction(0))
+    assert scaled.dims[0].scale == 4
+    assert scaled.with_level(3).level == 3
+    assert "4*x" in scaled.relation_str("f")
+
+
+def test_initial_schedule_of_single_stage():
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    harris = next(s for s in ir.stages.values() if s.name == "harris")
+    sched = initial_schedule(harris)
+    assert sched.level == 4
+    assert sched.ndim == 2

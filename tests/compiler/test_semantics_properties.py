@@ -1,0 +1,108 @@
+"""Semantic-preservation properties: every optimization knob must leave
+pipeline outputs bit-identical (up to float association) on randomized
+pipelines, including sampling chains."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompileOptions, compile_pipeline
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Stencil, Variable,
+)
+
+ops = st.lists(st.sampled_from(["stencil", "point", "down", "up"]),
+               min_size=2, max_size=5)
+
+
+def build_random_pipeline(op_list):
+    """A 1-D chain mixing stencils, point-wise ops and 2x re-sampling.
+
+    Tracks the current scale so domains stay consistent; starts at scale
+    4 so at most two downsamples stay integral.
+    """
+    R = Parameter(Int, "R")
+    I = Image(Float, [8 * R + 8], name="I")
+    x = Variable("x")
+
+    def dom(scale_num):
+        # scale_num = current length multiplier (x8 base)
+        return Interval(0, scale_num * R + 7, 1)
+
+    scale = 8
+    prev = I
+    stages = []
+    for i, op in enumerate(op_list):
+        if op == "down" and scale >= 2:
+            scale //= 2
+            f = Function(varDom=([x], [dom(scale)]), typ=Float,
+                         name=f"r{i}")
+            # reads up to 2x+1, which must stay within the producer's
+            # domain [0, 2*scale*R + 7]
+            cond = (Condition(x, ">=", 1)
+                    & Condition(x, "<=", scale * R + 2))
+            f.defn = [Case(cond, (prev(2 * x - 1) + prev(2 * x)
+                                  + prev(2 * x + 1)) / 3.0)]
+        elif op == "up" and scale <= 4:
+            scale *= 2
+            f = Function(varDom=([x], [dom(scale)]), typ=Float,
+                         name=f"r{i}")
+            f.defn = prev(x // 2)
+        elif op == "stencil":
+            f = Function(varDom=([x], [dom(scale)]), typ=Float,
+                         name=f"r{i}")
+            cond = (Condition(x, ">=", 2)
+                    & Condition(x, "<=", scale * R + 5))
+            f.defn = [Case(cond, Stencil(prev(x), 0.2, [1, 1, 1, 1, 1]))]
+        else:  # point-wise
+            f = Function(varDom=([x], [dom(scale)]), typ=Float,
+                         name=f"r{i}")
+            f.defn = prev(x) * 1.25 + 0.5
+        stages.append(f)
+        prev = f
+    return R, I, stages
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops, st.integers(8, 24), st.sampled_from([8, 16, 32]))
+def test_all_knobs_preserve_semantics(op_list, r_value, tile):
+    R, I, stages = build_random_pipeline(op_list)
+    values = {R: r_value}
+    rng = np.random.default_rng(r_value)
+    data = rng.random(8 * r_value + 8, dtype=np.float32)
+
+    reference = None
+    for options in [
+        CompileOptions.base(),
+        CompileOptions.optimized((tile,), 0.9),
+        replace(CompileOptions.optimized((tile,), 0.9), inline=False),
+        replace(CompileOptions.optimized((tile,), 0.9),
+                tight_overlap=False),
+        CompileOptions(inline=False, group=False, tile=True,
+                       tile_sizes=(tile,)),
+    ]:
+        compiled = compile_pipeline([stages[-1]], values, options)
+        out = compiled(values, {I: data})[stages[-1].name]
+        if reference is None:
+            reference = out
+        else:
+            np.testing.assert_allclose(out, reference, rtol=1e-5,
+                                       atol=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops, st.integers(8, 16))
+def test_vectorize_flag_preserves_semantics(op_list, r_value):
+    R, I, stages = build_random_pipeline(op_list)
+    values = {R: r_value}
+    data = np.random.default_rng(r_value).random(8 * r_value + 8,
+                                                 dtype=np.float32)
+    compiled = compile_pipeline([stages[-1]], values,
+                                CompileOptions.optimized((16,), 0.9))
+    fast = compiled(values, {I: data})[stages[-1].name]
+    slow = compiled(values, {I: data},
+                    vectorize=False)[stages[-1].name]
+    np.testing.assert_array_equal(fast, slow)

@@ -1,0 +1,153 @@
+"""Overlapped tiling tests: halos, slopes, tile regions (Sections 3.4, 3.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import harris as harris_app
+from repro.compiler.align_scale import compute_group_transforms
+from repro.compiler.tiling import (
+    compute_tile_regions, estimate_relative_overlap, group_halos,
+    group_liveouts, naive_halos, stage_tile_region, tile_shape_slopes,
+)
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.inline import inline_pipeline
+from repro.pipeline.ir import PipelineIR
+from repro.poly.interval import IntInterval
+
+from tests.compiler.test_align_scale import figure6_chain
+
+
+def inlined_harris():
+    app = harris_app.build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    est = {R: 256, C: 256}
+    result = inline_pipeline(app.outputs, est)
+    graph = PipelineGraph(result.outputs)
+    ir = PipelineIR(graph)
+    stages = graph.topological_order()
+    root = result.outputs[0]
+    transforms = compute_group_transforms(ir, stages, root)
+    return app, est, ir, stages, root, transforms
+
+
+def test_harris_halos_are_tight():
+    """harris: 0, S-stages: 0 (point-wise consumer), Ix/Iy: +-2 taps
+    (inlined products shift the box filter's accesses by up to 2)."""
+    app, est, ir, stages, root, transforms = inlined_harris()
+    halos = group_halos(ir, transforms, stages)
+    by_name = {s.name: s for s in stages}
+    assert halos[by_name["harris"]].widths() == (Fraction(0), Fraction(0))
+    assert halos[by_name["Sxx"]].widths() == (Fraction(0), Fraction(0))
+    # Sxx reads (inlined) Ixx at offsets -1..1, which reads Ix point-wise
+    assert halos[by_name["Ix"]].widths() == (Fraction(2), Fraction(2))
+
+
+def test_naive_halos_overapproximate():
+    """The uniform-cone construction must never be tighter than the
+    per-level construction (Figure 6's over-approximation)."""
+    app, est, ir, stages, root, transforms = inlined_harris()
+    tight = group_halos(ir, transforms, stages)
+    naive = naive_halos(ir, transforms, stages)
+    for stage in stages:
+        for t, n in zip(tight[stage].widths(), naive[stage].widths()):
+            assert n >= t
+    # and strictly worse somewhere (Ix sits 2 levels below harris)
+    by_name = {s.name: s for s in stages}
+    assert (sum(naive[by_name["Ix"]].widths())
+            > sum(tight[by_name["Ix"]].widths()))
+
+
+def test_relative_overlap_scales_with_tile_size():
+    app, est, ir, stages, root, transforms = inlined_harris()
+    halos = group_halos(ir, transforms, stages)
+    small = estimate_relative_overlap(halos, (8, 8))
+    large = estimate_relative_overlap(halos, (64, 64))
+    assert small == Fraction(2, 8)  # width 2 over tile 8
+    assert large == Fraction(2, 64)
+    assert small > large
+
+
+def test_tile_shape_slopes_harris():
+    app, est, ir, stages, root, transforms = inlined_harris()
+    shapes = tile_shape_slopes(ir, transforms, stages)
+    # Sxx <- Ix spans 2 levels with reach 2 => slope 1; harris <- Sxx is 0.
+    assert shapes[0].left_slope == Fraction(1)
+    assert shapes[0].right_slope == Fraction(1)
+    assert shapes[0].height == 2
+    assert shapes[0].overlap == Fraction(4)
+
+
+def test_figure6_slopes_tighter_than_naive():
+    R, fin, stages = figure6_chain()
+    fout = stages[-1]
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    tight = group_halos(ir, transforms, stages)
+    naive = naive_halos(ir, transforms, stages)
+    total_tight = sum(sum(tight[s].widths()) for s in stages)
+    total_naive = sum(sum(naive[s].widths()) for s in stages)
+    assert total_naive > total_tight
+
+
+def test_stage_tile_region_identity():
+    app, est, ir, stages, root, transforms = inlined_harris()
+    box = ir[root].domain.concretize(est)
+    region = stage_tile_region(transforms[root], box,
+                               (IntInterval(32, 63), IntInterval(0, 255)))
+    assert region == (IntInterval(32, 63), IntInterval(0, 255))
+
+
+def test_stage_tile_region_scaled():
+    R, fin, stages = figure6_chain()
+    f, g, h, fup, fout = stages
+    ir = PipelineIR(PipelineGraph([fout]))
+    transforms = compute_group_transforms(ir, stages, fout)
+    box = ir[fup].domain.concretize({R: 64})
+    # fup has scale 2: group coords [0, 63] own fup points [0, 31]
+    region = stage_tile_region(transforms[fup], box, (IntInterval(0, 63),))
+    assert region == (IntInterval(2, 31),)  # clamped to fup's domain lo=2
+
+
+def test_tile_regions_cover_consumers():
+    """For any tile, each producer's region must contain everything its
+    in-group consumers read — the fundamental validity of overlapped tiles."""
+    app, est, ir, stages, root, transforms = inlined_harris()
+    est = {app.params["R"]: 64, app.params["C"]: 64}
+    liveouts = group_liveouts(ir, stages)
+    tile = (IntInterval(32, 63), IntInterval(32, 63))
+    regions = compute_tile_regions(ir, transforms, stages, liveouts, tile, est)
+    by_name = {s.name: s for s in stages}
+    harris_region = regions[by_name["harris"]]
+    sxx_region = regions[by_name["Sxx"]]
+    ix_region = regions[by_name["Ix"]]
+    # harris reads Sxx point-wise
+    for h, s in zip(harris_region, sxx_region):
+        assert s.contains(h)
+    # Sxx reads Ix at +-1 after inlining
+    ix_domain = ir[by_name["Ix"]].domain.concretize(est)
+    for s, i, d in zip(sxx_region, ix_region, ix_domain):
+        needed = IntInterval(s.lo - 1, s.hi + 1).intersect(d)
+        assert needed is not None and i.contains(needed)
+
+
+def test_tile_regions_clamped_to_domains():
+    app, est, ir, stages, root, transforms = inlined_harris()
+    est = {app.params["R"]: 64, app.params["C"]: 64}
+    liveouts = group_liveouts(ir, stages)
+    # A boundary tile extending past the domain
+    tile = (IntInterval(-32, -1 + 32), IntInterval(-32, 31))
+    regions = compute_tile_regions(ir, transforms, stages, liveouts, tile, est)
+    for stage, region in regions.items():
+        domain = ir[stage].domain.concretize(est)
+        for r, d in zip(region, domain):
+            assert d.contains(r)
+
+
+def test_tile_regions_empty_tile():
+    app, est, ir, stages, root, transforms = inlined_harris()
+    est = {app.params["R"]: 64, app.params["C"]: 64}
+    liveouts = group_liveouts(ir, stages)
+    tile = (IntInterval(1000, 1031), IntInterval(0, 31))
+    regions = compute_tile_regions(ir, transforms, stages, liveouts, tile, est)
+    assert regions == {}

@@ -1,0 +1,237 @@
+"""Unit tests for Parameter, Variable, Interval, Case, Function, Image,
+Accumulator and the Stencil helper."""
+
+import pytest
+
+from repro.lang import (
+    Accumulate, Accumulator, Case, Condition, Float, Function, Image, Int,
+    Interval, Literal, Parameter, Reduction, Stencil, Sum, UChar, Variable,
+)
+from repro.lang.expr import BinOp, Reference, TrueCond, references
+
+
+# -- Parameter / Variable ---------------------------------------------------
+
+def test_parameter_has_name_and_dtype():
+    R = Parameter(Int, "R")
+    assert R.name == "R" and R.dtype is Int
+
+
+def test_parameter_autoname_unique():
+    a, b = Parameter(Int), Parameter(Int)
+    assert a.name != b.name
+
+
+def test_parameter_rejects_non_dtype():
+    with pytest.raises(TypeError):
+        Parameter("Int")  # type: ignore[arg-type]
+
+
+def test_variable_autoname_unique():
+    a, b = Variable(), Variable()
+    assert a.name != b.name
+
+
+def test_parameters_usable_in_expressions():
+    R = Parameter(Int, "R")
+    e = R + 2
+    assert isinstance(e, BinOp)
+
+
+# -- Interval ---------------------------------------------------------------
+
+def test_interval_wraps_bounds():
+    R = Parameter(Int, "R")
+    ivl = Interval(0, R + 1, 1)
+    assert isinstance(ivl.lower, Literal)
+    assert ivl.step == 1
+
+
+def test_interval_rejects_zero_step():
+    with pytest.raises(ValueError):
+        Interval(0, 10, 0)
+
+
+# -- Case ---------------------------------------------------------------------
+
+def test_case_requires_condition():
+    x = Variable("x")
+    with pytest.raises(TypeError):
+        Case(x, x + 1)  # type: ignore[arg-type]
+    c = Case(x >= 0, x + 1)
+    assert isinstance(c.condition, Condition)
+
+
+# -- Function -----------------------------------------------------------------
+
+def _simple_domain():
+    x, y = Variable("x"), Variable("y")
+    row = Interval(0, 63, 1)
+    col = Interval(0, 63, 1)
+    return (x, y), (row, col)
+
+
+def test_function_definition_single_expression():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float, name="f")
+    f.defn = x + y
+    assert len(f.defn) == 1
+    assert isinstance(f.defn[0].condition, TrueCond)
+
+
+def test_function_definition_cases():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float, name="f")
+    f.defn = [Case(x >= 1, 1.0), Case(x < 1, 0.0)]
+    assert len(f.defn) == 2
+
+
+def test_function_redefinition_rejected():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float)
+    f.defn = x
+    with pytest.raises(ValueError):
+        f.defn = y
+
+
+def test_function_undefined_access_raises():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float)
+    with pytest.raises(ValueError):
+        _ = f.defn
+
+
+def test_function_domain_validation():
+    x = Variable("x")
+    with pytest.raises(ValueError):
+        Function(varDom=([x], []), typ=Float)
+    with pytest.raises(TypeError):
+        Function(varDom=([x], ["nope"]), typ=Float)
+    with pytest.raises(ValueError):
+        Function(varDom=([x, x], [Interval(0, 1), Interval(0, 1)]), typ=Float)
+
+
+def test_function_call_produces_reference():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float, name="f")
+    ref = f(x, y + 1)
+    assert isinstance(ref, Reference) and ref.function is f
+
+
+def test_function_call_arity():
+    (x, y), dom = _simple_domain()
+    f = Function(varDom=([x, y], list(dom)), typ=Float)
+    with pytest.raises(TypeError):
+        f(x)
+
+
+# -- Image --------------------------------------------------------------------
+
+def test_image_extents_and_access():
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R + 2, C + 2], name="I")
+    assert I.ndim == 2
+    x, y = Variable("x"), Variable("y")
+    assert isinstance(I(x, y), Reference)
+
+
+def test_image_requires_dimensions():
+    with pytest.raises(ValueError):
+        Image(Float, [])
+
+
+# -- Accumulator ---------------------------------------------------------------
+
+def _histogram():
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(UChar, [R, C], name="I")
+    x, y = Variable("x"), Variable("y")
+    row, col = Interval(0, R - 1, 1), Interval(0, C - 1, 1)
+    b = Variable("b")
+    bins = Interval(0, 255, 1)
+    hist = Accumulator(redDom=([x, y], [row, col]), varDom=([b], [bins]),
+                       typ=Int, name="hist")
+    return hist, I, x, y
+
+
+def test_accumulator_histogram_definition():
+    hist, I, x, y = _histogram()
+    hist.defn = Accumulate(hist(I(x, y)), 1, Sum)
+    assert hist.defn.op == Reduction.Sum
+
+
+def test_accumulator_target_must_be_self():
+    hist, I, x, y = _histogram()
+    other, _, _, _ = _histogram()
+    with pytest.raises(ValueError):
+        hist.defn = Accumulate(other(I(x, y)), 1, Sum)
+
+
+def test_accumulator_rejects_expression_body():
+    hist, I, x, y = _histogram()
+    with pytest.raises(TypeError):
+        hist.defn = I(x, y)  # type: ignore[assignment]
+
+
+def test_accumulator_domains_must_be_disjoint():
+    x, y = Variable("x"), Variable("y")
+    ivl = Interval(0, 7, 1)
+    with pytest.raises(ValueError):
+        Accumulator(redDom=([x, y], [ivl, ivl]), varDom=([x], [ivl]), typ=Int)
+
+
+# -- Stencil -------------------------------------------------------------------
+
+def test_stencil_expands_weighted_sum():
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R, C], name="I")
+    x, y = Variable("x"), Variable("y")
+    e = Stencil(I(x, y), 1.0 / 12,
+                [[-1, 0, 1],
+                 [-2, 0, 2],
+                 [-1, 0, 1]])
+    refs = list(references(e))
+    # zero weights skipped: 6 non-zero taps
+    assert len(refs) == 6
+
+
+def test_stencil_box_filter_unit_factor():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R, R], name="I")
+    x, y = Variable("x"), Variable("y")
+    e = Stencil(I(x, y), 1, [[1, 1, 1], [1, 1, 1], [1, 1, 1]])
+    assert len(list(references(e))) == 9
+
+
+def test_stencil_1d():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    e = Stencil(I(x), 0.25, [1, 2, 1])
+    assert len(list(references(e))) == 3
+
+
+def test_stencil_dimension_mismatch():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R, R], name="I")
+    x, y = Variable("x"), Variable("y")
+    with pytest.raises(ValueError):
+        Stencil(I(x, y), 1, [1, 2, 1])
+
+
+def test_stencil_custom_origin():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    # origin at leftmost tap: accesses x, x+1, x+2
+    e = Stencil(I(x), 1, [1, 1, 1], origin=[0])
+    refs = list(references(e))
+    assert len(refs) == 3
+
+
+def test_stencil_all_zero_weights():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    e = Stencil(I(x), 1, [0, 0, 0])
+    assert isinstance(e, Literal) and e.value == 0

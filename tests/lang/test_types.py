@@ -1,0 +1,42 @@
+"""Tests for the DSL scalar type system."""
+
+import numpy as np
+import pytest
+
+from repro.lang.types import (
+    ALL_TYPES, Double, Float, Int, Short, UChar, dtype_by_name, promote,
+)
+
+
+def test_all_types_have_consistent_fields():
+    for t in ALL_TYPES:
+        assert t.np_dtype.itemsize >= 1
+        assert t.c_name
+        assert t.is_float == np.issubdtype(t.np_dtype, np.floating)
+
+
+def test_dtype_by_name_roundtrip():
+    for t in ALL_TYPES:
+        assert dtype_by_name(t.name) is t
+
+
+def test_dtype_by_name_unknown():
+    with pytest.raises(ValueError):
+        dtype_by_name("Quaternion")
+
+
+def test_promotion_int_float():
+    assert promote(Int, Float).is_float
+    assert promote(UChar, Short) is Short
+    assert promote(Float, Double) is Double
+
+
+def test_promotion_symmetric():
+    for a in ALL_TYPES:
+        for b in ALL_TYPES:
+            assert promote(a, b) is promote(b, a)
+
+
+def test_repr_is_dsl_name():
+    assert repr(Float) == "Float"
+    assert repr(UChar) == "UChar"

@@ -1,0 +1,100 @@
+"""Tests for the static bounds checker."""
+
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.lang import (
+    Case, Cast, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Variable,
+)
+from repro.pipeline.boundscheck import BoundsError, check_bounds
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+
+
+def test_harris_passes_bounds_check():
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    R, C = app.params["R"], app.params["C"]
+    check_bounds(ir, {R: 64, C: 64})  # must not raise
+
+
+def test_out_of_bounds_stencil_detected():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = I(x + 1)  # reads I(R) at x = R-1, outside [0, R-1]
+    ir = PipelineIR(PipelineGraph([f]))
+    with pytest.raises(BoundsError) as err:
+        check_bounds(ir, {R: 16})
+    assert "f" in str(err.value) and "I" in str(err.value)
+
+
+def test_case_condition_makes_access_safe():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = [Case(Condition(x, "<=", R - 2), I(x + 1)),
+              Case(Condition(x, ">", R - 2), I(x))]
+    ir = PipelineIR(PipelineGraph([f]))
+    check_bounds(ir, {R: 16})  # must not raise
+
+
+def test_function_to_function_bounds():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(2, R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    f = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="f")
+    f.defn = g(x)  # g undefined on [0, 2)
+    ir = PipelineIR(PipelineGraph([f]))
+    with pytest.raises(BoundsError):
+        check_bounds(ir, {R: 16})
+
+
+def test_downsample_bounds():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    # domain upper bound (R - 2) / 2 is affine (rational), floored when
+    # concretised: x in [0, 7] for R = 16.
+    down = Function(varDom=([x], [Interval(0, (R - 2) / 2, 1)]), typ=Float,
+                    name="down")
+    down.defn = g(2 * x + 1)
+    ir = PipelineIR(PipelineGraph([down]))
+    check_bounds(ir, {R: 16})  # 2x+1 over [0,7] -> [1,15] within [0,16]
+
+
+def test_accumulator_bounds_checked():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    b = Variable("b")
+    from repro.lang import Accumulate, Accumulator, Sum
+    hist = Accumulator(redDom=([x], [Interval(0, R, 1)]),  # off by one!
+                       varDom=([b], [Interval(0, 255, 1)]),
+                       typ=Int, name="hist")
+    hist.defn = Accumulate(hist(Cast(Int, I(x))), 1, Sum)
+    ir = PipelineIR(PipelineGraph([hist]))
+    with pytest.raises(BoundsError):
+        check_bounds(ir, {R: 16})
+
+
+def test_violation_message_mentions_ranges():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = I(x + 5)
+    ir = PipelineIR(PipelineGraph([f]))
+    try:
+        check_bounds(ir, {R: 16})
+        raise AssertionError("expected BoundsError")
+    except BoundsError as err:
+        v = err.violations[0]
+        assert v.dim == 0
+        assert v.access_range.hi == 20
+        assert v.domain_range.hi == 15

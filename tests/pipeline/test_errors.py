@@ -1,0 +1,113 @@
+"""Failure injection: invalid specifications must fail loudly and early."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Variable,
+)
+from repro.pipeline.boundscheck import BoundsError
+from repro.pipeline.graph import CycleError, PipelineGraph
+from repro.runtime.executor import ExecutionError
+
+R = None  # rebuilt per test; parameters are identity objects
+
+
+def _simple(name="f", hi=None):
+    p = Parameter(Int, "R")
+    x = Variable("x")
+    hi = p - 1 if hi is None else hi
+    f = Function(varDom=([x], [Interval(0, hi, 1)]), typ=Float, name=name)
+    return p, x, f
+
+
+def test_duplicate_stage_names_rejected():
+    p, x, f = _simple("dup")
+    g = Function(varDom=([x], [Interval(0, p - 1, 1)]), typ=Float,
+                 name="dup")
+    f.defn = x * 1.0
+    g.defn = f(x)
+    with pytest.raises(ValueError, match="unique"):
+        PipelineGraph([g])
+
+
+def test_cycle_rejected_at_graph_build():
+    p, x, f = _simple("a")
+    g = Function(varDom=([x], [Interval(0, p - 1, 1)]), typ=Float, name="b")
+    f.defn = g(x)
+    g.defn = f(x + 1)
+    with pytest.raises(CycleError):
+        compile_pipeline([f], {p: 16})
+
+
+def test_bounds_error_at_compile_time():
+    p, x, f = _simple()
+    I = Image(Float, [p], name="I")
+    f.defn = I(x + 10)
+    with pytest.raises(BoundsError):
+        compile_pipeline([f], {p: 16})
+
+
+def test_undefined_stage_rejected():
+    p, x, f = _simple()
+    with pytest.raises(ValueError, match="no definition"):
+        compile_pipeline([f], {p: 16})
+
+
+def test_empty_domain_under_execution_params():
+    p, x, f = _simple()
+    I = Image(Float, [p], name="I")
+    f.defn = I(x)
+    compiled = compile_pipeline([f], {p: 16}, CompileOptions.base())
+    with pytest.raises(ExecutionError):
+        compiled({p: 0}, {I: np.zeros(0, np.float32)})
+
+
+def test_forward_self_reference_rejected_at_execution():
+    p, x, f = _simple()
+    I = Image(Float, [p], name="I")
+    f.defn = [Case(Condition(x, "==", p - 1), I(x)),
+              Case(Condition(x, "<", p - 1), f(x + 1) * 0.5)]
+    compiled = compile_pipeline([f], {p: 16})
+    with pytest.raises(ExecutionError, match="forward self-reference"):
+        compiled({p: 16}, {I: np.zeros(16, np.float32)})
+
+
+def test_wrong_dtype_input_coerced_or_checked():
+    p, x, f = _simple()
+    I = Image(Float, [p], name="I")
+    f.defn = I(x) * 2.0
+    compiled = compile_pipeline([f], {p: 8}, CompileOptions.base())
+    # integer input is coerced to the declared image dtype
+    out = compiled({p: 8}, {I: np.arange(8)})["f"]
+    np.testing.assert_array_equal(out, np.arange(8) * 2.0)
+
+
+def test_missing_parameter_value():
+    p, x, f = _simple()
+    I = Image(Float, [p], name="I")
+    f.defn = I(x)
+    compiled = compile_pipeline([f], {p: 8}, CompileOptions.base())
+    with pytest.raises(KeyError):
+        compiled({}, {I: np.zeros(8, np.float32)})
+
+
+def test_invalid_options():
+    with pytest.raises(ValueError):
+        CompileOptions(tile_sizes=())
+    with pytest.raises(ValueError):
+        CompileOptions(tile_sizes=(0,))
+    with pytest.raises(ValueError):
+        CompileOptions(overlap_threshold=0)
+
+
+def test_ambiguous_interval_bounds_rejected():
+    p = Parameter(Int, "R")
+    x, y = Variable("x"), Variable("y")
+    with pytest.raises(ValueError, match="affine"):
+        f = Function(varDom=([x], [Interval(0, y, 1)]), typ=Float,
+                     name="f")
+        f.defn = x * 1.0
+        compile_pipeline([f], {p: 8})

@@ -1,0 +1,119 @@
+"""Tests for IR lowering: domains, cases, access classification."""
+
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.lang import (
+    Accumulate, Accumulator, Case, Cast, Float, Function, Image, Int,
+    Interval, Parameter, Sum, UChar, Variable,
+)
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+from repro.poly.interval import IntInterval
+
+
+@pytest.fixture(scope="module")
+def harris_ir():
+    app = build_pipeline()
+    ir = PipelineIR(PipelineGraph(app.outputs))
+    return app, ir
+
+
+def _stage(ir, name):
+    for s in ir.stages.values():
+        if s.name == name:
+            return s
+    raise KeyError(name)
+
+
+def test_domains_concretize(harris_ir):
+    app, ir = harris_ir
+    R, C = app.params["R"], app.params["C"]
+    ix = _stage(ir, "Ix")
+    assert ix.domain.concretize({R: 10, C: 12}) == (
+        IntInterval(0, 11), IntInterval(0, 13))
+
+
+def test_case_boxes_tightened(harris_ir):
+    app, ir = harris_ir
+    R, C = app.params["R"], app.params["C"]
+    sxx = _stage(ir, "Sxx")
+    assert len(sxx.cases) == 1
+    box = sxx.cases[0].box.concretize({R: 10, C: 10})
+    assert box == (IntInterval(2, 9), IntInterval(2, 9))
+
+
+def test_access_classification(harris_ir):
+    app, ir = harris_ir
+    sxx = _stage(ir, "Sxx")
+    assert len(sxx.accesses) == 9
+    assert all(a.is_affine for a in sxx.accesses)
+
+
+def test_pointwise_detection(harris_ir):
+    _, ir = harris_ir
+    assert _stage(ir, "Ixx").is_pointwise
+    assert _stage(ir, "det").is_pointwise
+    assert _stage(ir, "harris").is_pointwise
+    assert not _stage(ir, "Ix").is_pointwise  # stencil
+    assert not _stage(ir, "Sxx").is_pointwise
+
+
+def test_levels_and_output_flags(harris_ir):
+    _, ir = harris_ir
+    assert _stage(ir, "harris").is_output
+    assert _stage(ir, "harris").level == 4
+    assert not _stage(ir, "Iy").is_output
+
+
+def test_size_estimate(harris_ir):
+    app, ir = harris_ir
+    R, C = app.params["R"], app.params["C"]
+    harris = _stage(ir, "harris")
+    assert harris.size_estimate({R: 62, C: 62}) == 64 * 64
+
+
+def test_accumulator_lowering():
+    R = Parameter(Int, "R")
+    I = Image(UChar, [R, R], name="I")
+    x, y, b = Variable("x"), Variable("y"), Variable("b")
+    ivl = Interval(0, R - 1, 1)
+    hist = Accumulator(redDom=([x, y], [ivl, ivl]),
+                       varDom=([b], [Interval(0, 255, 1)]),
+                       typ=Int, name="hist")
+    hist.defn = Accumulate(hist(Cast(Int, I(x, y))), 1, Sum)
+    ir = PipelineIR(PipelineGraph([hist]))
+    sir = ir[hist]
+    assert sir.is_accumulator
+    assert sir.reduction_domain.concretize({R: 8}) == (
+        IntInterval(0, 7), IntInterval(0, 7))
+    assert sir.domain.concretize({R: 8}) == (IntInterval(0, 255),)
+    # the histogram's target index I(x, y) is data-dependent
+    assert not sir.is_pointwise
+    assert any(not a.is_affine or a.producer is I for a in sir.accesses)
+
+
+def test_data_dependent_access_forms():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    lut = Image(Float, [R], name="lut")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = lut(Cast(Int, I(x) * 10))
+    ir = PipelineIR(PipelineGraph([f]))
+    sir = ir[f]
+    lut_access = [a for a in sir.accesses if a.producer is lut][0]
+    assert lut_access.forms == (None,)
+    assert not lut_access.is_affine
+
+
+def test_sampled_access_forms():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="g")
+    g.defn = x * 1.0
+    up = Function(varDom=([x], [Interval(0, 2 * R, 1)]), typ=Float, name="up")
+    up.defn = g(x // 2)
+    ir = PipelineIR(PipelineGraph([up]))
+    form = ir[up].accesses[0].forms[0]
+    assert form is not None and form.divisor == 2

@@ -1,0 +1,180 @@
+"""Unit and property tests for the affine expression layer."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import Cast, Exp, Float, Image, Int, Parameter, Variable
+from repro.poly.affine import (
+    AccessForm, AffExpr, NotAffineError, analyze_access, to_affine,
+)
+
+x = Variable("x")
+y = Variable("y")
+R = Parameter(Int, "R")
+
+
+# -- AffExpr algebra ----------------------------------------------------------
+
+def test_constant_and_symbol_constructors():
+    c = AffExpr.constant(5)
+    assert c.is_constant and c.const == 5
+    s = AffExpr.symbol(x, 2)
+    assert s.coefficient(x) == 2
+
+
+def test_zero_coefficient_dropped():
+    s = AffExpr.symbol(x, 0)
+    assert s.is_constant
+
+
+def test_add_merges_terms():
+    e = AffExpr.symbol(x, 2) + AffExpr.symbol(x, 3) + AffExpr.constant(1)
+    assert e.coefficient(x) == 5 and e.const == 1
+
+
+def test_sub_cancels():
+    e = AffExpr.symbol(x) - AffExpr.symbol(x)
+    assert e.is_constant and e.const == 0
+
+
+def test_scale_and_shift():
+    e = AffExpr.symbol(x, 2).shift(3).scale(Fraction(1, 2))
+    assert e.coefficient(x) == 1 and e.const == Fraction(3, 2)
+
+
+def test_substitute_symbols():
+    e = AffExpr.symbol(x, 2).shift(1)
+    e2 = e.substitute({x: AffExpr.symbol(y).shift(5)})
+    assert e2.coefficient(y) == 2 and e2.const == 11
+
+
+def test_evaluate():
+    e = AffExpr.symbol(x, 2) + AffExpr.symbol(R, -1) + AffExpr.constant(3)
+    assert e.evaluate_int({x: 4, R: 5}) == 2 * 4 - 5 + 3
+
+
+def test_evaluate_missing_symbol():
+    with pytest.raises(KeyError):
+        AffExpr.symbol(x).evaluate({})
+
+
+def test_evaluate_int_rejects_fractional():
+    e = AffExpr.symbol(x, Fraction(1, 2))
+    with pytest.raises(ValueError):
+        e.evaluate_int({x: 3})
+
+
+def test_drop_symbol():
+    e = AffExpr.symbol(x, 2) + AffExpr.symbol(y, 3)
+    assert e.drop(x).coefficient(x) == 0
+    assert e.drop(x).coefficient(y) == 3
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50),
+       st.integers(-10, 10), st.integers(-10, 10))
+def test_affexpr_evaluation_is_linear(a, b, vx, vy):
+    e = AffExpr.symbol(x, a) + AffExpr.symbol(y, b)
+    assert e.evaluate({x: vx, y: vy}) == a * vx + b * vy
+
+
+@given(st.integers(-20, 20), st.integers(-20, 20), st.integers(-20, 20))
+def test_affexpr_add_commutes(a, b, v):
+    e1 = AffExpr.symbol(x, a) + AffExpr.constant(b)
+    e2 = AffExpr.constant(b) + AffExpr.symbol(x, a)
+    assert e1.evaluate({x: v}) == e2.evaluate({x: v})
+
+
+@given(st.integers(-20, 20), st.integers(1, 20), st.integers(-20, 20))
+def test_scale_then_unscale_roundtrip(a, s, v):
+    e = AffExpr.symbol(x, a)
+    back = e.scale(s).scale(Fraction(1, s))
+    assert back.evaluate({x: v}) == e.evaluate({x: v})
+
+
+# -- to_affine extraction -------------------------------------------------------
+
+def test_to_affine_basic():
+    e = to_affine(2 * x + y - 1)
+    assert e.coefficient(x) == 2 and e.coefficient(y) == 1 and e.const == -1
+
+
+def test_to_affine_with_parameters():
+    e = to_affine(R - 1 + x)
+    assert e.coefficient(R) == 1 and e.const == -1
+
+
+def test_to_affine_division_by_constant():
+    e = to_affine((x + 2) / 2)
+    assert e.coefficient(x) == Fraction(1, 2) and e.const == 1
+
+
+def test_to_affine_negation_and_cast():
+    e = to_affine(-Cast(Float, x))
+    assert e.coefficient(x) == -1
+
+
+def test_to_affine_rejects_products():
+    with pytest.raises(NotAffineError):
+        to_affine(x * y)
+
+
+def test_to_affine_rejects_floordiv():
+    with pytest.raises(NotAffineError):
+        to_affine(x // 2)
+
+
+def test_to_affine_rejects_references():
+    I = Image(Float, [R], name="I")
+    with pytest.raises(NotAffineError):
+        to_affine(I(x))
+
+
+def test_to_affine_rejects_math_calls():
+    with pytest.raises(NotAffineError):
+        to_affine(Exp(x))
+
+
+def test_to_affine_params_only_rejects_variables():
+    with pytest.raises(NotAffineError):
+        to_affine(x + 1, params_only=True)
+    e = to_affine(R + 1, params_only=True)
+    assert e.coefficient(R) == 1
+
+
+# -- analyze_access --------------------------------------------------------------
+
+def test_analyze_access_plain():
+    form = analyze_access(x + 1)
+    assert form is not None and form.is_plain_affine
+    assert form.aff.const == 1
+
+
+def test_analyze_access_sampled():
+    form = analyze_access((x + 1) // 2)
+    assert form is not None and form.divisor == 2
+
+
+def test_analyze_access_downsample_pattern():
+    form = analyze_access(2 * x + 1)
+    assert form is not None and form.aff.coefficient(x) == 2
+
+
+def test_analyze_access_data_dependent_is_none():
+    I = Image(Float, [R], name="I")
+    assert analyze_access(I(x)) is None
+
+
+def test_analyze_access_nested_floordiv_is_none():
+    assert analyze_access((x // 2) // 2) is None
+
+
+def test_analyze_access_negative_divisor_is_none():
+    assert analyze_access(x // -2) is None
+
+
+def test_access_form_validates_divisor():
+    with pytest.raises(ValueError):
+        AccessForm(AffExpr.symbol(x), 0)

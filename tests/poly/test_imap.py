@@ -1,0 +1,37 @@
+"""Extra coverage for schedule maps."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.constructs import Variable
+from repro.poly.imap import Schedule, ScheduleDim
+
+
+def test_initial_schedule_identity():
+    x, y = Variable("x"), Variable("y")
+    s = Schedule.initial(3, [x, y])
+    assert s.level == 3
+    assert all(d.scale == 1 and d.offset == 0 for d in s.dims)
+
+
+def test_scaled_schedule_apply():
+    x = Variable("x")
+    dim = ScheduleDim(x, Fraction(1, 2), Fraction(3))
+    assert dim.apply(4) == Fraction(5)
+    assert dim.apply(Fraction(1)) == Fraction(7, 2)
+
+
+def test_relation_str_with_offsets():
+    x = Variable("x")
+    s = Schedule(1, (ScheduleDim(x, Fraction(2), Fraction(1)),))
+    assert s.relation_str("g") == "g: (x) -> (1, 2*x + 1)"
+
+
+def test_with_dim_replaces_only_target():
+    x, y = Variable("x"), Variable("y")
+    s = Schedule.initial(0, [x, y])
+    s2 = s.with_dim(1, ScheduleDim(y, Fraction(4)))
+    assert s2.dims[0].scale == 1
+    assert s2.dims[1].scale == 4
+    assert s.dims[1].scale == 1  # original untouched

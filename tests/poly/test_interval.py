@@ -1,0 +1,118 @@
+"""Unit and property tests for integer interval arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang import Int, Parameter, Variable
+from repro.poly.affine import AccessForm, AffExpr
+from repro.poly.interval import IntInterval, evaluate_access, evaluate_affine
+
+x = Variable("x")
+R = Parameter(Int, "R")
+
+intervals = st.tuples(st.integers(-100, 100), st.integers(0, 50)).map(
+    lambda t: IntInterval(t[0], t[0] + t[1]))
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(ValueError):
+        IntInterval(3, 2)
+
+
+def test_size_and_contains():
+    ivl = IntInterval(2, 5)
+    assert ivl.size == 4
+    assert 2 in ivl and 5 in ivl and 6 not in ivl
+    assert ivl.contains(IntInterval(3, 4))
+    assert not ivl.contains(IntInterval(3, 6))
+
+
+def test_intersect_and_hull():
+    a, b = IntInterval(0, 5), IntInterval(3, 9)
+    assert a.intersect(b) == IntInterval(3, 5)
+    assert a.hull(b) == IntInterval(0, 9)
+    assert IntInterval(0, 1).intersect(IntInterval(5, 6)) is None
+
+
+def test_expand_and_shift():
+    assert IntInterval(2, 4).expand(1, 2) == IntInterval(1, 6)
+    assert IntInterval(2, 4).shift(-2) == IntInterval(0, 2)
+
+
+def test_scale_by_fraction_takes_integer_hull():
+    assert IntInterval(1, 3).scale(Fraction(1, 2)) == IntInterval(0, 2)
+    assert IntInterval(-3, -1).scale(Fraction(1, 2)) == IntInterval(-2, 0)
+
+
+def test_scale_negative_flips():
+    assert IntInterval(1, 3).scale(-2) == IntInterval(-6, -2)
+
+
+def test_floordiv():
+    assert IntInterval(-3, 5).floordiv(2) == IntInterval(-2, 2)
+    with pytest.raises(ValueError):
+        IntInterval(0, 1).floordiv(0)
+
+
+def test_add_is_minkowski_sum():
+    assert IntInterval(1, 2) + IntInterval(10, 20) == IntInterval(11, 22)
+
+
+@given(intervals, intervals)
+def test_hull_contains_both(a, b):
+    h = a.hull(b)
+    assert h.contains(a) and h.contains(b)
+
+
+@given(intervals, intervals)
+def test_intersection_sound(a, b):
+    inter = a.intersect(b)
+    if inter is None:
+        assert not a.overlaps(b)
+    else:
+        for v in (inter.lo, inter.hi):
+            assert v in a and v in b
+
+
+@given(intervals, st.integers(1, 9))
+def test_floordiv_covers_pointwise(ivl, d):
+    out = ivl.floordiv(d)
+    for v in range(ivl.lo, min(ivl.hi, ivl.lo + 20) + 1):
+        assert v // d in out
+
+
+# -- affine/access evaluation over intervals -----------------------------------
+
+def test_evaluate_affine_with_mixed_env():
+    aff = AffExpr.symbol(x, 2) + AffExpr.symbol(R, -1) + AffExpr.constant(1)
+    out = evaluate_affine(aff, {x: IntInterval(0, 3), R: 10})
+    assert out == IntInterval(-9, -3)
+
+
+def test_evaluate_affine_negative_coefficient():
+    aff = AffExpr.symbol(x, -1)
+    assert evaluate_affine(aff, {x: IntInterval(2, 5)}) == IntInterval(-5, -2)
+
+
+def test_evaluate_affine_missing_symbol_raises():
+    with pytest.raises(KeyError):
+        evaluate_affine(AffExpr.symbol(x), {})
+
+
+def test_evaluate_access_with_divisor():
+    form = AccessForm(AffExpr.symbol(x).shift(1), 2)
+    out = evaluate_access(form, {x: IntInterval(0, 5)})
+    assert out == IntInterval(0, 3)
+
+
+@given(intervals, st.integers(-3, 3), st.integers(-10, 10), st.integers(1, 4))
+def test_evaluate_access_covers_all_points(ivl, coeff, off, div):
+    """Every concrete access index must be inside the propagated range."""
+    form = AccessForm(AffExpr.symbol(x, coeff).shift(off), div)
+    out = evaluate_access(form, {x: ivl})
+    step = max(1, ivl.size // 10)
+    for v in range(ivl.lo, ivl.hi + 1, step):
+        assert (coeff * v + off) // div in out

@@ -1,0 +1,143 @@
+"""Unit tests for parametric boxes and condition splitting."""
+
+import pytest
+
+from repro.lang import Condition, Float, Image, Int, Interval, Parameter, Variable
+from repro.lang.expr import TrueCond
+from repro.poly.affine import AffExpr
+from repro.poly.interval import IntInterval
+from repro.poly.iset import ParametricBox, split_condition
+
+x = Variable("x")
+y = Variable("y")
+R = Parameter(Int, "R")
+C = Parameter(Int, "C")
+
+
+def _box():
+    return ParametricBox.from_intervals(
+        [x, y], [Interval(0, R + 1, 1), Interval(0, C + 1, 1)])
+
+
+def test_from_intervals_concretize():
+    box = _box()
+    conc = box.concretize({R: 10, C: 20})
+    assert conc == (IntInterval(0, 11), IntInterval(0, 21))
+
+
+def test_from_intervals_rejects_variable_bounds():
+    with pytest.raises(ValueError):
+        ParametricBox.from_intervals([x], [Interval(0, y, 1)])
+
+
+def test_from_extents():
+    box = ParametricBox.from_extents([x, y], [R + 2, C + 2])
+    conc = box.concretize({R: 4, C: 6})
+    assert conc == (IntInterval(0, 5), IntInterval(0, 7))
+
+
+def test_size_estimate():
+    box = _box()
+    assert box.size_estimate({R: 10, C: 10}) == 12 * 12
+
+
+def test_empty_concretization():
+    box = ParametricBox.from_intervals([x], [Interval(5, R, 1)])
+    assert box.concretize({R: 3}) is None
+    assert box.size_estimate({R: 3}) == 0
+
+
+def test_dim_index():
+    box = _box()
+    assert box.dim_index(y) == 1
+    with pytest.raises(KeyError):
+        box.dim_index(Variable("z"))
+
+
+def test_tighten_with_extra_bounds():
+    box = _box()
+    tightened = box.tighten({x: ([AffExpr.constant(2)],
+                                 [AffExpr.symbol(R, 1).shift(-1)])})
+    conc = tightened.concretize({R: 10, C: 10})
+    assert conc[0] == IntInterval(2, 9)
+    assert conc[1] == IntInterval(0, 11)
+
+
+def test_tighten_ignores_foreign_variables():
+    box = _box()
+    z = Variable("z")
+    same = box.tighten({z: ([AffExpr.constant(5)], [])})
+    assert same.concretize({R: 1, C: 1}) == box.concretize({R: 1, C: 1})
+
+
+# -- split_condition ----------------------------------------------------------
+
+def test_split_simple_bounds():
+    cond = ((x >= 1) & (x <= R) & (y >= 1) & (y <= C))
+    split = split_condition(cond)
+    assert split.is_pure_bounds
+    assert set(split.bounds) == {x, y}
+    lowers, uppers = split.bounds[x]
+    assert len(lowers) == 1 and len(uppers) == 1
+
+
+def test_split_paper_style_condition():
+    cond = (Condition(x, ">=", 2) & Condition(x, "<=", R - 1)
+            & Condition(y, ">=", 2) & Condition(y, "<=", C - 1))
+    split = split_condition(cond)
+    assert split.is_pure_bounds
+    box = ParametricBox.from_intervals(
+        [x, y], [Interval(0, R + 1, 1), Interval(0, C + 1, 1)])
+    conc = box.tighten(split.bounds).concretize({R: 10, C: 10})
+    assert conc == (IntInterval(2, 9), IntInterval(2, 9))
+
+
+def test_split_strict_comparisons():
+    split = split_condition((x > 1) & (x < 5))
+    box = ParametricBox.from_intervals([x], [Interval(0, 100, 1)])
+    conc = box.tighten(split.bounds).concretize({})
+    assert conc == (IntInterval(2, 4),)
+
+
+def test_split_negated_coefficient():
+    # -2x <= -4  =>  x >= 2
+    split = split_condition(Condition(-2 * x, "<=", -4))
+    box = ParametricBox.from_intervals([x], [Interval(0, 10, 1)])
+    conc = box.tighten(split.bounds).concretize({})
+    assert conc == (IntInterval(2, 10),)
+
+
+def test_split_equality_pins_both_bounds():
+    split = split_condition(Condition(x, "==", 3))
+    box = ParametricBox.from_intervals([x], [Interval(0, 10, 1)])
+    conc = box.tighten(split.bounds).concretize({})
+    assert conc == (IntInterval(3, 3),)
+
+
+def test_split_disjunction_is_residual():
+    cond = (x >= 1) & ((x <= 3) | (x >= 7))
+    split = split_condition(cond)
+    assert not split.is_pure_bounds
+    assert len(split.residual) == 1
+    assert x in split.bounds
+
+
+def test_split_multi_variable_comparison_residual():
+    split = split_condition(Condition(x + y, "<=", 10))
+    assert not split.is_pure_bounds
+
+
+def test_split_data_dependent_residual():
+    I = Image(Float, [R], name="I")
+    split = split_condition(Condition(I(x), ">", 0.5))
+    assert not split.is_pure_bounds
+
+
+def test_split_true_cond_empty():
+    split = split_condition(TrueCond())
+    assert split.is_pure_bounds and not split.bounds
+
+
+def test_split_inequality_residual():
+    split = split_condition(Condition(x, "!=", 3))
+    assert not split.is_pure_bounds

@@ -1,0 +1,67 @@
+"""Tests for synthetic data generation and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.harris import build_pipeline
+from repro.compiler.storage import storage_footprint
+from repro.data import bayer_raw, multifocus_pair, rgb_image, smooth_image
+
+RNG = np.random.default_rng(17)
+
+
+def test_smooth_image_range_and_shape():
+    img = smooth_image(64, 48, RNG)
+    assert img.shape == (64, 48)
+    assert img.dtype == np.float32
+    assert 0.0 <= img.min() and img.max() <= 1.0
+    # smooth: neighbouring pixels correlate strongly
+    diff = np.abs(np.diff(img, axis=0)).mean()
+    assert diff < 0.15
+
+
+def test_rgb_image_channels_differ():
+    img = rgb_image(32, 32, RNG)
+    assert img.shape == (3, 32, 32)
+    assert not np.allclose(img[0], img[1])
+
+
+def test_multifocus_pair_structure():
+    left, right, mask = multifocus_pair(64, 64, RNG)
+    assert left.shape == right.shape == (3, 64, 64)
+    assert mask.shape == (64, 64)
+    assert set(np.unique(mask)) <= {0.0, 1.0}
+    # left is sharp on the left half: equal to right's blur there? the two
+    # images differ in the out-of-focus halves
+    assert not np.allclose(left[:, :, 40:], right[:, :, 40:])
+
+
+def test_bayer_raw_properties():
+    raw = bayer_raw(32, 32, RNG, bits=10)
+    assert raw.shape == (32, 32)
+    assert raw.dtype == np.uint16
+    assert raw.max() <= 1023
+
+
+def test_storage_footprint_reduction():
+    """Section 3.6: fused Harris needs dramatically less storage than the
+    stage-per-buffer version (full buffers only for the live-out)."""
+    app = build_pipeline()
+    values = {app.params["R"]: 512, app.params["C"]: 512}
+    plan = compile_pipeline(app.outputs, values,
+                            CompileOptions.optimized((32, 256))).plan
+    fp = storage_footprint(plan, values)
+    fused = fp["full_bytes"] + fp["scratch_bytes"]
+    assert fp["unfused_bytes"] > 4 * fused
+    # the only full buffer is the output
+    assert fp["full_bytes"] == 514 * 514 * 4
+
+
+def test_storage_footprint_base_has_no_scratch():
+    app = build_pipeline()
+    values = {app.params["R"]: 256, app.params["C"]: 256}
+    plan = compile_pipeline(app.outputs, values, CompileOptions.base()).plan
+    fp = storage_footprint(plan, values)
+    assert fp["scratch_bytes"] == 0
+    assert fp["full_bytes"] == fp["unfused_bytes"]

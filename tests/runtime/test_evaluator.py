@@ -1,0 +1,206 @@
+"""Unit tests for the NumPy evaluator and buffer views."""
+
+import numpy as np
+import pytest
+
+from repro.lang import (
+    Abs, Case, Cast, Ceil, Condition, Cos, Exp, Float, Floor, Function,
+    Image, Int, Interval, Log, Max, Min, Parameter, Pow, Select, Sin, Sqrt,
+    Variable,
+)
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.ir import PipelineIR
+from repro.poly.interval import IntInterval
+from repro.runtime.buffers import BufferView
+from repro.runtime.evaluator import EvaluationError, Evaluator
+
+RNG = np.random.default_rng(2)
+
+
+def _stage_ir(defn, dom_hi=15, dtype=Float):
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, dom_hi, 1)]), typ=dtype,
+                 name="f")
+    f.defn = defn(x)
+    ir = PipelineIR(PipelineGraph([f]))
+    return ir[f], x
+
+
+# -- BufferView ----------------------------------------------------------------
+
+def test_buffer_allocate_and_origin():
+    view = BufferView.allocate((IntInterval(2, 5), IntInterval(-1, 3)),
+                               np.dtype(np.float32))
+    assert view.shape == (4, 5)
+    assert view.origin == (2, -1)
+
+
+def test_buffer_read_strided_in_bounds():
+    arr = np.arange(10, dtype=np.float32)
+    view = BufferView(arr, (5,))
+    out = view.read_strided([(1, 0, 6, 9)])  # indices 6..9 -> rel 1..4
+    np.testing.assert_array_equal(out, arr[1:5])
+
+
+def test_buffer_read_strided_out_of_bounds_returns_none():
+    view = BufferView(np.zeros(4, np.float32), (0,))
+    assert view.read_strided([(1, 0, 2, 5)]) is None
+    assert view.read_strided([(1, -1, 0, 2)]) is None
+
+
+def test_buffer_read_strided_with_stride():
+    arr = np.arange(12, dtype=np.float32)
+    view = BufferView(arr, (0,))
+    out = view.read_strided([(2, 1, 0, 5)])  # 2v+1 for v in 0..5
+    np.testing.assert_array_equal(out, arr[1:12:2])
+
+
+def test_buffer_read_gather_clips():
+    arr = np.arange(5, dtype=np.float32)
+    view = BufferView(arr, (0,))
+    out = view.read_gather([np.array([-3, 0, 4, 9])])
+    np.testing.assert_array_equal(out, [0, 0, 4, 4])
+
+
+def test_buffer_write_and_read_region():
+    view = BufferView.allocate((IntInterval(10, 19),), np.dtype(np.float32))
+    view.write_region((IntInterval(12, 14),), np.array([1., 2., 3.]))
+    np.testing.assert_array_equal(view.read_region((IntInterval(12, 14),)),
+                                  [1, 2, 3])
+    assert view.array[0] == 0
+
+
+def test_buffer_covers():
+    view = BufferView.allocate((IntInterval(0, 9),), np.dtype(np.float32))
+    assert view.covers((IntInterval(0, 9),))
+    assert view.covers((IntInterval(2, 5),))
+    assert not view.covers((IntInterval(5, 10),))
+
+
+# -- math / expression coverage ---------------------------------------------------
+
+@pytest.mark.parametrize("builder,ref", [
+    (lambda x: Exp(x * 0.1), lambda v: np.exp(v * 0.1)),
+    (lambda x: Log(x + 1.0), lambda v: np.log(v + 1.0)),
+    (lambda x: Sqrt(x * 1.0), lambda v: np.sqrt(v)),
+    (lambda x: Sin(x * 0.3), lambda v: np.sin(v * 0.3)),
+    (lambda x: Cos(x * 0.3), lambda v: np.cos(v * 0.3)),
+    (lambda x: Abs(x - 7), lambda v: np.abs(v - 7)),
+    (lambda x: Floor(x / 3.0), lambda v: np.floor(v / 3.0)),
+    (lambda x: Ceil(x / 3.0), lambda v: np.ceil(v / 3.0)),
+    (lambda x: Pow(x * 1.0, 2.0), lambda v: v.astype(float) ** 2),
+    (lambda x: Min(x * 1.0, 5.0), lambda v: np.minimum(v, 5.0)),
+    (lambda x: Max(x * 1.0, 5.0), lambda v: np.maximum(v, 5.0)),
+    (lambda x: x % 3, lambda v: v % 3),
+    (lambda x: x // 4, lambda v: v // 4),
+    (lambda x: -x, lambda v: -v),
+])
+def test_expression_evaluation(builder, ref):
+    stage_ir, x = _stage_ir(builder)
+    ev = Evaluator({}, {})
+    region = (IntInterval(0, 15),)
+    out = ev.stage_values(stage_ir, region)
+    expected = ref(np.arange(16))
+    np.testing.assert_allclose(out, expected.astype(np.float32), rtol=1e-6)
+
+
+def test_select_evaluation():
+    stage_ir, x = _stage_ir(lambda x: Select(x > 7, 1.0, -1.0))
+    ev = Evaluator({}, {})
+    out = ev.stage_values(stage_ir, (IntInterval(0, 15),))
+    v = np.arange(16)
+    np.testing.assert_array_equal(out, np.where(v > 7, 1.0, -1.0))
+
+
+def test_cast_truncates():
+    stage_ir, x = _stage_ir(lambda x: Cast(Float, Cast(Int, x * 0.7)))
+    ev = Evaluator({}, {})
+    out = ev.stage_values(stage_ir, (IntInterval(0, 15),))
+    np.testing.assert_array_equal(out,
+                                  (np.arange(16) * 0.7).astype(np.int32)
+                                  .astype(np.float32))
+
+
+def test_parameter_in_expression():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = x * 1.0 / R
+    ir = PipelineIR(PipelineGraph([f]))
+    ev = Evaluator({R: 8}, {})
+    out = ev.stage_values(ir[f], (IntInterval(0, 7),))
+    np.testing.assert_allclose(out, np.arange(8) / 8, rtol=1e-6)
+
+
+def test_missing_parameter_raises():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, 7, 1)]), typ=Float, name="f")
+    f.defn = x + R
+    ir = PipelineIR(PipelineGraph([f]))
+    ev = Evaluator({}, {})
+    with pytest.raises(EvaluationError):
+        ev.stage_values(ir[f], (IntInterval(0, 7),))
+
+
+def test_missing_buffer_raises():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, 7, 1)]), typ=Float, name="f")
+    f.defn = I(x)
+    ir = PipelineIR(PipelineGraph([f]))
+    ev = Evaluator({R: 8}, {})
+    with pytest.raises(EvaluationError):
+        ev.stage_values(ir[f], (IntInterval(0, 7),))
+
+
+def test_strided_fast_path_equals_gather():
+    """The vectorized slice path and the gather path must agree."""
+    R = Parameter(Int, "R")
+    I = Image(Float, [R + 4], name="I")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    f.defn = I(x) + 2.0 * I(x + 3) + I(2 * x // 2)
+    ir = PipelineIR(PipelineGraph([f]))
+    data = RNG.random(36, dtype=np.float32)
+    buffers = {I: BufferView(data, (0,))}
+    region = (IntInterval(0, 31),)
+    fast = Evaluator({R: 32}, buffers, vectorize=True) \
+        .stage_values(ir[f], region)
+    slow = Evaluator({R: 32}, buffers, vectorize=False) \
+        .stage_values(ir[f], region)
+    np.testing.assert_array_equal(fast, slow)
+
+
+def test_mutually_exclusive_cases_fill_disjoint_regions():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, 9, 1)]), typ=Float, name="f")
+    f.defn = [Case(Condition(x, "<", 5), 1.0),
+              Case(Condition(x, ">=", 5), 2.0)]
+    ir = PipelineIR(PipelineGraph([f]))
+    out = Evaluator({}, {}).stage_values(ir[f], (IntInterval(0, 9),))
+    np.testing.assert_array_equal(out, [1] * 5 + [2] * 5)
+
+
+def test_uncovered_points_are_zero():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, 9, 1)]), typ=Float, name="f")
+    f.defn = [Case(Condition(x, ">=", 8), 5.0)]
+    ir = PipelineIR(PipelineGraph([f]))
+    out = Evaluator({}, {}).stage_values(ir[f], (IntInterval(0, 9),))
+    np.testing.assert_array_equal(out, [0] * 8 + [5, 5])
+
+
+def test_residual_condition_masking():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, 9, 1)]), typ=Float, name="f")
+    f.defn = [Case(Condition(x % 2, "==", 0), 1.0),
+              Case(Condition(x % 2, "==", 1), 2.0)]
+    ir = PipelineIR(PipelineGraph([f]))
+    out = Evaluator({}, {}).stage_values(ir[f], (IntInterval(0, 9),))
+    np.testing.assert_array_equal(out, [1, 2] * 5)

@@ -1,0 +1,242 @@
+"""End-to-end interpreter tests: compiled pipelines vs NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps import harris as harris_app
+from repro.lang import (
+    Accumulate, Accumulator, Case, Cast, Condition, Float, Function, Image,
+    Int, Interval, Parameter, Select, Stencil, Sum, UChar, Variable,
+)
+
+RNG = np.random.default_rng(7)
+
+
+# -- Harris: the paper's running example ------------------------------------
+
+@pytest.fixture(scope="module")
+def harris_setup():
+    app = harris_app.build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 61, C: 45}  # deliberately not multiples of tile sizes
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)["harris"]
+    return app, values, inputs, expected
+
+
+@pytest.mark.parametrize("options", [
+    CompileOptions.base(),
+    CompileOptions.optimized((16, 16)),
+    CompileOptions.optimized((32, 256)),
+    CompileOptions.optimized((8, 8), overlap_threshold=0.5),
+], ids=["base", "opt16", "opt32x256", "opt8"])
+def test_harris_matches_reference(harris_setup, options):
+    app, values, inputs, expected = harris_setup
+    compiled = compile_pipeline(app.outputs, values, options)
+    out = compiled(values, inputs)["harris"]
+    np.testing.assert_allclose(out, expected, rtol=2e-4, atol=2e-5)
+
+
+def test_harris_novec_matches(harris_setup):
+    app, values, inputs, expected = harris_setup
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((16, 16)))
+    out = compiled(values, inputs, vectorize=False)["harris"]
+    np.testing.assert_allclose(out, expected, rtol=2e-4, atol=2e-5)
+
+
+def test_harris_threaded_matches(harris_setup):
+    app, values, inputs, expected = harris_setup
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((16, 16)))
+    out = compiled(values, inputs, n_threads=4)["harris"]
+    np.testing.assert_allclose(out, expected, rtol=2e-4, atol=2e-5)
+
+
+def test_harris_parameter_values_differ_from_estimates(harris_setup):
+    """The compiled pipeline is valid for sizes other than the estimates."""
+    app, _, _, _ = harris_setup
+    R, C = app.params["R"], app.params["C"]
+    compiled = compile_pipeline(app.outputs, {R: 512, C: 512},
+                                CompileOptions.optimized((32, 256)))
+    values = {R: 33, C: 97}
+    inputs = app.make_inputs(values, RNG)
+    expected = app.reference(inputs, values)["harris"]
+    out = compiled(values, inputs)["harris"]
+    np.testing.assert_allclose(out, expected, rtol=2e-4, atol=2e-5)
+
+
+def test_missing_input_raises(harris_setup):
+    app, values, _, _ = harris_setup
+    compiled = compile_pipeline(app.outputs, values)
+    from repro.runtime.executor import ExecutionError
+    with pytest.raises(ExecutionError):
+        compiled(values, {})
+
+
+def test_wrong_input_shape_raises(harris_setup):
+    app, values, _, _ = harris_setup
+    compiled = compile_pipeline(app.outputs, values)
+    from repro.runtime.executor import ExecutionError
+    with pytest.raises(ExecutionError):
+        compiled(values, {app.images[0]: np.zeros((4, 4), np.float32)})
+
+
+# -- histograms ------------------------------------------------------------
+
+def test_histogram_matches_bincount():
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(UChar, [R, C], name="I")
+    x, y, b = Variable("x"), Variable("y"), Variable("b")
+    row, col = Interval(0, R - 1, 1), Interval(0, C - 1, 1)
+    hist = Accumulator(redDom=([x, y], [row, col]),
+                       varDom=([b], [Interval(0, 255, 1)]),
+                       typ=Int, name="hist")
+    hist.defn = Accumulate(hist(Cast(Int, I(x, y))), 1, Sum)
+    values = {R: 37, C: 53}
+    img = RNG.integers(0, 256, size=(37, 53), dtype=np.uint8)
+    compiled = compile_pipeline([hist], values)
+    out = compiled(values, {I: img})["hist"]
+    np.testing.assert_array_equal(out, np.bincount(img.ravel(),
+                                                   minlength=256))
+
+
+def test_min_max_reduction():
+    from repro.lang import MaxOp, MinOp
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x, z = Variable("x"), Variable("z")
+    lo = Accumulator(redDom=([x], [Interval(0, R - 1, 1)]),
+                     varDom=([z], [Interval(0, 0, 1)]),
+                     typ=Float, name="lo")
+    lo.defn = Accumulate(lo(0 * x), I(x), MinOp)
+    hi = Accumulator(redDom=([x], [Interval(0, R - 1, 1)]),
+                     varDom=([z], [Interval(0, 0, 1)]),
+                     typ=Float, name="hi")
+    hi.defn = Accumulate(hi(0 * x), I(x), MaxOp)
+    values = {R: 101}
+    data = RNG.random(101, dtype=np.float32)
+    compiled = compile_pipeline([lo, hi], values)
+    out = compiled(values, {I: data})
+    assert out["lo"][0] == pytest.approx(float(data.min()))
+    assert out["hi"][0] == pytest.approx(float(data.max()))
+
+
+# -- time-iterated (self-referential) ----------------------------------------
+
+def test_time_iterated_jacobi():
+    R = Parameter(Int, "R")
+    T = 5
+    I = Image(Float, [R + 2], name="I")
+    t, x = Variable("t"), Variable("x")
+    f = Function(varDom=([t, x], [Interval(0, T, 1), Interval(0, R + 1, 1)]),
+                 typ=Float, name="f")
+    interior = (Condition(t, ">=", 1) & Condition(x, ">=", 1)
+                & Condition(x, "<=", R))
+    f.defn = [
+        Case(Condition(t, "==", 0), I(x)),
+        Case(interior,
+             (f(t - 1, x - 1) + f(t - 1, x) + f(t - 1, x + 1)) / 3.0),
+    ]
+    values = {R: 40}
+    data = RNG.random(42, dtype=np.float32)
+    compiled = compile_pipeline([f], values)
+    out = compiled(values, {I: data})["f"]
+
+    ref = np.zeros((T + 1, 42), dtype=np.float32)
+    ref[0] = data
+    for it in range(1, T + 1):
+        ref[it, 1:41] = (ref[it - 1, :40] + ref[it - 1, 1:41]
+                         + ref[it - 1, 2:42]) / 3.0
+    np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+
+def test_summed_area_table():
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R, C], name="I")
+    x, y = Variable("x"), Variable("y")
+    sat = Function(varDom=([x, y], [Interval(0, R - 1, 1),
+                                    Interval(0, C - 1, 1)]),
+                   typ=Float, name="sat")
+    corner = Condition(x, "==", 0) & Condition(y, "==", 0)
+    top = Condition(x, "==", 0) & Condition(y, ">=", 1)
+    left = Condition(x, ">=", 1) & Condition(y, "==", 0)
+    interior = Condition(x, ">=", 1) & Condition(y, ">=", 1)
+    sat.defn = [
+        Case(corner, I(x, y)),
+        Case(top, I(x, y) + sat(x, y - 1)),
+        Case(left, I(x, y) + sat(x - 1, y)),
+        Case(interior, I(x, y) + sat(x - 1, y) + sat(x, y - 1)
+             - sat(x - 1, y - 1)),
+    ]
+    values = {R: 13, C: 11}
+    img = RNG.random((13, 11)).astype(np.float32)
+    compiled = compile_pipeline([sat], values)
+    out = compiled(values, {I: img})["sat"]
+    ref = img.astype(np.float64).cumsum(axis=0).cumsum(axis=1)
+    np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+
+# -- sampling ------------------------------------------------------------------
+
+def test_downsample_upsample_roundtrip():
+    R = Parameter(Int, "R")
+    I = Image(Float, [2 * R + 2], name="I")
+    x = Variable("x")
+    down = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float, name="down")
+    down.defn = (I(2 * x) + I(2 * x + 1)) / 2.0
+    up = Function(varDom=([x], [Interval(0, 2 * R, 1)]), typ=Float, name="up")
+    up.defn = down(x // 2)
+    values = {R: 33}
+    data = RNG.random(68, dtype=np.float32)
+    compiled = compile_pipeline([up], values,
+                                CompileOptions.optimized((16,)))
+    # the down/up pair must fuse into a single tiled group
+    assert len(compiled.plan.group_plans) == 1
+    out = compiled(values, {I: data})["up"]
+    ref_down = (data[0:68:2][:34] + data[1:68:2][:34]) / 2.0
+    ref = ref_down[np.arange(67) // 2]
+    np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+
+def test_select_and_data_dependent_lut():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R], name="I")
+    x = Variable("x")
+    lut = Function(varDom=([x], [Interval(0, 255, 1)]), typ=Float, name="lut")
+    lut.defn = x * x / 255.0
+    f = Function(varDom=([x], [Interval(0, R - 1, 1)]), typ=Float, name="f")
+    clamped = Cast(Int, Select(I(x) > 1.0, 255.0, I(x) * 255.0))
+    f.defn = lut(clamped)
+    values = {R: 64}
+    data = (RNG.random(64) * 1.2).astype(np.float32)
+    compiled = compile_pipeline([f], values)
+    out = compiled(values, {I: data})["f"]
+    idx = np.where(data > 1.0, 255,
+                   (data * 255.0).astype(np.int32)).astype(np.int64)
+    ref = (idx.astype(np.float32) ** 2 / 255.0)
+    np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+
+def test_multiple_outputs():
+    R = Parameter(Int, "R")
+    I = Image(Float, [R + 2], name="I")
+    x = Variable("x")
+    dom = Interval(0, R + 1, 1)
+    c = Condition(x, ">=", 1) & Condition(x, "<=", R)
+    blur = Function(varDom=([x], [dom]), typ=Float, name="blur")
+    blur.defn = [Case(c, Stencil(I(x), 1.0 / 3, [1, 1, 1]))]
+    sharp = Function(varDom=([x], [dom]), typ=Float, name="sharp")
+    sharp.defn = [Case(c, I(x) * 2.0 - blur(x))]
+    values = {R: 50}
+    data = RNG.random(52, dtype=np.float32)
+    compiled = compile_pipeline([blur, sharp], values,
+                                CompileOptions.optimized((16,)))
+    out = compiled(values, {I: data})
+    ref_blur = np.zeros(52, np.float32)
+    ref_blur[1:51] = (data[:50] + data[1:51] + data[2:52]) / 3.0
+    ref_sharp = np.zeros(52, np.float32)
+    ref_sharp[1:51] = data[1:51] * 2.0 - ref_blur[1:51]
+    np.testing.assert_allclose(out["blur"], ref_blur, rtol=1e-5)
+    np.testing.assert_allclose(out["sharp"], ref_sharp, rtol=1e-5)

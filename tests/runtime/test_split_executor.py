@@ -1,0 +1,93 @@
+"""Tests for the split-tiled executor (the Figure 5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.bench.figure5 import figure5_chain
+from repro.runtime.split_executor import (
+    SplitTilingError, execute_plan_split,
+)
+
+RNG = np.random.default_rng(9)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    N, fin, stages = figure5_chain()
+    values = {N: 1000}
+    data = RNG.random(1002, dtype=np.float32)
+    return N, fin, stages, values, data
+
+
+def test_split_matches_overlapped(chain):
+    N, fin, stages, values, data = chain
+    compiled = compile_pipeline([stages[-1]], values,
+                                CompileOptions.optimized((64,)))
+    assert len(compiled.plan.group_plans) == 1
+    overlapped = compiled(values, {fin: data})["fout"]
+    split = execute_plan_split(compiled.plan, values, {fin: data})["fout"]
+    np.testing.assert_allclose(split, overlapped, rtol=1e-6)
+
+
+def test_split_matches_on_awkward_sizes(chain):
+    N, fin, stages, values, data = chain
+    for n in (97, 128, 129):
+        vals = {N: n}
+        arr = RNG.random(n + 2, dtype=np.float32)
+        compiled = compile_pipeline([stages[-1]], vals,
+                                    CompileOptions.optimized((32,)))
+        a = compiled(vals, {fin: arr})["fout"]
+        b = execute_plan_split(compiled.plan, vals, {fin: arr})["fout"]
+        np.testing.assert_allclose(b, a, rtol=1e-6)
+
+
+def test_split_rejects_group_deeper_than_tile(chain):
+    N, fin, stages, values, data = chain
+    # after inlining f1, the fused group's wedge width is 2: tile size 1
+    # is too shallow for split tiling
+    compiled = compile_pipeline([stages[-1]], values,
+                                CompileOptions.optimized((1,), 9.0))
+    if len(compiled.plan.group_plans) == 1:
+        with pytest.raises(SplitTilingError, match="deeper than the tile"):
+            execute_plan_split(compiled.plan, values, {fin: data})
+
+
+def test_split_rejects_scaled_groups():
+    from repro.lang import Float, Function, Image, Int, Interval, \
+        Parameter, Variable
+    R = Parameter(Int, "R")
+    I = Image(Float, [2 * R + 2], name="Is")
+    x = Variable("x")
+    down = Function(varDom=([x], [Interval(0, R, 1)]), typ=Float,
+                    name="down")
+    down.defn = (I(2 * x) + I(2 * x + 1)) / 2.0
+    up = Function(varDom=([x], [Interval(0, 2 * R, 1)]), typ=Float,
+                  name="up")
+    up.defn = down(x // 2)
+    values = {R: 64}
+    compiled = compile_pipeline([up], values,
+                                CompileOptions.optimized((16,)))
+    if any(gp.is_tiled and len(gp.ordered_stages) > 1
+           for gp in compiled.plan.group_plans):
+        data = RNG.random(130, dtype=np.float32)
+        with pytest.raises(SplitTilingError, match="unit-scale"):
+            execute_plan_split(compiled.plan, values, {I: data})
+
+
+def test_split_allocates_full_buffers(chain):
+    """Split tiling's storage cost: every stage needs a full buffer."""
+    N, fin, stages, values, data = chain
+    compiled = compile_pipeline([stages[-1]], values,
+                                CompileOptions.optimized((64,)))
+    from repro.runtime.split_executor import (
+        _forward_reaches, execute_split_group,
+    )
+    from repro.runtime.buffers import BufferView
+    gp = compiled.plan.group_plans[0]
+    buffers = {fin: BufferView(data, (0,))}
+    execute_split_group(compiled.plan, gp, values, buffers)
+    # all three stages have domain-sized buffers, unlike the overlapped
+    # executor which scratches everything but the live-out
+    for stage in gp.ordered_stages:
+        assert buffers[stage].shape == (values[N] + 2,)
