@@ -4,7 +4,7 @@ Sweeps a small model-restricted configuration space for Harris corner
 detection, prints the Figure 9-style scatter data, and contrasts the
 result with stochastic wide-space search on the same budget::
 
-    python examples/autotune_demo.py [size]
+    python examples/autotune_demo.py [size] [workers]
 """
 
 import sys
@@ -27,9 +27,11 @@ def main() -> None:
     space = [TuneConfig((tx, ty), th)
              for tx in (16, 32, 128) for ty in (64, 256, 512)
              for th in (0.2, 0.5)]
-    print(f"model-driven sweep: {len(space)} configurations ...")
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    print(f"model-driven sweep: {len(space)} configurations "
+          f"({workers} compile workers) ...")
     report = autotune(app.outputs, values, values, inputs, space=space,
-                      n_threads=2, name="tune_demo")
+                      n_threads=2, n_workers=workers, name="tune_demo")
     for r in sorted(report.results, key=lambda r: r.time_parallel_ms):
         print(f"  {str(r.config):34s} t1={r.time_single_ms:8.2f} ms  "
               f"t2={r.time_parallel_ms:8.2f} ms  groups={r.n_groups}")

@@ -39,7 +39,7 @@ class CompiledPipeline:
     def __init__(self, plan: PipelinePlan, name: str = "pipeline"):
         self.plan = plan
         self.name = name
-        self._built = None
+        self._built: dict = {}
 
     # -- execution ---------------------------------------------------------
     def __call__(self, param_values: Mapping[Parameter, int],
@@ -60,11 +60,22 @@ class CompiledPipeline:
 
     def build(self, **kwargs):
         """Compile the generated C with the system compiler and return a
-        callable :class:`repro.codegen.build.NativePipeline`."""
+        callable :class:`repro.codegen.build.NativePipeline`.
+
+        Memoized per distinct build-option set: ``build()`` followed by
+        ``build(vectorize=False)`` compiles (and returns) two different
+        binaries rather than silently reusing the first.
+        """
         from repro.codegen.build import build_native
-        if self._built is None:
-            self._built = build_native(self.plan, self.name, **kwargs)
-        return self._built
+        try:
+            key = tuple(sorted(kwargs.items()))
+            hash(key)
+        except TypeError:
+            # unhashable build option: skip memoization, build fresh
+            return build_native(self.plan, self.name, **kwargs)
+        if key not in self._built:
+            self._built[key] = build_native(self.plan, self.name, **kwargs)
+        return self._built[key]
 
     # -- inspection ------------------------------------------------------------
     def summary(self) -> str:

@@ -1,13 +1,24 @@
 """Autotuning (paper Section 3.8): the model-restricted sweep and the
-stochastic wide-space baseline used for the OpenTuner comparison."""
+stochastic wide-space baseline used for the OpenTuner comparison.
 
+Both sweeps share the process-pool compile farm in
+:mod:`repro.autotune.farm`: pass ``n_workers > 1`` to compile
+configurations concurrently while timing stays serialized."""
+
+from repro.autotune.farm import (
+    CompileRecord, CompileTask, compile_one, rebind_values,
+    run_compile_farm,
+)
 from repro.autotune.random_search import (
     RandomConfig, SearchReport, SearchResult, random_search, sample_config,
 )
 from repro.autotune.tuner import (
-    TuneConfig, TuneResult, TuningReport, autotune, default_space,
+    SkippedConfig, TuneConfig, TuneResult, TuningReport, autotune,
+    default_space,
 )
 
-__all__ = ["RandomConfig", "SearchReport", "SearchResult", "TuneConfig",
-           "TuneResult", "TuningReport", "autotune", "default_space",
-           "random_search", "sample_config"]
+__all__ = ["CompileRecord", "CompileTask", "RandomConfig", "SearchReport",
+           "SearchResult", "SkippedConfig", "TuneConfig", "TuneResult",
+           "TuningReport", "autotune", "compile_one", "default_space",
+           "random_search", "rebind_values", "run_compile_farm",
+           "sample_config"]

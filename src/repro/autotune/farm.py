@@ -1,0 +1,144 @@
+"""The compile farm: fan configuration builds out over worker processes.
+
+The paper's autotuner explores a model-restricted space of ~147
+configurations per pipeline; almost all the sweep's wall-clock goes into
+the middle end plus gcc, both embarrassingly parallel across
+configurations.  This module runs those compile jobs on a
+``ProcessPoolExecutor`` while the caller keeps *timing* strictly
+serialized on the parent process, so measurements are never contended by
+each other.
+
+Each task carries everything a worker needs (live-out stages, estimates,
+``CompileOptions``) — the DSL graph pickles cleanly.  Workers compile
+into the shared :class:`~repro.codegen.build.CompileCache`, whose atomic
+publish makes concurrent builds of the same key safe, and return a
+:class:`CompileRecord` holding the (re-pickled) plan plus build
+provenance.  Because pickling copies the object graph, plans coming back
+from a worker contain *fresh* ``Parameter``/``Image`` objects — use
+:func:`rebind_values` to re-key the caller's identity-keyed mappings by
+name before executing such a plan.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import PipelinePlan, compile_plan
+
+
+@dataclass(frozen=True)
+class CompileTask:
+    """One configuration to compile, self-contained and picklable."""
+
+    index: int
+    outputs: tuple
+    estimates: dict
+    options: CompileOptions
+    backend: str = "native"
+    cache_dir: str | None = None
+    vectorize: bool = True
+
+
+@dataclass
+class CompileRecord:
+    """What one compile job produced (or why it failed)."""
+
+    index: int
+    plan: PipelinePlan | None = None
+    n_groups: int = 0
+    compile_s: float = 0.0
+    plan_s: float = 0.0
+    cache_hit: bool | None = None
+    info: object = None  # repro.codegen.build.BuildInfo for native builds
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _short_reason(prefix: str, exc: BaseException) -> str:
+    text = " ".join(str(exc).split())
+    if len(text) > 240:
+        text = text[:240] + "..."
+    return f"{prefix}: {type(exc).__name__}: {text}" if text else \
+        f"{prefix}: {type(exc).__name__}"
+
+
+def compile_one(task: CompileTask) -> CompileRecord:
+    """Run the middle end (and the C compiler, for the native backend).
+
+    Never raises for per-configuration failures — the record carries the
+    reason instead, so one broken configuration cannot abort a sweep.
+    """
+    t0 = time.perf_counter()
+    try:
+        plan = compile_plan(list(task.outputs), task.estimates, task.options)
+    except Exception as exc:
+        return CompileRecord(task.index, error=_short_reason("plan", exc))
+    record = CompileRecord(task.index, plan=plan,
+                           n_groups=len(plan.group_plans),
+                           plan_s=time.perf_counter() - t0)
+    if task.backend == "native":
+        from repro.codegen.build import BuildError, compile_artifact
+        try:
+            info = compile_artifact(plan, vectorize=task.vectorize,
+                                    cache_dir=task.cache_dir)
+        except BuildError as exc:
+            return CompileRecord(task.index,
+                                 error=_short_reason("build", exc))
+        record.compile_s = info.compile_s
+        record.cache_hit = info.cache_hit
+        record.info = info
+    return record
+
+
+def run_compile_farm(tasks: Sequence[CompileTask],
+                     n_workers: int = 1) -> Iterator[CompileRecord]:
+    """Yield a :class:`CompileRecord` per task, as each build finishes.
+
+    ``n_workers <= 1`` compiles in-process (no pool, deterministic
+    order).  With more workers, records are yielded in completion order —
+    the caller can start timing a finished configuration while others are
+    still compiling.  Falls back to the serial path if worker processes
+    cannot be spawned in this environment.
+    """
+    if n_workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield compile_one(task)
+        return
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(n_workers, len(tasks)))
+    except (OSError, PermissionError, ValueError):
+        for task in tasks:
+            yield compile_one(task)
+        return
+    with pool:
+        pending = {pool.submit(compile_one, task) for task in tasks}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+
+
+def rebind_values(plan: PipelinePlan, param_values: Mapping,
+                  inputs: Mapping) -> tuple[dict, dict]:
+    """Re-key identity-keyed mappings onto a (possibly pickled) plan.
+
+    ``Parameter`` and ``Image`` hash by identity; a plan that crossed a
+    process boundary holds fresh copies, so the caller's mappings are
+    matched up by name.  Names missing from the mappings are simply left
+    out — downstream validation reports them.
+    """
+    params_by_name = {p.name: v for p, v in param_values.items()}
+    inputs_by_name = {img.name: arr for img, arr in inputs.items()}
+    params = {p: params_by_name[p.name] for p in plan.estimates
+              if p.name in params_by_name}
+    images = {img: inputs_by_name[img.name]
+              for img in plan.ir.graph.inputs
+              if img.name in inputs_by_name}
+    return params, images

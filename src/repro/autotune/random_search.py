@@ -9,18 +9,27 @@ budget, and the best-so-far trajectory is recorded.  With equal budgets
 the restricted model-driven sweep reliably finds better points — the
 paper's Section 5 argument that "only a small subset of the space
 matters in practice".
+
+The whole budget is sampled up-front (so a seed fully determines the
+candidate list), which also lets ``n_workers > 1`` fan the compile jobs
+out over the same process farm the model-driven tuner uses; timing stays
+serialized on the parent either way.
 """
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
+from repro.autotune.farm import (
+    CompileTask, rebind_values, run_compile_farm,
+)
 from repro.compiler.options import CompileOptions
-from repro.compiler.plan import compile_plan
 
 
 @dataclass(frozen=True)
@@ -43,19 +52,28 @@ class RandomConfig:
         return (f"tiles={tiles} othresh={self.overlap_threshold:.2f} "
                 f"inline={self.inline} group={self.group}")
 
+    def to_dict(self) -> dict:
+        return {"tile_sizes": list(self.tile_sizes),
+                "overlap_threshold": self.overlap_threshold,
+                "inline": self.inline, "group": self.group}
+
 
 @dataclass
 class SearchResult:
     """One evaluated random configuration and its time."""
     config: RandomConfig
     time_ms: float
+    compile_s: float = 0.0
+    cache_hit: bool | None = None
 
 
 @dataclass
 class SearchReport:
     """All evaluations of one random-search run."""
     results: list[SearchResult] = field(default_factory=list)
+    skipped: list[tuple[RandomConfig, str]] = field(default_factory=list)
     elapsed_s: float = 0.0
+    n_workers: int = 1
 
     def best(self) -> SearchResult:
         if not self.results:
@@ -69,6 +87,24 @@ class SearchReport:
             best = min(best, r.time_ms)
             out.append(best)
         return out
+
+    def to_dict(self) -> dict:
+        return {"n_workers": self.n_workers,
+                "elapsed_s": self.elapsed_s,
+                "results": [{**r.config.to_dict(), "time_ms": r.time_ms,
+                             "compile_s": r.compile_s,
+                             "cache_hit": r.cache_hit}
+                            for r in self.results],
+                "skipped": [{**c.to_dict(), "reason": reason}
+                            for c, reason in self.skipped]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
 
 
 def sample_config(rng: np.random.Generator, n_dims: int) -> RandomConfig:
@@ -87,33 +123,62 @@ def random_search(outputs, estimates: Mapping, param_values: Mapping,
                   backend: str = "native",
                   n_threads: int = 4,
                   seed: int = 0,
-                  name: str = "rand") -> SearchReport:
-    """Evaluate ``budget`` random configurations; return all timings."""
+                  name: str = "rand",
+                  n_workers: int = 1,
+                  cache_dir: str | Path | None = None) -> SearchReport:
+    """Evaluate ``budget`` random configurations; return all timings.
+
+    Configurations that fail to compile are skipped and recorded with
+    their failure reason in ``report.skipped``.
+    """
     rng = np.random.default_rng(seed)
-    report = SearchReport()
+    candidates = [sample_config(rng, n_dims) for _ in range(budget)]
+    n_workers = max(1, n_workers)
+    report = SearchReport(n_workers=n_workers)
     start = time.perf_counter()
-    for i in range(budget):
-        config = sample_config(rng, n_dims)
+    estimates = dict(estimates)
+    tasks = [CompileTask(i, tuple(outputs), estimates, config.options(),
+                         backend=backend,
+                         cache_dir=str(cache_dir) if cache_dir else None)
+             for i, config in enumerate(candidates)]
+
+    measured: list[tuple[int, SearchResult]] = []
+    skipped: list[tuple[int, RandomConfig, str]] = []
+    for record in run_compile_farm(tasks, n_workers):
+        config = candidates[record.index]
+        if not record.ok:
+            skipped.append((record.index, config, record.error))
+            continue
+        plan = record.plan
+        params, images = rebind_values(plan, param_values, inputs)
         try:
-            plan = compile_plan(outputs, estimates, config.options())
             if backend == "native":
-                from repro.codegen.build import build_native
-                pipe = build_native(plan, f"{name}_{i}")
+                from repro.codegen.build import load_native
+                pipe = load_native(plan, f"{name}_{record.index}",
+                                   record.info)
 
                 def run():
-                    return pipe(param_values, inputs, n_threads=n_threads)
+                    return pipe(params, images, n_threads=n_threads)
             else:
                 from repro.runtime.executor import execute_plan
 
                 def run():
-                    return execute_plan(plan, param_values, inputs,
+                    return execute_plan(plan, params, images,
                                         n_threads=n_threads)
             run()  # warm up
             t0 = time.perf_counter()
             run()
             elapsed = (time.perf_counter() - t0) * 1000.0
-        except Exception:
+        except Exception as exc:
+            skipped.append((record.index, config, f"run: {exc}"))
             continue
-        report.results.append(SearchResult(config, elapsed))
+        measured.append((record.index,
+                         SearchResult(config, elapsed,
+                                      compile_s=record.compile_s,
+                                      cache_hit=record.cache_hit)))
+
+    report.results = [r for _, r in sorted(measured, key=lambda t: t[0])]
+    report.skipped = [(c, reason) for _, c, reason
+                      in sorted(skipped, key=lambda t: t[0])]
     report.elapsed_s = time.perf_counter() - start
     return report

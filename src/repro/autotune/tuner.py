@@ -6,21 +6,30 @@ sizes per tiled dimension and three thresholds, i.e. 147 configurations
 for the two-tilable-dimension pipelines of the paper — and reports every
 configuration's single-thread and multi-thread time (the data behind
 Figure 9's scatter plots) plus the best configuration.
+
+With ``n_workers > 1`` the compile half of the sweep (middle end + gcc)
+fans out over a process pool (:mod:`repro.autotune.farm`) while every
+timing run stays serialized on the parent, so measurements are never
+contended by each other.  Each configuration's compile time and
+compile-cache hit/miss are recorded alongside its run times in the
+:class:`TuningReport`, which serializes to JSON for the bench harnesses.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
-import numpy as np
-
+from repro.autotune.farm import (
+    CompileRecord, CompileTask, rebind_values, run_compile_farm,
+)
 from repro.compiler.options import (
     OVERLAP_THRESHOLD_CHOICES, TILE_SIZE_CHOICES, CompileOptions,
 )
-from repro.compiler.plan import compile_plan
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,14 @@ class TuneConfig:
         tiles = "x".join(map(str, self.tile_sizes))
         return f"tiles={tiles} othresh={self.overlap_threshold}"
 
+    def to_dict(self) -> dict:
+        return {"tile_sizes": list(self.tile_sizes),
+                "overlap_threshold": self.overlap_threshold}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TuneConfig":
+        return cls(tuple(data["tile_sizes"]), data["overlap_threshold"])
+
 
 @dataclass
 class TuneResult:
@@ -47,6 +64,38 @@ class TuneResult:
     time_single_ms: float
     time_parallel_ms: float
     n_groups: int
+    compile_s: float = 0.0
+    cache_hit: bool | None = None
+
+    def to_dict(self) -> dict:
+        return {**self.config.to_dict(),
+                "time_single_ms": self.time_single_ms,
+                "time_parallel_ms": self.time_parallel_ms,
+                "n_groups": self.n_groups,
+                "compile_s": self.compile_s,
+                "cache_hit": self.cache_hit}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TuneResult":
+        return cls(TuneConfig.from_dict(data),
+                   data["time_single_ms"], data["time_parallel_ms"],
+                   data["n_groups"], data.get("compile_s", 0.0),
+                   data.get("cache_hit"))
+
+
+@dataclass
+class SkippedConfig:
+    """A configuration that failed to compile, with the reason recorded."""
+
+    config: TuneConfig
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {**self.config.to_dict(), "reason": self.reason}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SkippedConfig":
+        return cls(TuneConfig.from_dict(data), data["reason"])
 
 
 @dataclass
@@ -54,7 +103,11 @@ class TuningReport:
     """All measurements from one autotuning run."""
 
     results: list[TuneResult] = field(default_factory=list)
+    skipped: list[SkippedConfig] = field(default_factory=list)
     elapsed_s: float = 0.0
+    backend: str = "native"
+    n_workers: int = 1
+    n_threads: int = 0
 
     def best(self, parallel: bool = True) -> TuneResult:
         """The fastest configuration (by parallel or single-thread time)."""
@@ -68,6 +121,66 @@ class TuningReport:
         """(1-thread ms, n-thread ms) pairs — the Figure 9 axes."""
         return [(r.time_single_ms, r.time_parallel_ms)
                 for r in self.results]
+
+    # -- cache observability ----------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit is False)
+
+    @property
+    def all_cache_hits(self) -> bool:
+        return bool(self.results) and all(r.cache_hit for r in self.results)
+
+    @property
+    def total_compile_s(self) -> float:
+        return sum(r.compile_s for r in self.results)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        best = None
+        if self.results:
+            best = self.best(parallel=True).to_dict()
+        return {"backend": self.backend,
+                "n_workers": self.n_workers,
+                "n_threads": self.n_threads,
+                "elapsed_s": self.elapsed_s,
+                "cache": {"hits": self.cache_hits,
+                          "misses": self.cache_misses},
+                "total_compile_s": self.total_compile_s,
+                "best": best,
+                "results": [r.to_dict() for r in self.results],
+                "skipped": [s.to_dict() for s in self.skipped]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TuningReport":
+        return cls(
+            results=[TuneResult.from_dict(r) for r in data.get("results", [])],
+            skipped=[SkippedConfig.from_dict(s)
+                     for s in data.get("skipped", [])],
+            elapsed_s=data.get("elapsed_s", 0.0),
+            backend=data.get("backend", "native"),
+            n_workers=data.get("n_workers", 1),
+            n_threads=data.get("n_threads", 0))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningReport":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningReport":
+        return cls.from_json(Path(path).read_text())
 
 
 def default_space(n_dims: int,
@@ -92,6 +205,31 @@ def _time_call(fn: Callable[[], object], repeats: int) -> float:
     return best * 1000.0
 
 
+def _measure(record: CompileRecord, config: TuneConfig, param_values,
+             inputs, backend: str, n_threads: int, repeats: int,
+             name: str) -> TuneResult:
+    """Time one compiled configuration (always on the calling process)."""
+    plan = record.plan
+    params, images = rebind_values(plan, param_values, inputs)
+    if backend == "native":
+        from repro.codegen.build import load_native
+        pipe = load_native(plan, f"{name}_{record.index}", record.info)
+
+        def run(n: int):
+            return pipe(params, images, n_threads=n)
+    else:
+        from repro.runtime.executor import execute_plan
+
+        def run(n: int):
+            return execute_plan(plan, params, images, n_threads=n)
+
+    single = _time_call(lambda: run(1), repeats)
+    parallel = _time_call(lambda: run(n_threads), repeats)
+    return TuneResult(config, single, parallel, record.n_groups,
+                      compile_s=record.compile_s,
+                      cache_hit=record.cache_hit)
+
+
 def autotune(outputs, estimates: Mapping, param_values: Mapping,
              inputs: Mapping, *,
              space: Iterable[TuneConfig] | None = None,
@@ -99,44 +237,51 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
              backend: str = "native",
              n_threads: int = 4,
              repeats: int = 2,
-             name: str = "tuned") -> TuningReport:
+             name: str = "tuned",
+             n_workers: int = 1,
+             cache_dir: str | Path | None = None) -> TuningReport:
     """Time every configuration of the (restricted) space.
 
     ``backend`` is ``"native"`` (generated C, as the paper measures) or
     ``"interp"`` (NumPy interpreter, for environments without a C
-    compiler).  Configurations whose compilation fails are skipped.
+    compiler).  Configurations whose compilation fails are skipped and
+    recorded, with the failure reason, in ``report.skipped``.
+
+    ``n_workers > 1`` compiles configurations concurrently in worker
+    processes; timing always runs one-at-a-time on the calling process,
+    and the returned report is ordered and selected identically to a
+    serial sweep.
     """
-    if space is None:
-        space = default_space(n_dims)
-    report = TuningReport()
+    space = list(space) if space is not None else default_space(n_dims)
+    n_workers = max(1, n_workers)
+    report = TuningReport(backend=backend, n_workers=n_workers,
+                          n_threads=n_threads)
     start = time.perf_counter()
+    estimates = dict(estimates)
+    measured: list[tuple[int, TuneResult]] = []
+    skipped: list[tuple[int, SkippedConfig]] = []
+    tasks = []
     for i, config in enumerate(space):
         try:
-            plan = compile_plan(outputs, estimates, config.options())
-        except Exception:
+            options = config.options()
+        except Exception as exc:
+            skipped.append((i, SkippedConfig(config, f"options: {exc}")))
             continue
-        if backend == "native":
-            from repro.codegen.build import build_native
-            pipe = build_native(plan, f"{name}_{i}")
+        tasks.append(CompileTask(i, tuple(outputs), estimates, options,
+                                 backend=backend,
+                                 cache_dir=str(cache_dir) if cache_dir
+                                 else None))
+    for record in run_compile_farm(tasks, n_workers):
+        config = space[record.index]
+        if not record.ok:
+            skipped.append((record.index,
+                            SkippedConfig(config, record.error)))
+            continue
+        measured.append((record.index,
+                         _measure(record, config, param_values, inputs,
+                                  backend, n_threads, repeats, name)))
 
-            def run():
-                return pipe(param_values, inputs, n_threads=n_threads)
-
-            def run_single():
-                return pipe(param_values, inputs, n_threads=1)
-        else:
-            from repro.runtime.executor import execute_plan
-
-            def run():
-                return execute_plan(plan, param_values, inputs,
-                                    n_threads=n_threads)
-
-            def run_single():
-                return execute_plan(plan, param_values, inputs, n_threads=1)
-
-        single = _time_call(run_single, repeats)
-        parallel = _time_call(run, repeats)
-        report.results.append(TuneResult(config, single, parallel,
-                                         len(plan.group_plans)))
+    report.results = [r for _, r in sorted(measured, key=lambda t: t[0])]
+    report.skipped = [s for _, s in sorted(skipped, key=lambda t: t[0])]
     report.elapsed_s = time.perf_counter() - start
     return report

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.bench.figure9 [--scale small|paper] [--apps ...]
                                   [--threads N] [--grid coarse|paper]
+                                  [--workers N] [--json PATH]
 
 For the three applications of the paper's Figure 9 (Pyramid Blending,
 Camera Pipeline, Multiscale Interpolation) the model-restricted space is
@@ -11,16 +12,23 @@ swept — tile sizes per tiled dimension and the three overlap thresholds —
 and each configuration's single-thread / N-thread times are printed (the
 figure's scatter points), plus the best configuration and total sweep
 time (the paper reports under 30 minutes per benchmark).
+
+``--workers N`` fans the compile jobs out over N processes (timing stays
+serialized); ``--json PATH`` writes every app's serialized
+:class:`~repro.autotune.tuner.TuningReport` to one JSON file, including
+per-configuration compile times and compile-cache hits.
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import json
 import sys
+from pathlib import Path
 
 from repro.autotune.tuner import TuneConfig, autotune
-from repro.bench.harness import format_table, make_instance
+from repro.bench.harness import cache_summary, format_table, make_instance
 
 FIGURE9_APPS = ("pyramid_blend", "camera", "interpolate")
 
@@ -47,7 +55,9 @@ def space_for(name: str, grid: str) -> list[TuneConfig]:
 
 
 def run_figure9(scale: str = "small", apps=None, threads: int = 4,
-                grid: str = "coarse", out=sys.stdout) -> dict:
+                grid: str = "coarse", workers: int = 1,
+                json_path: str | Path | None = None,
+                out=sys.stdout) -> dict:
     """Sweep and print the Figure 9 scatter data per app."""
     apps = apps or FIGURE9_APPS
     results = {}
@@ -56,20 +66,32 @@ def run_figure9(scale: str = "small", apps=None, threads: int = 4,
         report = autotune(
             instance.app.outputs, instance.values, instance.values,
             instance.inputs, space=space_for(name, grid),
-            n_threads=threads, name=f"fig9_{name}")
+            n_threads=threads, n_workers=workers, name=f"fig9_{name}")
         rows = [[str(r.config), r.time_single_ms, r.time_parallel_ms,
-                 r.n_groups] for r in report.results]
+                 r.n_groups, r.compile_s,
+                 "hit" if r.cache_hit else "miss"]
+                for r in report.results]
         print(f"\n## Figure 9 analog: {name} (scale={scale}, "
-              f"{len(report.results)} configs, sweep took "
-              f"{report.elapsed_s:.1f}s)\n", file=out)
+              f"{len(report.results)} configs, "
+              f"{len(report.skipped)} skipped, workers={workers}, "
+              f"sweep took {report.elapsed_s:.1f}s)\n", file=out)
         print(format_table(
-            ["config", "t(1) ms", f"t({threads}) ms", "groups"], rows),
+            ["config", "t(1) ms", f"t({threads}) ms", "groups",
+             "compile s", "cache"], rows),
             file=out)
         best = report.best()
         print(f"\nbest: {best.config} -> {best.time_parallel_ms:.2f} ms "
               f"({threads} threads)", file=out)
+        for skip in report.skipped:
+            print(f"skipped: {skip.config} ({skip.reason})", file=out)
         results[name] = report
         print(f"  [{name}] done", file=sys.stderr)
+    print(f"\n{cache_summary()}", file=out)
+    if json_path:
+        payload = {name: report.to_dict()
+                   for name, report in results.items()}
+        Path(json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)
     return results
 
 
@@ -81,9 +103,13 @@ def main() -> None:
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--grid", default="coarse",
                         choices=["coarse", "paper"])
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--json", default=None,
+                        help="write all TuningReports to this JSON file")
     args = parser.parse_args()
     apps = args.apps.split(",") if args.apps else None
-    run_figure9(args.scale, apps, args.threads, args.grid)
+    run_figure9(args.scale, apps, args.threads, args.grid,
+                workers=args.workers, json_path=args.json)
 
 
 if __name__ == "__main__":

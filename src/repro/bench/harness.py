@@ -163,7 +163,8 @@ def variant_options(name: str, variant: str) -> tuple[CompileOptions, bool]:
     return options, variant.endswith("+vec")
 
 
-def build_variant(instance: AppInstance, variant: str):
+def build_variant(instance: AppInstance, variant: str,
+                  cache_dir=None):
     """Compile one variant with the native backend; returns a callable
     ``run(n_threads) -> outputs``."""
     from repro.codegen.build import build_native
@@ -173,14 +174,26 @@ def build_variant(instance: AppInstance, variant: str):
                                 name=f"{instance.name}_{variant}")
     native = build_native(compiled.plan,
                           f"{instance.name}_{variant}".replace("+", "_"),
-                          vectorize=vectorize)
+                          vectorize=vectorize, cache_dir=cache_dir)
 
     def run(n_threads: int = 1):
         return native(instance.values, instance.inputs,
                       n_threads=n_threads)
 
     run.plan = compiled.plan  # type: ignore[attr-defined]
+    run.build_info = native.build_info  # type: ignore[attr-defined]
     return run
+
+
+def cache_summary(cache_dir=None) -> str:
+    """One-line description of the compile cache used by the harnesses."""
+    from repro.codegen.build import get_cache
+    cache = get_cache(cache_dir)
+    stats = cache.stats()
+    n = len(cache.entries())
+    return (f"compile cache: {cache.root} — {n} artifacts, "
+            f"{cache.size_bytes() / 1e6:.1f} MB, "
+            f"{stats.hits} hits / {stats.misses} misses this process")
 
 
 def time_ms(fn: Callable[[], object], runs: int = 6) -> float:

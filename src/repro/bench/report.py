@@ -23,7 +23,7 @@ import time
 
 def generate_report(scale: str = "small", threads: int = 2,
                     search_budget: int = 8,
-                    grid: str = "coarse") -> str:
+                    grid: str = "coarse", workers: int = 1) -> str:
     """Run every harness and return the full markdown report."""
     from repro.bench import (
         ablations, figure5, figure6, figure8, figure9, figure10, table2,
@@ -40,7 +40,8 @@ def generate_report(scale: str = "small", threads: int = 2,
     figure8.run_figure8(size=2048 if scale == "paper" else 512, out=out)
     table2.run_table2(scale, threads, search_budget=search_budget, out=out)
     figure10.run_figure10(scale, threads=(1, threads), out=out)
-    figure9.run_figure9(scale, threads=threads, grid=grid, out=out)
+    figure9.run_figure9(scale, threads=threads, grid=grid,
+                        workers=workers, out=out)
     ablations.run_ablations(scale, "harris", threads, out=out)
 
     print(f"\n\n_total report generation time: "
@@ -56,10 +57,12 @@ def main() -> None:
     parser.add_argument("--search-budget", type=int, default=8)
     parser.add_argument("--grid", default="coarse",
                         choices=["coarse", "paper"])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="compile-farm processes for the autotune sweep")
     parser.add_argument("-o", "--output", default=None)
     args = parser.parse_args()
     report = generate_report(args.scale, args.threads, args.search_budget,
-                             args.grid)
+                             args.grid, args.workers)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(report)

@@ -6,25 +6,48 @@ native shared object -> callable pipeline.  The original uses icc with
 default) with ``-O3 -march=native -fopenmp``.  ``vectorize=False``
 compiles with the auto-vectorizer disabled, giving the paper's
 non-vectorized comparison points.
+
+Compiled artifacts live in a persistent, concurrency-safe cache
+(:class:`CompileCache`).  Artifacts are keyed by a content digest of the
+generated C *source* and the compiler *flags* — never by the caller's
+pipeline name — so identical configurations hit the cache across
+autotune runs and across processes.  Every generated translation unit is
+emitted with one canonical entry-point symbol; the user-facing name is
+cosmetic (it only affects the :attr:`NativePipeline.source` listing).
+Publication is atomic: sources and shared objects are written to
+uniquely-named temporaries in the cache directory and moved into place
+with :func:`os.replace`, so concurrent writers — e.g. the parallel
+autotuner's compile farm (:mod:`repro.autotune.farm`) — can race on the
+same key without a reader ever observing a torn file.
 """
 
 from __future__ import annotations
 
 import ctypes
 import hashlib
+import os
 import shutil
 import subprocess
 import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.codegen.cgen import CGenerator, generate_c
+from repro.codegen.cgen import generate_c
 from repro.compiler.plan import PipelinePlan
 from repro.lang.constructs import Parameter
 from repro.lang.image import Image
 from repro.poly.affine import to_affine
+
+#: the pipeline name every cached translation unit is generated with; the
+#: exported symbol is derived from it, so one artifact serves all callers
+CANONICAL_NAME = "repro_kernel"
+CANONICAL_FUNC = "pipe_" + CANONICAL_NAME
 
 
 class BuildError(RuntimeError):
@@ -44,14 +67,208 @@ def compiler_available() -> bool:
     return find_compiler() is not None
 
 
+def build_flags(*, vectorize: bool = True,
+                extra_flags: Sequence[str] = ()) -> tuple[str, ...]:
+    """The full compiler flag set for one build configuration."""
+    flags = ["-O3", "-march=native", "-fopenmp", "-shared", "-fPIC",
+             "-std=gnu11"]
+    if not vectorize:
+        flags += ["-fno-tree-vectorize", "-fno-tree-slp-vectorize"]
+    return tuple(flags) + tuple(extra_flags)
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or a per-user temp directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(tempfile.gettempdir()) / "repro_codegen"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one in-process cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+@dataclass(frozen=True)
+class BuildInfo:
+    """Provenance of one compiled artifact (picklable across processes)."""
+
+    key: str
+    so_path: Path
+    cache_hit: bool
+    compile_s: float
+
+    @property
+    def c_path(self) -> Path:
+        return self.so_path.with_suffix(".c")
+
+
+class CompileCache:
+    """Persistent cache of compiled shared objects, safe under concurrency.
+
+    Layout: ``<root>/<digest>.so`` plus the matching ``<digest>.c`` for
+    inspection, where ``digest`` is a SHA-256 over flags and source.
+    Writers compile into dot-prefixed temporaries and publish with
+    ``os.replace``; duplicate concurrent builds of the same key are
+    allowed (both produce identical bytes, last replace wins).
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # -- keys --------------------------------------------------------------
+    @staticmethod
+    def key_for(source: str, flags: Sequence[str]) -> str:
+        h = hashlib.sha256()
+        h.update("\x1f".join(flags).encode())
+        h.update(b"\x00")
+        h.update(source.encode())
+        return h.hexdigest()[:32]
+
+    def so_path(self, key: str) -> Path:
+        return self.root / f"{key}.so"
+
+    # -- lookup / build ----------------------------------------------------
+    def get_or_compile(self, source: str, flags: Sequence[str],
+                       cc: str | None = None) -> BuildInfo:
+        """Return the artifact for (source, flags), compiling on miss."""
+        key = self.key_for(source, flags)
+        so_path = self.so_path(key)
+        if so_path.exists():
+            with self._lock:
+                self._stats.hits += 1
+            return BuildInfo(key, so_path, True, 0.0)
+        cc = cc or find_compiler()
+        if cc is None:
+            raise BuildError("no C compiler found (tried gcc, cc, clang)")
+        t0 = time.perf_counter()
+        tag = uuid.uuid4().hex
+        tmp_c = self.root / f".{key}.{tag}.c"
+        tmp_so = self.root / f".{key}.{tag}.so"
+        try:
+            tmp_c.write_text(source)
+            cmd = [cc, *flags, str(tmp_c), "-o", str(tmp_so), "-lm"]
+            result = subprocess.run(cmd, capture_output=True, text=True)
+            if result.returncode != 0:
+                raise BuildError(
+                    f"C compilation failed:\n{' '.join(cmd)}\n"
+                    f"{result.stderr}")
+            os.replace(tmp_c, so_path.with_suffix(".c"))
+            os.replace(tmp_so, so_path)
+        finally:
+            for tmp in (tmp_c, tmp_so):
+                tmp.unlink(missing_ok=True)
+        with self._lock:
+            self._stats.misses += 1
+        return BuildInfo(key, so_path, False, time.perf_counter() - t0)
+
+    # -- inspection / maintenance -----------------------------------------
+    def entries(self) -> list[Path]:
+        """Published shared objects, oldest first."""
+        return sorted(self.root.glob("*.so"), key=lambda p: p.stat().st_mtime)
+
+    def size_bytes(self) -> int:
+        total = 0
+        for so in self.entries():
+            for path in (so, so.with_suffix(".c")):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(self._stats.hits, self._stats.misses,
+                              self._stats.evictions)
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = CacheStats()
+
+    def _remove(self, so: Path) -> None:
+        for path in (so, so.with_suffix(".c")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def evict(self, max_entries: int | None = None,
+              max_bytes: int | None = None) -> int:
+        """Drop oldest artifacts until within the given bounds."""
+        removed = 0
+        entries = self.entries()
+        if max_entries is not None:
+            while len(entries) > max_entries:
+                self._remove(entries.pop(0))
+                removed += 1
+        if max_bytes is not None:
+            while entries and self.size_bytes() > max_bytes:
+                self._remove(entries.pop(0))
+                removed += 1
+        with self._lock:
+            self._stats.evictions += removed
+        return removed
+
+    def clear(self) -> int:
+        """Remove every artifact (and stray temporaries); returns count."""
+        removed = 0
+        for so in self.entries():
+            self._remove(so)
+            removed += 1
+        for tmp in self.root.glob(".*.c"):
+            tmp.unlink(missing_ok=True)
+        for tmp in self.root.glob(".*.so"):
+            tmp.unlink(missing_ok=True)
+        with self._lock:
+            self._stats.evictions += removed
+        return removed
+
+
+_caches: dict[str, CompileCache] = {}
+_caches_lock = threading.Lock()
+
+
+def get_cache(cache_dir: str | Path | None = None) -> CompileCache:
+    """The process-wide cache handle for a root (default root if None)."""
+    root = os.path.abspath(str(cache_dir) if cache_dir
+                           else default_cache_dir())
+    with _caches_lock:
+        cache = _caches.get(root)
+        if cache is None:
+            cache = _caches[root] = CompileCache(root)
+    return cache
+
+
 class NativePipeline:
     """A compiled-to-native pipeline, callable like the interpreter."""
 
     def __init__(self, plan: PipelinePlan, source: str, lib_path: Path,
-                 func_name: str):
+                 func_name: str, build_info: BuildInfo | None = None):
         self.plan = plan
         self.source = source
         self.lib_path = lib_path
+        self.build_info = build_info
         self._lib = ctypes.CDLL(str(lib_path))
         self._func = getattr(self._lib, func_name)
         self._func.restype = None
@@ -62,12 +279,22 @@ class NativePipeline:
     def __call__(self, param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
                  *, n_threads: int = 1) -> dict[str, np.ndarray]:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
         params = dict(param_values)
+        missing = [p.name for p in self._params if p not in params]
+        if missing:
+            raise ValueError(
+                "missing value for parameter(s): "
+                + ", ".join(sorted(missing)))
         args: list = [ctypes.c_int(n_threads)]
         args += [ctypes.c_long(int(params[p])) for p in self._params]
 
         arrays = []
         for image in self._images:
+            if image not in inputs:
+                raise ValueError(
+                    f"missing input array for image {image.name!r}")
             extents = tuple(
                 to_affine(e, params_only=True).evaluate_int(params)
                 for e in image.extents)
@@ -98,36 +325,55 @@ class NativePipeline:
         return outputs
 
 
-def build_native(plan: PipelinePlan, name: str = "pipeline",
-                 *, vectorize: bool = True,
-                 cache_dir: str | Path | None = None,
-                 extra_flags: tuple[str, ...] = ()) -> NativePipeline:
-    """Generate, compile and load the C implementation of a plan."""
+def compile_artifact(plan: PipelinePlan, *, vectorize: bool = True,
+                     cache_dir: str | Path | None = None,
+                     extra_flags: tuple[str, ...] = (),
+                     cache: CompileCache | None = None) -> BuildInfo:
+    """Generate C for a plan and compile it into the cache (no ctypes load).
+
+    This is the process-safe half of :func:`build_native`: it can run in a
+    worker process and its :class:`BuildInfo` result pickles back to the
+    parent, which loads the published artifact with :func:`load_native`.
+    """
     cc = find_compiler()
     if cc is None:
         raise BuildError("no C compiler found (tried gcc, cc, clang)")
-    source = generate_c(plan, name)
-    func_name = CGenerator(plan, name).func_name
+    source = generate_c(plan, CANONICAL_NAME)
+    flags = build_flags(vectorize=vectorize, extra_flags=tuple(extra_flags))
+    if cache is None:
+        cache = get_cache(cache_dir)
+    return cache.get_or_compile(source, flags, cc)
 
-    flags = ["-O3", "-march=native", "-fopenmp", "-shared", "-fPIC",
-             "-std=gnu11"]
-    if not vectorize:
-        flags += ["-fno-tree-vectorize", "-fno-tree-slp-vectorize"]
-    flags += list(extra_flags)
 
-    digest = hashlib.sha256(
-        (source + " ".join(flags)).encode()).hexdigest()[:16]
-    base = Path(cache_dir) if cache_dir else \
-        Path(tempfile.gettempdir()) / "repro_codegen"
-    base.mkdir(parents=True, exist_ok=True)
-    c_path = base / f"{name}_{digest}.c"
-    so_path = base / f"{name}_{digest}.so"
+def load_native(plan: PipelinePlan, name: str = "pipeline",
+                info: BuildInfo | None = None) -> NativePipeline:
+    """Wrap a published artifact as a callable :class:`NativePipeline`.
 
-    if not so_path.exists():
-        c_path.write_text(source)
-        cmd = [cc, *flags, str(c_path), "-o", str(so_path), "-lm"]
-        result = subprocess.run(cmd, capture_output=True, text=True)
-        if result.returncode != 0:
-            raise BuildError(
-                f"C compilation failed:\n{' '.join(cmd)}\n{result.stderr}")
-    return NativePipeline(plan, source, so_path, func_name)
+    ``info`` is the result of :func:`compile_artifact` (possibly from
+    another process).  The ``.source`` attribute is presented under the
+    caller's ``name`` even though the artifact exports the canonical
+    symbol.
+    """
+    if info is None:
+        return build_native(plan, name)
+    try:
+        source = info.c_path.read_text()
+    except OSError:
+        source = generate_c(plan, CANONICAL_NAME)
+    from repro.codegen.cgen import _sanitize
+    user_func = "pipe_" + _sanitize(name)
+    if user_func != CANONICAL_FUNC:
+        source = source.replace(CANONICAL_FUNC, user_func)
+    return NativePipeline(plan, source, info.so_path, CANONICAL_FUNC,
+                          build_info=info)
+
+
+def build_native(plan: PipelinePlan, name: str = "pipeline",
+                 *, vectorize: bool = True,
+                 cache_dir: str | Path | None = None,
+                 extra_flags: tuple[str, ...] = (),
+                 cache: CompileCache | None = None) -> NativePipeline:
+    """Generate, compile and load the C implementation of a plan."""
+    info = compile_artifact(plan, vectorize=vectorize, cache_dir=cache_dir,
+                            extra_flags=extra_flags, cache=cache)
+    return load_native(plan, name, info)

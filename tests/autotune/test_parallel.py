@@ -1,0 +1,177 @@
+"""Parallel autotuning: compile farm, skip recording, report JSON."""
+
+import numpy as np
+import pytest
+
+from repro.apps.harris import build_pipeline
+from repro.autotune import farm as farm_mod
+from repro.autotune.farm import (
+    CompileTask, compile_one, rebind_values, run_compile_farm,
+)
+from repro.autotune.tuner import (
+    SkippedConfig, TuneConfig, TuneResult, TuningReport, autotune,
+)
+from repro.codegen.build import compiler_available
+
+
+@pytest.fixture(scope="module")
+def harris_small():
+    app = build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 96, C: 96}
+    inputs = app.make_inputs(values, np.random.default_rng(1))
+    return app, values, inputs
+
+
+SPACE = [TuneConfig((16, 16), 0.4), TuneConfig((32, 32), 0.4),
+         TuneConfig((16, 64), 0.2), TuneConfig((64, 64), 0.5)]
+
+
+def test_parallel_interp_matches_serial_coverage(harris_small):
+    """Workers change wall-clock, not the set or order of measurements."""
+    app, values, inputs = harris_small
+    serial = autotune(app.outputs, values, values, inputs, space=SPACE,
+                      backend="interp", n_threads=2, repeats=1)
+    parallel = autotune(app.outputs, values, values, inputs, space=SPACE,
+                        backend="interp", n_threads=2, repeats=1,
+                        n_workers=2)
+    assert [r.config for r in serial.results] == \
+        [r.config for r in parallel.results] == SPACE
+    assert parallel.n_workers == 2 and serial.n_workers == 1
+    assert not serial.skipped and not parallel.skipped
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler")
+def test_second_native_run_all_cache_hits(harris_small, tmp_path):
+    app, values, inputs = harris_small
+    first = autotune(app.outputs, values, values, inputs, space=SPACE[:3],
+                     n_threads=2, repeats=1, n_workers=2,
+                     cache_dir=tmp_path)
+    assert first.cache_misses == 3 and first.cache_hits == 0
+    second = autotune(app.outputs, values, values, inputs, space=SPACE[:3],
+                      n_threads=2, repeats=1, n_workers=2,
+                      cache_dir=tmp_path)
+    assert second.all_cache_hits
+    assert second.cache_hits == 3
+    data = second.to_dict()
+    assert data["cache"] == {"hits": 3, "misses": 0}
+    assert all(r["cache_hit"] for r in data["results"])
+
+
+def test_plan_failure_recorded_not_fatal(harris_small, monkeypatch):
+    """A middle-end crash on one configuration skips it with a reason."""
+    app, values, inputs = harris_small
+    real_compile_plan = farm_mod.compile_plan
+
+    def exploding(outputs, estimates, options):
+        if options.tile_sizes == (32, 32):
+            raise RuntimeError("synthetic middle-end failure")
+        return real_compile_plan(outputs, estimates, options)
+
+    monkeypatch.setattr(farm_mod, "compile_plan", exploding)
+    report = autotune(app.outputs, values, values, inputs, space=SPACE,
+                      backend="interp", n_threads=2, repeats=1)
+    assert [r.config for r in report.results] == \
+        [c for c in SPACE if c.tile_sizes != (32, 32)]
+    assert len(report.skipped) == 1
+    skip = report.skipped[0]
+    assert skip.config.tile_sizes == (32, 32)
+    assert "plan" in skip.reason and "synthetic" in skip.reason
+
+
+@pytest.mark.skipif(not compiler_available(), reason="no C compiler")
+def test_build_failure_recorded_not_fatal(harris_small, monkeypatch,
+                                          tmp_path):
+    """A BuildError on one configuration must not abort the sweep."""
+    from repro.codegen import build as build_mod
+    app, values, inputs = harris_small
+    real = build_mod.compile_artifact
+    calls = []
+
+    def failing(plan, **kwargs):
+        calls.append(plan)
+        if len(calls) == 1:
+            raise build_mod.BuildError("synthetic compiler explosion")
+        return real(plan, **kwargs)
+
+    monkeypatch.setattr(build_mod, "compile_artifact", failing)
+    report = autotune(app.outputs, values, values, inputs, space=SPACE[:2],
+                      n_threads=2, repeats=1, cache_dir=tmp_path)
+    assert len(report.results) == 1
+    assert len(report.skipped) == 1
+    assert report.skipped[0].reason.startswith("build:")
+    assert "synthetic compiler explosion" in report.skipped[0].reason
+
+
+def test_invalid_options_recorded_not_fatal(harris_small):
+    """A config whose options are invalid (tile size 0) is skipped with
+    a reason instead of aborting the sweep at task construction."""
+    app, values, inputs = harris_small
+    space = [TuneConfig((0, 0), 0.4), TuneConfig((16, 16), 0.4)]
+    report = autotune(app.outputs, values, values, inputs, space=space,
+                      backend="interp", n_threads=2, repeats=1)
+    assert [r.config for r in report.results] == [space[1]]
+    assert len(report.skipped) == 1
+    assert report.skipped[0].reason.startswith("options:")
+
+
+def test_report_json_roundtrip():
+    report = TuningReport(
+        results=[TuneResult(TuneConfig((16, 64), 0.4), 12.5, 4.25, 3,
+                            compile_s=1.5, cache_hit=False)],
+        skipped=[SkippedConfig(TuneConfig((8, 8), 0.2), "plan: boom")],
+        elapsed_s=9.75, backend="native", n_workers=4, n_threads=8)
+    back = TuningReport.from_json(report.to_json())
+    assert back.results == report.results
+    assert back.skipped == report.skipped
+    assert back.elapsed_s == report.elapsed_s
+    assert back.n_workers == 4 and back.n_threads == 8
+    assert back.best().config == TuneConfig((16, 64), 0.4)
+
+
+def test_report_save_load(tmp_path):
+    report = TuningReport(
+        results=[TuneResult(TuneConfig((32,), 0.2), 1.0, 0.5, 1)],
+        backend="interp")
+    path = report.save(tmp_path / "report.json")
+    assert TuningReport.load(path).results == report.results
+
+
+def test_rebind_values_after_pickle(harris_small):
+    """Plans that crossed a process boundary get name-matched mappings."""
+    import pickle
+    app, values, inputs = harris_small
+    task = CompileTask(0, tuple(app.outputs), dict(values),
+                       TuneConfig((16, 16), 0.4).options(),
+                       backend="interp")
+    record = pickle.loads(pickle.dumps(compile_one(task)))
+    params, images = rebind_values(record.plan, values, inputs)
+    assert len(params) == len(values) and len(images) == len(inputs)
+    assert all(k in record.plan.estimates for k in params)
+    from repro.runtime.executor import execute_plan
+    out = execute_plan(record.plan, params, images)
+    assert out["harris"].shape
+
+
+def test_farm_serial_path_yields_in_order(harris_small):
+    app, values, inputs = harris_small
+    tasks = [CompileTask(i, tuple(app.outputs), dict(values),
+                         c.options(), backend="interp")
+             for i, c in enumerate(SPACE[:2])]
+    records = list(run_compile_farm(tasks, n_workers=1))
+    assert [r.index for r in records] == [0, 1]
+    assert all(r.ok and r.n_groups > 0 for r in records)
+
+
+def test_random_search_parallel_and_skips(harris_small):
+    from repro.autotune.random_search import random_search
+    app, values, inputs = harris_small
+    serial = random_search(app.outputs, values, values, inputs,
+                           budget=3, backend="interp", seed=3)
+    parallel = random_search(app.outputs, values, values, inputs,
+                             budget=3, backend="interp", seed=3,
+                             n_workers=2)
+    assert [r.config for r in serial.results] == \
+        [r.config for r in parallel.results]
+    data = parallel.to_dict()
+    assert len(data["results"]) == len(parallel.results)

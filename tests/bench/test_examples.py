@@ -15,6 +15,7 @@ EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
     ("pyramid_blend.py", ["64"]),
     ("camera_raw.py", ["64", "64"]),
     ("show_generated_code.py", []),
+    ("parallel_autotune.py", ["96", "2"]),
 ])
 def test_example_runs(script, args):
     result = subprocess.run(

@@ -50,6 +50,22 @@ def test_build_cached(compiled):
     assert cp.build() is cp.build()
 
 
+def test_build_kwargs_not_stale(compiled):
+    """build() then build(vectorize=False) must not return the stale
+    vectorized binary — the memo is keyed on the build options."""
+    from repro.codegen.build import compiler_available
+    if not compiler_available():
+        pytest.skip("no C compiler")
+    app, est, cp = compiled
+    vec = cp.build()
+    novec = cp.build(vectorize=False)
+    assert vec is not novec
+    assert vec.lib_path != novec.lib_path
+    # each option set is still memoized individually
+    assert cp.build() is vec
+    assert cp.build(vectorize=False) is novec
+
+
 def test_native_pipeline_exposes_source(compiled):
     from repro.codegen.build import compiler_available
     if not compiler_available():

@@ -1,0 +1,140 @@
+"""The persistent, concurrency-safe compiled-artifact cache."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps.harris import build_pipeline
+from repro.codegen.build import (
+    CANONICAL_FUNC, CompileCache, build_flags, build_native,
+    compile_artifact, compiler_available, load_native,
+)
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler")
+
+RNG = np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    app = build_pipeline()
+    est = {app.params["R"]: 64, app.params["C"]: 64}
+    plan = compile_pipeline(app.outputs, est,
+                            CompileOptions.optimized((16, 16)),
+                            name="cache_harris").plan
+    return app, est, plan
+
+
+def test_digest_ignores_pipeline_name(plan, tmp_path):
+    """Identical plans under different names share one artifact."""
+    app, est, p = plan
+    a = build_native(p, "name_one", cache_dir=tmp_path)
+    b = build_native(p, "name_two", cache_dir=tmp_path)
+    assert a.lib_path == b.lib_path
+    assert a.build_info.cache_hit is False
+    assert b.build_info.cache_hit is True
+    assert len(list(tmp_path.glob("*.so"))) == 1
+    # the cosmetic source listing still carries the caller's name
+    assert "pipe_name_one" in a.source
+    assert "pipe_name_two" in b.source
+
+
+def test_digest_keys_on_flags(plan, tmp_path):
+    app, est, p = plan
+    a = build_native(p, "flags", cache_dir=tmp_path)
+    b = build_native(p, "flags", cache_dir=tmp_path, vectorize=False)
+    assert a.lib_path != b.lib_path
+    assert b.build_info.cache_hit is False
+    assert len(list(tmp_path.glob("*.so"))) == 2
+
+
+def test_key_for_is_deterministic():
+    flags = build_flags()
+    assert CompileCache.key_for("int x;", flags) == \
+        CompileCache.key_for("int x;", flags)
+    assert CompileCache.key_for("int x;", flags) != \
+        CompileCache.key_for("int y;", flags)
+    assert CompileCache.key_for("int x;", flags) != \
+        CompileCache.key_for("int x;", build_flags(vectorize=False))
+
+
+def test_cached_artifact_runs_correctly(plan, tmp_path):
+    app, est, p = plan
+    inputs = app.make_inputs(est, RNG)
+    first = build_native(p, "run1", cache_dir=tmp_path)
+    expected = first(est, inputs)["harris"]
+    again = build_native(p, "run2", cache_dir=tmp_path)
+    assert again.build_info.cache_hit
+    np.testing.assert_array_equal(again(est, inputs)["harris"], expected)
+
+
+def test_stats_and_eviction(plan, tmp_path):
+    app, est, p = plan
+    cache = CompileCache(tmp_path)
+    infos = [compile_artifact(p, cache=cache, extra_flags=(f"-DX{i}",))
+             for i in range(3)]
+    assert len({i.key for i in infos}) == 3
+    stats = cache.stats()
+    assert stats.misses == 3 and stats.hits == 0
+    compile_artifact(p, cache=cache, extra_flags=("-DX0",))
+    assert cache.stats().hits == 1
+    assert cache.size_bytes() > 0
+
+    removed = cache.evict(max_entries=1)
+    assert removed == 2
+    assert len(cache.entries()) == 1
+    assert cache.stats().evictions == 2
+    assert cache.clear() == 1
+    assert cache.entries() == []
+    assert not list(tmp_path.glob("*.c"))
+
+
+def test_load_native_survives_missing_source(plan, tmp_path):
+    """The .c listing is a cache nicety; losing it must not break load."""
+    app, est, p = plan
+    info = compile_artifact(p, cache_dir=tmp_path)
+    info.c_path.unlink()
+    pipe = load_native(p, "nosrc", info)
+    assert CANONICAL_FUNC.replace("repro_kernel", "nosrc") in pipe.source
+    inputs = app.make_inputs(est, RNG)
+    assert pipe(est, inputs)["harris"].shape
+
+
+def _worker_build(args):
+    cache_dir, idx = args
+    import numpy as np
+
+    from repro import CompileOptions, compile_pipeline
+    from repro.apps.harris import build_pipeline
+    from repro.codegen.build import build_native
+
+    app = build_pipeline()
+    est = {app.params["R"]: 48, app.params["C"]: 48}
+    plan = compile_pipeline(app.outputs, est,
+                            CompileOptions.optimized((16, 16)),
+                            name="concurrent").plan
+    pipe = build_native(plan, f"concurrent_{idx}", cache_dir=cache_dir)
+    inputs = app.make_inputs(est, np.random.default_rng(0))
+    out = pipe(est, inputs)["harris"]
+    return str(pipe.lib_path), float(out.sum())
+
+
+def test_concurrent_builds_publish_one_valid_artifact(tmp_path):
+    """Several processes racing on the same key: exactly one published
+    ``.so``, no torn reads, identical results everywhere."""
+    n = 4
+    with multiprocessing.get_context("spawn").Pool(n) as pool:
+        results = pool.map(_worker_build, [(str(tmp_path), i)
+                                           for i in range(n)])
+    paths = {path for path, _ in results}
+    sums = {s for _, s in results}
+    assert len(paths) == 1
+    assert len(sums) == 1
+    published = list(tmp_path.glob("*.so"))
+    assert len(published) == 1
+    # no leftover temporaries
+    assert not list(tmp_path.glob(".*.so")) and \
+        not list(tmp_path.glob(".*.c"))

@@ -23,6 +23,34 @@ def native():
     return app, est, build_native(plan, "nat_err")
 
 
+def test_missing_parameter_named(native):
+    """A missing Parameter raises ValueError naming it, like the
+    interpreter backend — not a bare KeyError."""
+    app, est, pipe = native
+    R = app.params["R"]
+    rng = np.random.default_rng(0)
+    inputs = app.make_inputs(est, rng)
+    with pytest.raises(ValueError, match="parameter.*C"):
+        pipe({R: 64}, inputs)
+    with pytest.raises(ValueError, match="C.*R|R.*C"):
+        pipe({}, inputs)
+
+
+def test_invalid_thread_count_rejected(native):
+    app, est, pipe = native
+    rng = np.random.default_rng(0)
+    inputs = app.make_inputs(est, rng)
+    for bad in (0, -3):
+        with pytest.raises(ValueError, match="n_threads"):
+            pipe(est, inputs, n_threads=bad)
+
+
+def test_missing_input_image_named(native):
+    app, est, pipe = native
+    with pytest.raises(ValueError, match="missing input.*"):
+        pipe(est, {})
+
+
 def test_wrong_input_shape_rejected(native):
     app, est, pipe = native
     with pytest.raises(ValueError, match="shape"):
