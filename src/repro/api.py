@@ -29,6 +29,7 @@ from repro.compiler.options import CompileOptions
 from repro.compiler.plan import PipelinePlan, compile_plan
 from repro.lang.constructs import Parameter
 from repro.lang.image import Image
+from repro.observe.trace import Tracer
 from repro.pipeline.graph import Stage
 from repro.runtime.executor import execute_plan
 
@@ -45,18 +46,20 @@ class CompiledPipeline:
     def __call__(self, param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
                  *, vectorize: bool = True,
-                 n_threads: int = 1) -> dict[str, np.ndarray]:
+                 n_threads: int = 1,
+                 tracer: Tracer | None = None) -> dict[str, np.ndarray]:
         """Execute with the NumPy interpreter backend."""
         return execute_plan(self.plan, param_values, inputs,
-                            vectorize=vectorize, n_threads=n_threads)
+                            vectorize=vectorize, n_threads=n_threads,
+                            tracer=tracer)
 
     execute = __call__
 
     # -- C backend -----------------------------------------------------------
-    def c_source(self) -> str:
+    def c_source(self, instrument: bool = False) -> str:
         """Generate C source implementing the pipeline (Figure 7 style)."""
         from repro.codegen.cgen import generate_c
-        return generate_c(self.plan, self.name)
+        return generate_c(self.plan, self.name, instrument=instrument)
 
     def build(self, **kwargs):
         """Compile the generated C with the system compiler and return a
@@ -81,6 +84,12 @@ class CompiledPipeline:
     def summary(self) -> str:
         return self.plan.summary()
 
+    def explain(self) -> str:
+        """Replay the compiler's decisions: every grouping merge candidate
+        with its overlap cost and verdict, the final groups with tile
+        sizes and halo widths, and each stage's storage classification."""
+        return self.plan.explain()
+
     @property
     def options(self) -> CompileOptions:
         return self.plan.options
@@ -93,12 +102,15 @@ class CompiledPipeline:
 def compile_pipeline(outputs: Sequence[Stage],
                      estimates: Mapping[Parameter, int],
                      options: CompileOptions | None = None,
-                     name: str = "pipeline") -> CompiledPipeline:
+                     name: str = "pipeline",
+                     tracer: Tracer | None = None) -> CompiledPipeline:
     """Compile a pipeline given its live-out stages.
 
     ``estimates`` supply a representative value per :class:`Parameter` —
     the heuristics optimize for sizes around them, but the compiled
-    pipeline remains valid for all parameter values.
+    pipeline remains valid for all parameter values.  ``tracer`` records
+    per-phase compile spans (defaults to the process-global tracer,
+    disabled unless e.g. ``repro.observe.tracing`` enabled it).
     """
-    plan = compile_plan(outputs, estimates, options)
+    plan = compile_plan(outputs, estimates, options, tracer=tracer)
     return CompiledPipeline(plan, name)

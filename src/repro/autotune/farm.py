@@ -41,6 +41,8 @@ class CompileTask:
     backend: str = "native"
     cache_dir: str | None = None
     vectorize: bool = True
+    #: build with in-library per-group timers (native backend only)
+    instrument: bool = False
 
 
 @dataclass
@@ -87,6 +89,7 @@ def compile_one(task: CompileTask) -> CompileRecord:
         from repro.codegen.build import BuildError, compile_artifact
         try:
             info = compile_artifact(plan, vectorize=task.vectorize,
+                                    instrument=task.instrument,
                                     cache_dir=task.cache_dir)
         except BuildError as exc:
             return CompileRecord(task.index,

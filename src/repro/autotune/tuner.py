@@ -58,7 +58,13 @@ class TuneConfig:
 
 @dataclass
 class TuneResult:
-    """Measured times for one configuration (Figure 9's data points)."""
+    """Measured times for one configuration (Figure 9's data points).
+
+    Times are the best (minimum) of the repeats, as the paper selects;
+    the standard deviations expose run-to-run noise.  ``profile`` is the
+    per-group native stats summary (group seconds and tile counts) when
+    the sweep ran with ``profile=True``.
+    """
 
     config: TuneConfig
     time_single_ms: float
@@ -66,21 +72,30 @@ class TuneResult:
     n_groups: int
     compile_s: float = 0.0
     cache_hit: bool | None = None
+    time_single_std_ms: float = 0.0
+    time_parallel_std_ms: float = 0.0
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
         return {**self.config.to_dict(),
                 "time_single_ms": self.time_single_ms,
                 "time_parallel_ms": self.time_parallel_ms,
+                "time_single_std_ms": self.time_single_std_ms,
+                "time_parallel_std_ms": self.time_parallel_std_ms,
                 "n_groups": self.n_groups,
                 "compile_s": self.compile_s,
-                "cache_hit": self.cache_hit}
+                "cache_hit": self.cache_hit,
+                "profile": self.profile}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TuneResult":
         return cls(TuneConfig.from_dict(data),
                    data["time_single_ms"], data["time_parallel_ms"],
                    data["n_groups"], data.get("compile_s", 0.0),
-                   data.get("cache_hit"))
+                   data.get("cache_hit"),
+                   data.get("time_single_std_ms", 0.0),
+                   data.get("time_parallel_std_ms", 0.0),
+                   data.get("profile"))
 
 
 @dataclass
@@ -195,14 +210,18 @@ def default_space(n_dims: int,
     return out
 
 
-def _time_call(fn: Callable[[], object], repeats: int) -> float:
+def _time_call(fn: Callable[[], object],
+               repeats: int) -> tuple[float, float]:
+    """(best ms, std ms) over ``repeats`` runs after one warm-up."""
+    import statistics
     fn()  # warm up (the paper discards the first run)
-    best = float("inf")
+    times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best * 1000.0
+        times.append((time.perf_counter() - t0) * 1000.0)
+    std = statistics.pstdev(times) if len(times) > 1 else 0.0
+    return min(times), std
 
 
 def _measure(record: CompileRecord, config: TuneConfig, param_values,
@@ -211,6 +230,7 @@ def _measure(record: CompileRecord, config: TuneConfig, param_values,
     """Time one compiled configuration (always on the calling process)."""
     plan = record.plan
     params, images = rebind_values(plan, param_values, inputs)
+    pipe = None
     if backend == "native":
         from repro.codegen.build import load_native
         pipe = load_native(plan, f"{name}_{record.index}", record.info)
@@ -223,11 +243,18 @@ def _measure(record: CompileRecord, config: TuneConfig, param_values,
         def run(n: int):
             return execute_plan(plan, params, images, n_threads=n)
 
-    single = _time_call(lambda: run(1), repeats)
-    parallel = _time_call(lambda: run(n_threads), repeats)
+    single, single_std = _time_call(lambda: run(1), repeats)
+    parallel, parallel_std = _time_call(lambda: run(n_threads), repeats)
+    # per-group profile of the last (parallel) run, for instrumented builds
+    profile = None
+    if pipe is not None and pipe.last_stats is not None:
+        profile = pipe.last_stats.as_dict()
     return TuneResult(config, single, parallel, record.n_groups,
                       compile_s=record.compile_s,
-                      cache_hit=record.cache_hit)
+                      cache_hit=record.cache_hit,
+                      time_single_std_ms=single_std,
+                      time_parallel_std_ms=parallel_std,
+                      profile=profile)
 
 
 def autotune(outputs, estimates: Mapping, param_values: Mapping,
@@ -239,7 +266,8 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
              repeats: int = 2,
              name: str = "tuned",
              n_workers: int = 1,
-             cache_dir: str | Path | None = None) -> TuningReport:
+             cache_dir: str | Path | None = None,
+             profile: bool = False) -> TuningReport:
     """Time every configuration of the (restricted) space.
 
     ``backend`` is ``"native"`` (generated C, as the paper measures) or
@@ -251,6 +279,11 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     processes; timing always runs one-at-a-time on the calling process,
     and the returned report is ordered and selected identically to a
     serial sweep.
+
+    ``profile=True`` (native backend) builds every configuration with
+    in-library per-group timers and attaches the per-group seconds /
+    tile counts of the measured run to each :class:`TuneResult` — note
+    the timers add a small overhead to the reported times.
     """
     space = list(space) if space is not None else default_space(n_dims)
     n_workers = max(1, n_workers)
@@ -270,7 +303,8 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
         tasks.append(CompileTask(i, tuple(outputs), estimates, options,
                                  backend=backend,
                                  cache_dir=str(cache_dir) if cache_dir
-                                 else None))
+                                 else None,
+                                 instrument=profile and backend == "native"))
     for record in run_compile_farm(tasks, n_workers):
         config = space[record.index]
         if not record.ok:

@@ -3,12 +3,17 @@
 Usage::
 
     python -m repro.bench.figure8 [--levels L] [--size N] [--tiles a,b,c]
+                                  [--explain] [--trace PATH] [--dot]
 
 Compiles pyramid blending at the paper's scale and prints the groups the
 heuristic forms (the dashed boxes of Figure 8), each with its stages,
 their pyramid scales, and the storage classification.  The property to
 verify: groups span pyramid levels (mixed scales within a box) and the
 number of groups is far below the stage count.
+
+``--explain`` additionally replays every merge decision Algorithm 1
+evaluated (``CompiledPipeline.explain()``); ``--trace PATH`` writes the
+compiler-phase spans as a Chrome trace_event JSON.
 """
 
 from __future__ import annotations
@@ -20,16 +25,23 @@ from repro import CompileOptions, compile_pipeline
 from repro.apps import pyramid
 from repro.bench.harness import format_table
 from repro.compiler.storage import SCRATCH
+from repro.observe import tracing
 
 
 def run_figure8(levels: int = 4, size: int = 2048,
-                tiles: tuple[int, ...] = (8, 64, 256), out=sys.stdout):
+                tiles: tuple[int, ...] = (8, 64, 256),
+                explain: bool = False, trace_path=None, out=sys.stdout):
     """Compile pyramid blending and print its grouping (Figure 8 analog)."""
     app = pyramid.build_pipeline(levels=levels)
     values = {app.params["R"]: size, app.params["C"]: size}
-    compiled = compile_pipeline(app.outputs, values,
-                                CompileOptions.optimized(tiles),
-                                name="figure8")
+    with tracing() as tracer:
+        tracer.enabled = trace_path is not None
+        compiled = compile_pipeline(app.outputs, values,
+                                    CompileOptions.optimized(tiles),
+                                    name="figure8")
+        if trace_path:
+            tracer.write_chrome(trace_path)
+            print(f"wrote trace {trace_path}", file=sys.stderr)
     plan = compiled.plan
     print(f"\n## Figure 8 analog: pyramid blending grouping "
           f"(levels={levels}, {size}x{size}, tiles={tiles})\n", file=out)
@@ -54,6 +66,8 @@ def run_figure8(levels: int = 4, size: int = 2048,
     print(format_table(
         ["group", "#stages", "stages", "scales", "#scratch"], rows),
         file=out)
+    if explain:
+        print(f"\n{compiled.explain()}", file=out)
     print("\nGraphviz rendering (dashed clusters = groups, as in the "
           "paper's figure):\nrun with --dot to print it.", file=out)
     return plan
@@ -66,9 +80,14 @@ def main() -> None:
     parser.add_argument("--tiles", default="8,64,256")
     parser.add_argument("--dot", action="store_true",
                         help="also print the clustered graphviz source")
+    parser.add_argument("--explain", action="store_true",
+                        help="replay every Algorithm 1 merge decision")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write compiler-phase spans as Chrome trace")
     args = parser.parse_args()
     tiles = tuple(int(t) for t in args.tiles.split(","))
-    plan = run_figure8(args.levels, args.size, tiles)
+    plan = run_figure8(args.levels, args.size, tiles,
+                       explain=args.explain, trace_path=args.trace)
     if args.dot:
         print()
         print(plan.grouping.dot())

@@ -164,9 +164,11 @@ def variant_options(name: str, variant: str) -> tuple[CompileOptions, bool]:
 
 
 def build_variant(instance: AppInstance, variant: str,
-                  cache_dir=None):
+                  cache_dir=None, instrument: bool = False):
     """Compile one variant with the native backend; returns a callable
-    ``run(n_threads) -> outputs``."""
+    ``run(n_threads) -> outputs``.  With ``instrument=True`` the build
+    carries per-group timers, readable as ``run.native.last_stats``
+    after a call."""
     from repro.codegen.build import build_native
     options, vectorize = variant_options(instance.name, variant)
     compiled = compile_pipeline(instance.app.outputs, instance.values,
@@ -174,7 +176,8 @@ def build_variant(instance: AppInstance, variant: str,
                                 name=f"{instance.name}_{variant}")
     native = build_native(compiled.plan,
                           f"{instance.name}_{variant}".replace("+", "_"),
-                          vectorize=vectorize, cache_dir=cache_dir)
+                          vectorize=vectorize, instrument=instrument,
+                          cache_dir=cache_dir)
 
     def run(n_threads: int = 1):
         return native(instance.values, instance.inputs,
@@ -182,6 +185,7 @@ def build_variant(instance: AppInstance, variant: str,
 
     run.plan = compiled.plan  # type: ignore[attr-defined]
     run.build_info = native.build_info  # type: ignore[attr-defined]
+    run.native = native  # type: ignore[attr-defined]
     return run
 
 
@@ -196,14 +200,49 @@ def cache_summary(cache_dir=None) -> str:
             f"{stats.hits} hits / {stats.misses} misses this process")
 
 
-def time_ms(fn: Callable[[], object], runs: int = 6) -> float:
-    """The paper's protocol: discard the first run, average the rest."""
+@dataclass(frozen=True)
+class TimingStats:
+    """Timing distribution of one measured configuration (milliseconds).
+
+    Follows the paper's protocol: the first (warm-up) run is discarded
+    and the statistics summarize the remaining ``runs`` measurements.
+    """
+
+    min_ms: float
+    mean_ms: float
+    std_ms: float
+    runs: int
+
+    @classmethod
+    def from_times(cls, times_ms: list[float]) -> "TimingStats":
+        arr = np.asarray(times_ms, dtype=np.float64)
+        return cls(float(arr.min()), float(arr.mean()),
+                   float(arr.std()), len(times_ms))
+
+    def as_dict(self) -> dict:
+        return {"min_ms": self.min_ms, "mean_ms": self.mean_ms,
+                "std_ms": self.std_ms, "runs": self.runs}
+
+    def render(self) -> str:
+        return (f"{self.min_ms:.2f} ms min, {self.mean_ms:.2f} ms mean "
+                f"(± {self.std_ms:.2f}, n={self.runs})")
+
+
+def time_stats(fn: Callable[[], object], runs: int = 6) -> TimingStats:
+    """The paper's protocol with the full distribution: run ``runs``
+    times, discard the first (warm-up), and summarize the rest."""
     times = []
-    for i in range(runs):
+    for _ in range(runs):
         t0 = time.perf_counter()
         fn()
         times.append((time.perf_counter() - t0) * 1000.0)
-    return float(np.mean(times[1:])) if len(times) > 1 else times[0]
+    kept = times[1:] if len(times) > 1 else times
+    return TimingStats.from_times(kept)
+
+
+def time_ms(fn: Callable[[], object], runs: int = 6) -> float:
+    """Mean-only view of :func:`time_stats`, kept for compatibility."""
+    return time_stats(fn, runs).mean_ms
 
 
 def format_table(headers: list[str], rows: list[list]) -> str:

@@ -6,12 +6,18 @@ Usage::
                                  [--apps a,b,...] [--search-budget K]
 
 Columns mirror the paper's: stage count, image size, PolyMage (opt+vec)
-times at 1/2/N threads, the OpenCV-style library time (the three apps the
-paper reports it for), and speedups of PolyMage (opt+vec, N threads) over
-(a) the best configuration found by stochastic wide-space search with a
-small budget (the OpenTuner stand-in) and (b) the no-fusion tuned variant
-(``base+vec``, standing in for Halide's hand-tuned schedules where those
-do not fuse).  Paper values are printed alongside for comparison.
+times at 1/2/N threads — reported as the *minimum* over the protocol's
+runs, with the N-thread standard deviation alongside — the OpenCV-style
+library time (the three apps the paper reports it for), and speedups of
+PolyMage (opt+vec, N threads) over (a) the best configuration found by
+stochastic wide-space search with a small budget (the OpenTuner
+stand-in) and (b) the no-fusion tuned variant (``base+vec``, standing in
+for Halide's hand-tuned schedules where those do not fuse).  Paper
+values are printed alongside for comparison.
+
+``--profile`` builds the opt+vec variant with in-library per-group
+timers and prints each group's time and tile count; ``--trace PATH``
+writes the compiler-phase spans as a Chrome trace_event JSON.
 """
 
 from __future__ import annotations
@@ -25,8 +31,9 @@ from repro.autotune.random_search import random_search
 from repro.baselines import opencv_like
 from repro.bench.harness import (
     APP_BUILDERS, PAPER_TABLE2, AppInstance, build_variant, format_table,
-    make_instance, spec_lines, time_ms,
+    make_instance, spec_lines, time_ms, time_stats,
 )
+from repro.observe import tracing
 from repro.pipeline.graph import PipelineGraph
 
 
@@ -49,47 +56,60 @@ def opencv_time(instance: AppInstance) -> float | None:
 def run_table2(scale: str = "small", threads: int = 4,
                apps: list[str] | None = None,
                search_budget: int = 12,
+               trace_path=None, profile: bool = False,
                out=sys.stdout) -> list[list]:
     """Measure and print the Table 2 analog; returns the rows."""
     apps = apps or list(APP_BUILDERS)
     headers = ["Benchmark", "Stages", "LoC", "Size",
-               "t(1) ms", "t(2) ms", f"t({threads}) ms",
+               "t(1) ms", "t(2) ms", f"t({threads}) ms", "std ms",
                "OpenCV ms", "x RandSearch", "x NoFusion",
                "paper t(16)", "paper x OT", "paper x H-tuned"]
     rows = []
-    for name in apps:
-        instance = make_instance(name, scale)
-        paper = PAPER_TABLE2[name]
-        n_stages = len(PipelineGraph(instance.app.outputs))
+    profiles: list[tuple[str, object]] = []
+    with tracing() as tracer:
+        tracer.enabled = trace_path is not None
+        for name in apps:
+            instance = make_instance(name, scale)
+            paper = PAPER_TABLE2[name]
+            n_stages = len(PipelineGraph(instance.app.outputs))
 
-        opt = build_variant(instance, "opt+vec")
-        t1 = time_ms(lambda: opt(1))
-        t2 = time_ms(lambda: opt(2))
-        tn = time_ms(lambda: opt(threads))
+            opt = build_variant(instance, "opt+vec", instrument=profile)
+            t1 = time_stats(lambda: opt(1))
+            t2 = time_stats(lambda: opt(2))
+            tn = time_stats(lambda: opt(threads))
+            if profile and opt.native.last_stats is not None:
+                profiles.append((name, opt.native.last_stats))
 
-        nofusion = build_variant(instance, "base+vec")
-        t_nf = time_ms(lambda: nofusion(threads))
+            nofusion = build_variant(instance, "base+vec")
+            t_nf = time_ms(lambda: nofusion(threads))
 
-        report = random_search(
-            instance.app.outputs, instance.values, instance.values,
-            instance.inputs, budget=search_budget, n_threads=threads,
-            name=f"t2rand_{name}")
-        t_rand = report.best().time_ms if report.results else None
+            report = random_search(
+                instance.app.outputs, instance.values, instance.values,
+                instance.inputs, budget=search_budget, n_threads=threads,
+                name=f"t2rand_{name}")
+            t_rand = report.best().time_ms if report.results else None
 
-        t_cv = opencv_time(instance)
-        rows.append([
-            name, n_stages, spec_lines(name),
-            "x".join(str(v) for v in instance.values.values()),
-            t1, t2, tn, t_cv,
-            (t_rand / tn) if t_rand else None,
-            t_nf / tn,
-            paper["t16_ms"], paper["speedup_opentuner"],
-            paper["speedup_htuned"],
-        ])
-        print(f"  [{name}] done", file=sys.stderr)
-    print(f"\n## Table 2 analog (scale={scale}, threads={threads})\n",
-          file=out)
+            t_cv = opencv_time(instance)
+            rows.append([
+                name, n_stages, spec_lines(name),
+                "x".join(str(v) for v in instance.values.values()),
+                t1.min_ms, t2.min_ms, tn.min_ms, tn.std_ms, t_cv,
+                (t_rand / tn.min_ms) if t_rand else None,
+                t_nf / tn.min_ms,
+                paper["t16_ms"], paper["speedup_opentuner"],
+                paper["speedup_htuned"],
+            ])
+            print(f"  [{name}] done", file=sys.stderr)
+        if trace_path:
+            tracer.write_chrome(trace_path)
+            print(f"wrote trace {trace_path}", file=sys.stderr)
+    print(f"\n## Table 2 analog (scale={scale}, threads={threads}; "
+          f"times are min over runs)\n", file=out)
     print(format_table(headers, rows), file=out)
+    for name, stats in profiles:
+        print(f"\nper-group profile ({name}, opt+vec, last run):", file=out)
+        for line in stats.render().splitlines():
+            print(f"  {line}", file=out)
     return rows
 
 
@@ -100,9 +120,15 @@ def main() -> None:
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--apps", default=None)
     parser.add_argument("--search-budget", type=int, default=12)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write compiler-phase spans as Chrome trace")
+    parser.add_argument("--profile", action="store_true",
+                        help="instrument opt+vec builds and print "
+                             "per-group times")
     args = parser.parse_args()
     apps = args.apps.split(",") if args.apps else None
-    run_table2(args.scale, args.threads, apps, args.search_budget)
+    run_table2(args.scale, args.threads, apps, args.search_budget,
+               trace_path=args.trace, profile=args.profile)
 
 
 if __name__ == "__main__":

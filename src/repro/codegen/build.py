@@ -107,6 +107,36 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
+class NativeStats:
+    """Per-group counters read back from an instrumented native build.
+
+    ``group_seconds[i]`` is the wall-clock time the call spent in group
+    ``i`` (as measured inside the generated C by ``repro_now()``);
+    ``group_tiles[i]`` is the number of tiles it executed (0 for untiled
+    groups).  Index order matches ``plan.group_plans``.
+    """
+
+    group_seconds: tuple[float, ...]
+    group_tiles: tuple[int, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.group_seconds)
+
+    def as_dict(self) -> dict:
+        return {"group_seconds": list(self.group_seconds),
+                "group_tiles": list(self.group_tiles)}
+
+    def render(self) -> str:
+        lines = []
+        for i, (s, t) in enumerate(zip(self.group_seconds,
+                                       self.group_tiles)):
+            lines.append(f"group {i}: {s * 1e3:.3f} ms"
+                         + (f", {t} tiles" if t else ""))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class BuildInfo:
     """Provenance of one compiled artifact (picklable across processes)."""
 
@@ -261,7 +291,13 @@ def get_cache(cache_dir: str | Path | None = None) -> CompileCache:
 
 
 class NativePipeline:
-    """A compiled-to-native pipeline, callable like the interpreter."""
+    """A compiled-to-native pipeline, callable like the interpreter.
+
+    When the artifact was built with ``instrument=True``, every call
+    resets the in-library counters, runs, and publishes the readings as
+    :attr:`last_stats` (a :class:`NativeStats`); uninstrumented builds
+    leave :attr:`last_stats` as ``None``.
+    """
 
     def __init__(self, plan: PipelinePlan, source: str, lib_path: Path,
                  func_name: str, build_info: BuildInfo | None = None):
@@ -275,10 +311,39 @@ class NativePipeline:
         self._params = sorted(plan.estimates, key=lambda p: p.name)
         self._images = list(plan.ir.graph.inputs)
         self._outputs = list(plan.outputs)
+        self.last_stats: NativeStats | None = None
+        self._n_groups = len(plan.group_plans)
+        # stats symbols exist only in instrumented builds — probe, don't
+        # require
+        try:
+            self._stats_fn = getattr(self._lib, func_name + "_stats")
+            self._stats_reset = getattr(self._lib,
+                                        func_name + "_stats_reset")
+        except AttributeError:
+            self._stats_fn = self._stats_reset = None
+        else:
+            self._stats_fn.restype = None
+            self._stats_fn.argtypes = [ctypes.POINTER(ctypes.c_double),
+                                       ctypes.POINTER(ctypes.c_long)]
+            self._stats_reset.restype = None
+            self._stats_reset.argtypes = []
+
+    @property
+    def instrumented(self) -> bool:
+        return self._stats_fn is not None
+
+    def _read_stats(self) -> NativeStats:
+        n = max(1, self._n_groups)
+        seconds = (ctypes.c_double * n)()
+        tiles = (ctypes.c_long * n)()
+        self._stats_fn(seconds, tiles)
+        return NativeStats(tuple(seconds[: self._n_groups]),
+                           tuple(tiles[: self._n_groups]))
 
     def __call__(self, param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
-                 *, n_threads: int = 1) -> dict[str, np.ndarray]:
+                 *, n_threads: int = 1,
+                 tracer=None) -> dict[str, np.ndarray]:
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
         params = dict(param_values)
@@ -318,7 +383,17 @@ class NativePipeline:
             out = np.zeros(shape, dtype=stage.dtype.np_dtype)
             out_arrays.append(out)
             args.append(out.ctypes.data_as(ctypes.c_void_p))
+        if self._stats_reset is not None:
+            self._stats_reset()
         self._func(*args)
+        if self._stats_fn is not None:
+            self.last_stats = self._read_stats()
+            if tracer is not None and tracer.enabled:
+                for i, (s, t) in enumerate(zip(self.last_stats.group_seconds,
+                                               self.last_stats.group_tiles)):
+                    tracer.gauge(f"native.group[{i}].seconds", s)
+                    if t:
+                        tracer.count(f"native.group[{i}].tiles", t)
         for original, stage in self.plan.output_map.items():
             idx = self._outputs.index(stage)
             outputs[original.name] = out_arrays[idx]
@@ -326,6 +401,7 @@ class NativePipeline:
 
 
 def compile_artifact(plan: PipelinePlan, *, vectorize: bool = True,
+                     instrument: bool = False,
                      cache_dir: str | Path | None = None,
                      extra_flags: tuple[str, ...] = (),
                      cache: CompileCache | None = None) -> BuildInfo:
@@ -334,11 +410,14 @@ def compile_artifact(plan: PipelinePlan, *, vectorize: bool = True,
     This is the process-safe half of :func:`build_native`: it can run in a
     worker process and its :class:`BuildInfo` result pickles back to the
     parent, which loads the published artifact with :func:`load_native`.
+    ``instrument=True`` compiles with in-library per-group timers (the
+    different source hashes to a distinct cache key, so instrumented and
+    plain builds of the same plan coexist in the cache).
     """
     cc = find_compiler()
     if cc is None:
         raise BuildError("no C compiler found (tried gcc, cc, clang)")
-    source = generate_c(plan, CANONICAL_NAME)
+    source = generate_c(plan, CANONICAL_NAME, instrument=instrument)
     flags = build_flags(vectorize=vectorize, extra_flags=tuple(extra_flags))
     if cache is None:
         cache = get_cache(cache_dir)
@@ -370,10 +449,16 @@ def load_native(plan: PipelinePlan, name: str = "pipeline",
 
 def build_native(plan: PipelinePlan, name: str = "pipeline",
                  *, vectorize: bool = True,
+                 instrument: bool = False,
                  cache_dir: str | Path | None = None,
                  extra_flags: tuple[str, ...] = (),
                  cache: CompileCache | None = None) -> NativePipeline:
-    """Generate, compile and load the C implementation of a plan."""
-    info = compile_artifact(plan, vectorize=vectorize, cache_dir=cache_dir,
-                            extra_flags=extra_flags, cache=cache)
+    """Generate, compile and load the C implementation of a plan.
+
+    ``instrument=True`` builds with per-group timers and tile counters;
+    the loaded :class:`NativePipeline` then fills ``last_stats`` after
+    every call."""
+    info = compile_artifact(plan, vectorize=vectorize, instrument=instrument,
+                            cache_dir=cache_dir, extra_flags=extra_flags,
+                            cache=cache)
     return load_native(plan, name, info)

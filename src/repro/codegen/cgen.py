@@ -150,12 +150,37 @@ def _is_float_expr(expr: Expr) -> bool:
     return False
 
 
-class CGenerator:
-    """Generates the C implementation of one :class:`PipelinePlan`."""
+INSTRUMENT_PRELUDE = r"""
+/* instrumentation (generated with instrument=True) */
+#ifdef _OPENMP
+static inline double repro_now(void) { return omp_get_wtime(); }
+#else
+#include <time.h>
+static inline double repro_now(void) {
+    struct timespec repro_ts;
+    clock_gettime(CLOCK_MONOTONIC, &repro_ts);
+    return (double)repro_ts.tv_sec + 1e-9 * (double)repro_ts.tv_nsec;
+}
+#endif
+"""
 
-    def __init__(self, plan: PipelinePlan, name: str = "pipeline"):
+
+class CGenerator:
+    """Generates the C implementation of one :class:`PipelinePlan`.
+
+    With ``instrument=True`` the translation unit additionally carries a
+    per-group wall-clock accumulator and tile counter, plus two exported
+    accessors — ``<func>_stats(double*, long*)`` and
+    ``<func>_stats_reset()`` — that :class:`repro.codegen.build.\
+NativePipeline` reads back through ctypes.  Uninstrumented output is
+    byte-identical to what older versions produced.
+    """
+
+    def __init__(self, plan: PipelinePlan, name: str = "pipeline",
+                 instrument: bool = False):
         self.plan = plan
         self.func_name = "pipe_" + _sanitize(name)
+        self.instrument = instrument
         self.w = CWriter()
         self.names = _Namer()
         self.params: list[Parameter] = sorted(
@@ -352,6 +377,8 @@ class CGenerator:
         w = self.w
         w.emit("/* Generated by the PolyMage reproduction compiler. */")
         w.emit(PRELUDE)
+        if self.instrument:
+            self._emit_instrument_globals()
         args = ["int _nthreads"]
         args += [f"long {self.param(p)}" for p in self.params]
         for img in self.images:
@@ -371,14 +398,40 @@ class CGenerator:
             w.emit()
             w.emit(f"/* group {i}: "
                    f"{', '.join(s.name for s in gp.ordered_stages)} */")
+            if self.instrument:
+                w.emit(f"double _g{i}_t0 = repro_now();")
             if gp.is_tiled:
-                self._emit_tiled_group(gp)
+                self._emit_tiled_group(gp, i)
             else:
                 self._emit_untiled_group(gp)
+            if self.instrument:
+                # the group loop is serial at this level, so no atomics
+                w.emit(f"repro_group_s[{i}] += repro_now() - _g{i}_t0;")
 
         self._emit_frees()
         w.close()
         return str(w)
+
+    def _emit_instrument_globals(self) -> None:
+        """Stats storage and the exported accessor / reset functions."""
+        w = self.w
+        n = max(1, len(self.plan.group_plans))
+        w.emit(INSTRUMENT_PRELUDE)
+        w.emit(f"#define REPRO_N_GROUPS {n}")
+        w.emit("static double repro_group_s[REPRO_N_GROUPS];")
+        w.emit("static long repro_group_tiles[REPRO_N_GROUPS];")
+        w.open(f"void {self.func_name}_stats"
+               "(double* seconds, long* tiles)")
+        w.open("for (int _i = 0; _i < REPRO_N_GROUPS; _i++)")
+        w.emit("seconds[_i] = repro_group_s[_i];")
+        w.emit("tiles[_i] = repro_group_tiles[_i];")
+        w.close()
+        w.close()
+        w.open(f"void {self.func_name}_stats_reset(void)")
+        w.emit("memset(repro_group_s, 0, sizeof repro_group_s);")
+        w.emit("memset(repro_group_tiles, 0, sizeof repro_group_tiles);")
+        w.close()
+        w.emit()
 
     # -- geometry -------------------------------------------------------------------
     def _emit_buffer_geometry(self) -> None:
@@ -617,7 +670,7 @@ class CGenerator:
             sizes.append(int(width) + 3)
         return tuple(sizes)
 
-    def _emit_tiled_group(self, gp: GroupPlan) -> None:
+    def _emit_tiled_group(self, gp: GroupPlan, gi: int = 0) -> None:
         w = self.w
         ir = self.plan.ir
         transforms = gp.transforms
@@ -691,6 +744,9 @@ class CGenerator:
         for g in range(ndim):
             tau = gp.tile_sizes[g]
             w.emit(f"long t{g}lo = T{g}*{tau}, t{g}hi = t{g}lo + {tau} - 1;")
+        if self.instrument:
+            w.emit("#pragma omp atomic")
+            w.emit(f"repro_group_tiles[{gi}]++;")
 
         # per-stage regions (tile scope), then evaluation, in topo order
         for stage in gp.ordered_stages:
@@ -802,6 +858,11 @@ class CGenerator:
         w.close()
 
 
-def generate_c(plan: PipelinePlan, name: str = "pipeline") -> str:
-    """Generate the complete C translation unit for a compiled pipeline."""
-    return CGenerator(plan, name).generate()
+def generate_c(plan: PipelinePlan, name: str = "pipeline",
+               instrument: bool = False) -> str:
+    """Generate the complete C translation unit for a compiled pipeline.
+
+    ``instrument=True`` adds per-group wall-clock timers and tile
+    counters plus exported ``_stats`` / ``_stats_reset`` accessors (see
+    :class:`CGenerator`)."""
+    return CGenerator(plan, name, instrument=instrument).generate()

@@ -24,6 +24,7 @@ from repro.compiler.tiling import (
     naive_halos,
 )
 from repro.lang.constructs import Parameter
+from repro.observe.decisions import DecisionLog, MergeDecision
 from repro.pipeline.graph import Stage
 from repro.pipeline.ir import PipelineIR
 
@@ -55,11 +56,18 @@ class Group:
 
 
 class GroupingResult:
-    """Outcome of Algorithm 1: groups in a valid execution order."""
+    """Outcome of Algorithm 1: groups in a valid execution order.
 
-    def __init__(self, groups: list[Group], ir: PipelineIR):
+    ``decisions`` is the structured log of every merge candidate the
+    heuristic evaluated (empty when grouping was disabled), the raw data
+    behind ``PipelinePlan.explain()``.
+    """
+
+    def __init__(self, groups: list[Group], ir: PipelineIR,
+                 decisions: list[MergeDecision] | None = None):
         self.groups = groups
         self.ir = ir
+        self.decisions: list[MergeDecision] = list(decisions or [])
         self.assignment: dict[Stage, Group] = {}
         for group in groups:
             for stage in group.stages:
@@ -130,15 +138,21 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
                    tile_sizes: Sequence[int],
                    overlap_threshold: float | Fraction,
                    min_size: int = 0,
-                   tight_overlap: bool = True) -> GroupingResult:
+                   tight_overlap: bool = True,
+                   decision_log: DecisionLog | None = None
+                   ) -> GroupingResult:
     """Run Algorithm 1 and return the final grouping.
 
     ``tile_sizes`` is indexed per group dimension (cycled if a group has
     more dimensions).  ``min_size`` optionally keeps very small groups
     (lookup tables and the like) from initiating merges, mirroring the
-    paper's use of the estimates.
+    paper's use of the estimates.  Every merge candidate the loop
+    evaluates — accepted or not, with its overlap cost — is recorded in
+    ``decision_log`` (one is created if not supplied) and surfaced on the
+    returned :class:`GroupingResult`.
     """
     threshold = Fraction(overlap_threshold).limit_denominator(10 ** 6)
+    log = decision_log if decision_log is not None else DecisionLog()
 
     groups: list[Group] = []
     assignment: dict[Stage, Group] = {}
@@ -152,7 +166,9 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
 
     id_to_group = {id(g): g for g in groups}
 
+    round_no = 0
     while True:
+        round_no += 1
         converged = True
         # candidate groups: exactly one child group
         candidates = []
@@ -165,11 +181,26 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
         candidates.sort(key=lambda gc: -_group_size(ir, gc[0], estimates))
 
         for group, child in candidates:
-            if min_size and _group_size(ir, group, estimates) < min_size:
+            size = _group_size(ir, group, estimates)
+
+            def record(accepted: bool, reason: str, overlap=None,
+                       _group=group, _child=child, _size=size):
+                log.record(MergeDecision(
+                    round_no, _group.name, _child.name, _size,
+                    float(overlap) if overlap is not None else None,
+                    float(threshold), accepted, reason))
+
+            if min_size and size < min_size:
+                record(False, f"group size {size} below "
+                              f"min_group_size {min_size}")
                 continue
             if any(_is_unmergeable(ir, s) for s in group.stages):
+                record(False, "group holds an accumulator or "
+                              "self-referential stage")
                 continue
             if any(_is_unmergeable(ir, s) for s in child.stages):
+                record(False, "child holds an accumulator or "
+                              "self-referential stage")
                 continue
             merged_stages = [
                 s for s in ir.graph.topological_order()
@@ -177,16 +208,27 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
             transforms = compute_group_transforms(ir, merged_stages,
                                                   child.root)
             if transforms is None:
-                continue  # cannot make dependence vectors constant
+                # cannot make dependence vectors constant
+                record(False, "alignment/scaling failed: no constant "
+                              "dependence vectors")
+                continue
             from repro.compiler.deps import NonConstantDependence
             halo_fn = group_halos if tight_overlap else naive_halos
             try:
                 halos = halo_fn(ir, transforms, merged_stages)
             except NonConstantDependence:
-                continue  # constant-index dependence over parametric extent
+                # constant-index dependence over parametric extent
+                record(False, "non-constant dependence range over "
+                              "parametric extent")
+                continue
             relative_overlap = estimate_relative_overlap(halos, tile_sizes)
             if relative_overlap >= threshold:
-                continue  # too much redundant computation
+                # too much redundant computation
+                record(False, "relative overlap exceeds threshold",
+                       overlap=relative_overlap)
+                continue
+            record(True, "overlap within threshold",
+                   overlap=relative_overlap)
             merged = Group(merged_stages, child.root, transforms, halos)
             groups.remove(group)
             groups.remove(child)
@@ -206,7 +248,8 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
         if group.transforms is not None and not group.halos:
             group.halos = halo_fn(ir, group.transforms, group.stages)
 
-    return GroupingResult(_execution_order(ir, groups, assignment), ir)
+    return GroupingResult(_execution_order(ir, groups, assignment), ir,
+                          decisions=log.decisions)
 
 
 def _execution_order(ir: PipelineIR, groups: list[Group],

@@ -21,6 +21,7 @@ from repro.compiler.storage import (
 )
 from repro.compiler.tiling import group_liveouts
 from repro.lang.constructs import Parameter
+from repro.observe.trace import Tracer, get_tracer
 from repro.pipeline.boundscheck import check_bounds
 from repro.pipeline.graph import PipelineGraph, Stage
 from repro.pipeline.inline import inline_pipeline
@@ -96,6 +97,10 @@ class GroupPlan:
         yield from rec(0, [])
 
 
+def _fmt_fraction(value: Fraction) -> str:
+    return str(value.numerator) if value.denominator == 1 else str(value)
+
+
 @dataclass
 class PipelinePlan:
     """The complete compiled form of a pipeline."""
@@ -120,82 +125,165 @@ class PipelinePlan:
                 return stage
         raise KeyError(f"no stage named {name!r}")
 
+    def group_halo_widths(self, gp: GroupPlan) -> tuple[Fraction, ...]:
+        """Widest halo per group dimension over the group's stages."""
+        if gp.transforms is None:
+            return ()
+        ndim = gp.transforms.ndim
+        widths = [Fraction(0)] * ndim
+        for stage in gp.ordered_stages:
+            halo = gp.group.halos.get(stage)
+            if halo is None:
+                continue
+            for g, width in enumerate(halo.widths()):
+                widths[g] = max(widths[g], width)
+        return tuple(widths)
+
+    def _group_line(self, i: int, gp: GroupPlan) -> str:
+        if gp.is_tiled:
+            tiles = "x".join(str(t) for t in gp.tile_sizes)
+            halo = ",".join(_fmt_fraction(w)
+                            for w in self.group_halo_widths(gp))
+            kind = f"tiled {tiles}, halo {halo or '0'}"
+        else:
+            kind = "untiled"
+        scratch = [s.name for s in gp.ordered_stages
+                   if self.storage[s].kind == SCRATCH]
+        return (f"  group {i} [{kind}] stages: "
+                f"{', '.join(s.name for s in gp.ordered_stages)}"
+                + (f" | scratch: {', '.join(scratch)}" if scratch else ""))
+
     def summary(self) -> str:
-        """Human-readable description of groups, storage and inlining."""
+        """Human-readable description of groups (with their tile sizes and
+        halo widths), storage and inlining."""
         lines = [f"pipeline: {len(self.ir.stages)} stages, "
                  f"{len(self.group_plans)} groups "
                  f"(inlined: {', '.join(self.inlined_names) or 'none'})"]
         for i, gp in enumerate(self.group_plans):
-            kind = "tiled" if gp.is_tiled else "untiled"
-            scratch = [s.name for s in gp.ordered_stages
-                       if self.storage[s].kind == SCRATCH]
-            lines.append(
-                f"  group {i} [{kind}] stages: "
-                f"{', '.join(s.name for s in gp.ordered_stages)}"
-                + (f" | scratch: {', '.join(scratch)}" if scratch else ""))
+            lines.append(self._group_line(i, gp))
+        return "\n".join(lines)
+
+    def explain(self) -> str:
+        """Replay of the compiler's decisions, not just their outcome.
+
+        Shows every merge candidate Algorithm 1 evaluated — with its
+        measured relative overlap and accept/reject reason — followed by
+        the final groups (as in :meth:`summary`) and each stage's storage
+        classification with its justification.
+        """
+        opt = self.options
+        tiles = "x".join(str(t) for t in opt.tile_sizes)
+        lines = [f"pipeline: {len(self.ir.stages)} stages, "
+                 f"{len(self.group_plans)} groups "
+                 f"(inlined: {', '.join(self.inlined_names) or 'none'})",
+                 f"options: tiles={tiles} "
+                 f"overlap_threshold={opt.overlap_threshold} "
+                 f"group={opt.group} tile={opt.tile} "
+                 f"tight_overlap={opt.tight_overlap}",
+                 "", "== grouping decisions (Algorithm 1) =="]
+        decisions = self.grouping.decisions
+        if not decisions:
+            lines.append("(no merge candidates were evaluated"
+                         + ("" if opt.group else "; grouping disabled")
+                         + ")")
+        for decision in decisions:
+            lines.append(decision.render())
+        lines += ["", "== final groups =="]
+        for i, gp in enumerate(self.group_plans):
+            lines.append(self._group_line(i, gp))
+        lines += ["", "== storage =="]
+        for gp in self.group_plans:
+            for stage in gp.ordered_stages:
+                decision = self.storage[stage]
+                lines.append(f"  {stage.name}: {decision.kind} "
+                             f"({decision.reason})")
         return "\n".join(lines)
 
 
 def compile_plan(outputs: Sequence[Stage],
                  estimates: Mapping[Parameter, int],
-                 options: CompileOptions | None = None) -> PipelinePlan:
+                 options: CompileOptions | None = None,
+                 tracer: Tracer | None = None) -> PipelinePlan:
     """Run the middle end and produce a :class:`PipelinePlan`.
 
     ``outputs`` are the live-out stages; ``estimates`` map every parameter
     to a representative value (the generated implementation stays valid
     for all parameter values — estimates only guide the heuristics).
+    Every phase is traced on ``tracer`` (the process-global tracer when
+    omitted; spans cost nothing while it stays disabled).
     """
     options = options or CompileOptions()
+    tracer = tracer if tracer is not None else get_tracer()
     estimates = dict(estimates)
     original_outputs = tuple(outputs)
 
-    if options.inline:
-        inlined = inline_pipeline(original_outputs, estimates)
-        plan_outputs = inlined.outputs
-        inlined_names = tuple(s.name for s in inlined.inlined)
-    else:
-        plan_outputs = original_outputs
-        inlined_names = ()
+    with tracer.span("compile_plan", cat="compiler") as root:
+        with tracer.span("inline", cat="compiler") as sp:
+            if options.inline:
+                inlined = inline_pipeline(original_outputs, estimates)
+                plan_outputs = inlined.outputs
+                inlined_names = tuple(s.name for s in inlined.inlined)
+            else:
+                plan_outputs = original_outputs
+                inlined_names = ()
+            sp.set(inlined=len(inlined_names))
 
-    graph = PipelineGraph(plan_outputs)
-    ir = PipelineIR(graph)
-    check_bounds(ir, estimates)
+        with tracer.span("bounds_check", cat="compiler"):
+            graph = PipelineGraph(plan_outputs)
+            ir = PipelineIR(graph)
+            check_bounds(ir, estimates)
 
-    if options.group:
-        grouping = group_pipeline(ir, estimates, options.tile_sizes,
-                                  options.overlap_threshold,
-                                  options.min_group_size,
-                                  options.tight_overlap)
-    else:
-        from repro.compiler.tiling import group_halos
-        groups = []
-        for stage in graph.topological_order():
-            stage_ir = ir[stage]
-            transforms = None
-            if options.tile and not (stage_ir.is_accumulator
-                                     or stage_ir.is_self_referential):
-                transforms = compute_group_transforms(ir, [stage], stage)
-            group = Group([stage], stage, transforms)
-            if transforms is not None:
-                group.halos = group_halos(ir, transforms, [stage])
-            groups.append(group)
-        grouping = GroupingResult(groups, ir)
+        if options.group:
+            with tracer.span("grouping", cat="compiler") as sp:
+                grouping = group_pipeline(ir, estimates, options.tile_sizes,
+                                          options.overlap_threshold,
+                                          options.min_group_size,
+                                          options.tight_overlap)
+                sp.set(n_groups=len(grouping.groups),
+                       merges=sum(1 for d in grouping.decisions
+                                  if d.accepted),
+                       rejections=sum(1 for d in grouping.decisions
+                                      if not d.accepted))
+        else:
+            with tracer.span("align_scale", cat="compiler"):
+                from repro.compiler.tiling import group_halos
+                groups = []
+                for stage in graph.topological_order():
+                    stage_ir = ir[stage]
+                    transforms = None
+                    if options.tile and not (stage_ir.is_accumulator
+                                             or stage_ir.is_self_referential):
+                        transforms = compute_group_transforms(ir, [stage],
+                                                              stage)
+                    group = Group([stage], stage, transforms)
+                    if transforms is not None:
+                        group.halos = group_halos(ir, transforms, [stage])
+                    groups.append(group)
+                grouping = GroupingResult(groups, ir)
 
-    if not options.tile:
-        # Tiling disabled: demote every group to untiled execution.
-        for group in grouping.groups:
-            group.transforms = None
+        if not options.tile:
+            # Tiling disabled: demote every group to untiled execution.
+            for group in grouping.groups:
+                group.transforms = None
 
-    storage = classify_storage(ir, grouping)
+        with tracer.span("storage", cat="compiler") as sp:
+            storage = classify_storage(ir, grouping)
+            sp.set(scratch=sum(1 for d in storage.values()
+                               if d.kind == SCRATCH))
 
-    group_plans = []
-    for group in grouping.groups:
-        ordered = [s for s in graph.topological_order()
-                   if s in set(group.stages)]
-        liveouts = group_liveouts(ir, group.stages)
-        ndim = group.transforms.ndim if group.transforms is not None else 0
-        tile_sizes = tuple(options.tile_size(d) for d in range(ndim))
-        group_plans.append(GroupPlan(group, ordered, liveouts, tile_sizes))
+        with tracer.span("plan_assembly", cat="compiler"):
+            group_plans = []
+            for group in grouping.groups:
+                ordered = [s for s in graph.topological_order()
+                           if s in set(group.stages)]
+                liveouts = group_liveouts(ir, group.stages)
+                ndim = group.transforms.ndim \
+                    if group.transforms is not None else 0
+                tile_sizes = tuple(options.tile_size(d)
+                                   for d in range(ndim))
+                group_plans.append(GroupPlan(group, ordered, liveouts,
+                                             tile_sizes))
+        root.set(n_stages=len(ir.stages), n_groups=len(group_plans))
 
     output_map = dict(zip(original_outputs, plan_outputs))
     return PipelinePlan(

@@ -1,0 +1,26 @@
+"""End-to-end observability: tracing, metrics, and plan explanation.
+
+Everything here is dependency-free and dormant by default — a disabled
+:class:`Tracer` costs one attribute check per instrumentation point.
+
+Typical use::
+
+    from repro.observe import tracing
+
+    with tracing() as tracer:
+        compiled = compile_pipeline([out], estimates)
+        compiled(values, inputs)
+    print(tracer.render_tree())
+    tracer.write_chrome("trace.json")   # chrome://tracing / Perfetto
+"""
+
+from repro.observe.decisions import DecisionLog, MergeDecision
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.trace import (
+    Span, Tracer, get_tracer, set_tracer, tracing, validate_chrome_trace,
+)
+
+__all__ = [
+    "DecisionLog", "MergeDecision", "MetricsRegistry", "Span", "Tracer",
+    "get_tracer", "set_tracer", "tracing", "validate_chrome_trace",
+]

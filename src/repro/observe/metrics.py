@@ -1,0 +1,65 @@
+"""Thread-safe counters and gauges.
+
+A :class:`MetricsRegistry` is a tiny, dependency-free metrics store:
+monotonically increasing *counters* (tile counts, bytes allocated) and
+last-value *gauges* (redundancy ratios, group counts).  All operations
+take one short lock; readers get snapshot copies, so a registry can be
+hammered from a tile thread pool while another thread renders it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """Named counters and gauges, safe for concurrent writers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- writes ------------------------------------------------------------
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: int | float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    # -- reads -------------------------------------------------------------
+    def counter(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of everything recorded."""
+        with self._lock:
+            return {"counters": dict(self._counters),
+                    "gauges": dict(self._gauges)}
+
+    # -- maintenance -------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges overwrite."""
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, v in snapshot["counters"].items():
+                self._counters[name] = self._counters.get(name, 0) + v
+            self._gauges.update(snapshot["gauges"])

@@ -1,0 +1,303 @@
+"""Zero-dependency, thread-safe span tracer with Chrome trace export.
+
+The tracer is the backbone of ``repro.observe``: every layer of the
+system — compiler phases, interpreter groups and tiles, bench harnesses —
+opens context-manager *spans* on one :class:`Tracer` and the result can
+be rendered as a human-readable tree (:meth:`Tracer.render_tree`) or
+exported as Chrome ``trace_event`` JSON (:meth:`Tracer.to_chrome`,
+loadable in ``chrome://tracing`` / Perfetto).
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  ``tracer.span(...)`` on a
+  disabled tracer returns a shared no-op context manager without
+  allocating; ``count``/``gauge`` return after one attribute check.
+  Instrumented hot loops additionally guard on ``tracer.enabled`` so
+  they skip even argument construction.
+* **Thread safety.**  Each thread keeps its own open-span stack
+  (``threading.local``); finished root spans are published under a lock.
+  Spans started on a worker thread become roots of that thread's tree
+  and carry its ``tid``, exactly what the Chrome viewer expects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.observe.metrics import MetricsRegistry
+
+
+class Span:
+    """One timed region; a context manager bound to its tracer."""
+
+    __slots__ = ("name", "cat", "args", "start_us", "dur_us", "tid",
+                 "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start_us = 0.0
+        self.dur_us = 0.0
+        self.tid = 0
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    def set(self, **args) -> "Span":
+        """Attach (or update) key/value annotations on the span."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._close(self)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def set(self, **args) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span tracer + metrics registry; disabled (and silent) by default."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._local = threading.local()
+
+    # -- spans -------------------------------------------------------------
+    def span(self, name: str, cat: str = "", **args) -> Span | _NullSpan:
+        """Open a timed region: ``with tracer.span("grouping"): ...``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, cat, args)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span: Span) -> None:
+        span.tid = threading.get_ident()
+        span.start_us = (time.perf_counter() - self._epoch) * 1e6
+        self._stack().append(span)
+
+    def _close(self, span: Span) -> None:
+        span.dur_us = ((time.perf_counter() - self._epoch) * 1e6
+                       - span.start_us)
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- metrics (delegates; no-ops when disabled) -------------------------
+    def count(self, name: str, n: int | float = 1) -> None:
+        if self.enabled:
+            self.metrics.count(name, n)
+
+    def gauge(self, name: str, value: int | float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name, value)
+
+    # -- inspection --------------------------------------------------------
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def spans(self) -> Iterator[Span]:
+        """All finished spans, depth-first."""
+        def walk(span: Span) -> Iterator[Span]:
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        for root in self.roots():
+            yield from walk(root)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self.metrics.clear()
+
+    # -- Chrome trace_event export -----------------------------------------
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome ``trace_event`` JSON object.
+
+        Spans become complete ("X") events with microsecond timestamps;
+        counters and gauges are appended as counter ("C") events so they
+        show up as tracks in the viewer.
+        """
+        pid = os.getpid()
+        tids: dict[int, int] = {}
+
+        def tid_of(raw: int) -> int:
+            return tids.setdefault(raw, len(tids))
+
+        events: list[dict] = []
+
+        def emit(span: Span) -> None:
+            event = {"name": span.name, "ph": "X", "cat": span.cat or "span",
+                     "ts": span.start_us, "dur": span.dur_us,
+                     "pid": pid, "tid": tid_of(span.tid)}
+            if span.args:
+                event["args"] = {k: _jsonable(v)
+                                 for k, v in span.args.items()}
+            events.append(event)
+            for child in span.children:
+                emit(child)
+
+        for root in self.roots():
+            emit(root)
+        end_us = max((e["ts"] + e["dur"] for e in events), default=0.0)
+        snapshot = self.metrics.as_dict()
+        for name, value in {**snapshot["counters"],
+                            **snapshot["gauges"]}.items():
+            events.append({"name": name, "ph": "C", "cat": "metric",
+                           "ts": end_us, "pid": pid, "tid": 0,
+                           "args": {"value": value}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(), indent=1) + "\n")
+        return path
+
+    # -- human-readable rendering ------------------------------------------
+    def render_tree(self) -> str:
+        """Indented span tree with durations, plus recorded metrics."""
+        lines: list[str] = []
+
+        def fmt(span: Span, depth: int) -> None:
+            label = span.name
+            if span.cat:
+                label += f" [{span.cat}]"
+            extra = "".join(f" {k}={v}" for k, v in span.args.items())
+            lines.append(f"{'  ' * depth}{label}: "
+                         f"{span.dur_us / 1000.0:.3f} ms{extra}")
+            for child in span.children:
+                fmt(child, depth + 1)
+
+        for root in self.roots():
+            fmt(root, 0)
+        snapshot = self.metrics.as_dict()
+        if snapshot["counters"]:
+            lines.append("counters:")
+            for name in sorted(snapshot["counters"]):
+                lines.append(f"  {name} = {snapshot['counters'][name]:g}")
+        if snapshot["gauges"]:
+            lines.append("gauges:")
+            for name in sorted(snapshot["gauges"]):
+                lines.append(f"  {name} = {snapshot['gauges'][name]:g}")
+        return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Process-global default tracer
+# ---------------------------------------------------------------------------
+
+_global_tracer = Tracer(enabled=False)
+_global_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled unless someone enabled it)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global default; returns the old."""
+    global _global_tracer
+    with _global_lock:
+        previous = _global_tracer
+        _global_tracer = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for a block: installs (a fresh, enabled) tracer as
+    the global default and restores the previous one on exit."""
+    tracer = tracer or Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace validation (used by tests and the CI smoke step)
+# ---------------------------------------------------------------------------
+
+def validate_chrome_trace(data: object) -> list[str]:
+    """Check an object against the Chrome trace-event shape.
+
+    Returns a list of problems (empty = valid).  Validates the subset the
+    tracer emits: a ``traceEvents`` list of dicts where "X" events carry
+    name/ts/dur/pid/tid and "C" events carry name/ts/args.
+    """
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "C", "B", "E", "M", "I"):
+            errors.append(f"event {i} has unknown phase {ph!r}")
+            continue
+        required = {"X": ("name", "ts", "dur", "pid", "tid"),
+                    "C": ("name", "ts", "args")}.get(ph, ("name",))
+        for key in required:
+            if key not in event:
+                errors.append(f"event {i} ({ph}) lacks {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    errors.append(f"event {i} field {key!r} is not numeric")
+    return errors

@@ -22,6 +22,7 @@ from repro.compiler.storage import SCRATCH
 from repro.compiler.tiling import compute_tile_regions, stage_tile_region
 from repro.lang.constructs import Parameter
 from repro.lang.image import Image
+from repro.observe.trace import Tracer, get_tracer
 from repro.pipeline.graph import Stage
 from repro.pipeline.ir import StageIR
 from repro.poly.affine import to_affine
@@ -34,13 +35,50 @@ class ExecutionError(RuntimeError):
     """Raised for invalid inputs or unsupported stage shapes."""
 
 
+def _check_unknown_keys(plan: PipelinePlan, params: Mapping,
+                        inputs: Mapping) -> None:
+    """Reject entries that do not belong to this plan.
+
+    ``Parameter`` and ``Image`` hash by identity, so passing the *wrong
+    object* with the right name would otherwise be silently ignored (and
+    a required key reported missing instead) — the same validation the
+    native backend performs.
+    """
+    known_params = set(plan.estimates)
+    unknown = [p for p in params if p not in known_params]
+    if unknown:
+        names = ", ".join(sorted(repr(getattr(p, "name", p))
+                                 for p in unknown))
+        raise ExecutionError(
+            f"unknown parameter(s) in param_values: {names}; the plan's "
+            "parameters are: "
+            + ", ".join(sorted(p.name for p in known_params)))
+    known_images = set(plan.ir.graph.inputs)
+    unknown = [img for img in inputs if img not in known_images]
+    if unknown:
+        names = ", ".join(sorted(repr(getattr(img, "name", img))
+                                 for img in unknown))
+        raise ExecutionError(
+            f"unknown image(s) in inputs: {names}; the plan's inputs "
+            "are: " + ", ".join(sorted(i.name for i in known_images)))
+
+
 def execute_plan(plan: PipelinePlan,
                  param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
                  *, vectorize: bool = True,
-                 n_threads: int = 1) -> dict[str, np.ndarray]:
-    """Run a compiled pipeline; returns output arrays keyed by stage name."""
+                 n_threads: int = 1,
+                 tracer: Tracer | None = None) -> dict[str, np.ndarray]:
+    """Run a compiled pipeline; returns output arrays keyed by stage name.
+
+    ``tracer`` (the process-global one when omitted) records per-group
+    and per-tile spans plus tile counts, scratch bytes and the
+    redundant-compute ratio of each tiled group; all of it is skipped
+    while the tracer is disabled.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
     params = dict(param_values)
+    _check_unknown_keys(plan, params, inputs)
     buffers: dict[Hashable, BufferView] = {}
     for image in plan.ir.graph.inputs:
         try:
@@ -58,12 +96,21 @@ def execute_plan(plan: PipelinePlan,
                 f"expected {extents}")
         buffers[image] = BufferView(array, (0,) * array.ndim)
 
-    for group_plan in plan.group_plans:
-        if group_plan.is_tiled:
-            _run_tiled_group(plan, group_plan, params, buffers,
-                             vectorize, n_threads)
-        else:
-            _run_untiled_group(plan, group_plan, params, buffers, vectorize)
+    with tracer.span("execute_plan", cat="interp",
+                     n_groups=len(plan.group_plans),
+                     n_threads=n_threads):
+        for gi, group_plan in enumerate(plan.group_plans):
+            names = ", ".join(s.name for s in group_plan.ordered_stages)
+            if group_plan.is_tiled:
+                with tracer.span(f"group {gi} [tiled]", cat="interp",
+                                 stages=names):
+                    _run_tiled_group(plan, group_plan, params, buffers,
+                                     vectorize, n_threads, tracer, gi)
+            else:
+                with tracer.span(f"group {gi} [untiled]", cat="interp",
+                                 stages=names):
+                    _run_untiled_group(plan, group_plan, params, buffers,
+                                       vectorize)
 
     outputs: dict[str, np.ndarray] = {}
     for original, stage in plan.output_map.items():
@@ -189,8 +236,10 @@ def _run_self_referential(stage_ir: StageIR, params, buffers,
 # ---------------------------------------------------------------------------
 
 def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
-                     buffers, vectorize: bool, n_threads: int) -> None:
+                     buffers, vectorize: bool, n_threads: int,
+                     tracer: Tracer | None = None, gi: int = 0) -> None:
     ir = plan.ir
+    tracer = tracer if tracer is not None else get_tracer()
     transforms = group_plan.transforms
     assert transforms is not None
     liveouts = group_plan.liveouts
@@ -201,6 +250,30 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
     domain_boxes = {s: stage_irs[s].domain.concretize(params)
                     for s in group_plan.ordered_stages}
     liveout_set = set(liveouts)
+    key = f"interp.group[{gi}]"
+
+    def record_tile(tile_box, regions) -> None:
+        """Per-tile metrics: counts, bytes, overlap-vs-owned points."""
+        evaluated = 0
+        owned_points = 0
+        scratch_bytes = 0
+        for stage, region in regions.items():
+            points = 1
+            for ivl in region:
+                points *= ivl.size
+            evaluated += points
+            scratch_bytes += points * stage.dtype.np_dtype.itemsize
+            owned = stage_tile_region(transforms[stage],
+                                      domain_boxes[stage], tile_box)
+            if owned is not None:
+                points = 1
+                for ivl in owned:
+                    points *= ivl.size
+                owned_points += points
+        tracer.count(f"{key}.tiles")
+        tracer.count(f"{key}.evaluated_points", evaluated)
+        tracer.count(f"{key}.owned_points", owned_points)
+        tracer.count(f"{key}.scratch_bytes", scratch_bytes)
 
     def run_tile(tile_box) -> None:
         regions = compute_tile_regions(
@@ -208,6 +281,16 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
             tile_box, params)
         if not regions:
             return
+        if not tracer.enabled:  # skip even the label formatting when off
+            _tile_body(tile_box, regions)
+            return
+        with tracer.span(
+                "tile", cat="tile",
+                tile="x".join(f"{ivl.lo}..{ivl.hi}" for ivl in tile_box)):
+            record_tile(tile_box, regions)
+            _tile_body(tile_box, regions)
+
+    def _tile_body(tile_box, regions) -> None:
         local: dict[Hashable, BufferView] = dict(buffers)
         evaluator = Evaluator(params, local, vectorize)
         for stage in group_plan.ordered_stages:
@@ -244,3 +327,13 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
     else:
         with ThreadPoolExecutor(max_workers=n_threads) as pool:
             list(pool.map(run_tile, tiles))
+
+    if tracer.enabled:
+        # redundant-compute ratio: points evaluated (owned + overlap)
+        # over points owned — the overlap overhead of Section 3.4,
+        # measured rather than modelled
+        counters = tracer.metrics.counters()
+        owned = counters.get(f"{key}.owned_points", 0)
+        evaluated = counters.get(f"{key}.evaluated_points", 0)
+        if owned:
+            tracer.gauge(f"{key}.redundancy", evaluated / owned)

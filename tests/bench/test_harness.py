@@ -7,8 +7,8 @@ import pytest
 
 from repro.bench import figure5, figure6, figure8
 from repro.bench.harness import (
-    APP_BUILDERS, DEFAULT_TILES, PAPER_TABLE2, SIZES, format_table,
-    make_instance, time_ms, variant_options,
+    APP_BUILDERS, DEFAULT_TILES, PAPER_TABLE2, SIZES, TimingStats,
+    format_table, make_instance, time_ms, time_stats, variant_options,
 )
 
 
@@ -52,6 +52,41 @@ def test_time_ms_discards_first_run():
     t = time_ms(fn, runs=4)
     assert len(calls) == 4
     assert t >= 0
+
+
+def test_time_stats_protocol():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    stats = time_stats(fn, runs=5)
+    assert len(calls) == 5
+    assert stats.runs == 4  # warm-up discarded
+    assert 0 <= stats.min_ms <= stats.mean_ms
+    assert stats.std_ms >= 0
+    d = stats.as_dict()
+    assert set(d) == {"min_ms", "mean_ms", "std_ms", "runs"}
+    assert "min" in stats.render() and "mean" in stats.render()
+
+
+def test_timing_stats_from_times():
+    stats = TimingStats.from_times([2.0, 4.0, 6.0])
+    assert stats.min_ms == 2.0
+    assert stats.mean_ms == 4.0
+    assert stats.runs == 3
+    assert stats.std_ms == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+
+def test_time_ms_is_mean_of_kept_runs():
+    # compat shim: time_ms must agree with time_stats' mean
+    import itertools
+    ticks = itertools.count()
+
+    def fn():
+        next(ticks)
+
+    assert time_ms(fn, runs=3) >= 0
 
 
 def test_format_table_alignment():

@@ -93,7 +93,7 @@ def test_compile_failure_reports_command(tmp_path):
     plan = compile_pipeline(app.outputs, est, name="nat_broken").plan
     original = build_mod.generate_c
     try:
-        build_mod.generate_c = lambda p, n: "this is not C"
+        build_mod.generate_c = lambda p, n, **kw: "this is not C"
         with pytest.raises(BuildError, match="compilation failed"):
             build_mod.build_native(plan, "nat_broken",
                                    cache_dir=tmp_path)

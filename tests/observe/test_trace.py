@@ -1,0 +1,227 @@
+"""Unit tests for the repro.observe tracer, metrics and decision log."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import (
+    DecisionLog, MergeDecision, MetricsRegistry, Tracer, get_tracer,
+    set_tracer, tracing, validate_chrome_trace,
+)
+from repro.observe.trace import _NULL_SPAN
+
+
+# -- spans -------------------------------------------------------------------
+
+def test_disabled_tracer_returns_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", cat="x", k=1)
+    assert span is _NULL_SPAN
+    with span as s:
+        s.set(extra=2)  # must be a silent no-op
+    assert tracer.roots() == []
+
+
+def test_span_nesting_and_args():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", cat="a", n=1) as outer:
+        with tracer.span("inner", cat="b"):
+            pass
+        outer.set(n=2, extra="x")
+    roots = tracer.roots()
+    assert [r.name for r in roots] == ["outer"]
+    assert roots[0].args == {"n": 2, "extra": "x"}
+    assert [c.name for c in roots[0].children] == ["inner"]
+    assert roots[0].dur_us >= roots[0].children[0].dur_us >= 0
+
+
+def test_spans_iterator_is_depth_first():
+    tracer = Tracer(enabled=True)
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+        with tracer.span("c"):
+            pass
+    assert [s.name for s in tracer.spans()] == ["a", "b", "c"]
+
+
+def test_span_survives_exception():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("x")
+    assert [r.name for r in tracer.roots()] == ["boom"]
+
+
+def test_clear_resets_everything():
+    tracer = Tracer(enabled=True)
+    with tracer.span("a"):
+        tracer.count("c")
+        tracer.gauge("g", 1.0)
+    tracer.clear()
+    assert tracer.roots() == []
+    assert tracer.metrics.counters() == {}
+    assert tracer.metrics.gauges() == {}
+
+
+def test_threaded_spans_have_distinct_tids():
+    tracer = Tracer(enabled=True)
+    # keep all threads alive together: thread idents are reused once a
+    # thread exits, which would collapse the tids
+    barrier = threading.Barrier(3)
+
+    def work():
+        with tracer.span("t"):
+            barrier.wait(timeout=10)
+
+    threads = [threading.Thread(target=work) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    with tracer.span("main"):
+        pass
+    roots = tracer.roots()
+    assert len(roots) == 4
+    assert len({r.tid for r in roots}) == 4
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_metrics_count_and_gauge():
+    m = MetricsRegistry()
+    m.count("tiles")
+    m.count("tiles", 4)
+    m.gauge("ratio", 1.25)
+    assert m.counters() == {"tiles": 5}
+    assert m.gauges() == {"ratio": 1.25}
+    assert m.as_dict() == {"counters": {"tiles": 5},
+                           "gauges": {"ratio": 1.25}}
+
+
+def test_metrics_counts_are_thread_safe():
+    m = MetricsRegistry()
+
+    def bump():
+        for _ in range(1000):
+            m.count("n")
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert m.counters()["n"] == 4000
+
+
+# -- chrome export -----------------------------------------------------------
+
+def test_to_chrome_shape_and_validation():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", cat="compiler", n=3):
+        with tracer.span("inner"):
+            pass
+    tracer.count("tiles", 7)
+    data = tracer.to_chrome()
+    assert validate_chrome_trace(data) == []
+    events = data["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {e["name"] for e in complete} == {"outer", "inner"}
+    assert len(counters) == 1
+    outer = next(e for e in complete if e["name"] == "outer")
+    assert outer["cat"] == "compiler"
+    assert outer["args"] == {"n": 3}
+    # the whole payload must be JSON-serializable
+    json.dumps(data)
+
+
+def test_write_chrome(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("x"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome(path)
+    data = json.loads(path.read_text())
+    assert validate_chrome_trace(data) == []
+
+
+def test_validate_chrome_trace_catches_bad_shapes():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "a"}]}) != []
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "C", "name": "a", "ts": 0}]}) != []
+    ok = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+        {"name": "c", "ph": "C", "ts": 0, "pid": 1, "args": {"v": 2}},
+    ]}
+    assert validate_chrome_trace(ok) == []
+
+
+def test_render_tree_mentions_spans_and_metrics():
+    tracer = Tracer(enabled=True)
+    with tracer.span("compile", cat="compiler"):
+        with tracer.span("grouping"):
+            pass
+    tracer.count("tiles", 3)
+    tracer.gauge("redundancy", 1.5)
+    text = tracer.render_tree()
+    assert "compile" in text and "grouping" in text
+    assert "tiles = 3" in text
+    assert "redundancy" in text
+
+
+# -- global tracer / tracing() ----------------------------------------------
+
+def test_tracing_installs_and_restores():
+    before = get_tracer()
+    with tracing() as tracer:
+        assert get_tracer() is tracer
+        assert tracer.enabled
+    assert get_tracer() is before
+
+
+def test_set_tracer_roundtrip():
+    before = get_tracer()
+    mine = Tracer(enabled=True)
+    set_tracer(mine)
+    try:
+        assert get_tracer() is mine
+    finally:
+        set_tracer(before)
+
+
+# -- decision log ------------------------------------------------------------
+
+def _decision(round_no=1, group="a", child="b", accepted=False,
+              reason="r", overlap=None):
+    return MergeDecision(round_no, group, child, 100, overlap, 0.4,
+                         accepted, reason)
+
+
+def test_decision_log_dedups_repeated_rejections():
+    log = DecisionLog()
+    log.record(_decision(round_no=1))
+    log.record(_decision(round_no=2))  # same (group, child, reason)
+    log.record(_decision(round_no=2, reason="other"))
+    assert len(log.rejections) == 2
+
+
+def test_decision_log_keeps_all_merges():
+    log = DecisionLog()
+    log.record(_decision(round_no=1, accepted=True, overlap=0.1))
+    log.record(_decision(round_no=2, accepted=True, overlap=0.1))
+    assert len(log.merges) == 2
+
+
+def test_decision_render_mentions_overlap_and_reason():
+    d = _decision(accepted=True, reason="overlap within threshold",
+                  overlap=0.125)
+    text = d.render()
+    assert "merge" in text
+    assert "0.125" in text or "0.12" in text
+    assert "overlap within threshold" in text
+    assert d.to_dict()["accepted"] is True

@@ -1,0 +1,73 @@
+"""Interpreter error paths: bad inputs must fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps import harris as harris_app
+from repro.lang import Float, Image, Parameter
+from repro.runtime.executor import ExecutionError
+
+RNG = np.random.default_rng(11)
+
+
+@pytest.fixture(scope="module")
+def harris():
+    app = harris_app.build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 48, C: 40}
+    inputs = app.make_inputs(values, RNG)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((16, 16)))
+    return app, values, inputs, compiled
+
+
+def test_missing_input_raises(harris):
+    app, values, inputs, compiled = harris
+    with pytest.raises(ExecutionError, match="missing input array"):
+        compiled(values, {})
+
+
+def test_shape_mismatch_raises(harris):
+    app, values, inputs, compiled = harris
+    image = next(iter(inputs))
+    bad = {image: np.zeros((3, 3), dtype=np.float32)}
+    with pytest.raises(ExecutionError, match="has shape"):
+        compiled(values, bad)
+
+
+def test_empty_domain_raises():
+    from repro.lang import (
+        Case, Function, Int, Interval, TrueCond, Variable,
+    )
+
+    R = Parameter(Int, "R")
+    I = Image(Float, [R + 4], name="I")
+    x = Variable("x")
+    # domain [2, R]: empty once R < 2
+    f = Function(varDom=([x], [Interval(2, R, 1)]), typ=Float, name="f")
+    f.defn = [Case(TrueCond(), I(x))]
+    compiled = compile_pipeline([f], {R: 16})
+    with pytest.raises(ExecutionError, match="empty domain"):
+        compiled({R: 0}, {I: np.zeros(4, dtype=np.float32)})
+
+
+def test_unknown_parameter_raises_with_names(harris):
+    app, values, inputs, compiled = harris
+    stray = Parameter(name="stray_param")
+    with pytest.raises(ExecutionError, match="stray_param"):
+        compiled({**values, stray: 7}, inputs)
+
+
+def test_unknown_image_raises_with_names(harris):
+    app, values, inputs, compiled = harris
+    stray = Image(Float, [4, 4], name="stray_image")
+    with pytest.raises(ExecutionError, match="stray_image"):
+        compiled(values, {**inputs, stray: np.zeros((4, 4))})
+
+
+def test_error_message_lists_valid_names(harris):
+    app, values, inputs, compiled = harris
+    stray = Parameter(name="zzz")
+    with pytest.raises(ExecutionError, match="parameters are"):
+        compiled({**values, stray: 1}, inputs)

@@ -1,0 +1,83 @@
+"""Interpreter instrumentation: spans, tile metrics, redundancy ratio."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, Tracer, compile_pipeline
+from repro.apps import harris as harris_app
+
+RNG = np.random.default_rng(5)
+
+
+@pytest.fixture(scope="module")
+def harris():
+    app = harris_app.build_pipeline()
+    R, C = app.params["R"], app.params["C"]
+    values = {R: 61, C: 45}
+    inputs = app.make_inputs(values, RNG)
+    compiled = compile_pipeline(app.outputs, values,
+                                CompileOptions.optimized((16, 16)))
+    return app, values, inputs, compiled
+
+
+def test_traced_run_matches_untraced(harris):
+    app, values, inputs, compiled = harris
+    plain = compiled(values, inputs)
+    tracer = Tracer(enabled=True)
+    traced = compiled(values, inputs, tracer=tracer)
+    for k in plain:
+        np.testing.assert_array_equal(plain[k], traced[k])
+
+
+def test_execute_spans_cover_groups_and_tiles(harris):
+    app, values, inputs, compiled = harris
+    tracer = Tracer(enabled=True)
+    compiled(values, inputs, tracer=tracer)
+    names = [s.name for s in tracer.spans()]
+    assert names[0] == "execute_plan"
+    assert any(n.startswith("group 0") for n in names)
+    tiles = [s for s in tracer.spans() if s.name == "tile"]
+    assert tiles
+    # every tile span carries its box label
+    assert all("tile" in s.args for s in tiles)
+
+
+def test_tile_metrics_recorded(harris):
+    app, values, inputs, compiled = harris
+    tracer = Tracer(enabled=True)
+    compiled(values, inputs, tracer=tracer)
+    counters = tracer.metrics.counters()
+    tiles = [s for s in tracer.spans() if s.name == "tile"]
+    assert counters["interp.group[0].tiles"] == len(tiles)
+    assert counters["interp.group[0].scratch_bytes"] > 0
+    # overlapped tiling evaluates at least the owned points
+    assert counters["interp.group[0].evaluated_points"] >= \
+        counters["interp.group[0].owned_points"] > 0
+
+
+def test_redundancy_gauge(harris):
+    app, values, inputs, compiled = harris
+    tracer = Tracer(enabled=True)
+    compiled(values, inputs, tracer=tracer)
+    gauges = tracer.metrics.gauges()
+    ratio = gauges["interp.group[0].redundancy"]
+    # harris with 16x16 tiles has a halo: strictly redundant, but bounded
+    assert 1.0 <= ratio < 2.0
+
+
+def test_disabled_tracer_records_nothing(harris):
+    app, values, inputs, compiled = harris
+    tracer = Tracer(enabled=False)
+    compiled(values, inputs, tracer=tracer)
+    assert tracer.roots() == []
+    assert tracer.metrics.counters() == {}
+
+
+def test_threaded_traced_run_counts_every_tile(harris):
+    app, values, inputs, compiled = harris
+    serial = Tracer(enabled=True)
+    compiled(values, inputs, tracer=serial)
+    threaded = Tracer(enabled=True)
+    compiled(values, inputs, n_threads=4, tracer=threaded)
+    assert (threaded.metrics.counters()["interp.group[0].tiles"]
+            == serial.metrics.counters()["interp.group[0].tiles"])
