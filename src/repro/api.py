@@ -80,6 +80,30 @@ class CompiledPipeline:
             self._built[key] = build_native(self.plan, self.name, **kwargs)
         return self._built[key]
 
+    # -- verification ----------------------------------------------------------
+    def verify(self, *, lint_c: bool = False,
+               severity_overrides: Mapping[str, str] | None = None,
+               strict: bool = False):
+        """Statically verify the compiled plan (see :mod:`repro.verify`).
+
+        Re-derives schedule legality, storage coverage, race freedom and
+        bounds from the IR — independently of the compiler phases that
+        made those decisions — and returns the
+        :class:`~repro.verify.VerifyReport`.  ``lint_c=True`` also
+        generates instrumented C and lints it for un-atomic shared
+        writes; ``strict=True`` raises :class:`~repro.verify.VerifyError`
+        when any error-severity diagnostic fires.  The report is cached
+        on the plan as ``plan.verify_report``.
+        """
+        from repro.verify import VerifyError, verify_plan
+        report = verify_plan(self.plan, lint_c=lint_c,
+                             severity_overrides=severity_overrides,
+                             name=self.name)
+        self.plan.verify_report = report
+        if strict and not report.ok:
+            raise VerifyError(report)
+        return report
+
     # -- inspection ------------------------------------------------------------
     def summary(self) -> str:
         return self.plan.summary()
@@ -103,7 +127,8 @@ def compile_pipeline(outputs: Sequence[Stage],
                      estimates: Mapping[Parameter, int],
                      options: CompileOptions | None = None,
                      name: str = "pipeline",
-                     tracer: Tracer | None = None) -> CompiledPipeline:
+                     tracer: Tracer | None = None,
+                     check: str = "none") -> CompiledPipeline:
     """Compile a pipeline given its live-out stages.
 
     ``estimates`` supply a representative value per :class:`Parameter` —
@@ -111,6 +136,10 @@ def compile_pipeline(outputs: Sequence[Stage],
     pipeline remains valid for all parameter values.  ``tracer`` records
     per-phase compile spans (defaults to the process-global tracer,
     disabled unless e.g. ``repro.observe.tracing`` enabled it).
+    ``check`` runs the static verifier on the result: ``"warn"`` attaches
+    the report, ``"strict"`` raises on error diagnostics (see
+    :func:`repro.compiler.plan.compile_plan`).
     """
-    plan = compile_plan(outputs, estimates, options, tracer=tracer)
+    plan = compile_plan(outputs, estimates, options, tracer=tracer,
+                        check=check)
     return CompiledPipeline(plan, name)

@@ -267,7 +267,8 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
              name: str = "tuned",
              n_workers: int = 1,
              cache_dir: str | Path | None = None,
-             profile: bool = False) -> TuningReport:
+             profile: bool = False,
+             verify: bool = True) -> TuningReport:
     """Time every configuration of the (restricted) space.
 
     ``backend`` is ``"native"`` (generated C, as the paper measures) or
@@ -284,6 +285,12 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     in-library per-group timers and attaches the per-group seconds /
     tile counts of the measured run to each :class:`TuneResult` — note
     the timers add a small overhead to the reported times.
+
+    ``verify=True`` (the default) runs the static plan verifier
+    (:mod:`repro.verify`) on every successfully compiled configuration
+    before timing it; configurations with error-severity findings are
+    never run — they join ``report.skipped`` with the diagnostic codes
+    as the reason.
     """
     space = list(space) if space is not None else default_space(n_dims)
     n_workers = max(1, n_workers)
@@ -311,6 +318,17 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
             skipped.append((record.index,
                             SkippedConfig(config, record.error)))
             continue
+        if verify and record.plan is not None:
+            from repro.verify import verify_plan
+            v_report = verify_plan(record.plan)
+            if not v_report.ok:
+                summary = "; ".join(
+                    f"{d.code} {d.message}" for d in v_report.errors[:3])
+                if len(v_report.errors) > 3:
+                    summary += f" (+{len(v_report.errors) - 3} more)"
+                skipped.append((record.index,
+                                SkippedConfig(config, f"verify: {summary}")))
+                continue
         measured.append((record.index,
                          _measure(record, config, param_values, inputs,
                                   backend, n_threads, repeats, name)))

@@ -59,7 +59,45 @@ class EdgeDependence:
 
 
 class NonConstantDependence(ValueError):
-    """A dependence range could not be bounded (infeasible grouping)."""
+    """A dependence range could not be bounded (infeasible grouping).
+
+    Carries full provenance — producer/consumer stage names, the group
+    dimension and the offending access — so callers (the grouping
+    heuristic's decision log, :mod:`repro.verify`) can render it as a
+    structured diagnostic instead of a bare message.
+    """
+
+    def __init__(self, detail: str, *, producer: str | None = None,
+                 consumer: str | None = None, dim: int | None = None,
+                 access: str | None = None):
+        self.detail = detail
+        self.producer = producer
+        self.consumer = consumer
+        self.dim = dim
+        self.access = access
+        super().__init__(self._compose())
+
+    def _compose(self) -> str:
+        parts = []
+        if self.producer is not None and self.consumer is not None:
+            parts.append(f"{self.consumer} -> {self.producer}")
+        if self.dim is not None:
+            parts.append(f"dim {self.dim}")
+        if self.access is not None:
+            parts.append(f"access {self.access}")
+        prefix = f"[{', '.join(parts)}] " if parts else ""
+        return prefix + self.detail
+
+    def with_context(self, *, producer: str | None = None,
+                     consumer: str | None = None, dim: int | None = None,
+                     access: str | None = None) -> "NonConstantDependence":
+        """A copy enriched with whatever context the caller knows."""
+        return NonConstantDependence(
+            self.detail,
+            producer=self.producer if self.producer is not None else producer,
+            consumer=self.consumer if self.consumer is not None else consumer,
+            dim=self.dim if self.dim is not None else dim,
+            access=self.access if self.access is not None else access)
 
 
 def _consumer_dim_for(consumer_ir, ct, group_dim: int) -> int:
@@ -68,7 +106,7 @@ def _consumer_dim_for(consumer_ir, ct, group_dim: int) -> int:
             return j
     raise NonConstantDependence(
         f"no consumer dimension of {consumer_ir.name!r} maps to group "
-        f"dimension {group_dim}")
+        f"dimension {group_dim}", consumer=consumer_ir.name)
 
 
 def _constant_extent(consumer_ir, dim: int) -> tuple[Fraction, Fraction]:
@@ -78,13 +116,15 @@ def _constant_extent(consumer_ir, dim: int) -> tuple[Fraction, Fraction]:
         if not aff.is_constant:
             raise NonConstantDependence(
                 f"dimension {dim} of {consumer_ir.name!r} has parametric "
-                "extent; constant-index dependence is unbounded")
+                "extent; constant-index dependence is unbounded",
+                consumer=consumer_ir.name, dim=dim)
         values_lo.append(aff.const)
     for aff in bounds.uppers:
         if not aff.is_constant:
             raise NonConstantDependence(
                 f"dimension {dim} of {consumer_ir.name!r} has parametric "
-                "extent; constant-index dependence is unbounded")
+                "extent; constant-index dependence is unbounded",
+                consumer=consumer_ir.name, dim=dim)
         values_hi.append(aff.const)
     return max(values_lo), min(values_hi)
 
@@ -112,8 +152,14 @@ def edge_dependences(ir: PipelineIR, transforms: GroupTransforms,
                 # Constant index k = b / m: the dependence spans the whole
                 # consumer dimension, which must have constant extent
                 # (e.g. a colour-channel read like d(3, x, y)).
-                j = _consumer_dim_for(consumer_ir, ct, group_dim)
-                v_lo, v_hi = _constant_extent(consumer_ir, j)
+                try:
+                    j = _consumer_dim_for(consumer_ir, ct, group_dim)
+                    v_lo, v_hi = _constant_extent(consumer_ir, j)
+                except NonConstantDependence as exc:
+                    raise exc.with_context(
+                        producer=getattr(producer, "name", "?"),
+                        consumer=consumer_ir.name, dim=d,
+                        access=repr(form)) from None
                 s_c = ct.scales[j]
                 k = s_p * (b // m if m > 1 else b)
                 lo = s_c * v_lo - k

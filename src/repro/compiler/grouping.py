@@ -184,11 +184,13 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
             size = _group_size(ir, group, estimates)
 
             def record(accepted: bool, reason: str, overlap=None,
+                       diagnostic=None,
                        _group=group, _child=child, _size=size):
                 log.record(MergeDecision(
                     round_no, _group.name, _child.name, _size,
                     float(overlap) if overlap is not None else None,
-                    float(threshold), accepted, reason))
+                    float(threshold), accepted, reason,
+                    diagnostic=diagnostic))
 
             if min_size and size < min_size:
                 record(False, f"group size {size} below "
@@ -210,16 +212,20 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
             if transforms is None:
                 # cannot make dependence vectors constant
                 record(False, "alignment/scaling failed: no constant "
-                              "dependence vectors")
+                              "dependence vectors",
+                       diagnostic="RV003 dependence not constant under "
+                                  "any alignment/scaling of the merged "
+                                  "group")
                 continue
             from repro.compiler.deps import NonConstantDependence
             halo_fn = group_halos if tight_overlap else naive_halos
             try:
                 halos = halo_fn(ir, transforms, merged_stages)
-            except NonConstantDependence:
+            except NonConstantDependence as exc:
                 # constant-index dependence over parametric extent
                 record(False, "non-constant dependence range over "
-                              "parametric extent")
+                              "parametric extent",
+                       diagnostic=f"RV003 {exc}")
                 continue
             relative_overlap = estimate_relative_overlap(halos, tile_sizes)
             if relative_overlap >= threshold:

@@ -114,6 +114,9 @@ class PipelinePlan:
     #: original user-facing output stage -> (possibly cloned) plan stage
     output_map: dict[Stage, Stage]
     inlined_names: tuple[str, ...]
+    #: populated when compiled with ``check != "none"`` (a
+    #: :class:`repro.verify.VerifyReport`)
+    verify_report: object | None = None
 
     @property
     def outputs(self) -> list[Stage]:
@@ -203,7 +206,8 @@ class PipelinePlan:
 def compile_plan(outputs: Sequence[Stage],
                  estimates: Mapping[Parameter, int],
                  options: CompileOptions | None = None,
-                 tracer: Tracer | None = None) -> PipelinePlan:
+                 tracer: Tracer | None = None,
+                 check: str = "none") -> PipelinePlan:
     """Run the middle end and produce a :class:`PipelinePlan`.
 
     ``outputs`` are the live-out stages; ``estimates`` map every parameter
@@ -211,7 +215,15 @@ def compile_plan(outputs: Sequence[Stage],
     for all parameter values — estimates only guide the heuristics).
     Every phase is traced on ``tracer`` (the process-global tracer when
     omitted; spans cost nothing while it stays disabled).
+
+    ``check`` runs the static plan verifier (:mod:`repro.verify`) on the
+    result: ``"none"`` skips it, ``"warn"`` attaches the report as
+    ``plan.verify_report``, ``"strict"`` additionally raises
+    :class:`repro.verify.VerifyError` on any error-severity finding.
     """
+    if check not in ("none", "warn", "strict"):
+        raise ValueError(f"check must be 'none', 'warn' or 'strict', "
+                         f"got {check!r}")
     options = options or CompileOptions()
     tracer = tracer if tracer is not None else get_tracer()
     estimates = dict(estimates)
@@ -286,7 +298,7 @@ def compile_plan(outputs: Sequence[Stage],
         root.set(n_stages=len(ir.stages), n_groups=len(group_plans))
 
     output_map = dict(zip(original_outputs, plan_outputs))
-    return PipelinePlan(
+    plan = PipelinePlan(
         ir=ir,
         grouping=grouping,
         group_plans=group_plans,
@@ -296,3 +308,18 @@ def compile_plan(outputs: Sequence[Stage],
         output_map=output_map,
         inlined_names=inlined_names,
     )
+    if check != "none":
+        # Imported lazily: repro.verify depends on this module.
+        from repro.verify import CHECKS, VerifyError, verify_plan
+        with tracer.span("verify", cat="compiler") as sp:
+            # "bounds" is excluded: check_bounds already ran above on the
+            # identical IR and estimates (and raised on any violation),
+            # so re-running it here could never find anything new.
+            report = verify_plan(
+                plan, checks=tuple(c for c in CHECKS if c != "bounds"))
+            sp.set(errors=len(report.errors),
+                   warnings=len(report.warnings))
+        plan.verify_report = report
+        if check == "strict" and not report.ok:
+            raise VerifyError(report)
+    return plan

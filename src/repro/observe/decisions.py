@@ -31,20 +31,27 @@ class MergeDecision:
     threshold: float
     accepted: bool
     reason: str
+    #: the verifier-style diagnostic that would have fired had the merge
+    #: been forced (set on rejections caused by illegal dependences)
+    diagnostic: str | None = None
 
     def render(self) -> str:
         verdict = "merge" if self.accepted else "keep "
         cost = (f"overlap {self.overlap:.3f}" if self.overlap is not None
                 else "overlap n/a")
-        return (f"round {self.round}: {verdict} {self.group} -> "
+        line = (f"round {self.round}: {verdict} {self.group} -> "
                 f"{self.child} [{cost}, threshold {self.threshold:.2f}] "
                 f"({self.reason})")
+        if self.diagnostic:
+            line += f"\n    would fire: {self.diagnostic}"
+        return line
 
     def to_dict(self) -> dict:
         return {"round": self.round, "group": self.group,
                 "child": self.child, "group_size": self.group_size,
                 "overlap": self.overlap, "threshold": self.threshold,
-                "accepted": self.accepted, "reason": self.reason}
+                "accepted": self.accepted, "reason": self.reason,
+                "diagnostic": self.diagnostic}
 
 
 class DecisionLog:

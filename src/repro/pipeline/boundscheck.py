@@ -40,10 +40,17 @@ class BoundsViolation:
     dim: int
     access_range: IntInterval
     domain_range: IntInterval
+    #: the (parameter name, value) estimates the proof was made under
+    estimates: tuple[tuple[str, int], ...] = ()
 
     def __str__(self) -> str:
+        under = ""
+        if self.estimates:
+            binds = ", ".join(f"{n}={v}" for n, v in self.estimates)
+            under = f" (under {binds})"
         return (f"{self.consumer} reads {self.producer} dim {self.dim} over "
-                f"{self.access_range}, outside domain {self.domain_range}")
+                f"{self.access_range}, outside domain "
+                f"{self.domain_range}{under}")
 
 
 def _producer_box(ir: PipelineIR, producer) -> ParametricBox | None:
@@ -73,12 +80,16 @@ def _check_access(ir: PipelineIR, consumer: StageIR, access: AccessInfo,
             # estimated); treat as unanalysable.
             continue
         if not domain[dim].contains(rng):
+            used = tuple(sorted(
+                (p.name, v) for p, v in estimates.items()
+                if isinstance(p, Parameter)))
             violations.append(BoundsViolation(
                 consumer=consumer.name,
                 producer=getattr(access.producer, "name", "?"),
                 dim=dim,
                 access_range=rng,
                 domain_range=domain[dim],
+                estimates=used,
             ))
 
 
@@ -89,6 +100,20 @@ def check_bounds(ir: PipelineIR, estimates: Mapping[Parameter, int]) -> None:
     estimates, tightens consumer domains with each case's bound
     constraints, and pushes the resulting boxes through the access
     functions with interval arithmetic.
+    """
+    violations = collect_bounds_violations(ir, estimates)
+    if violations:
+        raise BoundsError(violations)
+
+
+def collect_bounds_violations(
+        ir: PipelineIR,
+        estimates: Mapping[Parameter, int]) -> list[BoundsViolation]:
+    """All provable out-of-bounds accesses, without raising.
+
+    This is the reporting core of :func:`check_bounds`; the verifier
+    (:mod:`repro.verify`) folds each violation into its report as an
+    ``RV101`` diagnostic instead of aborting compilation.
     """
     violations: list[BoundsViolation] = []
     for stage_ir in ir.ordered():
@@ -116,8 +141,7 @@ def check_bounds(ir: PipelineIR, estimates: Mapping[Parameter, int]) -> None:
                 if id(access.reference) not in case_refs:
                     continue
                 _check_access(ir, stage_ir, access, env, estimates, violations)
-    if violations:
-        raise BoundsError(violations)
+    return violations
 
 
 def _case_accesses(stage_ir: StageIR, case) -> list[AccessInfo]:

@@ -91,6 +91,30 @@ def evaluate_affine(aff: AffExpr,
     Symbols bound to ints are treated as degenerate intervals.  The result
     is the integer hull of the exact rational range.
     """
+    # Fast path: every coefficient (and the constant) is an integer —
+    # overwhelmingly the common case — so the whole evaluation stays in
+    # machine integers instead of Fraction arithmetic.
+    if aff.const.denominator == 1 and \
+            all(c.denominator == 1 for _, c in aff.terms):
+        ilo = ihi = aff.const.numerator
+        for sym, coeff in aff.terms:
+            try:
+                value = env[sym]
+            except KeyError:
+                raise KeyError(
+                    f"no interval bound for symbol {sym!r}") from None
+            c = coeff.numerator
+            if isinstance(value, int):
+                ilo += c * value
+                ihi += c * value
+            elif c >= 0:
+                ilo += c * value.lo
+                ihi += c * value.hi
+            else:
+                ilo += c * value.hi
+                ihi += c * value.lo
+        return IntInterval(ilo, ihi)
+
     lo = hi = aff.const
     for sym, coeff in aff.terms:
         try:

@@ -1,0 +1,25 @@
+"""Static plan verification and DSL lint for compiled pipelines.
+
+The verifier re-derives — independently of the compiler phases that made
+the decisions — the facts a :class:`~repro.compiler.plan.PipelinePlan`
+assumes: schedule legality under overlapped tiling (``RV0xx``), static
+bounds (``RV1xx``), storage coverage (``RV2xx``), parallel-race freedom
+(``RV3xx``) and DSL hygiene (``RV4xx``).  Entry points:
+
+* :func:`verify_plan` / :func:`verify_or_raise` on a compiled plan,
+* ``CompiledPipeline.verify()`` on the user-facing API object,
+* ``compile_plan(..., check="warn"|"strict")`` inside the middle end,
+* ``python -m repro.verify <app>`` from the command line.
+"""
+
+from repro.verify.core import CHECKS, verify_or_raise, verify_plan
+from repro.verify.diagnostics import (
+    CODES, Diagnostic, VerifyError, VerifyReport, code_table, severity_of,
+)
+from repro.verify.races import lint_generated_c
+
+__all__ = [
+    "CHECKS", "CODES", "Diagnostic", "VerifyError", "VerifyReport",
+    "code_table", "lint_generated_c", "severity_of", "verify_or_raise",
+    "verify_plan",
+]

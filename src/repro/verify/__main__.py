@@ -1,0 +1,107 @@
+"""Command-line plan verifier: ``python -m repro.verify [apps...]``.
+
+Compiles each named benchmark application (or all of them with
+``--all``), runs the full static verifier over the resulting plan and
+prints the report.  ``--strict`` exits non-zero when any error-severity
+diagnostic fires; ``--json DIR`` writes one ``<app>.json`` report per
+app (or ``--json -`` streams a single JSON array to stdout) for CI
+artifact collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import ALL_APPS
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.verify import code_table, verify_plan
+from repro.verify.diagnostics import IGNORE, SEVERITY_ORDER
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, str]:
+    overrides = {}
+    for pair in pairs:
+        code, sep, severity = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"--severity expects CODE=LEVEL, got {pair!r}")
+        if severity not in (*SEVERITY_ORDER, IGNORE):
+            raise SystemExit(
+                f"unknown severity {severity!r} in {pair!r} (expected "
+                f"{', '.join((*SEVERITY_ORDER, IGNORE))})")
+        overrides[code.strip()] = severity
+    return overrides
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="statically verify compiled pipeline plans")
+    parser.add_argument("apps", nargs="*", metavar="APP",
+                        help=f"benchmark name(s): {', '.join(ALL_APPS)}")
+    parser.add_argument("--all", action="store_true",
+                        help="verify every benchmark application")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any error diagnostic fires")
+    parser.add_argument("--json", metavar="DIR|-", default=None,
+                        help="write per-app JSON reports into DIR "
+                             "('-' prints a JSON array to stdout)")
+    parser.add_argument("--lint-c", action="store_true",
+                        help="also generate instrumented C and lint it "
+                             "for un-atomic shared writes (slower)")
+    parser.add_argument("--severity", action="append", default=[],
+                        metavar="CODE=LEVEL",
+                        help="override a code's severity (level: info, "
+                             "warning, error, ignore); repeatable")
+    parser.add_argument("--size", type=int, default=None, metavar="N",
+                        help="compile under small estimates of size N "
+                             "instead of the paper-scale defaults")
+    parser.add_argument("--codes", action="store_true",
+                        help="print the diagnostic code table and exit")
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        print(code_table())
+        return 0
+
+    names = list(ALL_APPS) if args.all else args.apps
+    if not names:
+        parser.error("name at least one app (or pass --all)")
+    unknown = [n for n in names if n not in ALL_APPS]
+    if unknown:
+        parser.error(f"unknown app(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(ALL_APPS)})")
+    overrides = _parse_overrides(args.severity)
+
+    reports = []
+    failed = False
+    for name in names:
+        spec = ALL_APPS[name]()
+        estimates = (spec.small_estimates(args.size) if args.size
+                     else spec.default_estimates)
+        plan = compile_plan(spec.outputs, estimates, CompileOptions())
+        report = verify_plan(plan, lint_c=args.lint_c,
+                             severity_overrides=overrides, name=name)
+        reports.append(report)
+        if not report.ok:
+            failed = True
+        print(report.render())
+
+    if args.json == "-":
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    elif args.json:
+        out = Path(args.json)
+        out.mkdir(parents=True, exist_ok=True)
+        for report in reports:
+            report.save(out / f"{report.pipeline}.json")
+        print(f"wrote {len(reports)} report(s) to {out}/")
+
+    return 1 if (args.strict and failed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

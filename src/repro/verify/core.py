@@ -1,0 +1,107 @@
+"""The verification driver: run every checker over a compiled plan.
+
+:func:`verify_plan` is the single entry point the API, the autotuner and
+the CLI all use.  It is intentionally *post hoc*: it receives a finished
+:class:`~repro.compiler.plan.PipelinePlan` and re-derives, from the raw
+IR and :mod:`repro.poly` primitives, the facts the plan's schedule and
+storage mapping silently assume — so a bug in grouping, alignment,
+tiling or storage cannot certify itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Hashable, Mapping
+
+from repro.compiler.plan import PipelinePlan
+from repro.pipeline.boundscheck import collect_bounds_violations
+from repro.verify.diagnostics import Emitter, VerifyError, VerifyReport
+from repro.verify.legality import PlanFacts, legality_diagnostics
+from repro.verify.lint import lint_diagnostics
+from repro.verify.races import lint_c_source, race_diagnostics
+from repro.verify.storagecheck import ScratchSizeFn, storage_diagnostics
+
+#: the default checker set, in report order
+CHECKS = ("legality", "bounds", "storage", "races", "lint")
+
+
+def _bounds_check(plan: PipelinePlan, emit: Emitter,
+                  checked: dict[str, int],
+                  env: Mapping[Hashable, int]) -> None:
+    """Fold static bounds violations into the report as ``RV101``."""
+    violations = collect_bounds_violations(plan.ir, dict(env))
+    checked["bounds_accesses"] = sum(
+        len(s.accesses) for s in plan.ir.ordered())
+    for v in violations:
+        emit.emit("RV101", str(v), stage=v.consumer,
+                  related=(v.producer,),
+                  hint="shrink the access or widen the producer domain; "
+                       "the backends would read unallocated memory")
+
+
+def verify_plan(plan: PipelinePlan, *,
+                param_env: Mapping[Hashable, int] | None = None,
+                checks: tuple[str, ...] | None = None,
+                lint_c: bool = False,
+                severity_overrides: Mapping[str, str] | None = None,
+                scratch_sizes: ScratchSizeFn | None = None,
+                name: str | None = None) -> VerifyReport:
+    """Statically verify a compiled plan; never raises on findings.
+
+    ``param_env`` defaults to the plan's compile-time estimates.
+    ``checks`` selects a subset of :data:`CHECKS`.  ``lint_c`` (off by
+    default, it costs a codegen run) additionally generates the
+    instrumented C and lints it for un-atomic shared writes.
+    ``scratch_sizes`` overrides the scratchpad sizing under test (used
+    by the mutation tests to model a broken code generator).
+    """
+    env = dict(param_env if param_env is not None else plan.estimates)
+    selected = CHECKS if checks is None else tuple(checks)
+    unknown = set(selected) - set(CHECKS)
+    if unknown:
+        raise ValueError(f"unknown verify checks: {sorted(unknown)}")
+    if name is None:
+        name = "+".join(sorted(o.name for o in plan.ir.graph.outputs))
+
+    start = time.perf_counter()
+    emit = Emitter(severity_overrides)
+    checked: dict[str, int] = {}
+    # facts the checkers derive independently of the compiler but share
+    # with each other (concretized domains, tile spaces, live-out sets)
+    facts = PlanFacts(plan, env)
+
+    runners: dict[str, Callable[[], None]] = {
+        "legality": lambda: legality_diagnostics(plan, emit, checked,
+                                                 facts=facts),
+        "bounds": lambda: _bounds_check(plan, emit, checked, env),
+        "storage": lambda: storage_diagnostics(
+            plan, emit, checked, env=env, scratch_sizes=scratch_sizes,
+            facts=facts),
+        "races": lambda: race_diagnostics(plan, emit, checked, env=env,
+                                          facts=facts),
+        "lint": lambda: lint_diagnostics(plan.ir, emit, checked, env=env,
+                                         facts=facts),
+    }
+    for check in CHECKS:
+        if check in selected:
+            runners[check]()
+
+    if lint_c:
+        from repro.codegen.cgen import generate_c
+        source = generate_c(plan, instrument=True)
+        lint_c_source(source, emit, checked)
+
+    return VerifyReport(
+        pipeline=name,
+        diagnostics=emit.diagnostics,
+        checked=checked,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def verify_or_raise(plan: PipelinePlan, **kwargs) -> VerifyReport:
+    """Like :func:`verify_plan` but raises :class:`VerifyError` on errors."""
+    report = verify_plan(plan, **kwargs)
+    if not report.ok:
+        raise VerifyError(report)
+    return report

@@ -1,0 +1,227 @@
+"""Structured diagnostics for the plan verifier.
+
+Every check in :mod:`repro.verify` reports its findings as
+:class:`Diagnostic` records with a stable code (``RV001``...), a severity,
+stage/access provenance and a fix hint, collected into a
+:class:`VerifyReport`.  Codes are grouped by family:
+
+* ``RV0xx`` — schedule legality (dependence order, halo reach, scaling)
+* ``RV1xx`` — static bounds violations
+* ``RV2xx`` — storage coverage (scratchpad allocation and tile regions)
+* ``RV3xx`` — parallelism races (tile ownership, un-atomic shared writes)
+* ``RV4xx`` — DSL lint (dead stages, non-affine accesses, shadowing, ...)
+
+Severities can be overridden per code — suppressed with ``"ignore"`` or
+escalated/demoted to any of ``"info"``/``"warning"``/``"error"`` — so a
+deployment can e.g. turn ``RV404`` into a hard error or silence ``RV402``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+IGNORE = "ignore"
+
+SEVERITY_ORDER = {INFO: 0, WARNING: 1, ERROR: 2}
+
+#: code -> (default severity, one-line title)
+CODES: dict[str, tuple[str, str]] = {
+    # schedule legality
+    "RV001": (ERROR, "group stage order violates a dependence"),
+    "RV002": (ERROR, "halo narrower than the dependence reach"),
+    "RV003": (ERROR, "dependence not constant under the group's "
+                     "alignment/scaling"),
+    "RV004": (ERROR, "tiled-group member missing its transform or halo"),
+    # bounds
+    "RV101": (ERROR, "access proven out of bounds under the estimates"),
+    # storage coverage
+    "RV201": (ERROR, "scratchpad allocation smaller than the tile region"),
+    "RV202": (ERROR, "consumer reads outside the producer's tile region"),
+    "RV203": (ERROR, "scratch storage for a value that escapes its group"),
+    # parallelism races
+    "RV301": (ERROR, "adjacent tiles own overlapping cells (write race)"),
+    "RV302": (ERROR, "un-atomic write to shared state in a parallel "
+                     "C region"),
+    "RV303": (ERROR, "tile ownership gap leaves cells unwritten"),
+    # DSL lint
+    "RV401": (WARNING, "stage or case dead under the parameter estimates"),
+    "RV402": (INFO, "non-affine access defeats static analysis"),
+    "RV403": (WARNING, "name shadowing between parameters and variables"),
+    "RV404": (WARNING, "overlapping case conditions "
+                       "(evaluation-order dependent)"),
+    "RV405": (WARNING, "implicit type narrowing in a stage expression"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, with provenance and a fix hint."""
+
+    code: str
+    severity: str
+    message: str
+    #: primary stage (usually the consumer side of the offending edge)
+    stage: str | None = None
+    #: other stages involved (e.g. the producer)
+    related: tuple[str, ...] = ()
+    #: index of the group plan the finding belongs to
+    group: int | None = None
+    hint: str | None = None
+
+    def render(self) -> str:
+        where = f" [{self.stage}]" if self.stage else ""
+        grp = f" (group {self.group})" if self.group is not None else ""
+        hint = f"\n      hint: {self.hint}" if self.hint else ""
+        return f"{self.code} {self.severity}{where}{grp}: {self.message}{hint}"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "severity": self.severity,
+                "message": self.message, "stage": self.stage,
+                "related": list(self.related), "group": self.group,
+                "hint": self.hint}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diagnostic":
+        return cls(data["code"], data["severity"], data["message"],
+                   data.get("stage"), tuple(data.get("related", ())),
+                   data.get("group"), data.get("hint"))
+
+
+def severity_of(code: str,
+                overrides: Mapping[str, str] | None = None) -> str:
+    """Effective severity of ``code`` after ``overrides``."""
+    if overrides and code in overrides:
+        return overrides[code]
+    try:
+        return CODES[code][0]
+    except KeyError:
+        raise ValueError(f"unknown diagnostic code {code!r}") from None
+
+
+class Emitter:
+    """Collects diagnostics, applying per-code severity overrides."""
+
+    def __init__(self, overrides: Mapping[str, str] | None = None):
+        if overrides:
+            for code, severity in overrides.items():
+                if code not in CODES:
+                    raise ValueError(f"unknown diagnostic code {code!r}")
+                if severity not in (*SEVERITY_ORDER, IGNORE):
+                    raise ValueError(
+                        f"unknown severity {severity!r} for {code}")
+        self.overrides = dict(overrides or {})
+        self.diagnostics: list[Diagnostic] = []
+
+    def emit(self, code: str, message: str, *, stage: str | None = None,
+             related: Iterable[str] = (), group: int | None = None,
+             hint: str | None = None) -> None:
+        severity = severity_of(code, self.overrides)
+        if severity == IGNORE:
+            return
+        self.diagnostics.append(Diagnostic(
+            code, severity, message, stage, tuple(related), group, hint))
+
+
+@dataclass
+class VerifyReport:
+    """All findings of one verification run over a compiled plan."""
+
+    pipeline: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-checker work counters (edges, tiles, accesses, ... examined)
+    checked: dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was reported."""
+        return not self.errors
+
+    def at_least(self, severity: str) -> list[Diagnostic]:
+        floor = SEVERITY_ORDER[severity]
+        return [d for d in self.diagnostics
+                if SEVERITY_ORDER[d.severity] >= floor]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    # -- rendering ---------------------------------------------------------
+    def summary_line(self) -> str:
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.diagnostics) - n_err - n_warn
+        work = ", ".join(f"{v} {k}" for k, v in sorted(self.checked.items()))
+        return (f"{self.pipeline}: {n_err} errors, {n_warn} warnings, "
+                f"{n_info} notes (checked {work or 'nothing'})")
+
+    def render(self, min_severity: str = INFO) -> str:
+        lines = [self.summary_line()]
+        for diag in self.at_least(min_severity):
+            lines.append("  " + diag.render().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"pipeline": self.pipeline,
+                "ok": self.ok,
+                "elapsed_s": self.elapsed_s,
+                "checked": dict(self.checked),
+                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VerifyReport":
+        return cls(pipeline=data.get("pipeline", "pipeline"),
+                   diagnostics=[Diagnostic.from_dict(d)
+                                for d in data.get("diagnostics", [])],
+                   checked=dict(data.get("checked", {})),
+                   elapsed_s=data.get("elapsed_s", 0.0))
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerifyReport":
+        return cls.from_dict(json.loads(text))
+
+
+class VerifyError(RuntimeError):
+    """Raised by strict verification when error diagnostics were found."""
+
+    def __init__(self, report: VerifyReport):
+        self.report = report
+        lines = [f"plan verification failed with {len(report.errors)} "
+                 "error(s):"]
+        lines += ["  " + d.render().replace("\n", "\n  ")
+                  for d in report.errors]
+        super().__init__("\n".join(lines))
+
+
+def code_table() -> str:
+    """Render the full diagnostic code table (for docs and --codes)."""
+    lines = []
+    for code, (severity, title) in sorted(CODES.items()):
+        lines.append(f"{code}  {severity:<8} {title}")
+    return "\n".join(lines)

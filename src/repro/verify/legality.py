@@ -1,0 +1,388 @@
+"""Schedule legality checks (``RV0xx``).
+
+Independently re-derives, from the raw access forms and the group's
+placed transforms, what alignment/scaling and overlapped tiling *claim*:
+
+* every intra-group dependence has a bounded constant offset range under
+  the chosen scales — checked by verifying the scaling consistency
+  equation ``s_p == s_c * m / a`` per access index (``RV003``), rather
+  than re-running the code that chose the scales;
+* the group's stage order executes producers before consumers
+  (``RV001``);
+* each stage's halo is at least the dependence reach propagated
+  backwards from the group's live-outs, so the overlapped tile shape
+  covers every access (``RV002``).
+
+Only :mod:`repro.poly` primitives (access forms, fractions) are used;
+the checks are deliberately decoupled from ``repro.compiler.align_scale``
+and ``repro.compiler.tiling`` so a bug there cannot hide itself.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.compiler.plan import GroupPlan, PipelinePlan
+from repro.lang.constructs import Parameter
+from repro.verify.diagnostics import Emitter
+
+
+def _recomputed_liveouts(plan: PipelinePlan, gp: GroupPlan) -> set:
+    """Live-outs re-derived from the graph (not trusted from the plan)."""
+    group = set(gp.ordered_stages)
+    out = set()
+    for stage in group:
+        if plan.ir[stage].is_output or any(
+                c not in group for c in plan.ir.graph.consumers(stage)):
+            out.add(stage)
+    return out
+
+
+_MISSING = object()
+
+
+class PlanFacts:
+    """Memoized plan-derived facts shared by the checkers in one run.
+
+    Every checker re-derives its claims independently of the compiler,
+    but several of them need the *same* derived facts (concretized
+    domains, tile spaces, live-out sets); computing those once per
+    :func:`~repro.verify.verify_plan` call keeps the whole verifier
+    cheap enough to run inside ``compile_plan(check=...)``.
+    """
+
+    def __init__(self, plan: PipelinePlan, env):
+        self.plan = plan
+        self.env = env
+        self._doms: dict = {}
+        self._spaces: dict = {}
+        self._liveouts: dict = {}
+
+    def dom(self, stage):
+        """``stage``'s domain concretized under the env (may be None)."""
+        key = id(stage)
+        val = self._doms.get(key, _MISSING)
+        if val is _MISSING:
+            val = self.plan.ir[stage].domain.concretize(self.env)
+            self._doms[key] = val
+        return val
+
+    def tile_space(self, gp: GroupPlan):
+        key = id(gp)
+        val = self._spaces.get(key, _MISSING)
+        if val is _MISSING:
+            try:
+                val = gp.tile_space(self.plan.ir, self.env)
+            except ValueError:
+                # corrupted transforms (e.g. negative scales) give an
+                # empty hull; checkers treat that as "no tile space"
+                val = None
+            self._spaces[key] = val
+        return val
+
+    def liveouts(self, gp: GroupPlan) -> set:
+        key = id(gp)
+        val = self._liveouts.get(key)
+        if val is None:
+            val = self._liveouts[key] = _recomputed_liveouts(self.plan, gp)
+        return val
+
+
+def _edge_ranges(plan: PipelinePlan, gp: GroupPlan, gi: int,
+                 producer, consumer,
+                 emit: Emitter) -> list[tuple[Fraction, Fraction]] | None:
+    """Offset range per group dimension of one intra-group edge.
+
+    Returns ``None`` (after emitting ``RV003``) when any access breaks
+    the constant-dependence claim under the group's placed scales.
+    """
+    transforms = gp.transforms
+    assert transforms is not None
+    consumer_ir = plan.ir[consumer]
+    ct = transforms[consumer]
+    pt = transforms[producer]
+    ndim = transforms.ndim
+    var_placement = {id(v): (ct.dim_map[d], ct.scales[d])
+                     for d, v in enumerate(consumer_ir.variables)}
+    zero = (Fraction(0), Fraction(0))
+    per_dim: list[tuple[Fraction, Fraction] | None] = [None] * ndim
+    bad = False
+
+    # Bucket the access forms by (dim, variable, coefficient, divisor):
+    # forms in one bucket differ only in their constant, and both the
+    # legality conditions and the endpoints of the offset range are
+    # monotone in that constant — so each bucket is validated once and
+    # contributes its range from the min/max constants only.  Stencils
+    # put all their taps in one bucket, which is what keeps this pass
+    # cheap on stencil-heavy groups.
+    buckets: dict = {}
+    const_forms: list = []
+    for access in consumer_ir.accesses_to(producer):
+        for d, form in enumerate(access.forms):
+            if form is None:
+                emit.emit("RV003",
+                          f"{consumer.name} reads {producer.name} through a "
+                          f"non-affine index (dim {d}) inside a tiled group",
+                          stage=consumer.name, related=(producer.name,),
+                          group=gi,
+                          hint="non-affine accesses cannot be tiled; the "
+                               "stages must not share a group")
+                bad = True
+                continue
+            var = None
+            a = None
+            parametric = multi = False
+            for sym, coeff in form.aff.terms:
+                # id-lookup first: consumer domain variables are by far
+                # the common case, and isinstance against the Parameter
+                # ABC is comparatively expensive.
+                if id(sym) in var_placement or not isinstance(sym,
+                                                              Parameter):
+                    if var is None:
+                        var, a = sym, coeff
+                    else:
+                        multi = True
+                else:
+                    parametric = True
+            if parametric:
+                emit.emit("RV003",
+                          f"{consumer.name} reads {producer.name} with a "
+                          f"parametric offset in dim {d} ({form!r})",
+                          stage=consumer.name, related=(producer.name,),
+                          group=gi,
+                          hint="parametric offsets give unbounded "
+                               "dependences; the group is illegal")
+                bad = True
+                continue
+            if multi:
+                emit.emit("RV003",
+                          f"{consumer.name} reads {producer.name} with a "
+                          f"multi-variable index in dim {d} ({form!r})",
+                          stage=consumer.name, related=(producer.name,),
+                          group=gi, hint="alignment requires one driving "
+                                         "variable per index")
+                bad = True
+                continue
+            if var is None:
+                const_forms.append((d, form))
+                continue
+            key = (d, id(var), a.numerator, a.denominator, form.divisor)
+            entry = buckets.get(key)
+            b = form.aff.const
+            bn, bd = b.numerator, b.denominator
+            if entry is None:
+                buckets[key] = [form, form, var, a, bn, bd, bn, bd]
+            else:
+                # cross-multiplied integer compares (consts are exact
+                # rationals with positive denominators)
+                if bn * entry[5] < entry[4] * bd:
+                    entry[0], entry[4], entry[5] = form, bn, bd
+                if bn * entry[7] > entry[6] * bd:
+                    entry[1], entry[6], entry[7] = form, bn, bd
+
+    for (d, _vid, _an, _ad, m), (fmin, fmax, var, a,
+                                 *_consts) in buckets.items():
+        group_dim = pt.dim_map[d]
+        s_p = pt.scales[d]
+        if a <= 0:
+            emit.emit("RV003",
+                      f"{consumer.name} reads {producer.name} with a "
+                      f"non-positive coefficient in dim {d} "
+                      f"({fmin!r}); reflections are not alignable",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi)
+            bad = True
+            continue
+        placement = var_placement.get(id(var))
+        if placement is None:
+            emit.emit("RV003",
+                      f"index of {consumer.name} into "
+                      f"{producer.name} dim {d} uses a variable that "
+                      f"is not a domain dimension of {consumer.name}",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi)
+            bad = True
+            continue
+        c_dim, s_c = placement
+        # fast path for plain taps (a = m = 1): required == s_c
+        required = s_c if (m == 1 and a == 1) else s_c * m / a
+        if group_dim != c_dim:
+            emit.emit("RV003",
+                      f"dim {d} of {producer.name} is placed on "
+                      f"group dim {group_dim} but its driving "
+                      f"variable of {consumer.name} lives on group "
+                      f"dim {c_dim}",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi,
+                      hint="alignment must map dependent dimensions "
+                           "onto the same group dimension")
+            bad = True
+            continue
+        if s_p != required:
+            emit.emit("RV003",
+                      f"scale of {producer.name} dim {d} is {s_p}, "
+                      f"but the access {fmin!r} of {consumer.name} "
+                      f"(scale {s_c}) requires {required} for a "
+                      "constant dependence",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi,
+                      hint="s_p = s_c * divisor / coefficient; "
+                           "align_scale mis-derived this factor")
+            bad = True
+            continue
+        b_min, b_max = fmin.aff.const, fmax.aff.const
+        if m == 1:
+            lo = -s_p * b_max
+            hi = -s_p * b_min
+        else:
+            lo = -s_p * b_max / m
+            hi = -s_p * b_min / m + s_p * Fraction(m - 1, m)
+        prev = per_dim[group_dim]
+        per_dim[group_dim] = (lo, hi) if prev is None else (
+            min(prev[0], lo), max(prev[1], hi))
+
+    for d, form in const_forms:
+        group_dim = pt.dim_map[d]
+        s_p = pt.scales[d]
+        m = form.divisor
+        b = form.aff.const
+        # Constant index: bounded only over a constant-extent consumer
+        # dimension (e.g. a colour-channel read).
+        j = next((jj for jj in range(consumer_ir.ndim)
+                  if ct.dim_map[jj] == group_dim), None)
+        if j is None:
+            emit.emit("RV003",
+                      f"constant index of {consumer.name} into "
+                      f"{producer.name} dim {d} pairs with no "
+                      f"consumer dimension on group dim {group_dim}",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi)
+            bad = True
+            continue
+        bounds = consumer_ir.domain.bounds[j]
+        if any(not a.is_constant
+               for a in (*bounds.lowers, *bounds.uppers)):
+            emit.emit("RV003",
+                      f"constant index of {consumer.name} into "
+                      f"{producer.name} dim {d} spans the parametric "
+                      f"extent of consumer dim {j}",
+                      stage=consumer.name, related=(producer.name,),
+                      group=gi,
+                      hint="only constant-extent dimensions (e.g. "
+                           "colour channels) admit constant-index "
+                           "dependences")
+            bad = True
+            continue
+        v_lo = max(a.const for a in bounds.lowers)
+        v_hi = min(a.const for a in bounds.uppers)
+        s_c = ct.scales[j]
+        k = s_p * (b // m if m > 1 else b)
+        lo, hi = s_c * v_lo - k, s_c * v_hi - k
+        prev = per_dim[group_dim]
+        per_dim[group_dim] = (lo, hi) if prev is None else (
+            min(prev[0], lo), max(prev[1], hi))
+
+    if bad:
+        return None
+    return [r if r is not None else zero for r in per_dim]
+
+
+def legality_diagnostics(plan: PipelinePlan, emit: Emitter,
+                         checked: dict[str, int],
+                         facts: "PlanFacts | None" = None) -> None:
+    """Run the ``RV0xx`` checks over every tiled group of the plan."""
+    for gi, gp in enumerate(plan.group_plans):
+        if not gp.is_tiled:
+            continue
+        transforms = gp.transforms
+        assert transforms is not None
+        group = set(gp.ordered_stages)
+        ndim = transforms.ndim
+
+        complete = True
+        for stage in gp.ordered_stages:
+            if stage not in transforms:
+                emit.emit("RV004",
+                          f"stage {stage.name} of tiled group {gi} has no "
+                          "alignment/scaling transform",
+                          stage=stage.name, group=gi,
+                          hint="every member of a tiled group needs a "
+                               "placement in the group space")
+                complete = False
+            if stage not in gp.group.halos:
+                emit.emit("RV004",
+                          f"stage {stage.name} of tiled group {gi} has no "
+                          "halo", stage=stage.name, group=gi,
+                          hint="the code generators size regions and "
+                               "scratchpads from the halos")
+                complete = False
+        if not complete:
+            continue
+
+        # RV001: producers must run before their in-group consumers.
+        position = {s: i for i, s in enumerate(gp.ordered_stages)}
+        edges = []
+        for consumer in gp.ordered_stages:
+            for producer in plan.ir.graph.producers(consumer):
+                if producer not in group or producer is consumer:
+                    continue
+                edges.append((producer, consumer))
+                checked["edges"] = checked.get("edges", 0) + 1
+                if position[producer] >= position[consumer]:
+                    emit.emit("RV001",
+                              f"{consumer.name} executes before its "
+                              f"producer {producer.name} in group {gi}",
+                              stage=consumer.name, related=(producer.name,),
+                              group=gi,
+                              hint="the group's stage order must be a "
+                                   "topological order of its dependences")
+
+        # Recompute dependence ranges independently (RV003 fires inside).
+        ranges = {}
+        legal = True
+        for producer, consumer in edges:
+            r = _edge_ranges(plan, gp, gi, producer, consumer, emit)
+            if r is None:
+                legal = False
+            else:
+                ranges[(producer, consumer)] = r
+        if not legal:
+            continue
+
+        # RV002: propagate required reach backwards from the live-outs
+        # and demand the placed halos dominate it per dimension.
+        liveouts = facts.liveouts(gp) if facts is not None \
+            else _recomputed_liveouts(plan, gp)
+        zero = [Fraction(0)] * ndim
+        required: dict = {}
+        for stage in reversed(gp.ordered_stages):
+            left, right = list(zero), list(zero)
+            seeded = stage in liveouts
+            for consumer in plan.ir.graph.consumers(stage):
+                if consumer not in group or consumer is stage:
+                    continue
+                edge = ranges.get((stage, consumer))
+                creq = required.get(consumer)
+                if edge is None or creq is None:
+                    continue
+                seeded = True
+                for g in range(ndim):
+                    lo, hi = edge[g]
+                    left[g] = max(left[g], creq[0][g] + hi)
+                    right[g] = max(right[g], creq[1][g] - lo)
+            if not seeded:
+                left, right = list(zero), list(zero)
+            required[stage] = (left, right)
+            halo = gp.group.halos[stage]
+            for g in range(ndim):
+                checked["halo_dims"] = checked.get("halo_dims", 0) + 1
+                if halo.left[g] < left[g] or halo.right[g] < right[g]:
+                    emit.emit(
+                        "RV002",
+                        f"halo of {stage.name} along group dim {g} is "
+                        f"(-{halo.left[g]}, +{halo.right[g]}) but its "
+                        f"consumers reach (-{left[g]}, +{right[g]})",
+                        stage=stage.name, group=gi,
+                        hint="tiles would read values the stage never "
+                             "computed; widen the halo (tiling/"
+                             "group_halos under-propagated)")

@@ -1,0 +1,177 @@
+"""DSL lint pass (``RV4xx``) over a :class:`PipelineIR`.
+
+Flags constructs that are legal but usually wrong, before any schedule is
+even considered:
+
+* ``RV401`` — a stage domain or case box that is empty under the
+  parameter estimates (dead code that silently computes nothing);
+* ``RV402`` — non-affine accesses, which fall outside the polyhedral
+  model and force conservative treatment everywhere downstream;
+* ``RV403`` — name shadowing between parameters, variables and stages,
+  which makes generated code and diagnostics ambiguous;
+* ``RV404`` — overlapping pure-bounds case conditions, where the result
+  depends on case evaluation order;
+* ``RV405`` — a float-valued expression assigned to a non-float stage
+  without an explicit ``Cast`` (implicit narrowing truncates).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.codegen.cgen import _is_float_expr
+from repro.lang.constructs import Parameter, Variable
+from repro.lang.expr import Cast
+from repro.pipeline.ir import PipelineIR
+from repro.verify.diagnostics import Emitter
+
+
+def _stage_parameters(stage_ir) -> set[Parameter]:
+    """Every Parameter appearing in a stage's bounds or expressions."""
+    params: set[Parameter] = set()
+    for bounds in stage_ir.domain.bounds:
+        for aff in (*bounds.lowers, *bounds.uppers):
+            params.update(aff.parameters())
+    stack = []
+    if stage_ir.accumulate is not None:
+        stack.append(stage_ir.accumulate.value)
+        stack.extend(stage_ir.accumulate.target.args)
+    for case in stage_ir.cases:
+        stack.append(case.expression)
+    # inlined pre-order walk (the generator protocol is measurable here)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Parameter):
+            params.add(node)
+        stack.extend(node.children())
+    return params
+
+
+def _boxes_intersect(a, b) -> bool:
+    return all(x.intersect(y) is not None for x, y in zip(a, b))
+
+
+def lint_diagnostics(ir: PipelineIR, emit: Emitter,
+                     checked: dict[str, int],
+                     env: Mapping[Hashable, int] | None = None,
+                     facts=None) -> None:
+    """Run the ``RV4xx`` checks over every stage of the IR."""
+    env = dict(env or {})
+
+    # RV403: name collisions across namespaces.  Duplicate *stage* names
+    # are rejected at graph construction; here we care about parameters
+    # and loop variables aliasing each other or a stage.
+    stage_names = {s.name for s in ir.graph.stages}
+    stage_names.update(img.name for img in ir.graph.inputs)
+    seen_params: dict[str, Parameter] = {}
+    reported: set[tuple[str, str]] = set()
+    ordered = list(ir.ordered())
+    for stage_ir in ordered:
+        checked["stages"] = checked.get("stages", 0) + 1
+        for var in stage_ir.variables:
+            if var.name in stage_names and \
+                    ("var-stage", var.name) not in reported:
+                reported.add(("var-stage", var.name))
+                emit.emit("RV403",
+                          f"variable {var.name!r} of stage "
+                          f"{stage_ir.name} shadows a stage/image of the "
+                          "same name",
+                          stage=stage_ir.name,
+                          hint="rename the variable; generated loop "
+                               "indices and buffer names would collide")
+        for param in _stage_parameters(stage_ir):
+            prior = seen_params.setdefault(param.name, param)
+            if prior is not param and \
+                    ("param-param", param.name) not in reported:
+                reported.add(("param-param", param.name))
+                emit.emit("RV403",
+                          f"two distinct parameters are both named "
+                          f"{param.name!r}",
+                          stage=stage_ir.name,
+                          hint="they bind independently at execution "
+                               "time; give them distinct names")
+            if any(param.name == v.name for v in stage_ir.variables) and \
+                    ("param-var", param.name) not in reported:
+                reported.add(("param-var", param.name))
+                emit.emit("RV403",
+                          f"parameter {param.name!r} shadows a domain "
+                          f"variable of stage {stage_ir.name}",
+                          stage=stage_ir.name)
+
+    for stage_ir in ordered:
+        name = stage_ir.name
+
+        # RV401: dead stage / dead case under the estimates.
+        if env:
+            dom = facts.dom(stage_ir.stage) if facts is not None \
+                else stage_ir.domain.concretize(env)
+            if dom is None:
+                emit.emit("RV401",
+                          f"stage {name} has an empty domain under the "
+                          f"estimates; it computes nothing",
+                          stage=name,
+                          hint="check the bound expressions (or the "
+                               "estimates) for an inverted interval")
+            elif len(stage_ir.cases) > 1:
+                for i, case in enumerate(stage_ir.cases):
+                    checked["cases"] = checked.get("cases", 0) + 1
+                    if case.box.concretize(env) is None:
+                        emit.emit("RV401",
+                                  f"case {i} of stage {name} is dead: its "
+                                  "condition box is empty under the "
+                                  "estimates",
+                                  stage=name,
+                                  hint="a boundary condition that can "
+                                       "never hold usually means an "
+                                       "off-by-one in the guard")
+
+        # RV402: non-affine accesses.
+        for access in stage_ir.accesses:
+            checked["accesses"] = checked.get("accesses", 0) + 1
+            if not access.is_affine:
+                bad = [d for d, f in enumerate(access.forms) if f is None]
+                emit.emit("RV402",
+                          f"{name} accesses "
+                          f"{access.producer.name} with non-affine "
+                          f"indices (dims {', '.join(map(str, bad))})",
+                          stage=name, related=(access.producer.name,),
+                          hint="the access is excluded from dependence "
+                               "analysis, bounds checking and grouping")
+
+        # RV404: overlapping pure-bounds cases (order-dependent result).
+        if env and len(stage_ir.cases) > 1:
+            pure = [(i, case.box.concretize(env))
+                    for i, case in enumerate(stage_ir.cases)
+                    if case.split.is_pure_bounds]
+            pure = [(i, box) for i, box in pure if box is not None]
+            for a in range(len(pure)):
+                for b in range(a + 1, len(pure)):
+                    ia, box_a = pure[a]
+                    ib, box_b = pure[b]
+                    if _boxes_intersect(box_a, box_b):
+                        emit.emit(
+                            "RV404",
+                            f"cases {ia} and {ib} of stage {name} overlap; "
+                            "the earlier case wins wherever both hold",
+                            stage=name,
+                            hint="make the guards disjoint (or rely on "
+                                 "ordering deliberately and document it)")
+
+        # RV405: implicit float -> integer narrowing.
+        if not stage_ir.stage.dtype.is_float:
+            exprs = [c.expression for c in stage_ir.cases]
+            if stage_ir.accumulate is not None:
+                exprs.append(stage_ir.accumulate.value)
+            for expr in exprs:
+                if not isinstance(expr, Cast) and _is_float_expr(expr):
+                    emit.emit(
+                        "RV405",
+                        f"stage {name} has dtype "
+                        f"{stage_ir.stage.dtype.name} but computes a "
+                        "floating-point expression without an explicit "
+                        "Cast",
+                        stage=name,
+                        hint="the backends truncate implicitly; wrap the "
+                             "expression in Cast(dtype, ...) to make the "
+                             "narrowing visible")
+                    break

@@ -1,0 +1,72 @@
+"""Golden reports: every benchmark app verifies clean (zero errors).
+
+The sizes and build kwargs mirror ``tests/apps/test_apps.py`` — the same
+pipelines whose outputs are checked against the NumPy oracles must also
+pass the static plan verifier, under both the default and the optimized
+compile options.
+"""
+
+import pytest
+
+from repro.apps import (
+    bilateral, camera, harris, interpolate, laplacian, pyramid, unsharp,
+)
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.verify import verify_plan
+
+CASES = [
+    ("unsharp", unsharp, {}, {"R": 48, "C": 40}),
+    ("harris", harris, {}, {"R": 61, "C": 45}),
+    ("bilateral", bilateral, {}, {"R": 64, "C": 48}),
+    ("camera", camera, {}, {"R": 48, "C": 40}),
+    ("pyramid_blend", pyramid, {"levels": 3}, {"R": 64, "C": 64}),
+    ("interpolate", interpolate, {"levels": 4}, {"R": 64, "C": 64}),
+    ("local_laplacian", laplacian, {"j_levels": 4, "levels": 3},
+     {"R": 64, "C": 64}),
+]
+
+
+def _compile(module, kwargs, size, options):
+    app = module.build_pipeline(**kwargs)
+    values = {app.params[k]: v for k, v in size.items()}
+    return compile_plan(app.outputs, values, options)
+
+
+@pytest.mark.parametrize("name,module,kwargs,size", CASES,
+                         ids=[c[0] for c in CASES])
+def test_app_verifies_clean(name, module, kwargs, size):
+    plan = _compile(module, kwargs, size, CompileOptions())
+    report = verify_plan(plan, name=name)
+    assert report.ok, report.render()
+    # no warnings either: only RV402 info notes (LUT accesses) are allowed
+    assert not report.warnings, report.render()
+    assert set(report.codes()) <= {"RV402"}, report.render()
+
+
+@pytest.mark.parametrize("name,module,kwargs,size", CASES,
+                         ids=[c[0] for c in CASES])
+def test_app_verifies_clean_optimized(name, module, kwargs, size):
+    plan = _compile(module, kwargs, size,
+                    CompileOptions.optimized((16, 16, 16)))
+    report = verify_plan(plan, name=name)
+    assert report.ok, report.render()
+
+
+def test_report_counts_work():
+    plan = _compile(harris, {}, {"R": 61, "C": 45}, CompileOptions())
+    report = verify_plan(plan)
+    # every checker family examined something on a stencil pipeline
+    for counter in ("edges", "halo_dims", "tiles", "scratch_dims",
+                    "accesses", "boundaries", "bounds_accesses", "stages"):
+        assert report.checked.get(counter, 0) > 0, counter
+    assert report.elapsed_s > 0
+    assert report.pipeline == "harris"
+
+
+def test_generated_c_lints_clean():
+    """The instrumented C backend's shared counters are all atomic."""
+    plan = _compile(harris, {}, {"R": 61, "C": 45}, CompileOptions())
+    report = verify_plan(plan, lint_c=True)
+    assert report.ok, report.render()
+    assert report.checked.get("c_lines", 0) > 0

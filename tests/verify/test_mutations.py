@@ -1,0 +1,180 @@
+"""Mutation tests: corrupt a compiled plan, prove the verifier notices.
+
+Each test takes a *clean* harris plan (one 6-stage tiled group), applies
+one targeted corruption — the kind of bug a broken grouping, alignment,
+tiling, storage or codegen pass would produce — and asserts the exact
+diagnostic code fires.  Together they cover every family: legality
+(RV001/002/003), bounds (RV101), storage (RV201/203), races (RV301/302)
+and lint (RV401/403/405).
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import harris
+from repro.codegen.cgen import generate_c
+from repro.compiler.align_scale import StageTransform
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.compiler.storage import SCRATCH, StorageDecision
+from repro.compiler.tiling import Halo
+from repro.lang import (
+    Case, Condition, Float, Function, Int, Interval, Parameter, Variable,
+)
+from repro.verify import VerifyError, lint_generated_c, verify_or_raise
+from repro.verify import verify_plan
+
+
+@pytest.fixture()
+def plan():
+    """A fresh (mutable) harris plan per test."""
+    app = harris.build_pipeline()
+    values = {app.params["R"]: 61, app.params["C"]: 45}
+    return compile_plan(app.outputs, values, CompileOptions())
+
+
+def _stage(plan, name):
+    return plan.stage_by_name(name)
+
+
+def test_clean_plan_passes(plan):
+    assert verify_plan(plan).ok
+
+
+def test_reversed_stage_order_fires_rv001(plan):
+    gp = plan.group_plans[0]
+    assert len(gp.ordered_stages) > 1
+    gp.ordered_stages.reverse()
+    report = verify_plan(plan, checks=("legality",))
+    assert "RV001" in report.codes(), report.render()
+    assert not report.ok
+
+
+def test_shrunken_halo_fires_rv002(plan):
+    gp = plan.group_plans[0]
+    ndim = gp.transforms.ndim
+    zero = Halo((Fraction(0),) * ndim, (Fraction(0),) * ndim)
+    for stage in gp.ordered_stages:
+        gp.group.halos[stage] = zero
+    report = verify_plan(plan, checks=("legality",))
+    assert "RV002" in report.codes(), report.render()
+    # the too-small evaluation regions also break read coverage
+    storage = verify_plan(plan, checks=("storage",))
+    assert "RV202" in storage.codes(), storage.render()
+
+
+def test_corrupted_scale_fires_rv003(plan):
+    gp = plan.group_plans[0]
+    stage = _stage(plan, "Ix")  # a producer inside the group
+    t = gp.transforms[stage]
+    gp.transforms.transforms[stage] = replace(
+        t, scales=tuple(s * 2 for s in t.scales))
+    report = verify_plan(plan, checks=("legality",))
+    assert "RV003" in report.codes(), report.render()
+
+
+def test_missing_transform_fires_rv004(plan):
+    gp = plan.group_plans[0]
+    del gp.transforms.transforms[_stage(plan, "Iy")]
+    report = verify_plan(plan, checks=("legality",))
+    assert "RV004" in report.codes(), report.render()
+
+
+def test_negated_scale_fires_rv301(plan):
+    gp = plan.group_plans[0]
+    stage = _stage(plan, "harris")  # the group's live-out
+    t = gp.transforms[stage]
+    gp.transforms.transforms[stage] = replace(
+        t, scales=tuple(-s for s in t.scales))
+    report = verify_plan(plan, checks=("races",))
+    assert "RV301" in report.codes(), report.render()
+
+
+def test_scratch_mapped_output_fires_rv203(plan):
+    out = _stage(plan, "harris")
+    plan.storage[out] = StorageDecision(SCRATCH, "mutated by test")
+    report = verify_plan(plan, checks=("storage",))
+    assert "RV203" in report.codes(), report.render()
+
+
+def test_underallocated_scratch_fires_rv201(plan):
+    report = verify_plan(
+        plan, checks=("storage",),
+        scratch_sizes=lambda stage, gp: (1,) * plan.ir[stage].ndim)
+    assert "RV201" in report.codes(), report.render()
+
+
+def test_stripped_atomic_fires_rv302(plan):
+    source = generate_c(plan, instrument=True)
+    assert "#pragma omp atomic" in source
+    assert not lint_generated_c(source)
+    mutated = source.replace("#pragma omp atomic", "/* atomic removed */")
+    diags = lint_generated_c(mutated)
+    assert diags and all(d.code == "RV302" for d in diags)
+
+
+def test_verify_or_raise_on_mutated_plan(plan):
+    plan.group_plans[0].ordered_stages.reverse()
+    with pytest.raises(VerifyError) as exc:
+        verify_or_raise(plan, checks=("legality",))
+    assert "RV001" in str(exc.value)
+
+
+# -- bounds (RV101): violations appear under a *different* env ------------
+
+def test_oob_under_other_estimates_fires_rv101():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    fixed = Function(varDom=([x], [Interval(0, 63)]), typ=Float,
+                     name="fixed_src")
+    fixed.defn = [Case(Condition(x, ">=", 0), x * 0.5)]
+    reader = Function(varDom=([x], [Interval(0, R - 1)]), typ=Float,
+                      name="reader")
+    reader.defn = [Case(Condition(x, ">=", 0), fixed(x) + 1.0)]
+    # in bounds at the compile-time estimate (inlining disabled so the
+    # point-wise producer keeps its own, fixed-extent buffer)...
+    plan = compile_plan([reader], {R: 64}, CompileOptions(inline=False))
+    assert verify_plan(plan, checks=("bounds",)).ok
+    # ...out of bounds at a larger size
+    report = verify_plan(plan, checks=("bounds",), param_env={R: 128})
+    assert "RV101" in report.codes(), report.render()
+    [diag] = report.by_code("RV101")
+    assert "R=128" in diag.message  # the violating estimates are named
+
+
+# -- lint mutations: broken pipelines, not broken plans -------------------
+
+def _lint_report(outputs, estimates):
+    plan = compile_plan(outputs, estimates, CompileOptions())
+    return verify_plan(plan, checks=("lint",))
+
+
+def test_variable_shadowing_stage_fires_rv403():
+    R = Parameter(Int, "R")
+    x = Variable("clash")
+    f = Function(varDom=([x], [Interval(0, R - 1)]), typ=Float,
+                 name="clash")
+    f.defn = [Case(Condition(x, ">=", 0), x * 1.0)]
+    report = _lint_report([f], {R: 32})
+    assert "RV403" in report.codes(), report.render()
+
+
+def test_dead_case_fires_rv401():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1)]), typ=Float, name="f")
+    f.defn = [Case(Condition(x, ">=", 0), x * 1.0),
+              Case(Condition(x, "<", 0), x * 2.0)]  # never holds
+    report = _lint_report([f], {R: 32})
+    assert "RV401" in report.codes(), report.render()
+
+
+def test_implicit_narrowing_fires_rv405():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1)]), typ=Int, name="f")
+    f.defn = [Case(Condition(x, ">=", 0), x * 0.5)]  # float expr, int stage
+    report = _lint_report([f], {R: 32})
+    assert "RV405" in report.codes(), report.render()
