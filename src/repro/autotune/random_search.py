@@ -40,22 +40,27 @@ class RandomConfig:
     overlap_threshold: float
     inline: bool
     group: bool
+    specialize: bool = True
 
     def options(self) -> CompileOptions:
         return CompileOptions(tile_sizes=self.tile_sizes,
                               overlap_threshold=self.overlap_threshold,
                               inline=self.inline, group=self.group,
-                              tile=self.group)
+                              tile=self.group,
+                              specialize=self.specialize,
+                              simd=self.specialize)
 
     def __str__(self) -> str:
         tiles = "x".join(map(str, self.tile_sizes))
         return (f"tiles={tiles} othresh={self.overlap_threshold:.2f} "
-                f"inline={self.inline} group={self.group}")
+                f"inline={self.inline} group={self.group} "
+                f"specialize={self.specialize}")
 
     def to_dict(self) -> dict:
         return {"tile_sizes": list(self.tile_sizes),
                 "overlap_threshold": self.overlap_threshold,
-                "inline": self.inline, "group": self.group}
+                "inline": self.inline, "group": self.group,
+                "specialize": self.specialize}
 
 
 @dataclass
@@ -113,7 +118,10 @@ def sample_config(rng: np.random.Generator, n_dims: int) -> RandomConfig:
     threshold = float(rng.uniform(0.05, 1.0))
     inline = bool(rng.integers(0, 2))
     group = bool(rng.integers(0, 4) > 0)  # mostly grouped, sometimes not
-    return RandomConfig(tiles, threshold, inline, group)
+    # mostly specialized — the off branch keeps the search honest about
+    # whether the fast path actually pays on this machine
+    specialize = bool(rng.integers(0, 4) > 0)
+    return RandomConfig(tiles, threshold, inline, group, specialize)
 
 
 def random_search(outputs, estimates: Mapping, param_values: Mapping,

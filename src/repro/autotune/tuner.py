@@ -38,22 +38,31 @@ class TuneConfig:
 
     tile_sizes: tuple[int, ...]
     overlap_threshold: float
+    specialize: bool = True
 
     def options(self) -> CompileOptions:
-        return CompileOptions.optimized(self.tile_sizes,
+        base = CompileOptions.optimized(self.tile_sizes,
                                         self.overlap_threshold)
+        if self.specialize:
+            return base
+        return base.with_specialize(False, simd=False)
 
     def __str__(self) -> str:
         tiles = "x".join(map(str, self.tile_sizes))
-        return f"tiles={tiles} othresh={self.overlap_threshold}"
+        out = f"tiles={tiles} othresh={self.overlap_threshold}"
+        if not self.specialize:
+            out += " specialize=False"
+        return out
 
     def to_dict(self) -> dict:
         return {"tile_sizes": list(self.tile_sizes),
-                "overlap_threshold": self.overlap_threshold}
+                "overlap_threshold": self.overlap_threshold,
+                "specialize": self.specialize}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TuneConfig":
-        return cls(tuple(data["tile_sizes"]), data["overlap_threshold"])
+        return cls(tuple(data["tile_sizes"]), data["overlap_threshold"],
+                   bool(data.get("specialize", True)))
 
 
 @dataclass
@@ -200,13 +209,19 @@ class TuningReport:
 
 def default_space(n_dims: int,
                   tile_choices: Sequence[int] = TILE_SIZE_CHOICES,
-                  thresholds: Sequence[float] = OVERLAP_THRESHOLD_CHOICES
+                  thresholds: Sequence[float] = OVERLAP_THRESHOLD_CHOICES,
+                  specialize_choices: Sequence[bool] = (True,)
                   ) -> list[TuneConfig]:
-    """The paper's restricted space: |tile_choices|^n_dims * |thresholds|."""
+    """The paper's restricted space: |tile_choices|^n_dims * |thresholds|.
+
+    ``specialize_choices=(True, False)`` doubles the space with the
+    fast-path knob, for machines where specialization might not pay.
+    """
     out = []
     for tiles in itertools.product(tile_choices, repeat=n_dims):
         for th in thresholds:
-            out.append(TuneConfig(tiles, th))
+            for sp in specialize_choices:
+                out.append(TuneConfig(tiles, th, sp))
     return out
 
 

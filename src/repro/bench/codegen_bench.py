@@ -1,0 +1,203 @@
+"""Fast-path codegen benchmark: specialized vs legacy generated code.
+
+Usage::
+
+    python -m repro.bench.codegen_bench [--scale small|paper|tiny]
+        [--apps harris,unsharp|all] [--runs 9] [--threads N]
+        [--json BENCH_codegen.json] [--throughput]
+
+Compares, per application at its default tile sizes, the native backend
+with fast-path specialization on (interior/boundary loop splitting,
+clamp elimination, floor-div strength reduction, load CSE, ``omp simd``,
+persistent scratch arenas) against the legacy always-safe code
+(``specialize=False, simd=False``).
+
+Measurement protocol: the two variants are *interleaved* run-for-run
+(A, B, A, B, ...) so slow drift on a shared/1-core machine hits both
+equally, the first pair is discarded as warm-up, and the reported
+figure is the **median** over the remaining runs — robust against the
+occasional scheduler hiccup that poisons a mean.  Bit-identity of the
+two variants' outputs is asserted as part of the run.
+
+With ``--throughput`` a sustained frames/sec figure (after warm-up) is
+measured as well — the view that rewards removing per-call overheads
+such as scratch allocation, which single-shot latency can hide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import compile_pipeline
+from repro.bench.harness import (
+    APP_BUILDERS, DEFAULT_TILES, format_table, make_instance,
+    throughput_stats, variant_options,
+)
+from repro.codegen.build import build_native
+
+
+def _build(instance, options, label, n_threads):
+    """Compile + build one configuration; returns run() and the plan."""
+    compiled = compile_pipeline(instance.app.outputs, instance.values,
+                                options,
+                                name=f"cgb_{instance.name}_{label}")
+    native = build_native(compiled.plan,
+                          f"cgb_{instance.name}_{label}",
+                          vectorize=True)
+
+    def run():
+        return native(instance.values, instance.inputs,
+                      n_threads=n_threads)
+
+    return run, compiled.plan, native
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return (time.perf_counter() - t0) * 1000.0
+
+
+def bench_app(name: str, scale: str, runs: int, n_threads: int,
+              throughput: bool = False) -> dict:
+    """Measure one application; returns the JSON-ready record."""
+    instance = make_instance(name, scale)
+    base_opts, _ = variant_options(name, "opt+vec")
+    on_opts = base_opts.with_specialize(True, simd=True)
+    off_opts = base_opts.with_specialize(False, simd=False)
+
+    run_on, plan_on, native_on = _build(instance, on_opts, "spec",
+                                        n_threads)
+    run_off, plan_off, _ = _build(instance, off_opts, "legacy", n_threads)
+
+    out_name = instance.output_name
+    identical = bool(np.array_equal(run_on()[out_name],
+                                    run_off()[out_name]))
+
+    # interleaved A/B timing; first pair is warm-up
+    on_ms, off_ms = [], []
+    for i in range(runs + 1):
+        a = _time_once(run_on)
+        b = _time_once(run_off)
+        if i == 0:
+            continue
+        on_ms.append(a)
+        off_ms.append(b)
+
+    median_on = float(np.median(on_ms))
+    median_off = float(np.median(off_ms))
+    record = {
+        "app": name,
+        "scale": scale,
+        "tile_sizes": list(DEFAULT_TILES[name]),
+        "n_threads": n_threads,
+        "runs": runs,
+        "median_on_ms": median_on,
+        "median_off_ms": median_off,
+        "speedup": median_off / median_on if median_on > 0 else 0.0,
+        "times_on_ms": on_ms,
+        "times_off_ms": off_ms,
+        "outputs_identical": identical,
+        "uses_arena": native_on.has_arena,
+    }
+    if throughput:
+        record["throughput_on"] = throughput_stats(run_on).as_dict()
+        record["throughput_off"] = throughput_stats(run_off).as_dict()
+    native_on.release()
+    return record
+
+
+def run_bench(apps: list[str], scale: str, runs: int, n_threads: int,
+              json_path: str | Path | None, throughput: bool,
+              out=sys.stdout) -> dict:
+    """Benchmark every requested app and write the JSON report."""
+    records = []
+    for name in apps:
+        print(f"[codegen_bench] {name} (scale={scale}) ...", file=out,
+              flush=True)
+        records.append(bench_app(name, scale, runs, n_threads,
+                                 throughput))
+
+    speedups = [r["speedup"] for r in records]
+    doc = {
+        "benchmark": "codegen_specialization",
+        "scale": scale,
+        "n_threads": n_threads,
+        "runs_per_variant": runs,
+        "machine": {"platform": platform.platform(),
+                    "python": platform.python_version()},
+        "apps": records,
+        "summary": {
+            "apps_at_or_above_1_25x":
+                sum(1 for s in speedups if s >= 1.25),
+            "median_speedup": float(np.median(speedups)) if speedups
+                else 0.0,
+            "min_speedup": min(speedups) if speedups else 0.0,
+            "all_outputs_identical":
+                all(r["outputs_identical"] for r in records),
+        },
+    }
+    if json_path:
+        Path(json_path).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"[codegen_bench] wrote {json_path}", file=out)
+
+    headers = ["app", "legacy ms", "specialized ms", "speedup",
+               "identical"]
+    rows = [[r["app"], r["median_off_ms"], r["median_on_ms"],
+             f'{r["speedup"]:.2f}x',
+             "yes" if r["outputs_identical"] else "NO"]
+            for r in records]
+    if throughput:
+        headers += ["legacy fps", "specialized fps"]
+        for row, r in zip(rows, records):
+            row += [f'{r["throughput_off"]["fps"]:.2f}',
+                    f'{r["throughput_on"]["fps"]:.2f}']
+    print(f"\n## Fast-path codegen: specialize on vs off "
+          f"(scale={scale}, medians of {runs} interleaved runs)\n",
+          file=out)
+    print(format_table(headers, rows), file=out)
+    s = doc["summary"]
+    print(f"\nmedian speedup {s['median_speedup']:.2f}x, "
+          f"{s['apps_at_or_above_1_25x']}/{len(records)} apps >= 1.25x, "
+          f"min {s['min_speedup']:.2f}x, outputs identical: "
+          f"{s['all_outputs_identical']}", file=out)
+    return doc
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark fast-path specialization vs legacy codegen")
+    parser.add_argument("--scale", default="small",
+                        choices=["paper", "small", "tiny"])
+    parser.add_argument("--apps", default="all",
+                        help="comma-separated app names, or 'all'")
+    parser.add_argument("--runs", type=int, default=9,
+                        help="timed runs per variant (after warm-up pair)")
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--json", default="BENCH_codegen.json",
+                        help="output JSON path ('' disables)")
+    parser.add_argument("--throughput", action="store_true",
+                        help="also measure sustained frames/sec")
+    args = parser.parse_args(argv)
+
+    if args.apps == "all":
+        apps = list(APP_BUILDERS)
+    else:
+        apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+        unknown = [a for a in apps if a not in APP_BUILDERS]
+        if unknown:
+            parser.error(f"unknown apps: {unknown}; "
+                         f"choose from {sorted(APP_BUILDERS)}")
+    run_bench(apps, args.scale, args.runs, args.threads,
+              args.json or None, args.throughput)
+
+
+if __name__ == "__main__":
+    main()

@@ -69,9 +69,18 @@ def compiler_available() -> bool:
 
 def build_flags(*, vectorize: bool = True,
                 extra_flags: Sequence[str] = ()) -> tuple[str, ...]:
-    """The full compiler flag set for one build configuration."""
+    """The full compiler flag set for one build configuration.
+
+    ``-ffp-contract=off`` keeps floating-point results independent of
+    the emitted expression *shape*: without it the compiler contracts
+    different ``a*b + c`` pairs into FMAs depending on how the source is
+    factored, and the specialized (CSE'd/hoisted) fast nests would
+    differ from the safe nests by a few ULPs.  With contraction off,
+    ``specialize=True`` and ``specialize=False`` builds are
+    bit-identical.
+    """
     flags = ["-O3", "-march=native", "-fopenmp", "-shared", "-fPIC",
-             "-std=gnu11"]
+             "-std=gnu11", "-ffp-contract=off"]
     if not vectorize:
         flags += ["-fno-tree-vectorize", "-fno-tree-slp-vectorize"]
     return tuple(flags) + tuple(extra_flags)
@@ -297,6 +306,20 @@ class NativePipeline:
     resets the in-library counters, runs, and publishes the readings as
     :attr:`last_stats` (a :class:`NativeStats`); uninstrumented builds
     leave :attr:`last_stats` as ``None``.
+
+    **Output-buffer ABI**: output pointers must reference zero-filled
+    memory.  This wrapper always allocates them with ``np.zeros``;
+    specialized builds (``CompileOptions.specialize``) rely on it and
+    skip the defensive in-library ``memset``.
+
+    **Scratch arenas**: specialized builds keep per-thread scratchpads
+    in arenas owned by the shared library — sized at first call, grown
+    monotonically, reused across calls.  :meth:`release` frees them
+    (exported as ``<func>_release``); nothing calls it implicitly,
+    because the ``.so`` (and hence the arena) is shared by every
+    ``NativePipeline`` loaded from the same cached artifact.  Calls are
+    serialized with an internal lock — concurrent ``ctypes`` invocations
+    of one library would race on its arena slots.
     """
 
     def __init__(self, plan: PipelinePlan, source: str, lib_path: Path,
@@ -313,6 +336,7 @@ class NativePipeline:
         self._outputs = list(plan.outputs)
         self.last_stats: NativeStats | None = None
         self._n_groups = len(plan.group_plans)
+        self._call_lock = threading.Lock()
         # stats symbols exist only in instrumented builds — probe, don't
         # require
         try:
@@ -327,10 +351,34 @@ class NativePipeline:
                                        ctypes.POINTER(ctypes.c_long)]
             self._stats_reset.restype = None
             self._stats_reset.argtypes = []
+        # the arena release symbol exists only in specialized builds
+        # with tiled scratch — probe, don't require
+        try:
+            self._release_fn = getattr(self._lib, func_name + "_release")
+        except AttributeError:
+            self._release_fn = None
+        else:
+            self._release_fn.restype = None
+            self._release_fn.argtypes = []
 
     @property
     def instrumented(self) -> bool:
         return self._stats_fn is not None
+
+    @property
+    def has_arena(self) -> bool:
+        """Does this build own persistent per-thread scratch arenas?"""
+        return self._release_fn is not None
+
+    def release(self) -> None:
+        """Free the library's persistent per-thread scratch arenas.
+
+        Safe to call at any time (the next invocation re-allocates) and
+        on builds without arenas (no-op).
+        """
+        if self._release_fn is not None:
+            with self._call_lock:
+                self._release_fn()
 
     def _read_stats(self) -> NativeStats:
         n = max(1, self._n_groups)
@@ -383,17 +431,19 @@ class NativePipeline:
             out = np.zeros(shape, dtype=stage.dtype.np_dtype)
             out_arrays.append(out)
             args.append(out.ctypes.data_as(ctypes.c_void_p))
-        if self._stats_reset is not None:
-            self._stats_reset()
-        self._func(*args)
-        if self._stats_fn is not None:
-            self.last_stats = self._read_stats()
-            if tracer is not None and tracer.enabled:
-                for i, (s, t) in enumerate(zip(self.last_stats.group_seconds,
-                                               self.last_stats.group_tiles)):
-                    tracer.gauge(f"native.group[{i}].seconds", s)
-                    if t:
-                        tracer.count(f"native.group[{i}].tiles", t)
+        with self._call_lock:
+            if self._stats_reset is not None:
+                self._stats_reset()
+            self._func(*args)
+            if self._stats_fn is not None:
+                self.last_stats = self._read_stats()
+                if tracer is not None and tracer.enabled:
+                    for i, (s, t) in enumerate(
+                            zip(self.last_stats.group_seconds,
+                                self.last_stats.group_tiles)):
+                        tracer.gauge(f"native.group[{i}].seconds", s)
+                        if t:
+                            tracer.count(f"native.group[{i}].tiles", t)
         for original, stage in self.plan.output_map.items():
             idx = self._outputs.index(stage)
             outputs[original.name] = out_arrays[idx]

@@ -16,6 +16,14 @@ generated code has the same structure as the paper's Figure 7:
 Floor division/modulo helpers keep integer semantics identical to the
 DSL's (and NumPy's) flooring behaviour, which C's truncating division
 does not provide.
+
+Under ``CompileOptions.specialize`` (the default) each case loop nest
+additionally gets an interior fast path (see :mod:`repro.codegen.opt`):
+clamp-free, strength-reduced, CSE'd nests behind a per-tile guard with
+``#pragma omp simd`` innermost, while boundary tiles keep the safe
+clamped code; scratchpads move from per-invocation ``malloc`` into a
+persistent per-thread arena released via the exported
+``<func>_release()``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from fractions import Fraction
 from math import lcm
 from typing import Hashable, Mapping, Sequence
 
+from repro.codegen import opt
 from repro.compiler.plan import GroupPlan, PipelinePlan
 from repro.compiler.storage import SCRATCH
 from repro.compiler.tiling import Halo
@@ -49,24 +58,43 @@ PRELUDE = r"""
 #include <omp.h>
 #endif
 
+/* pure helpers: __attribute__((const)) lets the C compiler CSE and hoist
+   calls even in the residual boundary loops that keep them */
+#if defined(__GNUC__) || defined(__clang__)
+#define REPRO_CONST __attribute__((const))
+#else
+#define REPRO_CONST
+#endif
+
 /* floor division / modulo with Python semantics */
-static inline long fdiv(long a, long b) {
+REPRO_CONST static inline long fdiv(long a, long b) {
     long q = a / b, r = a % b;
     return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
 }
-static inline long cdiv(long a, long b) { return -fdiv(-a, b); }
-static inline long pmod(long a, long b) {
+REPRO_CONST static inline long cdiv(long a, long b) { return -fdiv(-a, b); }
+REPRO_CONST static inline long pmod(long a, long b) {
     long r = a % b;
     return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
 }
-static inline long imin(long a, long b) { return a < b ? a : b; }
-static inline long imax(long a, long b) { return a > b ? a : b; }
-static inline double dmin(double a, double b) { return a < b ? a : b; }
-static inline double dmax(double a, double b) { return a > b ? a : b; }
-static inline long iclamp(long v, long lo, long hi) {
+REPRO_CONST static inline long imin(long a, long b) { return a < b ? a : b; }
+REPRO_CONST static inline long imax(long a, long b) { return a > b ? a : b; }
+REPRO_CONST static inline double dmin(double a, double b) {
+    return a < b ? a : b;
+}
+REPRO_CONST static inline double dmax(double a, double b) {
+    return a > b ? a : b;
+}
+REPRO_CONST static inline long iclamp(long v, long lo, long hi) {
     return v < lo ? lo : (v > hi ? hi : v);
 }
 """
+
+#: innermost scratch extents are padded to this many elements so rows
+#: start on cache-line/vector boundaries inside the per-thread arena
+SCRATCH_PAD = 16
+
+#: arena base (and per-stage offset) alignment in bytes
+ARENA_ALIGN = 64
 
 
 def _sanitize(name: str) -> str:
@@ -189,6 +217,9 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         self.outputs: list[Stage] = list(plan.outputs)
         self._scratch_sizes: dict[Stage, tuple[int, ...]] = {}
         self._liveout_local: set[Stage] = set()
+        #: active fast-path body context (set while emitting a fast nest)
+        self._fast_ctx: opt.FastBody | None = None
+        self._uses_arena = False
 
     # -- naming -------------------------------------------------------------
     def buf(self, obj) -> str:
@@ -280,8 +311,16 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                     return f"({left} / {right})"
                 return f"((double)({left}) / (double)({right}))"
             if e.op == "//":
+                if (self._fast_ctx is not None
+                        and id(e) in self._fast_ctx.plan.reduce_divs):
+                    # numerator proven >= 0 by the fast-path guard, so
+                    # C's truncating division equals flooring division
+                    return f"(({left}) / {right})"
                 return f"fdiv({left}, {right})"
             if e.op == "%":
+                if (self._fast_ctx is not None
+                        and id(e) in self._fast_ctx.plan.reduce_divs):
+                    return f"(({left}) % {right})"
                 return f"pmod({left}, {right})"
             return f"({left} {e.op} {right})"
         from repro.lang.expr import UnOp
@@ -328,28 +367,45 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         raise CodegenError(f"cannot generate condition {c!r}")
 
     def reference(self, ref: Reference, var_names) -> str:
-        """Emit a buffer access, clamping data-dependent indices."""
+        """Emit a buffer access, clamping data-dependent indices.
+
+        Inside a fast nest (``self._fast_ctx`` set) clamps proven
+        redundant by the tile-scope guard are dropped, index terms free
+        of the innermost loop variable are hoisted above it, and the
+        load is CSE'd into a local read exactly once per iteration.
+        """
         producer = ref.function
+        ctx = self._fast_ctx
         indices = []
+        hoist: list[bool] | None = [] if ctx is not None else None
         for d, arg in enumerate(ref.args):
             idx = self.expr(arg, var_names)
             form = analyze_access(arg)
-            if form is None:
+            if form is None and not (
+                    ctx is not None
+                    and (id(ref), d) in ctx.plan.drop_clamps):
                 # data-dependent index: clamp to the stored extent, like
                 # the interpreter backend's clipped gather
                 lo, hi = self._extent_names(producer, d)
                 idx = f"iclamp((long)({idx}), {lo}, {hi})"
             indices.append(idx)
+            if hoist is not None:
+                hoist.append(ctx.hoistable(arg))
         if producer in self._scratch_sizes:
-            return self._scratch_access(producer, indices)
-        return self._full_access(producer, indices)
+            access = self._scratch_access(producer, indices, hoist)
+        else:
+            access = self._full_access(producer, indices, hoist)
+        if ctx is not None:
+            return ctx.load(access, producer.dtype.c_name)
+        return access
 
     def _extent_names(self, producer, d: int) -> tuple[str, str]:
         base = self.scratch(producer) if producer in self._scratch_sizes \
             else self.buf(producer)
         return f"{base}_lo{d}", f"{base}_hi{d}"
 
-    def _full_access(self, producer, indices: list[str]) -> str:
+    def _full_access(self, producer, indices: list[str],
+                     hoist: list[bool] | None = None) -> str:
         base = self.buf(producer)
         ndim = producer.ndim
         parts = []
@@ -358,9 +414,10 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             for dd in range(d + 1, ndim):
                 term += f"*{base}_n{dd}"
             parts.append(term)
-        return f"{base}[{' + '.join(parts)}]"
+        return f"{base}[{self._join_index_terms(parts, hoist)}]"
 
-    def _scratch_access(self, producer, indices: list[str]) -> str:
+    def _scratch_access(self, producer, indices: list[str],
+                        hoist: list[bool] | None = None) -> str:
         base = self.scratch(producer)
         sizes = self._scratch_sizes[producer]
         parts = []
@@ -369,7 +426,19 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             for dd in range(d + 1, len(sizes)):
                 term += f"*{sizes[dd]}"
             parts.append(term)
-        return f"{base}[{' + '.join(parts)}]"
+        return f"{base}[{self._join_index_terms(parts, hoist)}]"
+
+    def _join_index_terms(self, terms: list[str],
+                          hoist: list[bool] | None) -> str:
+        """Sum the per-dim index terms, hoisting the marked ones into a
+        ``const long`` row-offset local above the innermost loop."""
+        ctx = self._fast_ctx
+        if ctx is None or hoist is None or not any(hoist):
+            return " + ".join(terms)
+        hoisted = [t for t, h in zip(terms, hoist) if h]
+        rest = [t for t, h in zip(terms, hoist) if not h]
+        name = ctx.offset(" + ".join(hoisted))
+        return " + ".join([name] + rest)
 
     # -- top level ----------------------------------------------------------------
     def generate(self) -> str:
@@ -379,6 +448,15 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         w.emit(PRELUDE)
         if self.instrument:
             self._emit_instrument_globals()
+        arena_bytes = 0
+        if self.plan.options.specialize:
+            for gp in self.plan.group_plans:
+                if gp.is_tiled:
+                    arena_bytes = max(arena_bytes,
+                                      self._arena_layout(gp)[1])
+        self._uses_arena = arena_bytes > 0
+        if self._uses_arena:
+            self._emit_arena_globals(arena_bytes)
         args = ["int _nthreads"]
         args += [f"long {self.param(p)}" for p in self.params]
         for img in self.images:
@@ -390,6 +468,12 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         w.emit("if (_nthreads > 0) omp_set_num_threads(_nthreads);")
         w.emit("#endif")
         w.emit("(void)_nthreads;")
+        if self._uses_arena:
+            w.emit("#ifdef _OPENMP")
+            w.emit("repro_arena_reserve(omp_get_max_threads());")
+            w.emit("#else")
+            w.emit("repro_arena_reserve(1);")
+            w.emit("#endif")
 
         self._emit_buffer_geometry()
         self._emit_intermediate_allocs()
@@ -433,6 +517,49 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         w.close()
         w.emit()
 
+    def _emit_arena_globals(self, arena_bytes: int) -> None:
+        """Persistent per-thread scratch arenas plus the release export.
+
+        Slots are grown (never shrunk) serially at function entry; each
+        thread lazily allocates its arena on first use and keeps it
+        across calls.  ``<func>_release()`` frees everything — the
+        Python wrapper exposes it, nothing calls it implicitly.
+        """
+        w = self.w
+        w.emit("/* persistent per-thread scratch arenas */")
+        w.emit(f"#define REPRO_ARENA_BYTES "
+               f"{max(arena_bytes, ARENA_ALIGN)}L")
+        w.emit("static void** repro_arena_slots = NULL;")
+        w.emit("static long repro_arena_nslots = 0;")
+        w.open("static void repro_arena_reserve(long n)")
+        w.emit("if (n <= repro_arena_nslots) return;")
+        w.emit("void** grown = (void**)calloc((size_t)n, sizeof(void*));")
+        w.emit("if (!grown) return;")
+        w.open("if (repro_arena_slots)")
+        w.emit("memcpy(grown, repro_arena_slots, "
+               "(size_t)repro_arena_nslots * sizeof(void*));")
+        w.emit("free(repro_arena_slots);")
+        w.close()
+        w.emit("repro_arena_slots = grown;")
+        w.emit("repro_arena_nslots = n;")
+        w.close()
+        w.open("static char* repro_arena_get(long tid)")
+        w.emit("void* p = repro_arena_slots[tid];")
+        w.open("if (!p)")
+        w.emit("p = aligned_alloc(64, (size_t)REPRO_ARENA_BYTES);")
+        w.emit("repro_arena_slots[tid] = p;")
+        w.close()
+        w.emit("return (char*)p;")
+        w.close()
+        w.open(f"void {self.func_name}_release(void)")
+        w.emit("for (long _i = 0; _i < repro_arena_nslots; _i++) "
+               "free(repro_arena_slots[_i]);")
+        w.emit("free(repro_arena_slots);")
+        w.emit("repro_arena_slots = NULL;")
+        w.emit("repro_arena_nslots = 0;")
+        w.close()
+        w.emit()
+
     # -- geometry -------------------------------------------------------------------
     def _emit_buffer_geometry(self) -> None:
         w = self.w
@@ -472,6 +599,13 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             self._intermediate_fulls.append(base)
         for out in self.outputs:
             base = self.buf(out)
+            if self.plan.options.specialize:
+                # caller-zeroes ABI: the Python wrapper always hands in
+                # freshly zero-filled output buffers (np.zeros), so the
+                # defensive memset is skipped (see repro.codegen.build)
+                w.emit(f"/* {base}: caller provides a zero-filled "
+                       "buffer */")
+                continue
             stage_ir = self.plan.ir[out]
             size = " * ".join(f"{base}_n{d}" for d in range(stage_ir.ndim))
             w.emit(f"memset({base}, 0, {size} * sizeof({out.dtype.c_name}));")
@@ -503,67 +637,142 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             out.append((lo, hi))
         return out
 
+    def _case_dim_bounds(self, stage_ir: StageIR, case,
+                         region: list[tuple[str, str]]
+                         ) -> list[tuple[str, str]]:
+        """Region bounds clamped with the case's bound constraints."""
+        dim_bounds = []
+        for d, var in enumerate(stage_ir.variables):
+            lo_expr, hi_expr = region[d]
+            extra = case.split.bounds.get(var)
+            if extra:
+                lowers, uppers = extra
+                for b in lowers:
+                    lo_expr = f"imax({lo_expr}, " \
+                              f"{self.affine_int(b, 'ceil')})"
+                for b in uppers:
+                    hi_expr = f"imin({hi_expr}, " \
+                              f"{self.affine_int(b, 'floor')})"
+            dim_bounds.append((lo_expr, hi_expr))
+        return dim_bounds
+
     def _emit_case_loops(self, stage_ir: StageIR,
                          region: list[tuple[str, str]],
                          parallel: bool = False) -> None:
-        """One loop nest per case, bounds clamped to region & case box."""
+        """One loop nest per case, bounds clamped to region & case box.
+
+        Under ``options.specialize`` each non-residual case is analysed
+        (:func:`repro.codegen.opt.analyze_case`).  When the derived
+        interior guard is non-trivial the nest is emitted twice — a
+        clamp-free, strength-reduced fast nest behind the guard and the
+        legacy safe nest in the ``else`` — and when the guard is empty
+        the fast nest (hoisting/CSE/simd only, always valid) replaces
+        the safe one outright.  The guard is evaluated once per tile
+        from the same bound variables the loops use, so boundary tiles
+        simply keep the safe clamped code.
+        """
         w = self.w
-        target_name = (self.scratch(stage_ir.stage)
-                       if stage_ir.stage in self._scratch_sizes
-                       else self.buf(stage_ir.stage))
+        specialize = self.plan.options.specialize
         for ci, case in enumerate(stage_ir.cases):
             w.open(f"/* case {ci} of {stage_ir.name} */ ")
             var_names: dict[int, str] = {}
-            loop_vars = []
             for d, var in enumerate(stage_ir.variables):
-                v = f"i{d}"
-                var_names[id(var)] = v
-                loop_vars.append(v)
-            # clamp region bounds with the case's bound constraints
-            dim_bounds = []
-            for d, var in enumerate(stage_ir.variables):
-                lo_expr, hi_expr = region[d]
-                extra = case.split.bounds.get(var)
-                if extra:
-                    lowers, uppers = extra
-                    for b in lowers:
-                        lo_expr = f"imax({lo_expr}, " \
-                                  f"{self.affine_int(b, 'ceil')})"
-                    for b in uppers:
-                        hi_expr = f"imin({hi_expr}, " \
-                                  f"{self.affine_int(b, 'floor')})"
-                dim_bounds.append((lo_expr, hi_expr))
+                var_names[id(var)] = f"i{d}"
+            dim_bounds = self._case_dim_bounds(stage_ir, case, region)
             for d, (lo_expr, hi_expr) in enumerate(dim_bounds):
                 w.emit(f"long c{d}lb = {lo_expr};")
                 w.emit(f"long c{d}ub = {hi_expr};")
-            for d, v in enumerate(loop_vars):
-                innermost = d == len(loop_vars) - 1
-                if d == 0 and parallel:
-                    w.emit("#pragma omp parallel for")
-                elif innermost and not case.split.residual:
-                    unroll = self.plan.options.unroll
-                    if unroll > 1:
-                        w.emit(f"#pragma GCC unroll {unroll}")
-                    w.emit("#pragma GCC ivdep")
-                w.open(f"for (long {v} = c{d}lb; {v} <= c{d}ub; {v}++)")
-            body = f"{self._store(stage_ir, var_names)} = " \
-                   f"({stage_ir.stage.dtype.c_name})" \
-                   f"({self.expr(case.expression, var_names)});"
-            if case.split.residual:
-                conds = " && ".join(self.cond(c, var_names)
-                                    for c in case.split.residual)
-                w.emit(f"if ({conds}) {body}")
-            else:
-                w.emit(body)
-            for _ in loop_vars:
+            fast = None
+            if specialize and stage_ir.variables \
+                    and not case.split.residual:
+                var_bounds = {id(v): (f"c{d}lb", f"c{d}ub")
+                              for d, v in enumerate(stage_ir.variables)}
+                fast = opt.analyze_case(self, stage_ir, case, var_bounds)
+            if fast is not None and fast.conds:
+                guard = " && ".join(f"({c})" for c in fast.conds)
+                w.emit(f"const int _fastok = {guard};")
+                w.open("if (_fastok)")
+                self._emit_case_nest(stage_ir, case, var_names,
+                                     parallel, fast)
                 w.close()
+                w.open("else")
+                self._emit_case_nest(stage_ir, case, var_names,
+                                     parallel, None)
+                w.close()
+            else:
+                self._emit_case_nest(stage_ir, case, var_names,
+                                     parallel, fast)
+            w.close()
+
+    def _emit_case_nest(self, stage_ir: StageIR, case, var_names,
+                        parallel: bool,
+                        fast: "opt.CasePlan | None") -> None:
+        """Emit one loop nest for a case: safe (``fast`` None) or fast."""
+        w = self.w
+        loop_vars = [var_names[id(v)] for v in stage_ir.variables]
+        n = len(loop_vars)
+        ctx = None
+        if fast is not None:
+            innermost_id = id(stage_ir.variables[-1]) if n else None
+            ctx = opt.FastBody(fast, innermost_id)
+        # open the outer loops first so hoisted offsets see their vars
+        for d in range(n - 1):
+            v = loop_vars[d]
+            if d == 0 and parallel:
+                w.emit("#pragma omp parallel for")
+            w.open(f"for (long {v} = c{d}lb; {v} <= c{d}ub; {v}++)")
+        # render store/value before the innermost loop so the fast body
+        # context collects its hoisted offsets and CSE'd loads
+        self._fast_ctx = ctx
+        try:
+            store = self._store(stage_ir, var_names)
+            value = self.expr(case.expression, var_names)
+        finally:
+            self._fast_ctx = None
+        if ctx is not None:
+            for line in ctx.offset_decls:
+                w.emit(line)
+        if n:
+            d = n - 1
+            v = loop_vars[d]
+            if d == 0 and parallel:
+                w.emit("#pragma omp parallel for")
+            elif not case.split.residual:
+                unroll = self.plan.options.unroll
+                if unroll > 1:
+                    w.emit(f"#pragma GCC unroll {unroll}")
+                if opt.simd_safe(stage_ir, case):
+                    # unit-stride store, no self-reads: vector pragmas
+                    # are legal; the fast path asks for omp simd, the
+                    # safe path keeps the weaker ivdep hint
+                    if ctx is not None and self.plan.options.simd:
+                        w.emit("#pragma omp simd")
+                    else:
+                        w.emit("#pragma GCC ivdep")
+            w.open(f"for (long {v} = c{d}lb; {v} <= c{d}ub; {v}++)")
+        body = f"{store} = ({stage_ir.stage.dtype.c_name})({value});"
+        if case.split.residual:
+            conds = " && ".join(self.cond(c, var_names)
+                                for c in case.split.residual)
+            w.emit(f"if ({conds}) {body}")
+        else:
+            if ctx is not None:
+                for line in ctx.load_decls:
+                    w.emit(line)
+            w.emit(body)
+        for _ in loop_vars:
             w.close()
 
     def _store(self, stage_ir: StageIR, var_names) -> str:
         indices = [var_names[id(v)] for v in stage_ir.variables]
+        hoist = None
+        if self._fast_ctx is not None and indices:
+            # store indices are the loop variables themselves: every
+            # dimension but the innermost is loop-invariant there
+            hoist = [True] * (len(indices) - 1) + [False]
         if stage_ir.stage in self._scratch_sizes:
-            return self._scratch_access(stage_ir.stage, indices)
-        return self._full_access(stage_ir.stage, indices)
+            return self._scratch_access(stage_ir.stage, indices, hoist)
+        return self._full_access(stage_ir.stage, indices, hoist)
 
     def _emit_stage_full(self, stage_ir: StageIR) -> None:
         w = self.w
@@ -668,7 +877,45 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             tau = gp.tile_sizes[g]
             width = (Fraction(tau) + halo.left[g] + halo.right[g]) / scale
             sizes.append(int(width) + 3)
+        if self.plan.options.specialize and sizes:
+            # pad the innermost extent so every row of the scratchpad
+            # starts on a cache-line/vector-friendly boundary inside the
+            # per-thread arena
+            sizes[-1] = -(-sizes[-1] // SCRATCH_PAD) * SCRATCH_PAD
         return tuple(sizes)
+
+    def _group_scratch_stages(self, gp: GroupPlan
+                              ) -> tuple[list[Stage], set[Stage]]:
+        """Scratch-allocated stages of a tiled group.
+
+        Live-outs consumed inside the group also get a tile-local
+        scratchpad (with halo); their owned sub-region is copied out to
+        the full buffer after evaluation.
+        """
+        ir = self.plan.ir
+        members = set(gp.ordered_stages)
+        liveout_local = {s for s in gp.liveouts
+                         if any(c in members
+                                for c in ir.graph.consumers(s))}
+        scratch = [s for s in gp.ordered_stages
+                   if self.plan.storage[s].kind == SCRATCH
+                   or s in liveout_local]
+        return scratch, liveout_local
+
+    def _arena_layout(self, gp: GroupPlan) -> tuple[dict[Stage, int], int]:
+        """Byte offset of each scratchpad in the per-thread arena, plus
+        the group's total arena footprint (offsets are 64B-aligned)."""
+        offsets: dict[Stage, int] = {}
+        off = 0
+        scratch, _ = self._group_scratch_stages(gp)
+        for stage in scratch:
+            total = 1
+            for s in self._scratch_size(stage, gp):
+                total *= s
+            nbytes = total * int(stage.dtype.np_dtype.itemsize)
+            offsets[stage] = off
+            off += -(-nbytes // ARENA_ALIGN) * ARENA_ALIGN
+        return offsets, off
 
     def _emit_tiled_group(self, gp: GroupPlan, gi: int = 0) -> None:
         w = self.w
@@ -710,33 +957,38 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             space_lo.append(f"g{g}lo")
             space_hi.append(f"g{g}hi")
 
-        # live-outs consumed inside the group also get a tile-local
-        # scratchpad (with halo); their owned sub-region is copied out to
-        # the full buffer after evaluation.
-        members = set(gp.ordered_stages)
-        liveout_local = {s for s in gp.liveouts
-                         if any(c in members
-                                for c in ir.graph.consumers(s))}
-        scratch_stages = [s for s in gp.ordered_stages
-                          if self.plan.storage[s].kind == SCRATCH
-                          or s in liveout_local]
+        scratch_stages, liveout_local = self._group_scratch_stages(gp)
         for stage in scratch_stages:
             self._scratch_sizes[stage] = self._scratch_size(stage, gp)
         self._liveout_local = liveout_local
 
         # One parallel region: scratchpads are allocated once per thread
         # and reused by all the tiles that thread executes sequentially
-        # (Section 3.6).
+        # (Section 3.6).  Under specialization they live in the
+        # persistent per-thread arena instead of per-invocation mallocs.
+        use_arena = self._uses_arena and bool(scratch_stages)
         w.emit("#pragma omp parallel")
         w.open("")
-        for stage in scratch_stages:
-            sizes = self._scratch_sizes[stage]
-            total = 1
-            for s in sizes:
-                total *= s
-            ctype = stage.dtype.c_name
-            w.emit(f"{ctype}* {self.scratch(stage)} = "
-                   f"({ctype}*)malloc({total} * sizeof({ctype}));")
+        if use_arena:
+            offsets, _ = self._arena_layout(gp)
+            w.emit("long _tid = 0;")
+            w.emit("#ifdef _OPENMP")
+            w.emit("_tid = omp_get_thread_num();")
+            w.emit("#endif")
+            w.emit("char* _arena = repro_arena_get(_tid);")
+            for stage in scratch_stages:
+                ctype = stage.dtype.c_name
+                w.emit(f"{ctype}* {self.scratch(stage)} = "
+                       f"({ctype}*)(_arena + {offsets[stage]}L);")
+        else:
+            for stage in scratch_stages:
+                sizes = self._scratch_sizes[stage]
+                total = 1
+                for s in sizes:
+                    total *= s
+                ctype = stage.dtype.c_name
+                w.emit(f"{ctype}* {self.scratch(stage)} = "
+                       f"({ctype}*)malloc({total} * sizeof({ctype}));")
         w.emit("#pragma omp for schedule(dynamic)")
         w.open(f"for (long T0 = T0f; T0 <= T0l; T0++)")
         for g in range(1, ndim):
@@ -757,8 +1009,9 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         for g in range(1, ndim):
             w.close()
         w.close()  # T0
-        for stage in scratch_stages:
-            w.emit(f"free({self.scratch(stage)});")
+        if not use_arena:
+            for stage in scratch_stages:
+                w.emit(f"free({self.scratch(stage)});")
         w.close()  # omp parallel region
         w.close()
         for stage in scratch_stages:
@@ -811,12 +1064,22 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         w.open(f"/* {stage_ir.name} */ ")
         if is_scratch:
             # zero-fill so points no case covers read as 0 (NumPy parity)
-            sizes = self._scratch_sizes[stage]
-            total = 1
-            for s in sizes:
-                total *= s
-            w.emit(f"memset({self.scratch(stage)}, 0, "
-                   f"{total} * sizeof({stage.dtype.c_name}));")
+            narrow = (self.plan.options.specialize
+                      and stage_ir.ndim >= 1
+                      and len(stage_ir.cases) == 1
+                      and not stage_ir.cases[0].split.residual)
+            if narrow:
+                # the single case fully overwrites region ∩ case-box, so
+                # only the complement strips need zeroing; interior
+                # tiles (region ⊆ case-box) do no memset work at all
+                self._emit_narrow_memset(stage_ir, region)
+            else:
+                sizes = self._scratch_sizes[stage]
+                total = 1
+                for s in sizes:
+                    total *= s
+                w.emit(f"memset({self.scratch(stage)}, 0, "
+                       f"{total} * sizeof({stage.dtype.c_name}));")
             self._emit_case_loops(stage_ir, region)
             if stage in self._liveout_local:
                 # copy the owned sub-region out to the full buffer
@@ -855,6 +1118,63 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                 w.emit(f"long {base}_oh{d} = imin({region[d][1]}, {ohi});")
                 owned.append((f"{base}_ol{d}", f"{base}_oh{d}"))
             self._emit_case_loops(stage_ir, owned)
+        w.close()
+
+    def _emit_narrow_memset(self, stage_ir: StageIR,
+                            region: list[tuple[str, str]]) -> None:
+        """Zero only ``region ∖ written-box`` of a single-case scratchpad.
+
+        The written box ``W`` is the region clamped by the case's bound
+        constraints — exactly the points the case loop overwrites.  The
+        complement is decomposed into the standard disjoint strips (dim
+        ``d`` outside ``W``, earlier dims inside, later dims spanning
+        the region); with an empty ``W`` the dim-0 strips cover the
+        whole region, and for interior tiles every strip is empty so
+        the zero-fill costs nothing.
+        """
+        w = self.w
+        stage = stage_ir.stage
+        case = stage_ir.cases[0]
+        base = _sanitize(stage_ir.name)
+        ndim = stage_ir.ndim
+        dim_bounds = self._case_dim_bounds(stage_ir, case, region)
+        for d, (lo_expr, hi_expr) in enumerate(dim_bounds):
+            w.emit(f"long {base}_wl{d} = {lo_expr};")
+            w.emit(f"long {base}_wh{d} = {hi_expr};")
+        for d in range(ndim):
+            low_strip = (region[d][0],
+                         f"imin({base}_wl{d} - 1, {region[d][1]})")
+            high_strip = (f"imax({base}_wh{d} + 1, {region[d][0]})",
+                          region[d][1])
+            for lo, hi in (low_strip, high_strip):
+                box = []
+                for dd in range(ndim):
+                    if dd < d:
+                        box.append((f"{base}_wl{dd}", f"{base}_wh{dd}"))
+                    elif dd == d:
+                        box.append((lo, hi))
+                    else:
+                        box.append(region[dd])
+                self._emit_zero_box(stage, box)
+
+    def _emit_zero_box(self, stage: Stage,
+                       box: list[tuple[str, str]]) -> None:
+        """memset one box of the stage's scratchpad (absolute coords)."""
+        w = self.w
+        ndim = len(box)
+        ctype = stage.dtype.c_name
+        w.open("")
+        for dd in range(ndim - 1):
+            w.open(f"for (long z{dd} = {box[dd][0]}; "
+                   f"z{dd} <= {box[dd][1]}; z{dd}++)")
+        lo, hi = box[ndim - 1]
+        w.emit(f"long _zl = {lo}, _zh = {hi};")
+        indices = [f"z{dd}" for dd in range(ndim - 1)] + ["_zl"]
+        access = self._scratch_access(stage, indices)
+        w.emit(f"if (_zh >= _zl) memset(&{access}, 0, "
+               f"(size_t)(_zh - _zl + 1) * sizeof({ctype}));")
+        for _ in range(ndim - 1):
+            w.close()
         w.close()
 
 

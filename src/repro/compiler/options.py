@@ -44,6 +44,14 @@ class CompileOptions:
     #: unroll factor hinted to the C compiler on innermost loops
     #: (Section 3.7 mentions unrolling; 0 leaves it to the compiler)
     unroll: int = 0
+    #: fast-path codegen: interior/boundary specialization of generated
+    #: loop nests (clamp elimination, floor-div strength reduction, load
+    #: CSE, hoisted index arithmetic) plus persistent per-thread scratch
+    #: arenas; False reproduces the legacy always-safe code
+    specialize: bool = True
+    #: emit ``#pragma omp simd`` on provably unit-stride, alias-free
+    #: innermost fast-path loops (requires ``specialize``)
+    simd: bool = True
 
     def __post_init__(self):
         if not self.tile_sizes:
@@ -54,6 +62,10 @@ class CompileOptions:
             raise ValueError("overlap threshold must be positive")
         if self.unroll < 0:
             raise ValueError("unroll factor must be non-negative")
+        if self.simd and not isinstance(self.simd, bool):
+            raise ValueError("simd must be a bool")
+        if self.specialize and not isinstance(self.specialize, bool):
+            raise ValueError("specialize must be a bool")
 
     def tile_size(self, dim: int) -> int:
         return self.tile_sizes[dim % len(self.tile_sizes)]
@@ -76,3 +88,8 @@ class CompileOptions:
 
     def with_threshold(self, threshold: float) -> "CompileOptions":
         return replace(self, overlap_threshold=threshold)
+
+    def with_specialize(self, specialize: bool,
+                        simd: bool | None = None) -> "CompileOptions":
+        return replace(self, specialize=specialize,
+                       simd=self.simd if simd is None else simd)

@@ -164,7 +164,28 @@ class PipelinePlan:
                  f"(inlined: {', '.join(self.inlined_names) or 'none'})"]
         for i, gp in enumerate(self.group_plans):
             lines.append(self._group_line(i, gp))
+        if self.options.specialize:
+            lines.append(self._specialize_line())
         return "\n".join(lines)
+
+    def _specialize_line(self) -> str:
+        """One-line fast-path tally for :meth:`summary`."""
+        # imported lazily: codegen.opt depends on pipeline/poly modules
+        # that import this module's neighbours
+        from repro.codegen.opt import specialization_report
+        infos = specialization_report(self)
+        n_guarded = sum(1 for fi in infos if fi.guarded)
+        n_dropped = sum(fi.n_dropped for fi in infos)
+        n_reduced = sum(fi.n_reduced for fi in infos)
+        fractions = [fi.interior_fraction for fi in infos
+                     if fi.guarded and fi.interior_fraction is not None]
+        line = (f"  fast-path: {len(infos)} specialized stages, "
+                f"{n_guarded} guarded, {n_dropped} clamps eliminated, "
+                f"{n_reduced} divisions reduced")
+        if fractions:
+            line += (", interior covers "
+                     f"{min(fractions) * 100.0:.0f}%+ of guarded domains")
+        return line
 
     def explain(self) -> str:
         """Replay of the compiler's decisions, not just their outcome.
@@ -182,7 +203,8 @@ class PipelinePlan:
                  f"options: tiles={tiles} "
                  f"overlap_threshold={opt.overlap_threshold} "
                  f"group={opt.group} tile={opt.tile} "
-                 f"tight_overlap={opt.tight_overlap}",
+                 f"tight_overlap={opt.tight_overlap} "
+                 f"specialize={opt.specialize} simd={opt.simd}",
                  "", "== grouping decisions (Algorithm 1) =="]
         decisions = self.grouping.decisions
         if not decisions:
@@ -200,6 +222,14 @@ class PipelinePlan:
                 decision = self.storage[stage]
                 lines.append(f"  {stage.name}: {decision.kind} "
                              f"({decision.reason})")
+        if opt.specialize:
+            from repro.codegen.opt import specialization_report
+            lines += ["", "== fast-path specialization =="]
+            infos = specialization_report(self)
+            if not infos:
+                lines.append("(no specializable stages)")
+            for fi in infos:
+                lines.append(f"  {fi.render()}")
         return "\n".join(lines)
 
 

@@ -139,3 +139,95 @@ def evaluate_access(form: AccessForm,
     if form.divisor == 1:
         return base
     return base.floordiv(form.divisor)
+
+
+def evaluate_expr(expr,
+                  env: Mapping[Hashable, "IntInterval | int"]
+                  ) -> "IntInterval | None":
+    """Conservative integer range of a general DSL expression tree.
+
+    This is the interval-propagation workhorse behind fast-path codegen
+    (:mod:`repro.codegen.opt`): where :func:`evaluate_affine` only
+    handles affine forms, this walks arbitrary index expressions — the
+    boundary-clamping ``min``/``max`` compositions, flooring ``//`` by a
+    constant, ``%`` (DSL/NumPy semantics: result in ``[0, m)`` for a
+    positive modulus) and ``Select`` hulls — and returns the integer
+    hull of the value range, or ``None`` when the expression falls
+    outside the supported fragment (data-dependent loads, float
+    arithmetic, symbols missing from ``env``).
+
+    ``env`` maps :class:`~repro.lang.constructs.Variable` and
+    :class:`~repro.lang.constructs.Parameter` objects to intervals (or
+    ints, treated as degenerate intervals).
+    """
+    from repro.lang.expr import (
+        BinOp, Call, Cast, Literal, Reference, Select, UnOp,
+    )
+    from repro.lang.constructs import Parameter, Variable
+
+    def rec(e) -> IntInterval | None:
+        if isinstance(e, Literal):
+            if isinstance(e.value, bool) or not isinstance(e.value, int):
+                return None
+            return IntInterval(e.value, e.value)
+        if isinstance(e, (Variable, Parameter)):
+            value = env.get(e)
+            if value is None:
+                return None
+            if isinstance(value, int):
+                return IntInterval(value, value)
+            return value
+        if isinstance(e, UnOp):
+            r = rec(e.operand)
+            return None if r is None else IntInterval(-r.hi, -r.lo)
+        if isinstance(e, Cast):
+            if e.dtype.is_float:
+                return None
+            return rec(e.operand)
+        if isinstance(e, BinOp):
+            left = rec(e.left)
+            if left is None:
+                return None
+            if e.op in ("//", "%"):
+                right = e.right
+                if not (isinstance(right, Literal)
+                        and isinstance(right.value, int)
+                        and right.value > 0):
+                    return None
+                if e.op == "%":
+                    return IntInterval(0, right.value - 1)
+                return left.floordiv(right.value)
+            right = rec(e.right)
+            if right is None:
+                return None
+            if e.op == "+":
+                return left + right
+            if e.op == "-":
+                return IntInterval(left.lo - right.hi, left.hi - right.lo)
+            if e.op == "*":
+                products = [a * b for a in (left.lo, left.hi)
+                            for b in (right.lo, right.hi)]
+                return IntInterval(min(products), max(products))
+            return None
+        if isinstance(e, Call):
+            if e.name not in ("min", "max"):
+                return None
+            ranges = [rec(a) for a in e.args]
+            if any(r is None for r in ranges):
+                return None
+            if e.name == "min":
+                return IntInterval(min(r.lo for r in ranges),
+                                   min(r.hi for r in ranges))
+            return IntInterval(max(r.lo for r in ranges),
+                               max(r.hi for r in ranges))
+        if isinstance(e, Select):
+            t = rec(e.true_expr)
+            f = rec(e.false_expr)
+            if t is None or f is None:
+                return None
+            return t.hull(f)
+        if isinstance(e, Reference):
+            return None
+        return None
+
+    return rec(expr)

@@ -12,6 +12,8 @@ stage over full domains.
 
 from __future__ import annotations
 
+import atexit
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Mapping
 
@@ -33,6 +35,44 @@ from repro.runtime.evaluator import Evaluator
 
 class ExecutionError(RuntimeError):
     """Raised for invalid inputs or unsupported stage shapes."""
+
+
+# ---------------------------------------------------------------------------
+# Process-wide worker pools
+# ---------------------------------------------------------------------------
+# Tearing a ThreadPoolExecutor down after every tiled group (the old
+# ``with`` form) pays thread spawn/join per invocation — measurable on
+# small frames and the throughput benchmarks.  Pools are instead created
+# once per worker count, reused by every plan execution in the process,
+# and drained at interpreter exit.
+
+_pools: dict[int, ThreadPoolExecutor] = {}
+_pools_lock = threading.Lock()
+
+
+def get_worker_pool(n_threads: int) -> ThreadPoolExecutor:
+    """The shared executor pool for ``n_threads`` workers."""
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    with _pools_lock:
+        pool = _pools.get(n_threads)
+        if pool is None:
+            pool = _pools[n_threads] = ThreadPoolExecutor(
+                max_workers=n_threads,
+                thread_name_prefix=f"repro-exec-{n_threads}")
+        return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Drain and drop every shared pool (re-created lazily on next use)."""
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_worker_pools)
 
 
 def _check_unknown_keys(plan: PipelinePlan, params: Mapping,
@@ -325,8 +365,8 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
         for tile in tiles:
             run_tile(tile)
     else:
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            list(pool.map(run_tile, tiles))
+        pool = get_worker_pool(n_threads)
+        list(pool.map(run_tile, tiles))
 
     if tracer.enabled:
         # redundant-compute ratio: points evaluated (owned + overlap)

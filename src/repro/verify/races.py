@@ -116,8 +116,16 @@ def race_diagnostics(plan: PipelinePlan, emit: Emitter,
 # ---------------------------------------------------------------------------
 
 _STATIC_DECL = re.compile(r"^\s*static\s+[A-Za-z_][\w ]*?\b(\w+)\s*\[")
+#: pointer-valued statics (e.g. the persistent arena slot table): no
+#: bracket in the declarator, ``*`` in the type
+_STATIC_PTR_DECL = re.compile(
+    r"^\s*static\s+[A-Za-z_][\w ]*?\*+\s*(\w+)\s*[=;]")
 _PARALLEL = re.compile(r"#pragma\s+omp\s+parallel\b")
 _ATOMIC = re.compile(r"#pragma\s+omp\s+atomic\b")
+#: bracket indices that select a per-thread slot — such writes are
+#: thread-private by construction, not races
+_THREAD_INDEX = re.compile(
+    r"^\s*(?:\(long\)\s*)?(?:_?tid|omp_get_thread_num\s*\(\s*\))\s*$")
 
 
 def _write_pattern(names: set[str]) -> re.Pattern | None:
@@ -125,16 +133,22 @@ def _write_pattern(names: set[str]) -> re.Pattern | None:
         return None
     alt = "|".join(re.escape(n) for n in sorted(names))
     return re.compile(
-        rf"\b({alt})\s*\[[^\]]*\]\s*(\+\+|--|[-+*/|&^]?=[^=])"
+        rf"\b({alt})\s*\[([^\]]*)\]\s*(\+\+|--|[-+*/|&^]?=[^=])"
         rf"|(\+\+|--)\s*({alt})\s*\[")
 
 
 def lint_c_source(source: str, emit: Emitter,
                   checked: dict[str, int]) -> None:
-    """Scan generated C for un-atomic writes to shared statics (RV302)."""
+    """Scan generated C for un-atomic writes to shared statics (RV302).
+
+    Tracks both array statics (the instrument-mode accumulators) and
+    pointer statics (the persistent arena slot table).  Writes whose
+    index is the thread id (``_tid`` / ``omp_get_thread_num()``) are
+    per-thread slots, not shared cells, and are allowed.
+    """
     shared: set[str] = set()
     for line in source.splitlines():
-        m = _STATIC_DECL.match(line)
+        m = _STATIC_DECL.match(line) or _STATIC_PTR_DECL.match(line)
         if m:
             shared.add(m.group(1))
     writes = _write_pattern(shared)
@@ -157,13 +171,17 @@ def lint_c_source(source: str, emit: Emitter,
             parallel_depths.append(depth)
             pending_parallel = False
         in_parallel = bool(parallel_depths)
-        if in_parallel and not stripped.startswith("#") \
-                and writes.search(line):
+        match = writes.search(line) if in_parallel \
+            and not stripped.startswith("#") else None
+        if match is not None and match.group(2) is not None \
+                and _THREAD_INDEX.match(match.group(2)):
+            match = None  # per-thread slot write
+        if match is not None:
             if not _ATOMIC.search(prev_code):
                 emit.emit(
                     "RV302",
                     f"line {lineno}: write to shared static "
-                    f"{writes.search(line).group(0).split('[')[0].strip()!r} "
+                    f"{match.group(0).split('[')[0].strip()!r} "
                     "inside a parallel region without '#pragma omp atomic'",
                     hint="every tile iteration may execute this "
                          "concurrently; guard the update or make it "

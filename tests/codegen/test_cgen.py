@@ -1,5 +1,7 @@
 """Structural tests on generated C (Figure 7 shape)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro import CompileOptions, compile_pipeline
@@ -7,14 +9,25 @@ from repro.apps import harris as harris_app
 from repro.codegen.cgen import generate_c
 
 
-@pytest.fixture(scope="module")
-def harris_source():
+def _harris_source(options):
     app = harris_app.build_pipeline()
     est = {app.params["R"]: 256, app.params["C"]: 256}
-    compiled = compile_pipeline(app.outputs, est,
-                                CompileOptions.optimized((32, 256)),
-                                name="harris")
+    compiled = compile_pipeline(app.outputs, est, options, name="harris")
     return compiled.c_source()
+
+
+@pytest.fixture(scope="module")
+def harris_source():
+    """Default build: fast-path specialization + persistent arenas."""
+    return _harris_source(CompileOptions.optimized((32, 256)))
+
+
+@pytest.fixture(scope="module")
+def harris_legacy_source():
+    """specialize=False reproduces the legacy always-safe code."""
+    return _harris_source(
+        replace(CompileOptions.optimized((32, 256)),
+                specialize=False, simd=False))
 
 
 def test_signature(harris_source):
@@ -25,25 +38,51 @@ def test_signature(harris_source):
 
 def test_parallel_tile_loop(harris_source):
     """Figure 7: the outermost tile dimension is work-shared; scratchpads
-    are allocated once per thread inside the parallel region."""
+    are bound once per thread inside the parallel region."""
     assert "#pragma omp parallel" in harris_source
     assert "#pragma omp for schedule(dynamic)" in harris_source
     assert "for (long T0 = T0f; T0 <= T0l; T0++)" in harris_source
     assert "for (long T1 = T1f; T1 <= T1l; T1++)" in harris_source
-    # allocation happens before the work-shared loop (per thread, reused)
+    # arena binding happens before the work-shared loop (per thread)
     region = harris_source.split("#pragma omp parallel")[1]
+    assert region.index("repro_arena_get") < region.index("#pragma omp for")
+
+
+def test_parallel_tile_loop_legacy_malloc(harris_legacy_source):
+    """Without specialization, per-invocation mallocs sit before the
+    work-shared loop (per thread, reused across that thread's tiles)."""
+    region = harris_legacy_source.split("#pragma omp parallel")[1]
     assert region.index("malloc") < region.index("#pragma omp for")
 
 
-def test_scratchpads_allocated_per_thread(harris_source):
-    """Scratchpads for Ix, Iy, Sxx, Syy, Sxy inside the parallel loop."""
+def test_scratchpads_in_arena(harris_source):
+    """Scratchpads for Ix, Iy, Sxx, Syy, Sxy carved out of the arena."""
     for name in ("s_Ix", "s_Iy", "s_Sxx", "s_Syy", "s_Sxy"):
-        assert f"{name} = (float*)malloc(" in harris_source
-        assert f"free({name});" in harris_source
+        assert f"{name} = (float*)(_arena + " in harris_source
+    assert "malloc(" not in harris_source.split("pipe_harris(")[1]
     # inlined stages have no storage at all
     for name in ("Ixx", "Ixy", "Iyy", "det", "trace"):
         assert f"s_{name}" not in harris_source
         assert f"b_{name}" not in harris_source
+
+
+def test_scratchpads_allocated_per_thread_legacy(harris_legacy_source):
+    """Legacy path: malloc/free per parallel region."""
+    for name in ("s_Ix", "s_Iy", "s_Sxx", "s_Syy", "s_Sxy"):
+        assert f"{name} = (float*)malloc(" in harris_legacy_source
+        assert f"free({name});" in harris_legacy_source
+    assert "repro_arena" not in harris_legacy_source
+    assert "_release" not in harris_legacy_source
+
+
+def test_arena_machinery(harris_source):
+    """Persistent arenas: reserve at entry, lazy per-thread allocation,
+    an exported release, and no per-invocation frees."""
+    assert "repro_arena_reserve(omp_get_max_threads());" in harris_source
+    assert "aligned_alloc(64, (size_t)REPRO_ARENA_BYTES)" in harris_source
+    assert "void pipe_harris_release(void)" in harris_source
+    body = harris_source.split("pipe_harris(")[1]
+    assert "free(" not in body
 
 
 def test_clamped_bounds(harris_source):
@@ -52,8 +91,25 @@ def test_clamped_bounds(harris_source):
     assert "imax(" in harris_source and "imin(" in harris_source
 
 
-def test_ivdep_on_inner_loops(harris_source):
-    assert "#pragma GCC ivdep" in harris_source
+def test_simd_on_inner_loops(harris_source):
+    """Fast nests carry omp simd (stores are unit-stride, alias-free)."""
+    assert "#pragma omp simd" in harris_source
+
+
+def test_ivdep_on_inner_loops_legacy(harris_legacy_source):
+    assert "#pragma GCC ivdep" in harris_legacy_source
+    assert "#pragma omp simd" not in harris_legacy_source
+
+
+def test_fast_body_cse_and_hoisting(harris_source):
+    """Row offsets hoisted above the innermost loop, loads CSE'd."""
+    assert "const long _ro0 = " in harris_source
+    assert "const float _ld0 = " in harris_source
+
+
+def test_helpers_marked_const(harris_source):
+    assert "REPRO_CONST static inline long fdiv" in harris_source
+    assert "REPRO_CONST static inline long iclamp" in harris_source
 
 
 def test_tile_sizes_embedded(harris_source):
@@ -98,13 +154,12 @@ def test_lines_of_generated_code_exceed_input():
 
 
 def test_unroll_pragma_emitted():
-    from dataclasses import replace
     app = harris_app.build_pipeline()
     est = {app.params["R"]: 256, app.params["C"]: 256}
     options = replace(CompileOptions.optimized((32, 256)), unroll=4)
     compiled = compile_pipeline(app.outputs, est, options, name="hunroll")
     src = compiled.c_source()
     assert "#pragma GCC unroll 4" in src
-    # pragma must sit directly above ivdep + the for loop
+    # pragma must sit directly above the vector pragma + the for loop
     idx = src.index("#pragma GCC unroll 4")
-    assert "#pragma GCC ivdep" in src[idx:idx + 120]
+    assert "#pragma omp simd" in src[idx:idx + 120]
