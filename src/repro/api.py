@@ -80,6 +80,24 @@ class CompiledPipeline:
             self._built[key] = build_native(self.plan, self.name, **kwargs)
         return self._built[key]
 
+    # -- serving ---------------------------------------------------------------
+    def serve(self, **config):
+        """Start a streaming :class:`repro.serve.PipelineService` for
+        this pipeline.
+
+        The service answers ``submit()`` immediately with the
+        interpreter backend while the native artifact builds in the
+        background, pools output buffers across frames, enforces
+        per-request deadlines, and degrades gracefully back to the
+        interpreter on any native failure.  ``config`` is forwarded to
+        :class:`~repro.serve.PipelineService` (``workers``,
+        ``max_queue``, ``backend``, ``default_deadline_s``, ...).
+        Close it (or use it as a context manager) when done.
+        """
+        from repro.serve import PipelineService
+        config.setdefault("name", self.name)
+        return PipelineService(self, **config)
+
     # -- verification ----------------------------------------------------------
     def verify(self, *, lint_c: bool = False,
                severity_overrides: Mapping[str, str] | None = None,

@@ -1,0 +1,198 @@
+"""Serving benchmark: sustained throughput and tail latency under load.
+
+Usage::
+
+    python -m repro.bench.serve_bench [--app harris] [--scale small]
+        [--frames 120] [--clients 4] [--workers 2] [--threads 1]
+        [--backend auto] [--warmup 16] [--json BENCH_serve.json]
+
+Streams frames through one :class:`~repro.serve.PipelineService` from
+``--clients`` closed-loop client threads (submit → wait → release) and
+reports the serving-centric numbers single-shot benchmarks hide:
+
+* sustained **frames/sec** over the measured window,
+* client-observed latency **p50/p90/p99** (queue wait included — that is
+  what a caller experiences, unlike per-call kernel time),
+* the **pool hit rate across the measured window only** — steady-state
+  serving should allocate nothing, so after warmup the rate must be
+  100% (asserted into the JSON, not just printed).
+
+The warmup phase batch-submits all its frames and holds every result
+until the last completes before releasing them: the pool ends warmup
+holding one buffer set per warmup frame, which upper-bounds the measured
+phase's peak concurrency (``clients`` waiting + ``workers`` executing),
+so steady state is guaranteed — not just likely — to allocate nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import compile_pipeline
+from repro.bench.harness import (
+    APP_BUILDERS, DEFAULT_TILES, make_instance,
+)
+from repro.compiler.options import CompileOptions
+from repro.observe.metrics import LatencyWindow
+from repro.serve import PipelineService
+
+
+def _run_phase(service: PipelineService, instance, clients: int,
+               frames_per_client: int,
+               window: LatencyWindow | None = None) -> list[str]:
+    """Closed-loop clients: each submits, waits, releases, repeats."""
+    import threading
+
+    errors: list[str] = []
+
+    def client(k: int) -> None:
+        for i in range(frames_per_client):
+            t0 = time.perf_counter()
+            try:
+                with service.run(instance.values, instance.inputs):
+                    pass
+            except Exception as exc:  # noqa: BLE001 - reported in JSON
+                errors.append(f"client {k} frame {i}: "
+                              f"{type(exc).__name__}: {exc}")
+                continue
+            if window is not None:
+                window.record(time.perf_counter() - t0)
+
+    threads = [threading.Thread(target=client, args=(k,))
+               for k in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+def bench_serving(app: str, scale: str, *, frames: int, clients: int,
+                  workers: int, n_threads: int, backend: str,
+                  warmup: int) -> dict:
+    """Benchmark one app behind a service; returns the JSON record."""
+    instance = make_instance(app, scale)
+    options = CompileOptions.optimized(DEFAULT_TILES[app])
+    compiled = compile_pipeline(instance.app.outputs, instance.values,
+                                options, name=f"serve_{app}")
+
+    per_client = max(1, frames // clients)
+    # warmup must seed at least one buffer set per concurrently leased
+    # frame: clients waiting on results + workers mid-execution
+    warmup = max(warmup, clients + workers + 1)
+    window = LatencyWindow(capacity=max(2048, per_client * clients))
+
+    with PipelineService(compiled, workers=workers, backend=backend,
+                         max_queue=max(64, clients * 4, warmup),
+                         n_threads=n_threads) as service:
+        if backend != "interpreter":
+            service.wait_ready()
+
+        # batch-submit and hold every warmup frame so the pool ends
+        # warmup owning `warmup` buffer sets (see module docstring)
+        futures = [service.submit(instance.values, instance.inputs)
+                   for _ in range(warmup)]
+        held = []
+        warm_errors = []
+        for future in futures:
+            try:
+                held.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - reported in JSON
+                warm_errors.append(f"warmup: {type(exc).__name__}: {exc}")
+        for frame in held:
+            frame.release()
+        pool_before = service.stats().pool
+
+        t0 = time.perf_counter()
+        errors = _run_phase(service, instance, clients, per_client,
+                            window)
+        elapsed = time.perf_counter() - t0
+
+        stats = service.stats()
+        pool_after = stats.pool
+
+    measured = per_client * clients - len(errors)
+    hits = pool_after.get("hits", 0) - pool_before.get("hits", 0)
+    misses = pool_after.get("misses", 0) - pool_before.get("misses", 0)
+    latency = window.snapshot()
+    return {
+        "app": app,
+        "scale": scale,
+        "backend": stats.backend,
+        "clients": clients,
+        "workers": workers,
+        "n_threads": n_threads,
+        "warmup_frames": warmup,
+        "measured_frames": measured,
+        "elapsed_s": elapsed,
+        "fps": measured / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": latency,
+        "pool_window": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 1.0,
+        },
+        "service": stats.as_dict(),
+        "errors": warm_errors + errors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serve_bench",
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--app", default="harris",
+                        choices=sorted(APP_BUILDERS))
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--frames", type=int, default=120)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--warmup", type=int, default=16)
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "interpreter", "native"))
+    parser.add_argument("--json", default="BENCH_serve.json",
+                        help="output path (default BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    record = bench_serving(args.app, args.scale, frames=args.frames,
+                           clients=args.clients, workers=args.workers,
+                           n_threads=args.threads, backend=args.backend,
+                           warmup=args.warmup)
+    doc = {
+        "benchmark": "serving",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "runs": [record],
+    }
+    Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+
+    lat = record["latency_ms"]
+    pool = record["pool_window"]
+    print(f"{record['app']} @ {record['scale']} "
+          f"({record['clients']} clients / {record['workers']} workers, "
+          f"backend={record['backend']}):")
+    print(f"  {record['fps']:.1f} fps over "
+          f"{record['measured_frames']} frames")
+    print(f"  latency p50 {lat['p50_ms']:.2f} ms, "
+          f"p90 {lat['p90_ms']:.2f} ms, p99 {lat['p99_ms']:.2f} ms")
+    print(f"  pool (measured window): {pool['hits']} hits / "
+          f"{pool['misses']} misses "
+          f"({pool['hit_rate'] * 100.0:.1f}% hit rate)")
+    if record["errors"]:
+        print(f"  {len(record['errors'])} frame error(s), first: "
+              f"{record['errors'][0]}")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -299,6 +299,25 @@ def get_cache(cache_dir: str | Path | None = None) -> CompileCache:
     return cache
 
 
+#: per-artifact call locks, shared by every :class:`NativePipeline`
+#: loaded from the same published ``.so`` — the shared library (and hence
+#: its arenas and instrumentation counters) is process-global state, so a
+#: per-*instance* lock would not actually protect two instances of the
+#: same artifact from racing on it
+_call_locks: dict[str, threading.Lock] = {}
+_call_locks_lock = threading.Lock()
+
+
+def _artifact_lock(lib_path: str | Path) -> threading.Lock:
+    """The process-wide call lock for one published artifact."""
+    key = os.path.realpath(str(lib_path))
+    with _call_locks_lock:
+        lock = _call_locks.get(key)
+        if lock is None:
+            lock = _call_locks[key] = threading.Lock()
+        return lock
+
+
 class NativePipeline:
     """A compiled-to-native pipeline, callable like the interpreter.
 
@@ -308,18 +327,29 @@ class NativePipeline:
     leave :attr:`last_stats` as ``None``.
 
     **Output-buffer ABI**: output pointers must reference zero-filled
-    memory.  This wrapper always allocates them with ``np.zeros``;
-    specialized builds (``CompileOptions.specialize``) rely on it and
-    skip the defensive in-library ``memset``.
+    memory.  This wrapper allocates them with ``np.zeros`` (or acquires
+    zero-filled arrays from the caller's ``pool``); specialized builds
+    (``CompileOptions.specialize``) rely on it and skip the defensive
+    in-library ``memset``.
 
     **Scratch arenas**: specialized builds keep per-thread scratchpads
     in arenas owned by the shared library — sized at first call, grown
     monotonically, reused across calls.  :meth:`release` frees them
     (exported as ``<func>_release``); nothing calls it implicitly,
     because the ``.so`` (and hence the arena) is shared by every
-    ``NativePipeline`` loaded from the same cached artifact.  Calls are
-    serialized with an internal lock — concurrent ``ctypes`` invocations
-    of one library would race on its arena slots.
+    ``NativePipeline`` loaded from the same cached artifact.
+
+    **Concurrency**: builds whose library holds shared mutable state —
+    scratch arenas or instrumentation counters — serialize calls on a
+    *per-artifact* lock (shared across every instance loaded from the
+    same ``.so``, see :data:`_call_locks`): concurrent ``ctypes``
+    invocations of one such library would race on its arena slots and
+    counters.  This is contention by design; callers needing parallel
+    native throughput on one artifact should use OpenMP threads within
+    a call (``n_threads=N``) rather than concurrent calls.  Builds with
+    no shared state (``needs_call_lock`` False — uninstrumented,
+    arena-free) take no lock at all: distinct artifacts never serialize
+    against each other.
     """
 
     def __init__(self, plan: PipelinePlan, source: str, lib_path: Path,
@@ -336,7 +366,7 @@ class NativePipeline:
         self._outputs = list(plan.outputs)
         self.last_stats: NativeStats | None = None
         self._n_groups = len(plan.group_plans)
-        self._call_lock = threading.Lock()
+        self._call_lock = _artifact_lock(lib_path)
         # stats symbols exist only in instrumented builds — probe, don't
         # require
         try:
@@ -370,6 +400,17 @@ class NativePipeline:
         """Does this build own persistent per-thread scratch arenas?"""
         return self._release_fn is not None
 
+    @property
+    def needs_call_lock(self) -> bool:
+        """Does calling this library mutate shared in-library state?
+
+        True for instrumented builds (global counters) and arena-owning
+        builds (per-thread scratch slots); such calls serialize on the
+        per-artifact lock.  False means calls are re-entrant and taken
+        lock-free.
+        """
+        return self._stats_fn is not None or self._release_fn is not None
+
     def release(self) -> None:
         """Free the library's persistent per-thread scratch arenas.
 
@@ -391,7 +432,17 @@ class NativePipeline:
     def __call__(self, param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
                  *, n_threads: int = 1,
-                 tracer=None) -> dict[str, np.ndarray]:
+                 tracer=None,
+                 pool=None) -> dict[str, np.ndarray]:
+        """Run the native pipeline.
+
+        ``pool`` is an optional
+        :class:`repro.runtime.buffers.BufferPool`: output arrays are
+        acquired from it (zero-filled, per the output ABI) instead of
+        freshly allocated, and stay leased until the caller releases
+        them — the serving layer uses this for zero-allocation
+        steady-state frames.
+        """
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
         params = dict(param_values)
@@ -428,22 +479,36 @@ class NativePipeline:
                 raise ValueError(
                     f"output {stage.name!r} has an empty domain")
             shape = tuple(ivl.size for ivl in box)
-            out = np.zeros(shape, dtype=stage.dtype.np_dtype)
+            if pool is not None:
+                out = pool.acquire(shape, stage.dtype.np_dtype)
+            else:
+                out = np.zeros(shape, dtype=stage.dtype.np_dtype)
             out_arrays.append(out)
             args.append(out.ctypes.data_as(ctypes.c_void_p))
-        with self._call_lock:
-            if self._stats_reset is not None:
-                self._stats_reset()
-            self._func(*args)
-            if self._stats_fn is not None:
-                self.last_stats = self._read_stats()
-                if tracer is not None and tracer.enabled:
-                    for i, (s, t) in enumerate(
-                            zip(self.last_stats.group_seconds,
-                                self.last_stats.group_tiles)):
-                        tracer.gauge(f"native.group[{i}].seconds", s)
-                        if t:
-                            tracer.count(f"native.group[{i}].tiles", t)
+        try:
+            if not self.needs_call_lock:
+                # no shared in-library state: run lock-free, concurrently
+                self._func(*args)
+            else:
+                with self._call_lock:
+                    if self._stats_reset is not None:
+                        self._stats_reset()
+                    self._func(*args)
+                    if self._stats_fn is not None:
+                        self.last_stats = self._read_stats()
+                        if tracer is not None and tracer.enabled:
+                            for i, (s, t) in enumerate(
+                                    zip(self.last_stats.group_seconds,
+                                        self.last_stats.group_tiles)):
+                                tracer.gauge(f"native.group[{i}].seconds",
+                                             s)
+                                if t:
+                                    tracer.count(
+                                        f"native.group[{i}].tiles", t)
+        except BaseException:
+            if pool is not None:
+                pool.release(*out_arrays)
+            raise
         for original, stage in self.plan.output_map.items():
             idx = self._outputs.index(stage)
             outputs[original.name] = out_arrays[idx]
@@ -512,3 +577,69 @@ def build_native(plan: PipelinePlan, name: str = "pipeline",
                             cache_dir=cache_dir, extra_flags=extra_flags,
                             cache=cache)
     return load_native(plan, name, info)
+
+
+class AsyncBuild:
+    """Handle to a native build running on a background thread.
+
+    The serving layer (:mod:`repro.serve`) starts one of these and keeps
+    answering requests with the interpreter until :meth:`done`; callers
+    then pick up the :class:`NativePipeline` with :meth:`result` or the
+    failure with :meth:`exception`.  The thread is a daemon — an exiting
+    process never blocks on a half-finished ``gcc``.
+    """
+
+    def __init__(self, plan: PipelinePlan, name: str = "pipeline",
+                 **kwargs):
+        self.plan = plan
+        self.name = name
+        self._native: NativePipeline | None = None
+        self._exc: BaseException | None = None
+        self._finished = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, kwargs=kwargs, daemon=True,
+            name=f"repro-build-{name}")
+        self._thread.start()
+
+    def _run(self, **kwargs) -> None:
+        try:
+            # module-global lookup on purpose: tests monkeypatch
+            # ``build_native`` to inject compiler/load failures
+            self._native = build_native(self.plan, self.name, **kwargs)
+        except BaseException as exc:  # published via exception()
+            self._exc = exc
+        finally:
+            self._finished.set()
+
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the build finishes (or ``timeout``); True if done."""
+        return self._finished.wait(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._finished.wait(timeout):
+            raise TimeoutError(f"build of {self.name!r} still running")
+        return self._exc
+
+    def result(self, timeout: float | None = None) -> NativePipeline:
+        """The built pipeline; re-raises the build failure if there was
+        one, :class:`TimeoutError` if still compiling after ``timeout``."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError(f"build of {self.name!r} still running")
+        if self._exc is not None:
+            raise self._exc
+        assert self._native is not None
+        return self._native
+
+
+def build_native_async(plan: PipelinePlan, name: str = "pipeline",
+                       **kwargs) -> AsyncBuild:
+    """Start :func:`build_native` on a background thread.
+
+    Returns immediately with an :class:`AsyncBuild`; ``kwargs`` are
+    forwarded to :func:`build_native` (``vectorize``, ``instrument``,
+    ``cache_dir``, ...).
+    """
+    return AsyncBuild(plan, name, **kwargs)

@@ -15,12 +15,13 @@ Typical use::
 """
 
 from repro.observe.decisions import DecisionLog, MergeDecision
-from repro.observe.metrics import MetricsRegistry
+from repro.observe.metrics import LatencyWindow, MetricsRegistry
 from repro.observe.trace import (
     Span, Tracer, get_tracer, set_tracer, tracing, validate_chrome_trace,
 )
 
 __all__ = [
-    "DecisionLog", "MergeDecision", "MetricsRegistry", "Span", "Tracer",
-    "get_tracer", "set_tracer", "tracing", "validate_chrome_trace",
+    "DecisionLog", "LatencyWindow", "MergeDecision", "MetricsRegistry",
+    "Span", "Tracer", "get_tracer", "set_tracer", "tracing",
+    "validate_chrome_trace",
 ]

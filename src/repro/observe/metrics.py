@@ -1,14 +1,19 @@
-"""Thread-safe counters and gauges.
+"""Thread-safe counters, gauges, and latency windows.
 
 A :class:`MetricsRegistry` is a tiny, dependency-free metrics store:
 monotonically increasing *counters* (tile counts, bytes allocated) and
 last-value *gauges* (redundancy ratios, group counts).  All operations
 take one short lock; readers get snapshot copies, so a registry can be
 hammered from a tile thread pool while another thread renders it.
+
+A :class:`LatencyWindow` keeps a fixed-capacity ring of recent duration
+samples and answers percentile queries over it — the p50/p99 view the
+serving layer (:mod:`repro.serve`) and its benchmark report.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 
 
@@ -63,3 +68,77 @@ class MetricsRegistry:
             for name, v in snapshot["counters"].items():
                 self._counters[name] = self._counters.get(name, 0) + v
             self._gauges.update(snapshot["gauges"])
+
+
+class LatencyWindow:
+    """Fixed-capacity ring of duration samples with percentile queries.
+
+    ``record`` is O(1) and lock-cheap, so it can sit on a serving hot
+    path; ``percentile``/``snapshot`` sort a copy of the window (at most
+    ``capacity`` items) on the reader's thread.  Durations are recorded
+    in seconds and reported in milliseconds.
+    """
+
+    def __init__(self, capacity: int = 2048):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: list[float] = [0.0] * capacity
+        self._next = 0
+        self._count = 0  # total samples ever recorded
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+            self._count += 1
+
+    def _window(self) -> list[float]:
+        with self._lock:
+            n = min(self._count, self.capacity)
+            return self._ring[:n] if self._count <= self.capacity \
+                else list(self._ring)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) in milliseconds over the
+        window; 0.0 while empty.  Nearest-rank on the sorted window."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        window = self._window()
+        if not window:
+            return 0.0
+        window.sort()
+        rank = max(0, math.ceil(q / 100.0 * len(window)) - 1)
+        return window[rank] * 1000.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary: count, mean and p50/p90/p99 (ms)."""
+        window = self._window()
+        with self._lock:
+            count = self._count
+        if not window:
+            return {"count": count, "mean_ms": 0.0, "p50_ms": 0.0,
+                    "p90_ms": 0.0, "p99_ms": 0.0}
+        window.sort()
+
+        def rank(q: float) -> float:
+            return window[max(0, math.ceil(q / 100.0 * len(window)) - 1)]
+
+        return {
+            "count": count,
+            "mean_ms": sum(window) / len(window) * 1000.0,
+            "p50_ms": rank(50) * 1000.0,
+            "p90_ms": rank(90) * 1000.0,
+            "p99_ms": rank(99) * 1000.0,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._next = 0
+            self._count = 0

@@ -1,4 +1,4 @@
-"""Buffer views for the interpreter backend.
+"""Buffer views and buffer pools for the interpreter backend.
 
 A :class:`BufferView` couples an ndarray with the domain origin it
 represents, so stages can be stored in *full* buffers (origin = domain
@@ -7,10 +7,20 @@ and read through the same interface.  Reads clip indices to the stored
 extent: case conditions guarantee clipped values are never actually used,
 clipping just keeps speculative evaluation in-bounds (the generated C
 clamps loop bounds the same way).
+
+A :class:`BufferPool` recycles the full-size arrays a plan execution
+allocates (outputs, live-out intermediates, accumulators) across frames:
+the serving layer (:mod:`repro.serve`) executes every frame of one
+pipeline against one pool, so steady-state serving performs zero
+per-frame output allocation.  Recycled arrays are re-filled with the
+requested fill value — the execution semantics rely on buffers starting
+at zero outside case regions, and the native backend's output ABI
+requires zero-filled pointers.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -86,3 +96,103 @@ class BufferView:
 
     def read_region(self, box: Sequence[IntInterval]) -> np.ndarray:
         return self.array[self.region_slices(box)]
+
+
+class BufferPool:
+    """Reusable ndarray pool keyed by (shape, dtype), safe for threads.
+
+    ``acquire`` hands out an array *filled* with the requested value
+    (recycled arrays are re-filled; fresh ones come from ``np.zeros`` /
+    ``np.full``), so pooled buffers are indistinguishable from freshly
+    allocated ones.  ``release`` returns arrays for reuse; releasing an
+    array twice or releasing foreign arrays is the caller's bug — the
+    pool does not track outstanding leases by identity, only a count.
+
+    ``max_per_key`` bounds how many idle arrays are parked per
+    (shape, dtype) bucket; extras are dropped to the garbage collector
+    rather than hoarded.
+    """
+
+    def __init__(self, max_per_key: int | None = None):
+        self._free: dict[tuple[tuple[int, ...], str], list[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.max_per_key = max_per_key
+        self._hits = 0
+        self._misses = 0
+        self._outstanding = 0
+
+    @staticmethod
+    def _key(shape: tuple[int, ...],
+             dtype: np.dtype) -> tuple[tuple[int, ...], str]:
+        return tuple(shape), np.dtype(dtype).str
+
+    # -- leases ------------------------------------------------------------
+    def acquire(self, shape: Sequence[int], dtype: np.dtype,
+                fill: float | int = 0) -> np.ndarray:
+        """A filled array of the given shape/dtype, recycled if possible."""
+        shape = tuple(int(n) for n in shape)
+        key = self._key(shape, dtype)
+        with self._lock:
+            bucket = self._free.get(key)
+            array = bucket.pop() if bucket else None
+            if array is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            self._outstanding += 1
+        if array is None:
+            if fill == 0:
+                return np.zeros(shape, dtype=dtype)
+            return np.full(shape, fill, dtype=dtype)
+        array.fill(fill)
+        return array
+
+    def acquire_view(self, box: Sequence[IntInterval], dtype: np.dtype,
+                     fill: float | int = 0) -> BufferView:
+        """Pooled counterpart of :meth:`BufferView.allocate`."""
+        shape = tuple(ivl.size for ivl in box)
+        return BufferView(self.acquire(shape, dtype, fill),
+                          tuple(ivl.lo for ivl in box))
+
+    def release(self, *arrays: np.ndarray) -> None:
+        """Return arrays to the pool for reuse by later ``acquire`` calls.
+
+        The caller must not touch an array after releasing it: the next
+        frame may already be writing into it.
+        """
+        with self._lock:
+            for array in arrays:
+                self._outstanding -= 1
+                key = self._key(array.shape, array.dtype)
+                bucket = self._free.setdefault(key, [])
+                if (self.max_per_key is None
+                        or len(bucket) < self.max_per_key):
+                    bucket.append(array)
+
+    # -- inspection / maintenance -----------------------------------------
+    def stats(self) -> dict:
+        """Snapshot: hits, misses, hit_rate, outstanding and idle counts."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+                "outstanding": self._outstanding,
+                "idle": sum(len(b) for b in self._free.values()),
+            }
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = self._misses = 0
+
+    def idle_bytes(self) -> int:
+        with self._lock:
+            return sum(a.nbytes for b in self._free.values() for a in b)
+
+    def drain(self) -> int:
+        """Drop every idle array; returns how many were freed."""
+        with self._lock:
+            n = sum(len(b) for b in self._free.values())
+            self._free.clear()
+        return n

@@ -108,13 +108,28 @@ def execute_plan(plan: PipelinePlan,
                  inputs: Mapping[Image, np.ndarray],
                  *, vectorize: bool = True,
                  n_threads: int = 1,
-                 tracer: Tracer | None = None) -> dict[str, np.ndarray]:
+                 tracer: Tracer | None = None,
+                 deadline=None,
+                 out_pool=None) -> dict[str, np.ndarray]:
     """Run a compiled pipeline; returns output arrays keyed by stage name.
 
     ``tracer`` (the process-global one when omitted) records per-group
     and per-tile spans plus tile counts, scratch bytes and the
     redundant-compute ratio of each tiled group; all of it is skipped
     while the tracer is disabled.
+
+    ``deadline`` is any object with a ``check(where)`` method (e.g.
+    :class:`repro.serve.Deadline`); it is invoked cooperatively at every
+    group boundary, between the stages of untiled groups, and at the
+    start of every tile, so an expired deadline aborts execution with
+    whatever ``check`` raises instead of running the frame to the end.
+
+    ``out_pool`` is a :class:`repro.runtime.buffers.BufferPool`: every
+    full-size buffer (outputs, live-out intermediates, accumulators) is
+    acquired from it rather than freshly allocated, and every non-output
+    buffer is released back before returning — output arrays stay leased
+    until the caller releases them.  On an exception *all* acquired
+    arrays are released.
     """
     tracer = tracer if tracer is not None else get_tracer()
     params = dict(param_values)
@@ -136,25 +151,48 @@ def execute_plan(plan: PipelinePlan,
                 f"expected {extents}")
         buffers[image] = BufferView(array, (0,) * array.ndim)
 
-    with tracer.span("execute_plan", cat="interp",
-                     n_groups=len(plan.group_plans),
-                     n_threads=n_threads):
-        for gi, group_plan in enumerate(plan.group_plans):
-            names = ", ".join(s.name for s in group_plan.ordered_stages)
-            if group_plan.is_tiled:
-                with tracer.span(f"group {gi} [tiled]", cat="interp",
-                                 stages=names):
-                    _run_tiled_group(plan, group_plan, params, buffers,
-                                     vectorize, n_threads, tracer, gi)
-            else:
-                with tracer.span(f"group {gi} [untiled]", cat="interp",
-                                 stages=names):
-                    _run_untiled_group(plan, group_plan, params, buffers,
-                                       vectorize)
+    if out_pool is None:
+        alloc = BufferView.allocate
+    else:
+        acquired: list[np.ndarray] = []
+
+        def alloc(box, dtype, fill=0):
+            view = out_pool.acquire_view(box, dtype, fill)
+            acquired.append(view.array)
+            return view
+
+    try:
+        with tracer.span("execute_plan", cat="interp",
+                         n_groups=len(plan.group_plans),
+                         n_threads=n_threads):
+            for gi, group_plan in enumerate(plan.group_plans):
+                if deadline is not None:
+                    deadline.check(f"group {gi}")
+                names = ", ".join(s.name
+                                  for s in group_plan.ordered_stages)
+                if group_plan.is_tiled:
+                    with tracer.span(f"group {gi} [tiled]", cat="interp",
+                                     stages=names):
+                        _run_tiled_group(plan, group_plan, params, buffers,
+                                         vectorize, n_threads, tracer, gi,
+                                         alloc=alloc, deadline=deadline)
+                else:
+                    with tracer.span(f"group {gi} [untiled]", cat="interp",
+                                     stages=names):
+                        _run_untiled_group(plan, group_plan, params,
+                                           buffers, vectorize, alloc=alloc,
+                                           deadline=deadline)
+    except BaseException:
+        if out_pool is not None:
+            out_pool.release(*acquired)
+        raise
 
     outputs: dict[str, np.ndarray] = {}
     for original, stage in plan.output_map.items():
         outputs[original.name] = buffers[stage].array
+    if out_pool is not None:
+        kept = {id(array) for array in outputs.values()}
+        out_pool.release(*(a for a in acquired if id(a) not in kept))
     return outputs
 
 
@@ -162,19 +200,24 @@ def execute_plan(plan: PipelinePlan,
 # Untiled execution
 # ---------------------------------------------------------------------------
 
-def _allocate_full(stage_ir: StageIR, params) -> BufferView:
+def _allocate_full(stage_ir: StageIR, params, alloc=None) -> BufferView:
     box = stage_ir.domain.concretize(params)
     if box is None:
         raise ExecutionError(
             f"stage {stage_ir.name!r} has an empty domain under the given "
             "parameters")
-    return BufferView.allocate(box, stage_ir.stage.dtype.np_dtype)
+    alloc = alloc if alloc is not None else BufferView.allocate
+    return alloc(box, stage_ir.stage.dtype.np_dtype)
 
 
 def _run_untiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
-                       buffers, vectorize: bool) -> None:
+                       buffers, vectorize: bool, alloc=None,
+                       deadline=None) -> None:
+    alloc = alloc if alloc is not None else BufferView.allocate
     evaluator = Evaluator(params, buffers, vectorize)
     for stage in group_plan.ordered_stages:
+        if deadline is not None:
+            deadline.check(f"stage {stage.name}")
         stage_ir = plan.ir[stage]
         if stage_ir.is_accumulator:
             box = stage_ir.domain.concretize(params)
@@ -183,15 +226,15 @@ def _run_untiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
                     f"accumulator {stage_ir.name!r} has an empty domain")
             init = Evaluator.reduction_init(stage_ir.accumulate.op,
                                             stage_ir.stage.dtype.np_dtype)
-            view = BufferView.allocate(box, stage_ir.stage.dtype.np_dtype,
-                                       fill=init)
+            view = alloc(box, stage_ir.stage.dtype.np_dtype, init)
             buffers[stage] = view
             evaluator.accumulate(stage_ir, view)
         elif stage_ir.is_self_referential:
             buffers[stage] = _run_self_referential(stage_ir, params,
-                                                   buffers, vectorize)
+                                                   buffers, vectorize,
+                                                   alloc)
         else:
-            view = _allocate_full(stage_ir, params)
+            view = _allocate_full(stage_ir, params, alloc)
             buffers[stage] = view
             box = stage_ir.domain.concretize(params)
             view.write_region(box, evaluator.stage_values(stage_ir, box))
@@ -240,13 +283,14 @@ def _check_self_access_order(stage_ir: StageIR, loop_dims: list[int]) -> None:
 
 
 def _run_self_referential(stage_ir: StageIR, params, buffers,
-                          vectorize: bool) -> BufferView:
+                          vectorize: bool, alloc=None) -> BufferView:
     box = stage_ir.domain.concretize(params)
     if box is None:
         raise ExecutionError(
             f"stage {stage_ir.name!r} has an empty domain under the given "
             "parameters")
-    view = BufferView.allocate(box, stage_ir.stage.dtype.np_dtype)
+    alloc = alloc if alloc is not None else BufferView.allocate
+    view = alloc(box, stage_ir.stage.dtype.np_dtype)
     local = dict(buffers)
     local[stage_ir.stage] = view
     evaluator = Evaluator(params, local, vectorize)
@@ -277,14 +321,15 @@ def _run_self_referential(stage_ir: StageIR, params, buffers,
 
 def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
                      buffers, vectorize: bool, n_threads: int,
-                     tracer: Tracer | None = None, gi: int = 0) -> None:
+                     tracer: Tracer | None = None, gi: int = 0,
+                     alloc=None, deadline=None) -> None:
     ir = plan.ir
     tracer = tracer if tracer is not None else get_tracer()
     transforms = group_plan.transforms
     assert transforms is not None
     liveouts = group_plan.liveouts
     for stage in liveouts:
-        buffers[stage] = _allocate_full(ir[stage], params)
+        buffers[stage] = _allocate_full(ir[stage], params, alloc)
 
     stage_irs = {s: ir[s] for s in group_plan.ordered_stages}
     domain_boxes = {s: stage_irs[s].domain.concretize(params)
@@ -316,6 +361,9 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
         tracer.count(f"{key}.scratch_bytes", scratch_bytes)
 
     def run_tile(tile_box) -> None:
+        if deadline is not None:
+            deadline.check("tile " + "x".join(
+                f"{ivl.lo}..{ivl.hi}" for ivl in tile_box))
         regions = compute_tile_regions(
             ir, transforms, group_plan.ordered_stages, liveouts,
             tile_box, params)

@@ -78,8 +78,15 @@ def _forward_reaches(plan: PipelinePlan, gp: GroupPlan
 
 def execute_split_group(plan: PipelinePlan, gp: GroupPlan,
                         params: Mapping[Parameter, int],
-                        buffers: dict, vectorize: bool = True) -> None:
-    """Run one tiled group with two-phase split tiling."""
+                        buffers: dict, vectorize: bool = True,
+                        deadline=None) -> None:
+    """Run one tiled group with two-phase split tiling.
+
+    ``deadline`` (any object with ``check(where)``, e.g.
+    :class:`repro.serve.Deadline`) is consulted at every trapezoid and
+    wedge boundary, mirroring the overlapped executor's per-tile
+    checkpoints.
+    """
     ir = plan.ir
     reaches = _forward_reaches(plan, gp)
     tau = gp.tile_sizes[0]
@@ -105,6 +112,8 @@ def execute_split_group(plan: PipelinePlan, gp: GroupPlan,
 
     # phase 1: upward trapezoids, independent per tile
     for t in range(first, last + 1):
+        if deadline is not None:
+            deadline.check(f"split trapezoid {t}")
         t_lo, t_hi = t * tau, (t + 1) * tau - 1
         for stage in gp.ordered_stages:
             a, b = reaches[stage]
@@ -118,6 +127,8 @@ def execute_split_group(plan: PipelinePlan, gp: GroupPlan,
 
     # phase 2: downward wedges at every boundary, independent per boundary
     for e in range(first - 1, last + 1):
+        if deadline is not None:
+            deadline.check(f"split wedge {e}")
         edge = (e + 1) * tau - 1
         for stage in gp.ordered_stages:
             a, b = reaches[stage]
@@ -135,7 +146,8 @@ def execute_split_group(plan: PipelinePlan, gp: GroupPlan,
 def execute_plan_split(plan: PipelinePlan,
                        param_values: Mapping[Parameter, int],
                        inputs: Mapping[Image, np.ndarray],
-                       *, vectorize: bool = True) -> dict[str, np.ndarray]:
+                       *, vectorize: bool = True,
+                       deadline=None) -> dict[str, np.ndarray]:
     """Execute a plan using split tiling for its tiled groups.
 
     A drop-in alternative to :func:`repro.runtime.executor.execute_plan`
@@ -158,10 +170,14 @@ def execute_plan_split(plan: PipelinePlan,
         buffers[image] = BufferView(array, (0,) * array.ndim)
 
     for gp in plan.group_plans:
+        if deadline is not None:
+            deadline.check("split group")
         if gp.is_tiled:
-            execute_split_group(plan, gp, params, buffers, vectorize)
+            execute_split_group(plan, gp, params, buffers, vectorize,
+                                deadline=deadline)
         else:
-            _run_untiled_group(plan, gp, params, buffers, vectorize)
+            _run_untiled_group(plan, gp, params, buffers, vectorize,
+                               deadline=deadline)
 
     return {original.name: buffers[stage].array
             for original, stage in plan.output_map.items()}

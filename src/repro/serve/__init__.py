@@ -1,0 +1,36 @@
+"""Streaming serving runtime: bounded batching, deadlines, fallback.
+
+Turn a compiled pipeline into a long-lived service::
+
+    from repro import compile_pipeline
+    from repro.serve import PipelineService
+
+    compiled = compile_pipeline([harris], estimates={R: 512, C: 512})
+    with PipelineService(compiled, workers=2, max_queue=64,
+                         default_deadline_s=0.5) as service:
+        future = service.submit({R: 512, C: 512}, {I: frame_array})
+        with future.result() as frame:      # releases buffers on exit
+            consume(frame.outputs["harris"])
+        print(service.stats().render())
+
+The service starts answering immediately with the interpreter backend
+while ``gcc`` compiles the native artifact in the background, switches
+to native when it is ready, and falls back to the interpreter — counting
+every degradation — if the build fails, the artifact cannot be loaded,
+or native calls keep erroring.  ``submit`` on a full queue raises
+:class:`Overloaded`; frames that miss their deadline fail with
+:class:`DeadlineExceeded`.  See ``docs/internals.md`` §16.
+
+Demo: ``python -m repro.serve --app harris``.
+"""
+
+from repro.serve.deadlines import Deadline, DeadlineExceeded
+from repro.serve.fallback import FallbackPolicy
+from repro.serve.queue import BoundedQueue, Overloaded, ServiceClosed
+from repro.serve.service import Frame, PipelineService, ServiceStats
+
+__all__ = [
+    "BoundedQueue", "Deadline", "DeadlineExceeded", "FallbackPolicy",
+    "Frame", "Overloaded", "PipelineService", "ServiceClosed",
+    "ServiceStats",
+]

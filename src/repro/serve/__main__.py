@@ -1,0 +1,96 @@
+"""Serving demo: stream frames through a PipelineService from the CLI.
+
+Usage::
+
+    python -m repro.serve [--app harris] [--scale small] [--frames 32]
+        [--clients 2] [--workers 2] [--deadline-ms 0] [--backend auto]
+        [--threads 1]
+
+Compiles the chosen benchmark app, starts a service (background native
+build when a C compiler is present), pushes ``--frames`` frames from
+``--clients`` concurrent client threads, and prints the service's stats
+report — backend transitions, rejection/timeout counts, latency
+percentiles and buffer-pool hit rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro import compile_pipeline
+from repro.bench.harness import APP_BUILDERS, DEFAULT_TILES, make_instance
+from repro.compiler.options import CompileOptions
+from repro.serve import Overloaded, PipelineService
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__.split("\n")[0])
+    parser.add_argument("--app", default="harris",
+                        choices=sorted(APP_BUILDERS))
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--frames", type=int, default=32,
+                        help="total frames to submit (default 32)")
+    parser.add_argument("--clients", type=int, default=2,
+                        help="concurrent client threads (default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker threads (default 2)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="execution threads per frame (default 1)")
+    parser.add_argument("--deadline-ms", type=float, default=0.0,
+                        help="per-frame deadline; 0 disables (default)")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "interpreter", "native"))
+    parser.add_argument("--max-queue", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    instance = make_instance(args.app, args.scale)
+    options = CompileOptions.optimized(DEFAULT_TILES[args.app])
+    compiled = compile_pipeline(instance.app.outputs, instance.values,
+                                options, name=args.app)
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+    print(f"serving {args.app} at {args.scale} scale "
+          f"({args.clients} clients x {args.frames} frames, "
+          f"backend={args.backend})")
+
+    per_client = max(1, args.frames // args.clients)
+    errors: list[str] = []
+
+    with PipelineService(compiled, workers=args.workers,
+                         max_queue=args.max_queue, backend=args.backend,
+                         default_deadline_s=deadline_s,
+                         n_threads=args.threads) as service:
+
+        def client(k: int) -> None:
+            for i in range(per_client):
+                try:
+                    future = service.submit(instance.values,
+                                            instance.inputs)
+                except Overloaded:
+                    continue  # counted by the service as a rejection
+                try:
+                    with future.result() as frame:
+                        _ = frame.outputs  # consume, then recycle
+                except Exception as exc:  # timeouts land here too
+                    errors.append(f"client {k} frame {i}: "
+                                  f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=client, args=(k,))
+                   for k in range(args.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        print(service.stats().render())
+
+    if errors:
+        shown = "\n  ".join(errors[:5])
+        print(f"{len(errors)} frame error(s):\n  {shown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

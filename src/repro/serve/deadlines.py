@@ -1,0 +1,71 @@
+"""Per-request deadlines, enforced cooperatively.
+
+A :class:`Deadline` is a wall-clock budget attached to one frame.  The
+interpreter backend consults it at every group boundary, between the
+stages of untiled groups, and at the start of every tile
+(:func:`repro.runtime.executor.execute_plan` duck-types on ``check``);
+the native backend cannot be interrupted mid-call, so the service checks
+the clock immediately before and after each native invocation — a frame
+that finishes past its deadline is *dropped* (late results are failures
+in a deadline-driven serving contract), its buffers recycled.
+
+``check`` raises :class:`DeadlineExceeded` carrying where execution was
+abandoned and by how much the budget was overrun, so timeout diagnostics
+point at the slow group/tile rather than just "timed out".
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class DeadlineExceeded(RuntimeError):
+    """A frame ran past its deadline and was abandoned.
+
+    ``where`` names the checkpoint that observed the overrun (a group,
+    stage, tile, or native-call boundary); ``overrun_s`` is how far past
+    the deadline the clock already was.
+    """
+
+    def __init__(self, where: str = "", overrun_s: float = 0.0):
+        self.where = where
+        self.overrun_s = overrun_s
+        detail = f" at {where}" if where else ""
+        super().__init__(
+            f"deadline exceeded{detail} "
+            f"(overrun {overrun_s * 1000.0:.1f} ms)")
+
+
+class Deadline:
+    """An absolute point on the monotonic clock a frame must beat."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (monotonic clock)."""
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left until expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        This is the cooperative checkpoint the executors call at tile
+        and group boundaries; it costs one clock read when the deadline
+        still holds.
+        """
+        overrun = time.monotonic() - self.expires_at
+        if overrun >= 0.0:
+            raise DeadlineExceeded(where, overrun)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining() * 1000.0:.1f}ms)"

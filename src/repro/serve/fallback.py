@@ -1,0 +1,132 @@
+"""Native→interpreter fallback policy: the service's backend state machine.
+
+State transitions::
+
+    BUILDING ──build ok──────────▶ NATIVE
+        │                            │
+        └─build failed / load        ├─transient native error ─▶ frame
+          failed ─▶ INTERPRETER      │   re-served by the interpreter
+                                     └─``max_native_errors`` consecutive
+                                       errors ─▶ INTERPRETER (demoted)
+
+The policy never promotes back from INTERPRETER: a backend that failed
+to build or repeatedly failed at runtime stays demoted for the service's
+lifetime — predictable degradation beats flapping.  Every transition and
+every fallback-served frame is counted, so ``service.stats()`` can
+report *why* frames ran where they did.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: backend states
+BUILDING = "building"
+NATIVE = "native"
+INTERPRETER = "interpreter"
+
+
+class FallbackPolicy:
+    """Tracks which backend frames should use and why, thread-safely.
+
+    One instance per service.  Workers call :meth:`backend_for_frame`
+    per frame; build/runtime outcomes feed back through the ``note_*``
+    methods.
+    """
+
+    def __init__(self, max_native_errors: int = 3,
+                 native_enabled: bool = True):
+        if max_native_errors < 1:
+            raise ValueError(
+                f"max_native_errors must be >= 1, got {max_native_errors}")
+        self.max_native_errors = max_native_errors
+        self._lock = threading.Lock()
+        self._state = BUILDING if native_enabled else INTERPRETER
+        self._native = None
+        self._consecutive_errors = 0
+        #: reason -> count of fallback events ("build_failed",
+        #: "load_failed", "native_error", "demoted")
+        self._fallbacks: dict[str, int] = {}
+        self._last_error: BaseException | None = None
+
+    # -- state ingestion ---------------------------------------------------
+    def note_build_ready(self, native) -> None:
+        """The background build produced a loadable native pipeline."""
+        with self._lock:
+            if self._state == BUILDING:
+                self._native = native
+                self._state = NATIVE
+
+    def note_build_failed(self, exc: BaseException) -> None:
+        """The build (or the subsequent load) failed; go interpreter-only.
+
+        :class:`~repro.codegen.build.BuildError` counts as
+        ``build_failed``; anything else (e.g. ``OSError`` from a corrupt
+        artifact at ``dlopen`` time) as ``load_failed``.
+        """
+        from repro.codegen.build import BuildError
+        reason = "build_failed" if isinstance(exc, BuildError) \
+            else "load_failed"
+        with self._lock:
+            self._state = INTERPRETER
+            self._native = None
+            self._last_error = exc
+            self._fallbacks[reason] = self._fallbacks.get(reason, 0) + 1
+
+    def note_native_error(self, exc: BaseException) -> bool:
+        """A native call raised (without crashing the process).
+
+        The frame is re-served by the interpreter; after
+        ``max_native_errors`` *consecutive* failures the backend is
+        demoted for good.  Returns True when this error demoted it.
+        """
+        with self._lock:
+            self._last_error = exc
+            self._fallbacks["native_error"] = \
+                self._fallbacks.get("native_error", 0) + 1
+            self._consecutive_errors += 1
+            if (self._state == NATIVE
+                    and self._consecutive_errors >= self.max_native_errors):
+                self._state = INTERPRETER
+                self._native = None
+                self._fallbacks["demoted"] = \
+                    self._fallbacks.get("demoted", 0) + 1
+                return True
+            return False
+
+    def note_native_ok(self) -> None:
+        """A native call succeeded; reset the consecutive-error streak."""
+        with self._lock:
+            self._consecutive_errors = 0
+
+    # -- queries -----------------------------------------------------------
+    def backend_for_frame(self):
+        """(backend name, native-or-None) for the next frame.
+
+        BUILDING serves the interpreter while the build is in flight —
+        callers get correct (slower) results immediately instead of
+        waiting on ``gcc``.
+        """
+        with self._lock:
+            if self._state == NATIVE:
+                return NATIVE, self._native
+            return INTERPRETER, None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def native(self):
+        with self._lock:
+            return self._native
+
+    @property
+    def last_error(self) -> BaseException | None:
+        with self._lock:
+            return self._last_error
+
+    def fallbacks(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._fallbacks)

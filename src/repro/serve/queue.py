@@ -1,0 +1,108 @@
+"""Bounded submission queue with explicit backpressure.
+
+The service's ingress: a fixed-capacity FIFO whose ``put`` *never
+blocks and never grows the backlog unboundedly* — a full queue rejects
+the submission with :class:`Overloaded` immediately, pushing backpressure
+to the caller instead of hiding it in latency.  Consumers block in
+``get``; :meth:`close` wakes them all, lets them drain what was already
+accepted (or hands the backlog back for cancellation with
+``drain=False``), and makes further ``put`` calls raise
+:class:`ServiceClosed`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, TypeVar
+
+T = TypeVar("T")
+
+
+class Overloaded(RuntimeError):
+    """The submission queue is full; the request was rejected.
+
+    Explicit load shedding: the caller should back off, retry later, or
+    route the frame elsewhere.  Nothing was enqueued.
+    """
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shut down (or shutting down); no new submissions."""
+
+
+class QueueClosed(Exception):
+    """Internal: raised to consumers when the queue is closed and drained."""
+
+
+class BoundedQueue:
+    """Fixed-capacity FIFO: non-blocking rejecting ``put``, blocking ``get``.
+
+    Thread-safe for any number of producers and consumers.  ``maxsize``
+    must be positive — an unbounded service queue is exactly the failure
+    mode this class exists to prevent.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, item: T) -> None:
+        """Enqueue or reject; never blocks.
+
+        Raises :class:`Overloaded` when full, :class:`ServiceClosed`
+        after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("queue is closed")
+            if len(self._items) >= self.maxsize:
+                raise Overloaded(
+                    f"queue full ({self.maxsize} pending)")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Dequeue the oldest item, blocking while empty.
+
+        Raises :class:`QueueClosed` once the queue is closed *and*
+        drained, and :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError("queue.get timed out")
+            return self._items.popleft()
+
+    def close(self, drain: bool = True) -> list:
+        """Stop accepting submissions and wake all blocked consumers.
+
+        ``drain=True`` (the default) leaves accepted items in place for
+        consumers to finish; ``drain=False`` empties the queue and
+        returns the abandoned items so the caller can fail their futures.
+        Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            abandoned: list = []
+            if not drain:
+                abandoned = list(self._items)
+                self._items.clear()
+            self._not_empty.notify_all()
+            return abandoned
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

@@ -1,0 +1,509 @@
+"""The streaming pipeline service: compile once, serve frames forever.
+
+A :class:`PipelineService` turns a :class:`~repro.api.CompiledPipeline`
+into a long-lived, thread-based execution service:
+
+* **Amortized compilation** — the native build runs on a background
+  thread (warm :class:`~repro.codegen.build.CompileCache` integration);
+  frames are served by the interpreter from the first ``submit`` and
+  switch to the native artifact the moment it is ready.
+* **Bounded ingress** — ``submit`` enqueues into a fixed-capacity queue
+  and returns a future; a full queue rejects with
+  :class:`~repro.serve.queue.Overloaded` instead of growing a hidden
+  backlog.
+* **Deadlines** — per-request budgets are enforced cooperatively at
+  group/tile boundaries in the interpreter and by wall-clock checks
+  around native calls; late frames fail with
+  :class:`~repro.serve.deadlines.DeadlineExceeded` and their buffers are
+  recycled.
+* **Graceful degradation** — build/load failures and runtime native
+  errors route frames to the interpreter via
+  :class:`~repro.serve.fallback.FallbackPolicy`; every degradation is
+  counted and (when tracing is on) recorded as ``repro.observe``
+  counters/spans, surfaced by :meth:`PipelineService.stats`.
+* **Zero per-frame output allocation** — outputs and full intermediates
+  come from a per-service :class:`~repro.runtime.buffers.BufferPool`;
+  steady-state serving recycles every buffer (callers hand arrays back
+  with :meth:`Frame.release`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen import build as _build
+from repro.observe.metrics import LatencyWindow
+from repro.observe.trace import Tracer, get_tracer
+from repro.runtime.buffers import BufferPool
+from repro.runtime.executor import execute_plan
+from repro.serve.deadlines import Deadline, DeadlineExceeded
+from repro.serve.fallback import (
+    BUILDING, INTERPRETER, NATIVE, FallbackPolicy,
+)
+from repro.serve.queue import (
+    BoundedQueue, Overloaded, QueueClosed, ServiceClosed,
+)
+
+
+@dataclass
+class Frame:
+    """One served frame: the outputs plus how and how fast they came.
+
+    ``outputs`` maps output stage names to arrays leased from the
+    service's buffer pool — call :meth:`release` (or use the frame as a
+    context manager) once the data has been consumed so steady-state
+    serving stays allocation-free.  An unreleased frame is safe, merely
+    a pool miss for some later frame.
+    """
+
+    outputs: dict[str, np.ndarray]
+    backend: str
+    latency_s: float
+    _pool: BufferPool | None = field(default=None, repr=False)
+    _released: bool = field(default=False, repr=False)
+
+    def release(self) -> None:
+        """Return the output buffers to the service's pool (idempotent).
+
+        The arrays must not be touched afterwards — the next frame may
+        already be writing into them.
+        """
+        if self._released or self._pool is None:
+            return
+        self._released = True
+        arrays = {id(a): a for a in self.outputs.values()}
+        self._pool.release(*arrays.values())
+
+    def __enter__(self) -> "Frame":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of a service's counters, rates and latency distribution."""
+
+    name: str
+    backend: str
+    submitted: int
+    completed: int
+    rejected: int
+    timeouts: int
+    failures: int
+    cancelled: int
+    native_frames: int
+    interp_frames: int
+    fallbacks: dict[str, int]
+    queue_depth: int
+    inflight: int
+    pool: dict
+    latency: dict
+
+    @property
+    def accepted(self) -> int:
+        return self.submitted - self.rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        return self.timeouts / self.accepted if self.accepted else 0.0
+
+    @property
+    def native_rate(self) -> float:
+        return self.native_frames / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "backend": self.backend,
+            "submitted": self.submitted, "completed": self.completed,
+            "rejected": self.rejected, "timeouts": self.timeouts,
+            "failures": self.failures, "cancelled": self.cancelled,
+            "native_frames": self.native_frames,
+            "interp_frames": self.interp_frames,
+            "fallbacks": dict(self.fallbacks),
+            "queue_depth": self.queue_depth, "inflight": self.inflight,
+            "rejection_rate": self.rejection_rate,
+            "timeout_rate": self.timeout_rate,
+            "native_rate": self.native_rate,
+            "pool": dict(self.pool), "latency": dict(self.latency),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (``explain()``-style)."""
+        fb = ", ".join(f"{k}={v}" for k, v in sorted(self.fallbacks.items())) \
+            or "none"
+        lat = self.latency
+        pool = self.pool
+        return "\n".join([
+            f"service {self.name}: backend={self.backend}",
+            f"  frames: {self.submitted} submitted, "
+            f"{self.completed} completed "
+            f"({self.native_frames} native / {self.interp_frames} interp), "
+            f"{self.inflight} in flight, {self.queue_depth} queued",
+            f"  degradations: {self.rejected} rejected "
+            f"({self.rejection_rate * 100.0:.1f}%), "
+            f"{self.timeouts} deadline-exceeded, {self.failures} failed, "
+            f"{self.cancelled} cancelled; fallbacks: {fb}",
+            f"  latency: p50 {lat.get('p50_ms', 0.0):.2f} ms, "
+            f"p90 {lat.get('p90_ms', 0.0):.2f} ms, "
+            f"p99 {lat.get('p99_ms', 0.0):.2f} ms "
+            f"(n={lat.get('count', 0)})",
+            f"  pool: {pool.get('hits', 0)} hits / "
+            f"{pool.get('misses', 0)} misses "
+            f"({pool.get('hit_rate', 0.0) * 100.0:.1f}%), "
+            f"{pool.get('outstanding', 0)} leased, "
+            f"{pool.get('idle', 0)} idle",
+        ])
+
+
+class _Request:
+    """One queued frame submission."""
+
+    __slots__ = ("params", "inputs", "deadline", "future", "submitted_at")
+
+    def __init__(self, params, inputs, deadline, future):
+        self.params = params
+        self.inputs = inputs
+        self.deadline = deadline
+        self.future = future
+        self.submitted_at = time.monotonic()
+
+
+class PipelineService:
+    """A thread-based streaming execution service for one pipeline.
+
+    Parameters
+    ----------
+    compiled:
+        The :class:`~repro.api.CompiledPipeline` to serve (anything with
+        ``.plan`` and ``.name`` works).
+    workers:
+        Consumer threads draining the submission queue.  Note native
+        artifacts with scratch arenas serialize concurrent calls on a
+        per-artifact lock (see
+        :attr:`repro.codegen.build.NativePipeline.needs_call_lock`), so
+        extra workers mainly overlap interpreter frames and queue
+        management; use ``n_threads`` for intra-frame parallelism.
+    max_queue:
+        Submission queue capacity; a full queue rejects with
+        :class:`Overloaded`.
+    backend:
+        ``"auto"`` (background native build, interpreter until ready),
+        ``"interpreter"`` (never build), or ``"native"`` (like auto —
+        still degrades gracefully if the build fails).
+    default_deadline_s:
+        Deadline applied to submissions that do not carry their own.
+    pool:
+        ``True`` (default) pools output/intermediate buffers per
+        service; ``False`` allocates per frame.
+    build_kwargs:
+        Forwarded to :func:`repro.codegen.build.build_native`
+        (``vectorize``, ``instrument``, ``cache_dir``, ...).
+    """
+
+    def __init__(self, compiled, *,
+                 workers: int = 2,
+                 max_queue: int = 64,
+                 backend: str = "auto",
+                 default_deadline_s: float | None = None,
+                 n_threads: int = 1,
+                 vectorize: bool = True,
+                 pool: bool = True,
+                 max_native_errors: int = 3,
+                 build_kwargs: Mapping | None = None,
+                 name: str | None = None,
+                 tracer: Tracer | None = None):
+        if backend not in ("auto", "interpreter", "native"):
+            raise ValueError(
+                f"backend must be 'auto', 'interpreter' or 'native', "
+                f"got {backend!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.plan = compiled.plan
+        self.name = name or getattr(compiled, "name", "pipeline")
+        self.backend_mode = backend
+        self.default_deadline_s = default_deadline_s
+        self._n_threads = n_threads
+        self._vectorize = vectorize
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._pool = BufferPool() if pool else None
+        self._queue = BoundedQueue(max_queue)
+        self._gate = threading.Event()  # cleared = paused
+        self._gate.set()
+        self._latency = LatencyWindow()
+        self._policy = FallbackPolicy(
+            max_native_errors=max_native_errors,
+            native_enabled=backend != "interpreter")
+
+        self._counts_lock = threading.Lock()
+        self._counts = {
+            "submitted": 0, "completed": 0, "rejected": 0,
+            "timeouts": 0, "failures": 0, "cancelled": 0,
+            "native_frames": 0, "interp_frames": 0, "inflight": 0,
+        }
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        self._build_handle: _build.AsyncBuild | None = None
+        if backend != "interpreter":
+            # module attribute lookup on purpose — fault-injection tests
+            # monkeypatch ``repro.codegen.build.build_native``
+            self._build_handle = _build.build_native_async(
+                self.plan, self.name, **dict(build_kwargs or {}))
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"repro-serve-{self.name}-{i}")
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- bookkeeping -------------------------------------------------------
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._counts_lock:
+            self._counts[key] = self._counts.get(key, 0) + n
+        self._tracer.count(f"serve.{self.name}.{key}", n)
+
+    def _poll_build(self) -> None:
+        """Fold a finished background build into the fallback policy."""
+        handle = self._build_handle
+        if handle is None or not handle.done():
+            return
+        if self._policy.state != BUILDING:
+            return
+        exc = handle.exception()
+        if exc is not None:
+            self._policy.note_build_failed(exc)
+            self._count("fallbacks")  # mirrored detail in policy.fallbacks
+        else:
+            self._policy.note_build_ready(handle.result())
+
+    # -- submission --------------------------------------------------------
+    def submit(self, param_values, inputs, *,
+               deadline_s: float | None = None,
+               deadline: Deadline | None = None) -> Future:
+        """Enqueue one frame; returns a future resolving to a
+        :class:`Frame`.
+
+        Raises :class:`Overloaded` when the queue is full (the frame was
+        *not* accepted) and :class:`ServiceClosed` after :meth:`close`.
+        The future fails with :class:`DeadlineExceeded` on timeout or
+        with the execution error on failure.
+        """
+        if deadline is None:
+            seconds = deadline_s if deadline_s is not None \
+                else self.default_deadline_s
+            if seconds is not None:
+                deadline = Deadline.after(seconds)
+        future: Future = Future()
+        request = _Request(dict(param_values), dict(inputs), deadline,
+                           future)
+        self._count("submitted")
+        try:
+            self._queue.put(request)
+        except Overloaded:
+            self._count("rejected")
+            raise
+        except ServiceClosed:
+            self._count("rejected")
+            raise
+        return future
+
+    def run(self, param_values, inputs, *,
+            deadline_s: float | None = None,
+            timeout: float | None = None) -> Frame:
+        """Blocking convenience: ``submit`` + ``result``."""
+        return self.submit(param_values, inputs,
+                           deadline_s=deadline_s).result(timeout)
+
+    # -- worker loop -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            self._gate.wait()
+            try:
+                request = self._queue.get()
+            except QueueClosed:
+                return
+            self._gate.wait()
+            self._count("inflight")
+            try:
+                self._handle(request)
+            finally:
+                self._count("inflight", -1)
+
+    def _handle(self, request: _Request) -> None:
+        future = request.future
+        if not future.set_running_or_notify_cancel():
+            self._count("cancelled")
+            return
+        deadline = request.deadline
+        with self._tracer.span(f"serve.{self.name}.frame", cat="serve"):
+            self._poll_build()
+            backend, native = self._policy.backend_for_frame()
+            try:
+                if deadline is not None:
+                    deadline.check("queue wait")
+                if backend == NATIVE:
+                    try:
+                        outputs = self._run_native(native, request)
+                        self._policy.note_native_ok()
+                    except DeadlineExceeded:
+                        raise
+                    except Exception as exc:
+                        # crash-free native failure: re-serve the frame
+                        # with the interpreter
+                        self._policy.note_native_error(exc)
+                        self._count("fallbacks")
+                        backend = INTERPRETER
+                        outputs = self._run_interp(request)
+                else:
+                    outputs = self._run_interp(request)
+            except DeadlineExceeded as exc:
+                self._count("timeouts")
+                future.set_exception(exc)
+                return
+            except Exception as exc:
+                self._count("failures")
+                future.set_exception(exc)
+                return
+        latency = time.monotonic() - request.submitted_at
+        self._latency.record(latency)
+        self._count("completed")
+        self._count("native_frames" if backend == NATIVE
+                    else "interp_frames")
+        future.set_result(Frame(outputs, backend, latency, self._pool))
+
+    def _run_native(self, native, request: _Request) -> dict:
+        deadline = request.deadline
+        if deadline is not None:
+            deadline.check("before native call")
+        outputs = native(request.params, request.inputs,
+                         n_threads=self._n_threads, tracer=self._tracer,
+                         pool=self._pool)
+        if deadline is not None and deadline.expired():
+            # the native call cannot be interrupted mid-flight; a late
+            # frame is dropped and its buffers recycled immediately
+            if self._pool is not None:
+                self._pool.release(*outputs.values())
+            raise DeadlineExceeded("after native call",
+                                   -deadline.remaining())
+        return outputs
+
+    def _run_interp(self, request: _Request) -> dict:
+        return execute_plan(self.plan, request.params, request.inputs,
+                            vectorize=self._vectorize,
+                            n_threads=self._n_threads,
+                            tracer=self._tracer,
+                            deadline=request.deadline,
+                            out_pool=self._pool)
+
+    # -- flow control ------------------------------------------------------
+    def pause(self) -> None:
+        """Stop starting new frames (submissions still queue up)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    @property
+    def paused(self) -> bool:
+        return not self._gate.is_set()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Current backend state: ``building``/``native``/``interpreter``."""
+        self._poll_build()
+        return self._policy.state
+
+    def wait_ready(self, timeout: float | None = None) -> str:
+        """Block until the background build resolves (ready or failed);
+        returns the resulting backend state.  Interpreter-only services
+        return immediately."""
+        if self._build_handle is not None:
+            self._build_handle.wait(timeout)
+        return self.backend
+
+    def stats(self) -> ServiceStats:
+        """Snapshot counters, rates, latency percentiles and pool state."""
+        self._poll_build()
+        with self._counts_lock:
+            counts = dict(self._counts)
+        return ServiceStats(
+            name=self.name,
+            backend=self._policy.state,
+            submitted=counts["submitted"],
+            completed=counts["completed"],
+            rejected=counts["rejected"],
+            timeouts=counts["timeouts"],
+            failures=counts["failures"],
+            cancelled=counts["cancelled"],
+            native_frames=counts["native_frames"],
+            interp_frames=counts["interp_frames"],
+            fallbacks=self._policy.fallbacks(),
+            queue_depth=len(self._queue),
+            inflight=counts["inflight"],
+            pool=self._pool.stats() if self._pool is not None else {},
+            latency=self._latency.snapshot(),
+        )
+
+    # -- resource management ----------------------------------------------
+    def release(self) -> None:
+        """Drop idle pooled buffers and the native scratch arenas.
+
+        Safe to call at any time, including under traffic: in-flight
+        frames keep their leased arrays, the pool merely re-allocates on
+        the next acquire, and the native arena re-grows on the next
+        call.
+        """
+        if self._pool is not None:
+            self._pool.drain()
+        native = self._policy.native
+        if native is not None and hasattr(native, "release"):
+            native.release()
+
+    def close(self, drain: bool = True,
+              timeout: float | None = None) -> None:
+        """Shut down: reject new submissions, then stop the workers.
+
+        ``drain=True`` finishes every accepted frame first;
+        ``drain=False`` cancels the queued backlog (their futures are
+        cancelled).  Idempotent; in-flight frames always complete.
+        """
+        with self._close_lock:
+            already = self._closed
+            self._closed = True
+        abandoned = self._queue.close(drain=drain)
+        self._gate.set()  # wake paused workers so they can exit
+        for request in abandoned:
+            if request.future.cancel():
+                self._count("cancelled")
+        if not already:
+            for worker in self._workers:
+                worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._queue.closed
+
+    def __enter__(self) -> "PipelineService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"PipelineService({self.name!r}, backend={self.backend}, "
+                f"queue={len(self._queue)}/{self._queue.maxsize})")

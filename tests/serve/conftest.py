@@ -1,0 +1,69 @@
+"""Shared fixtures for the serving-runtime tests: a small two-stage
+pipeline that compiles in milliseconds and runs a frame in a few ms, so
+stress/fault tests can push dozens of frames without dominating CI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Variable,
+)
+
+
+@dataclass
+class Served:
+    """A compiled pipeline plus everything needed to feed it frames."""
+
+    compiled: object
+    values: dict
+    image: object
+    out: str
+    rows: int
+    cols: int
+
+    def input_for(self, seed: int) -> dict:
+        rng = np.random.default_rng(seed)
+        data = rng.random((self.rows + 2, self.cols + 2), dtype=np.float32)
+        return {self.image: data}
+
+    def direct(self, inputs: dict) -> np.ndarray:
+        """Ground truth: one-shot interpreter execution, no service."""
+        return self.compiled(self.values, inputs)[self.out]
+
+
+def make_served(rows: int = 30, cols: int = 34, tiles=(16, 16),
+                name: str = "srv") -> Served:
+    """Blur + sharpen over a (rows+2, cols+2) image, compiled optimized."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R + 2, C + 2], name=f"{name}_I")
+    x, y = Variable("x"), Variable("y")
+    row, col = Interval(0, R + 1, 1), Interval(0, C + 1, 1)
+    interior = (Condition(x, ">=", 1) & Condition(x, "<=", R)
+                & Condition(y, ">=", 1) & Condition(y, "<=", C))
+
+    blur = Function(varDom=([x, y], [row, col]), typ=Float,
+                    name=f"{name}_blur")
+    blur.defn = [Case(interior,
+                      (I(x - 1, y) + I(x, y) + I(x + 1, y)
+                       + I(x, y - 1) + I(x, y + 1)) * 0.2)]
+    sharp = Function(varDom=([x, y], [row, col]), typ=Float,
+                     name=f"{name}_out")
+    sharp.defn = [Case(interior,
+                       blur(x, y) * 2.0
+                       - (blur(x - 1, y) + blur(x + 1, y)) * 0.5)]
+
+    values = {R: rows, C: cols}
+    compiled = compile_pipeline([sharp], values,
+                                CompileOptions.optimized(tiles), name=name)
+    return Served(compiled, values, I, sharp.name, rows, cols)
+
+
+@pytest.fixture(scope="module")
+def served() -> Served:
+    return make_served()

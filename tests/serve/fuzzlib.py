@@ -1,0 +1,311 @@
+"""Seeded random-pipeline generator + shrinker for differential fuzzing.
+
+A :class:`PipelineSpec` is a pure-data description of a random 2-D
+pipeline DAG — per stage: which producers it reads (the input image or
+earlier stages), the stencil taps applied to each, and an optional case
+split into two horizontal bands.  Being pure data makes three things
+possible:
+
+* **determinism** — specs are generated from a seeded ``Generator`` and
+  re-built identically from their own ``repr``;
+* **differential execution** — one spec compiles under any backend and
+  tile configuration;
+* **shrinking** — failing specs are minimized structurally (drop stages,
+  rewire consumers, merge case splits, collapse stencils to their center
+  tap) while re-checking the failure, so a fuzz failure prints a minimal
+  reproducing DAG rather than a 9-stage haystack.
+
+Every stage guards its stencil with interior conditions whose margin
+covers the stencil reach (the idiom of the paper's Figure 1 listing), so
+in-domain reads never leave producer domains and both backends agree
+bit-for-bit on the boundary semantics (zero outside case regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import CompileOptions, compile_pipeline
+from repro.lang import (
+    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
+    Variable,
+)
+
+#: tile-size choices per dimension explored by the fuzzer
+TILE_CHOICES = (8, 16, 32, 64)
+#: overlap thresholds explored by the fuzzer
+THRESHOLD_CHOICES = (0.2, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One random stage: producer indices (-1 = input image), the taps
+    applied to each producer, and an optional band split constant."""
+
+    #: producer indices; -1 reads the input image, k >= 0 reads stage k
+    producers: tuple[int, ...]
+    #: per producer: ((dx, dy, weight), ...) stencil taps
+    taps: tuple[tuple[tuple[int, int, float], ...], ...]
+    #: 0 = single case; > 0 splits the guarded interior at column
+    #: ``band`` (second band negates the expression, so the split is
+    #: observable)
+    band: int = 0
+    #: multiply producer terms instead of summing them (pointwise only)
+    multiply: bool = False
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A reproducible random pipeline + compile configuration."""
+
+    rows: int
+    cols: int
+    stages: tuple[StageSpec, ...]
+    tile_sizes: tuple[int, int]
+    overlap_threshold: float = 0.4
+    specialize: bool = True
+
+    def options(self) -> CompileOptions:
+        opts = CompileOptions.optimized(self.tile_sizes)
+        opts = opts.with_threshold(self.overlap_threshold)
+        if not self.specialize:
+            opts = opts.with_specialize(False, simd=False)
+        return opts
+
+
+def random_spec(rng: np.random.Generator) -> PipelineSpec:
+    """Draw a random pipeline spec: depth 2..7, stencil reach <= 2,
+    fan-in 1..2, ~1/4 of stages case-split, ~1/5 pointwise products."""
+    n_stages = int(rng.integers(2, 8))
+    stages = []
+    for i in range(n_stages):
+        # candidate producers: image (-1) and all earlier stages; bias
+        # toward the previous stage so depth actually builds up
+        if i == 0:
+            producers = (-1,)
+        else:
+            producers = (i - 1,)
+            if rng.random() < 0.4:
+                extra = int(rng.integers(-1, i))
+                if extra not in producers:
+                    producers = producers + (extra,)
+        multiply = len(producers) == 2 and rng.random() < 0.2
+        taps = []
+        for _ in producers:
+            if multiply or rng.random() < 0.25:
+                # pointwise read (no reach)
+                taps.append(((0, 0, round(float(rng.uniform(0.5, 1.5)),
+                                          3)),))
+                continue
+            reach = int(rng.integers(1, 3))
+            n_taps = int(rng.integers(2, 6))
+            seen = {(0, 0)}
+            stage_taps = [(0, 0, round(float(rng.uniform(0.1, 0.5)), 3))]
+            for _ in range(n_taps):
+                dx = int(rng.integers(-reach, reach + 1))
+                dy = int(rng.integers(-reach, reach + 1))
+                if (dx, dy) in seen:
+                    continue
+                seen.add((dx, dy))
+                stage_taps.append(
+                    (dx, dy, round(float(rng.uniform(-0.5, 0.5)), 3)))
+            taps.append(tuple(stage_taps))
+        band = int(rng.integers(8, 24)) if rng.random() < 0.25 else 0
+        stages.append(StageSpec(tuple(producers), tuple(taps), band,
+                                multiply))
+    rows = int(rng.integers(24, 49))
+    cols = int(rng.integers(24, 49))
+    tiles = (int(rng.choice(TILE_CHOICES)), int(rng.choice(TILE_CHOICES)))
+    threshold = float(rng.choice(THRESHOLD_CHOICES))
+    specialize = bool(rng.random() < 0.85)
+    return PipelineSpec(rows, cols, tuple(stages), tiles, threshold,
+                        specialize)
+
+
+def build_pipeline(spec: PipelineSpec):
+    """Materialize a spec as DSL objects.
+
+    Returns ``(outputs, values, image, out_name)``; the single output is
+    the last stage (earlier stages not reachable from it simply drop out
+    of the graph).
+    """
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(Float, [R + 2, C + 2], name="fz_I")
+    x, y = Variable("x"), Variable("y")
+    row, col = Interval(0, R + 1, 1), Interval(0, C + 1, 1)
+
+    built = []
+    for i, ss in enumerate(spec.stages):
+        f = Function(varDom=([x, y], [row, col]), typ=Float,
+                     name=f"fz_s{i}")
+
+        def term(producer_idx: int, taps) -> object:
+            producer = I if producer_idx < 0 else built[producer_idx]
+            expr = None
+            for dx, dy, w in taps:
+                t = producer(x + dx, y + dy) * w
+                expr = t if expr is None else expr + t
+            return expr
+
+        terms = [term(p, t) for p, t in zip(ss.producers, ss.taps)]
+        if ss.multiply and len(terms) == 2:
+            expr = terms[0] * terms[1]
+        else:
+            expr = terms[0]
+            for t in terms[1:]:
+                expr = expr + t
+        margin = max((max(abs(dx), abs(dy)) for taps in ss.taps
+                      for dx, dy, _ in taps), default=0)
+        if margin == 0 and ss.band == 0:
+            f.defn = expr
+        else:
+            m = margin
+            cond = (Condition(x, ">=", m) & Condition(x, "<=", R + 1 - m)
+                    & Condition(y, ">=", m) & Condition(y, "<=", C + 1 - m))
+            if ss.band == 0:
+                f.defn = [Case(cond, expr)]
+            else:
+                left = cond & Condition(y, "<=", ss.band)
+                right = cond & Condition(y, ">=", ss.band + 1)
+                f.defn = [Case(left, expr), Case(right, expr * -1.0)]
+        built.append(f)
+
+    values = {R: spec.rows, C: spec.cols}
+    return [built[-1]], values, I, built[-1].name
+
+
+def make_input(spec: PipelineSpec, rng: np.random.Generator) -> np.ndarray:
+    return rng.random((spec.rows + 2, spec.cols + 2), dtype=np.float32)
+
+
+def check_spec(spec: PipelineSpec, *, native: bool = True,
+               rtol: float = 1e-4, atol: float = 1e-5) -> str | None:
+    """Compile and differentially execute one spec.
+
+    Checks, in order: the static verifier reports no errors; the tiled
+    interpreter matches the untiled (``CompileOptions.base()``)
+    interpreter; and (when ``native`` and a compiler is available) the
+    native backend matches the interpreter.  Returns ``None`` on
+    agreement or a failure description.
+    """
+    outputs, values, image, out_name = build_pipeline(spec)
+    data = make_input(spec, np.random.default_rng(7))
+    inputs = {image: data}
+    try:
+        compiled = compile_pipeline(outputs, values, spec.options(),
+                                    name="fuzz")
+        report = compiled.verify()
+        if report.errors:
+            return ("verify errors: "
+                    + "; ".join(d.code + " " + d.message
+                                for d in report.errors))
+        got = compiled(values, inputs)[out_name]
+
+        base = compile_pipeline(outputs, values, CompileOptions.base(),
+                                name="fuzz_base")
+        want = base(values, inputs)[out_name]
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+    if not np.allclose(got, want, rtol=rtol, atol=atol):
+        bad = np.argwhere(~np.isclose(got, want, rtol=rtol, atol=atol))
+        return (f"tiled interpreter diverges from untiled at "
+                f"{len(bad)} points, first {tuple(bad[0])}: "
+                f"{got[tuple(bad[0])]} vs {want[tuple(bad[0])]}")
+    if native:
+        from repro.codegen.build import build_native
+        try:
+            nat = build_native(compiled.plan, "fuzz")
+            got_nat = nat(values, inputs)[out_name]
+        except Exception as exc:
+            return f"native: {type(exc).__name__}: {exc}"
+        if not np.allclose(got_nat, got, rtol=rtol, atol=atol):
+            bad = np.argwhere(~np.isclose(got_nat, got, rtol=rtol,
+                                          atol=atol))
+            return (f"native diverges from interpreter at {len(bad)} "
+                    f"points, first {tuple(bad[0])}: "
+                    f"{got_nat[tuple(bad[0])]} vs {got[tuple(bad[0])]}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def _rewire(stages: tuple[StageSpec, ...], removed: int
+            ) -> tuple[StageSpec, ...]:
+    """Drop stage ``removed``; consumers re-read its first producer."""
+    target = stages[removed].producers[0]
+    out = []
+    for i, ss in enumerate(stages):
+        if i == removed:
+            continue
+        seen: set[int] = set()
+        new_prods, new_taps = [], []
+        for p, taps in zip(ss.producers, ss.taps):
+            if p == removed:
+                p = target
+            if p > removed:
+                p -= 1
+            if p in seen:  # dedupe, keeping taps aligned with producers
+                continue
+            seen.add(p)
+            new_prods.append(p)
+            new_taps.append(taps)
+        out.append(replace(ss, producers=tuple(new_prods),
+                           taps=tuple(new_taps),
+                           multiply=ss.multiply and len(new_prods) == 2))
+    return tuple(out)
+
+
+def shrink_candidates(spec: PipelineSpec):
+    """Strictly-smaller variants of ``spec``, most aggressive first."""
+    n = len(spec.stages)
+    # drop the output stage (previous stage becomes the output)
+    if n > 1:
+        yield replace(spec, stages=spec.stages[:-1])
+    # remove an interior stage, rewiring consumers
+    for i in range(n - 1):
+        if n > 1:
+            yield replace(spec, stages=_rewire(spec.stages, i))
+    # per-stage simplifications
+    for i, ss in enumerate(spec.stages):
+        if ss.band:
+            yield replace(spec, stages=spec.stages[:i]
+                          + (replace(ss, band=0),) + spec.stages[i + 1:])
+        if any(len(t) > 1 for t in ss.taps):
+            center = tuple((t[0],) for t in ss.taps)
+            yield replace(spec, stages=spec.stages[:i]
+                          + (replace(ss, taps=center),)
+                          + spec.stages[i + 1:])
+        if len(ss.producers) > 1:
+            solo = replace(ss, producers=ss.producers[:1],
+                           taps=ss.taps[:1], multiply=False)
+            yield replace(spec, stages=spec.stages[:i] + (solo,)
+                          + spec.stages[i + 1:])
+    # tame the configuration
+    if spec.tile_sizes != (32, 32):
+        yield replace(spec, tile_sizes=(32, 32))
+    if not spec.specialize:
+        yield replace(spec, specialize=True)
+
+
+def shrink(spec: PipelineSpec, failure: str, *, native: bool = True,
+           max_steps: int = 60) -> tuple[PipelineSpec, str]:
+    """Greedy structural shrink: repeatedly adopt the first strictly
+    smaller candidate that still fails, until none does (or the step
+    budget runs out).  Returns the minimal spec and its failure."""
+    steps = 0
+    while steps < max_steps:
+        for candidate in shrink_candidates(spec):
+            steps += 1
+            result = check_spec(candidate, native=native)
+            if result is not None:
+                spec, failure = candidate, result
+                break
+            if steps >= max_steps:
+                break
+        else:
+            break
+    return spec, failure

@@ -1,0 +1,126 @@
+"""Native call-locking regression tests.
+
+The ``.so`` behind a :class:`~repro.codegen.build.NativePipeline` holds
+process-global state (scratch-arena slots, instrumentation counters), so
+concurrent calls into *one artifact* must serialize — but that lock has
+to live with the artifact, not the Python wrapper: two wrappers loaded
+from the same cached ``.so`` share the library state, and two different
+artifacts share nothing.  These tests pin down both directions, plus the
+lock-free fast path for builds with no shared state at all.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.codegen.build import (
+    _artifact_lock, build_native, compiler_available,
+)
+from tests.serve.conftest import make_served
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler found")
+
+
+def test_artifact_lock_registry_keys_on_path(tmp_path):
+    a1 = _artifact_lock(tmp_path / "a.so")
+    a2 = _artifact_lock(str(tmp_path / "a.so"))
+    b = _artifact_lock(tmp_path / "b.so")
+    assert a1 is a2  # Path vs str, same artifact -> one lock
+    assert a1 is not b
+
+
+def test_same_artifact_shares_one_lock(served):
+    """Two NativePipeline instances of one plan (warm cache, same .so)
+    must coordinate through the same lock object."""
+    nat1 = build_native(served.compiled.plan, "lockshare")
+    nat2 = build_native(served.compiled.plan, "lockshare")
+    assert nat1._call_lock is nat2._call_lock
+
+
+def test_plain_build_is_lock_free():
+    """An uninstrumented, arena-free build (base options: no tiling, so
+    no scratch) mutates no shared library state and takes no lock."""
+    srv = make_served(name="lockfree")
+    plain = compile_pipeline(
+        srv.compiled.plan.outputs, srv.values, CompileOptions.base(),
+        name="lockfree_base")
+    nat = build_native(plain.plan, "lockfree_base")
+    assert not nat.instrumented
+    assert not nat.has_arena
+    assert not nat.needs_call_lock
+
+
+def test_instrumented_build_needs_lock(served):
+    nat = build_native(served.compiled.plan, "locked", instrument=True)
+    assert nat.instrumented
+    assert nat.needs_call_lock
+
+
+def test_distinct_artifacts_do_not_serialize():
+    """Regression: holding artifact A's call lock must not block a call
+    into artifact B — per-artifact locks, not a global one."""
+    a = make_served(rows=26, cols=28, name="nca")
+    b = make_served(rows=24, cols=30, name="ncb")
+    nat_a = build_native(a.compiled.plan, "nca")
+    nat_b = build_native(b.compiled.plan, "ncb")
+    assert nat_a._call_lock is not nat_b._call_lock
+
+    inputs_b = b.input_for(0)
+    want_b = b.direct(inputs_b)
+    result: dict = {}
+
+    def call_b() -> None:
+        result["out"] = nat_b(b.values, inputs_b)[b.out]
+
+    with nat_a._call_lock:  # A "mid-call"
+        thread = threading.Thread(target=call_b)
+        thread.start()
+        thread.join(60)
+        assert not thread.is_alive(), \
+            "call into artifact B blocked on artifact A's lock"
+    assert np.allclose(result["out"], want_b, rtol=1e-5, atol=1e-6)
+
+
+def test_concurrent_services_on_distinct_pipelines(tmp_path):
+    """Two services, two artifacts: native frames flow through both at
+    once and every result is correct."""
+    from repro.serve import PipelineService
+
+    pipes = [make_served(rows=26, cols=26, name=f"twin{i}")
+             for i in range(2)]
+    services = [PipelineService(p.compiled, workers=1, backend="auto")
+                for p in pipes]
+    try:
+        for service in services:
+            assert service.wait_ready(180) == "native"
+        errors: list = []
+
+        def client(srv, p) -> None:
+            try:
+                for seed in range(4):
+                    inputs = p.input_for(seed)
+                    with srv.run(p.values, inputs) as frame:
+                        assert frame.backend == "native"
+                        assert np.allclose(frame.outputs[p.out],
+                                           p.direct(inputs),
+                                           rtol=1e-5, atol=1e-6)
+            except Exception as exc:  # noqa: BLE001 - collected below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(s, p))
+                   for s, p in zip(services, pipes)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        for service in services:
+            assert service.stats().native_frames == 4
+    finally:
+        for service in services:
+            service.close()

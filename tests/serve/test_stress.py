@@ -1,0 +1,149 @@
+"""Concurrency stress: many clients, one service; backpressure; lifecycle.
+
+All stress runs use the interpreter backend so they exercise the service
+machinery (queue, workers, pool, futures) deterministically on any
+machine — native-path concurrency is covered by
+``test_native_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import Overloaded, PipelineService
+
+CLIENTS = 6
+FRAMES = 6
+
+
+def test_concurrent_clients_results_bit_identical(served):
+    """N threads x M frames: every result equals its serial ground truth,
+    no future is lost, duplicated, or resolved with another client's frame."""
+    inputs = {(k, i): served.input_for(1000 * k + i)
+              for k in range(CLIENTS) for i in range(FRAMES)}
+    want = {key: served.direct(data) for key, data in inputs.items()}
+
+    got: dict = {}
+    errors: list = []
+    with PipelineService(served.compiled, backend="interpreter",
+                         workers=3, max_queue=256) as service:
+
+        def client(k: int) -> None:
+            futures = [(i, service.submit(served.values, inputs[(k, i)]))
+                       for i in range(FRAMES)]
+            for i, future in futures:
+                try:
+                    with future.result(60) as frame:
+                        got[(k, i)] = frame.outputs[served.out].copy()
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(((k, i), exc))
+
+        threads = [threading.Thread(target=client, args=(k,))
+                   for k in range(CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = service.stats()
+
+    assert not errors, errors[:3]
+    assert len(got) == CLIENTS * FRAMES  # nothing lost, nothing duplicated
+    mismatched = [key for key in want
+                  if not np.array_equal(got[key], want[key])]
+    assert not mismatched, f"{len(mismatched)} frames wrong: {mismatched[:5]}"
+    assert stats.submitted == stats.completed == CLIENTS * FRAMES
+    assert stats.rejected == 0 and stats.failures == 0
+    assert stats.inflight == 0 and stats.queue_depth == 0
+
+
+def test_full_queue_rejects_with_overloaded_not_deadlock(served):
+    """A paused service fills its bounded queue; further submissions must
+    raise Overloaded promptly (never block), and everything accepted
+    completes after resume."""
+    max_queue, workers = 3, 1
+    with PipelineService(served.compiled, backend="interpreter",
+                         workers=workers, max_queue=max_queue) as service:
+        service.pause()
+        accepted, rejected = [], 0
+        # capacity is max_queue + (<= 1 dequeued-and-held per worker), so
+        # this many submissions *must* overflow
+        for seed in range(max_queue + workers + 2):
+            try:
+                accepted.append(
+                    service.submit(served.values, served.input_for(seed)))
+            except Overloaded:
+                rejected += 1
+        assert rejected >= 1
+        assert len(accepted) <= max_queue + workers
+        service.resume()
+        for future in accepted:
+            future.result(60).release()  # completes; no deadlock
+        stats = service.stats()
+    assert stats.rejected == rejected
+    assert stats.completed == len(accepted)
+    assert stats.rejection_rate == pytest.approx(
+        rejected / (len(accepted) + rejected))
+
+
+def test_release_during_traffic_is_safe(served):
+    """Draining pools/arenas mid-stream must never corrupt in-flight
+    frames — the pool merely re-allocates on the next acquire."""
+    inputs = served.input_for(9)
+    want = served.direct(inputs)
+    stop = threading.Event()
+
+    with PipelineService(served.compiled, backend="interpreter",
+                         workers=2, max_queue=64) as service:
+
+        def releaser() -> None:
+            while not stop.is_set():
+                service.release()
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        try:
+            for _ in range(24):
+                with service.run(served.values, inputs) as frame:
+                    assert np.array_equal(frame.outputs[served.out], want)
+        finally:
+            stop.set()
+            thread.join()
+        assert service.stats().failures == 0
+
+
+def test_close_drain_finishes_accepted_frames(served):
+    service = PipelineService(served.compiled, backend="interpreter",
+                              workers=1, max_queue=16)
+    service.pause()
+    futures = [service.submit(served.values, served.input_for(seed))
+               for seed in range(4)]
+    service.resume()
+    service.close(drain=True)
+    for future in futures:
+        future.result(60).release()
+    assert service.stats().completed == 4
+
+
+def test_close_without_drain_cancels_backlog(served):
+    workers = 1
+    service = PipelineService(served.compiled, backend="interpreter",
+                              workers=workers, max_queue=16)
+    service.pause()
+    futures = [service.submit(served.values, served.input_for(seed))
+               for seed in range(6)]
+    service.close(drain=False)
+    done = cancelled = 0
+    for future in futures:
+        if future.cancelled():
+            cancelled += 1
+        else:
+            future.result(60).release()
+            done += 1
+    # every future resolves exactly one way; at most one request per
+    # worker was already dequeued (and thus completes)
+    assert cancelled + done == len(futures)
+    assert cancelled >= len(futures) - workers
+    assert service.stats().cancelled == cancelled
