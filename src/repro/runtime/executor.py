@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import atexit
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as _wait_futures
 from typing import Hashable, Mapping
 
 import numpy as np
@@ -414,7 +414,19 @@ def _run_tiled_group(plan: PipelinePlan, group_plan: GroupPlan, params,
             run_tile(tile)
     else:
         pool = get_worker_pool(n_threads)
-        list(pool.map(run_tile, tiles))
+        futures = [pool.submit(run_tile, tile) for tile in tiles]
+        try:
+            for future in futures:
+                future.result()
+        finally:
+            # A failed tile (e.g. an expired deadline) must not hand
+            # control back while sibling tiles are still writing into
+            # the shared live-out buffers — the caller may recycle them
+            # (execute_plan releases pooled arrays on exception).
+            # Cancel what has not started, then wait out the rest.
+            for future in futures:
+                future.cancel()
+            _wait_futures(futures)
 
     if tracer.enabled:
         # redundant-compute ratio: points evaluated (owned + overlap)

@@ -43,6 +43,7 @@ class FallbackPolicy:
         self._lock = threading.Lock()
         self._state = BUILDING if native_enabled else INTERPRETER
         self._native = None
+        self._build_resolved = False
         self._consecutive_errors = 0
         #: reason -> count of fallback events ("build_failed",
         #: "load_failed", "native_error", "demoted")
@@ -50,28 +51,45 @@ class FallbackPolicy:
         self._last_error: BaseException | None = None
 
     # -- state ingestion ---------------------------------------------------
-    def note_build_ready(self, native) -> None:
-        """The background build produced a loadable native pipeline."""
-        with self._lock:
-            if self._state == BUILDING:
-                self._native = native
-                self._state = NATIVE
+    def note_build_resolved(self, native, exc: BaseException | None):
+        """Ingest the background build outcome exactly once.
 
-    def note_build_failed(self, exc: BaseException) -> None:
-        """The build (or the subsequent load) failed; go interpreter-only.
-
+        Every worker polls the finished build handle, so several may
+        race to report it; only the first call mutates the policy (and
+        its fallback counters), the rest are no-ops.  On success the
+        policy moves to NATIVE.  On failure it goes interpreter-only:
         :class:`~repro.codegen.build.BuildError` counts as
-        ``build_failed``; anything else (e.g. ``OSError`` from a corrupt
+        ``build_failed``, anything else (e.g. ``OSError`` from a corrupt
         artifact at ``dlopen`` time) as ``load_failed``.
+
+        Returns the recorded fallback reason when *this* call recorded a
+        failure, ``None`` otherwise (success or already resolved).
         """
         from repro.codegen.build import BuildError
-        reason = "build_failed" if isinstance(exc, BuildError) \
-            else "load_failed"
         with self._lock:
+            if self._build_resolved:
+                return None
+            self._build_resolved = True
+            if exc is None:
+                if self._state == BUILDING:
+                    self._native = native
+                    self._state = NATIVE
+                return None
+            reason = "build_failed" if isinstance(exc, BuildError) \
+                else "load_failed"
             self._state = INTERPRETER
             self._native = None
             self._last_error = exc
             self._fallbacks[reason] = self._fallbacks.get(reason, 0) + 1
+            return reason
+
+    def note_build_ready(self, native) -> None:
+        """The background build produced a loadable native pipeline."""
+        self.note_build_resolved(native, None)
+
+    def note_build_failed(self, exc: BaseException) -> None:
+        """The build (or the subsequent load) failed; go interpreter-only."""
+        self.note_build_resolved(None, exc)
 
     def note_native_error(self, exc: BaseException) -> bool:
         """A native call raised (without crashing the process).

@@ -281,14 +281,13 @@ class PipelineService:
         handle = self._build_handle
         if handle is None or not handle.done():
             return
-        if self._policy.state != BUILDING:
-            return
         exc = handle.exception()
-        if exc is not None:
-            self._policy.note_build_failed(exc)
+        native = handle.result() if exc is None else None
+        # the policy ingests the outcome exactly once even when several
+        # workers race here, so the counter below cannot double-count
+        reason = self._policy.note_build_resolved(native, exc)
+        if reason is not None:
             self._count("fallbacks")  # mirrored detail in policy.fallbacks
-        else:
-            self._policy.note_build_ready(handle.result())
 
     # -- submission --------------------------------------------------------
     def submit(self, param_values, inputs, *,
@@ -395,8 +394,10 @@ class PipelineService:
         if deadline is not None and deadline.expired():
             # the native call cannot be interrupted mid-flight; a late
             # frame is dropped and its buffers recycled immediately
+            # (dedup by id — two outputs may alias one stage array)
             if self._pool is not None:
-                self._pool.release(*outputs.values())
+                self._pool.release(
+                    *{id(a): a for a in outputs.values()}.values())
             raise DeadlineExceeded("after native call",
                                    -deadline.remaining())
         return outputs

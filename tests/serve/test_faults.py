@@ -9,11 +9,16 @@ module global precisely so these tests can monkeypatch it.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.codegen import build as build_mod
 from repro.codegen.build import BuildError
+from repro.runtime.buffers import BufferPool
+from repro.runtime.executor import execute_plan
 from repro.serve import DeadlineExceeded, PipelineService
 
 
@@ -174,6 +179,58 @@ def test_deadline_enforced_at_group_boundaries(served):
     assert stats.timeouts == 1 and stats.failures == 0
     # all pooled buffers acquired by the doomed frame were handed back
     assert stats.pool["outstanding"] == 0
+
+
+class TripOneTileDawdleRest:
+    """Deadline double for the threaded tile path: the first tile to hit
+    its checkpoint trips; every later tile dawdles before running, so it
+    is still writing when the exception reaches ``execute_plan`` unless
+    the executor waits out its stragglers."""
+
+    def __init__(self, dawdle_s: float):
+        self.dawdle_s = dawdle_s
+        self._lock = threading.Lock()
+        self._tripped = False
+
+    def check(self, where=""):
+        if not where.startswith("tile"):
+            return
+        with self._lock:
+            first = not self._tripped
+            self._tripped = True
+        if first:
+            raise DeadlineExceeded(where, 0.001)
+        time.sleep(self.dawdle_s)
+
+    def expired(self):
+        return False
+
+    def remaining(self):
+        return 1.0
+
+
+def test_threaded_tile_abort_waits_for_straggler_tiles(served):
+    """When a tiled group aborts mid-flight with n_threads > 1, sibling
+    tiles must finish (or never start) before execute_plan releases the
+    frame's pooled buffers — a straggler writing after the release would
+    silently corrupt whichever frame leases those arrays next."""
+    pool = BufferPool()
+    with pytest.raises(DeadlineExceeded):
+        execute_plan(served.compiled.plan, served.values,
+                     served.input_for(0), n_threads=4,
+                     deadline=TripOneTileDawdleRest(0.1), out_pool=pool)
+    # the doomed frame handed every acquired array back ...
+    assert pool.stats()["outstanding"] == 0
+    # ... and no straggler tile is still writing into them: stamp the
+    # idle arrays as the next frame would, then verify the stamps
+    # outlive any tile that was dawdling at abort time
+    idle = [a for bucket in pool._free.values() for a in bucket]
+    assert idle
+    for array in idle:
+        array.fill(-7.0)
+    time.sleep(0.25)
+    for array in idle:
+        assert np.all(array == -7.0)
 
 
 def test_service_survives_faults_and_closes_cleanly(served, monkeypatch):
