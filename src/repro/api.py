@@ -55,6 +55,20 @@ class CompiledPipeline:
 
     execute = __call__
 
+    def run_batch(self, param_values: Mapping[Parameter, int],
+                  inputs_list,
+                  *, vectorize: bool = True,
+                  n_threads: int = 1,
+                  tracer: Tracer | None = None
+                  ) -> "list[dict[str, np.ndarray]]":
+        """Execute a batch of frames (one shared set of parameter values)
+        with the NumPy interpreter backend — the differential twin of
+        :meth:`repro.codegen.build.NativePipeline.run_batch`."""
+        from repro.runtime.executor import execute_plan_batch
+        return execute_plan_batch(self.plan, param_values, inputs_list,
+                                  vectorize=vectorize,
+                                  n_threads=n_threads, tracer=tracer)
+
     # -- C backend -----------------------------------------------------------
     def c_source(self, instrument: bool = False) -> str:
         """Generate C source implementing the pipeline (Figure 7 style)."""

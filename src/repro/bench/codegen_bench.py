@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.bench.codegen_bench [--scale small|paper|tiny]
         [--apps harris,unsharp|all] [--runs 9] [--threads N]
-        [--json BENCH_codegen.json] [--throughput]
+        [--json BENCH_codegen.json] [--throughput] [--batch-sweep]
 
 Compares, per application at its default tile sizes, the native backend
 with fast-path specialization on (interior/boundary loop splitting,
@@ -22,6 +22,13 @@ two variants' outputs is asserted as part of the run.
 With ``--throughput`` a sustained frames/sec figure (after warm-up) is
 measured as well — the view that rewards removing per-call overheads
 such as scratch allocation, which single-shot latency can hide.
+
+With ``--batch-sweep`` each app additionally sweeps the batched entry
+point over N in {1, 2, 4, 8, 16}: ``run_batch`` on N identical frames
+against N sequential single-frame calls, asserting bit-identical
+outputs and reporting the per-frame amortization of the fixed dispatch
+costs (ctypes crossing, argument marshalling, arena/thread-team setup)
+the batch ABI exists to remove.
 """
 
 from __future__ import annotations
@@ -65,8 +72,56 @@ def _time_once(fn) -> float:
     return (time.perf_counter() - t0) * 1000.0
 
 
+#: batch sizes explored by --batch-sweep
+BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+def batch_sweep(instance, native, n_threads: int,
+                min_frames: int = 64) -> list[dict]:
+    """Sweep ``run_batch`` over :data:`BATCH_SIZES` for one built app.
+
+    Per batch size N: at least ``min_frames`` frames go through
+    ``run_batch`` in N-sized calls and through N sequential single-frame
+    calls, interleaved chunk-for-chunk so drift hits both equally.
+    Outputs are asserted bit-identical; the record carries both
+    frames/sec figures and the batch/sequential speedup.
+    """
+    out_name = instance.output_name
+    want = native(instance.values, instance.inputs,
+                  n_threads=n_threads)[out_name]
+    records = []
+    for size in BATCH_SIZES:
+        frames = [instance.inputs] * size
+        got = native.run_batch(instance.values, frames,
+                               n_threads=n_threads)
+        identical = all(
+            bool(np.array_equal(result[out_name], want))
+            for result in got)
+        chunks = max(1, min_frames // size)
+        batch_s = seq_s = 0.0
+        for _ in range(chunks):
+            t0 = time.perf_counter()
+            native.run_batch(instance.values, frames,
+                             n_threads=n_threads)
+            batch_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for frame in frames:
+                native(instance.values, frame, n_threads=n_threads)
+            seq_s += time.perf_counter() - t0
+        n_frames = chunks * size
+        records.append({
+            "batch": size,
+            "frames": n_frames,
+            "batch_fps": n_frames / batch_s if batch_s > 0 else 0.0,
+            "sequential_fps": n_frames / seq_s if seq_s > 0 else 0.0,
+            "speedup": seq_s / batch_s if batch_s > 0 else 0.0,
+            "outputs_identical": identical,
+        })
+    return records
+
+
 def bench_app(name: str, scale: str, runs: int, n_threads: int,
-              throughput: bool = False) -> dict:
+              throughput: bool = False, batch: bool = False) -> dict:
     """Measure one application; returns the JSON-ready record."""
     instance = make_instance(name, scale)
     base_opts, _ = variant_options(name, "opt+vec")
@@ -110,20 +165,23 @@ def bench_app(name: str, scale: str, runs: int, n_threads: int,
     if throughput:
         record["throughput_on"] = throughput_stats(run_on).as_dict()
         record["throughput_off"] = throughput_stats(run_off).as_dict()
+    if batch:
+        record["batch_sweep"] = batch_sweep(instance, native_on,
+                                            n_threads)
     native_on.release()
     return record
 
 
 def run_bench(apps: list[str], scale: str, runs: int, n_threads: int,
               json_path: str | Path | None, throughput: bool,
-              out=sys.stdout) -> dict:
+              batch: bool = False, out=sys.stdout) -> dict:
     """Benchmark every requested app and write the JSON report."""
     records = []
     for name in apps:
         print(f"[codegen_bench] {name} (scale={scale}) ...", file=out,
               flush=True)
         records.append(bench_app(name, scale, runs, n_threads,
-                                 throughput))
+                                 throughput, batch))
 
     speedups = [r["speedup"] for r in records]
     doc = {
@@ -168,6 +226,21 @@ def run_bench(apps: list[str], scale: str, runs: int, n_threads: int,
           f"{s['apps_at_or_above_1_25x']}/{len(records)} apps >= 1.25x, "
           f"min {s['min_speedup']:.2f}x, outputs identical: "
           f"{s['all_outputs_identical']}", file=out)
+
+    if batch:
+        print(f"\n## Batch entry point: run_batch(N) vs N sequential "
+              f"calls (scale={scale})\n", file=out)
+        bheaders = ["app"] + [f"N={n}" for n in BATCH_SIZES] \
+            + ["identical"]
+        brows = []
+        for r in records:
+            sweep = r["batch_sweep"]
+            brows.append(
+                [r["app"]]
+                + [f'{e["speedup"]:.2f}x' for e in sweep]
+                + ["yes" if all(e["outputs_identical"] for e in sweep)
+                   else "NO"])
+        print(format_table(bheaders, brows), file=out)
     return doc
 
 
@@ -185,6 +258,9 @@ def main(argv=None) -> None:
                         help="output JSON path ('' disables)")
     parser.add_argument("--throughput", action="store_true",
                         help="also measure sustained frames/sec")
+    parser.add_argument("--batch-sweep", action="store_true",
+                        help="sweep run_batch over N in "
+                             f"{list(BATCH_SIZES)} vs sequential calls")
     args = parser.parse_args(argv)
 
     if args.apps == "all":
@@ -196,7 +272,7 @@ def main(argv=None) -> None:
             parser.error(f"unknown apps: {unknown}; "
                          f"choose from {sorted(APP_BUILDERS)}")
     run_bench(apps, args.scale, args.runs, args.threads,
-              args.json or None, args.throughput)
+              args.json or None, args.throughput, args.batch_sweep)
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.bench.serve_bench [--app harris] [--scale small]
         [--frames 120] [--clients 4] [--workers 2] [--threads 1]
-        [--backend auto] [--warmup 16] [--json BENCH_serve.json]
+        [--backend auto] [--warmup 16] [--max-batch 8] [--no-coalesce]
+        [--json BENCH_serve.json]
 
 Streams frames through one :class:`~repro.serve.PipelineService` from
 ``--clients`` closed-loop client threads (submit → wait → release) and
@@ -74,7 +75,8 @@ def _run_phase(service: PipelineService, instance, clients: int,
 
 def bench_serving(app: str, scale: str, *, frames: int, clients: int,
                   workers: int, n_threads: int, backend: str,
-                  warmup: int) -> dict:
+                  warmup: int, max_batch: int = 8,
+                  coalesce: bool = True) -> dict:
     """Benchmark one app behind a service; returns the JSON record."""
     instance = make_instance(app, scale)
     options = CompileOptions.optimized(DEFAULT_TILES[app])
@@ -89,6 +91,7 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
 
     with PipelineService(compiled, workers=workers, backend=backend,
                          max_queue=max(64, clients * 4, warmup),
+                         max_batch=max_batch, coalesce=coalesce,
                          n_threads=n_threads) as service:
         if backend != "interpreter":
             service.wait_ready()
@@ -127,10 +130,17 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
         "clients": clients,
         "workers": workers,
         "n_threads": n_threads,
+        "max_batch": max_batch,
+        "coalesce": coalesce,
         "warmup_frames": warmup,
         "measured_frames": measured,
         "elapsed_s": elapsed,
         "fps": measured / elapsed if elapsed > 0 else 0.0,
+        "batching": {
+            "batches": stats.batches,
+            "batched_frames": stats.batched_frames,
+            "mean_batch_size": stats.mean_batch_size,
+        },
         "latency_ms": latency,
         "pool_window": {
             "hits": hits,
@@ -157,6 +167,11 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=16)
     parser.add_argument("--backend", default="auto",
                         choices=("auto", "interpreter", "native"))
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="cap on frames coalesced per native batch "
+                             "call (1 disables)")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable request coalescing entirely")
     parser.add_argument("--json", default="BENCH_serve.json",
                         help="output path (default BENCH_serve.json)")
     args = parser.parse_args(argv)
@@ -164,7 +179,8 @@ def main(argv=None) -> int:
     record = bench_serving(args.app, args.scale, frames=args.frames,
                            clients=args.clients, workers=args.workers,
                            n_threads=args.threads, backend=args.backend,
-                           warmup=args.warmup)
+                           warmup=args.warmup, max_batch=args.max_batch,
+                           coalesce=not args.no_coalesce)
     doc = {
         "benchmark": "serving",
         "machine": {
@@ -184,6 +200,10 @@ def main(argv=None) -> int:
           f"{record['measured_frames']} frames")
     print(f"  latency p50 {lat['p50_ms']:.2f} ms, "
           f"p90 {lat['p90_ms']:.2f} ms, p99 {lat['p99_ms']:.2f} ms")
+    batching = record["batching"]
+    print(f"  batching: {batching['batched_frames']} frames in "
+          f"{batching['batches']} batches "
+          f"(mean size {batching['mean_batch_size']:.1f})")
     print(f"  pool (measured window): {pool['hits']} hits / "
           f"{pool['misses']} misses "
           f"({pool['hit_rate'] * 100.0:.1f}% hit rate)")

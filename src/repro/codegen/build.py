@@ -350,6 +350,15 @@ class NativePipeline:
     no shared state (``needs_call_lock`` False — uninstrumented,
     arena-free) take no lock at all: distinct artifacts never serialize
     against each other.
+
+    **Batch ABI**: artifacts additionally export ``<func>_batch(int
+    _nframes, int _nthreads, params..., const T* const* in_frames...,
+    T* const* out_frames...)``, which sets up the thread team and
+    scratch arena once and loops the same tile nests over N frames —
+    amortizing per-call dispatch cost for small frames.  The symbol is
+    *probed*, never required (:attr:`has_batch`): :meth:`run_batch` on
+    an artifact cached before the batch ABI existed degrades to N
+    sequential single-frame calls with identical results.
     """
 
     def __init__(self, plan: PipelinePlan, source: str, lib_path: Path,
@@ -390,6 +399,14 @@ class NativePipeline:
         else:
             self._release_fn.restype = None
             self._release_fn.argtypes = []
+        # the batch entry point is absent from artifacts cached before it
+        # existed — probe, and let run_batch degrade to sequential calls
+        try:
+            self._batch_fn = getattr(self._lib, func_name + "_batch")
+        except AttributeError:
+            self._batch_fn = None
+        else:
+            self._batch_fn.restype = None
 
     @property
     def instrumented(self) -> bool:
@@ -399,6 +416,16 @@ class NativePipeline:
     def has_arena(self) -> bool:
         """Does this build own persistent per-thread scratch arenas?"""
         return self._release_fn is not None
+
+    @property
+    def has_batch(self) -> bool:
+        """Does the artifact export the multi-frame batch entry point?
+
+        False only for shared objects cached before batch codegen
+        existed; :meth:`run_batch` then degrades to sequential
+        single-frame calls.
+        """
+        return self._batch_fn is not None
 
     @property
     def needs_call_lock(self) -> bool:
@@ -429,6 +456,81 @@ class NativePipeline:
         return NativeStats(tuple(seconds[: self._n_groups]),
                            tuple(tiles[: self._n_groups]))
 
+    # -- argument marshalling ---------------------------------------------
+    def _checked_params(self, param_values: Mapping) -> dict:
+        params = dict(param_values)
+        missing = [p.name for p in self._params if p not in params]
+        if missing:
+            raise ValueError(
+                "missing value for parameter(s): "
+                + ", ".join(sorted(missing)))
+        return params
+
+    def _image_extents(self, image: Image,
+                       params: Mapping) -> tuple[int, ...]:
+        return tuple(
+            to_affine(e, params_only=True).evaluate_int(params)
+            for e in image.extents)
+
+    def _checked_input(self, image: Image, inputs: Mapping,
+                       extents: tuple[int, ...]) -> np.ndarray:
+        if image not in inputs:
+            raise ValueError(
+                f"missing input array for image {image.name!r}")
+        array = np.ascontiguousarray(inputs[image],
+                                     dtype=image.dtype.np_dtype)
+        if array.shape != extents:
+            raise ValueError(
+                f"input {image.name!r} has shape {array.shape}, "
+                f"expected {extents}")
+        return array
+
+    def _output_shape(self, stage, params: Mapping) -> tuple[int, ...]:
+        box = self.plan.ir[stage].domain.concretize(params)
+        if box is None:
+            raise ValueError(
+                f"output {stage.name!r} has an empty domain")
+        return tuple(ivl.size for ivl in box)
+
+    def _acquire_output(self, stage, shape, pool) -> np.ndarray:
+        if pool is not None:
+            return pool.acquire(shape, stage.dtype.np_dtype)
+        return np.zeros(shape, dtype=stage.dtype.np_dtype)
+
+    def _invoke(self, fn, args, tracer, pool, release_on_error) -> None:
+        """Call into the library under the artifact's locking contract."""
+        try:
+            if not self.needs_call_lock:
+                # no shared in-library state: run lock-free, concurrently
+                fn(*args)
+            else:
+                with self._call_lock:
+                    if self._stats_reset is not None:
+                        self._stats_reset()
+                    fn(*args)
+                    if self._stats_fn is not None:
+                        self.last_stats = self._read_stats()
+                        if tracer is not None and tracer.enabled:
+                            for i, (s, t) in enumerate(
+                                    zip(self.last_stats.group_seconds,
+                                        self.last_stats.group_tiles)):
+                                tracer.gauge(f"native.group[{i}].seconds",
+                                             s)
+                                if t:
+                                    tracer.count(
+                                        f"native.group[{i}].tiles", t)
+        except BaseException:
+            if pool is not None:
+                pool.release(*release_on_error)
+            raise
+
+    def _collect_outputs(self, out_arrays: list) -> dict[str, np.ndarray]:
+        outputs: dict[str, np.ndarray] = {}
+        for original, stage in self.plan.output_map.items():
+            idx = self._outputs.index(stage)
+            outputs[original.name] = out_arrays[idx]
+        return outputs
+
     def __call__(self, param_values: Mapping[Parameter, int],
                  inputs: Mapping[Image, np.ndarray],
                  *, n_threads: int = 1,
@@ -445,74 +547,83 @@ class NativePipeline:
         """
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
-        params = dict(param_values)
-        missing = [p.name for p in self._params if p not in params]
-        if missing:
-            raise ValueError(
-                "missing value for parameter(s): "
-                + ", ".join(sorted(missing)))
+        params = self._checked_params(param_values)
         args: list = [ctypes.c_int(n_threads)]
         args += [ctypes.c_long(int(params[p])) for p in self._params]
 
         arrays = []
         for image in self._images:
-            if image not in inputs:
-                raise ValueError(
-                    f"missing input array for image {image.name!r}")
-            extents = tuple(
-                to_affine(e, params_only=True).evaluate_int(params)
-                for e in image.extents)
-            array = np.ascontiguousarray(inputs[image],
-                                         dtype=image.dtype.np_dtype)
-            if array.shape != extents:
-                raise ValueError(
-                    f"input {image.name!r} has shape {array.shape}, "
-                    f"expected {extents}")
+            array = self._checked_input(image, inputs,
+                                        self._image_extents(image, params))
             arrays.append(array)
             args.append(array.ctypes.data_as(ctypes.c_void_p))
 
-        outputs: dict[str, np.ndarray] = {}
         out_arrays = []
         for stage in self._outputs:
-            box = self.plan.ir[stage].domain.concretize(params)
-            if box is None:
-                raise ValueError(
-                    f"output {stage.name!r} has an empty domain")
-            shape = tuple(ivl.size for ivl in box)
-            if pool is not None:
-                out = pool.acquire(shape, stage.dtype.np_dtype)
-            else:
-                out = np.zeros(shape, dtype=stage.dtype.np_dtype)
+            shape = self._output_shape(stage, params)
+            out = self._acquire_output(stage, shape, pool)
             out_arrays.append(out)
             args.append(out.ctypes.data_as(ctypes.c_void_p))
-        try:
-            if not self.needs_call_lock:
-                # no shared in-library state: run lock-free, concurrently
-                self._func(*args)
-            else:
-                with self._call_lock:
-                    if self._stats_reset is not None:
-                        self._stats_reset()
-                    self._func(*args)
-                    if self._stats_fn is not None:
-                        self.last_stats = self._read_stats()
-                        if tracer is not None and tracer.enabled:
-                            for i, (s, t) in enumerate(
-                                    zip(self.last_stats.group_seconds,
-                                        self.last_stats.group_tiles)):
-                                tracer.gauge(f"native.group[{i}].seconds",
-                                             s)
-                                if t:
-                                    tracer.count(
-                                        f"native.group[{i}].tiles", t)
-        except BaseException:
-            if pool is not None:
-                pool.release(*out_arrays)
-            raise
-        for original, stage in self.plan.output_map.items():
-            idx = self._outputs.index(stage)
-            outputs[original.name] = out_arrays[idx]
-        return outputs
+        self._invoke(self._func, args, tracer, pool, out_arrays)
+        return self._collect_outputs(out_arrays)
+
+    def run_batch(self, param_values: Mapping[Parameter, int],
+                  inputs_list: Sequence[Mapping[Image, np.ndarray]],
+                  *, n_threads: int = 1,
+                  tracer=None,
+                  pool=None) -> list[dict[str, np.ndarray]]:
+        """Run ``len(inputs_list)`` frames through one native call.
+
+        Every frame shares ``param_values`` (and hence shapes); inputs
+        and outputs are marshalled as per-frame pointer arrays into the
+        generated ``<func>_batch`` entry point, which pays the ctypes
+        crossing, thread-team setup, arena reservation and intermediate
+        allocation once for the whole batch.  Outputs are byte-identical
+        to ``len(inputs_list)`` sequential single-frame calls; artifacts
+        cached before batch codegen existed (:attr:`has_batch` False)
+        transparently degrade to exactly that loop.
+
+        Returns one output dict per frame, in submission order.  As in
+        :meth:`__call__`, ``pool`` supplies the zero-filled output
+        buffers and gets them all back if the call raises.
+        """
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        inputs_list = list(inputs_list)
+        n = len(inputs_list)
+        if n == 0:
+            return []
+        if self._batch_fn is None:
+            return [self(param_values, inputs, n_threads=n_threads,
+                         tracer=tracer, pool=pool)
+                    for inputs in inputs_list]
+        params = self._checked_params(param_values)
+        args: list = [ctypes.c_int(n), ctypes.c_int(n_threads)]
+        args += [ctypes.c_long(int(params[p])) for p in self._params]
+
+        arrays = []  # keep per-frame input arrays alive across the call
+        for image in self._images:
+            extents = self._image_extents(image, params)
+            ptrs = (ctypes.c_void_p * n)()
+            for f, inputs in enumerate(inputs_list):
+                array = self._checked_input(image, inputs, extents)
+                arrays.append(array)
+                ptrs[f] = array.ctypes.data
+            args.append(ptrs)
+
+        per_frame_outs: list[list[np.ndarray]] = [[] for _ in range(n)]
+        all_outs: list[np.ndarray] = []
+        for stage in self._outputs:
+            shape = self._output_shape(stage, params)
+            ptrs = (ctypes.c_void_p * n)()
+            for f in range(n):
+                out = self._acquire_output(stage, shape, pool)
+                per_frame_outs[f].append(out)
+                all_outs.append(out)
+                ptrs[f] = out.ctypes.data
+            args.append(ptrs)
+        self._invoke(self._batch_fn, args, tracer, pool, all_outs)
+        return [self._collect_outputs(outs) for outs in per_frame_outs]
 
 
 def compile_artifact(plan: PipelinePlan, *, vectorize: bool = True,

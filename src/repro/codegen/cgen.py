@@ -24,6 +24,14 @@ clamp-free, strength-reduced, CSE'd nests behind a per-tile guard with
 clamped code; scratchpads move from per-invocation ``malloc`` into a
 persistent per-thread arena released via the exported
 ``<func>_release()``.
+
+Every translation unit additionally exports a multi-frame entry point
+``<func>_batch(int n, int nthreads, params..., const T* const*
+in_frames..., T* const* out_frames...)`` that runs the identical
+pipeline body over ``n`` frames while paying the fixed per-call costs
+(thread-team setup, arena reservation, intermediate allocation, the
+ctypes crossing) once — the serving layer coalesces compatible queued
+requests into one such call (``docs/internals.md`` §17).
 """
 
 from __future__ import annotations
@@ -478,6 +486,16 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         self._emit_buffer_geometry()
         self._emit_intermediate_allocs()
 
+        self._emit_group_bodies()
+
+        self._emit_frees()
+        w.close()
+        self._emit_batch_entry()
+        return str(w)
+
+    def _emit_group_bodies(self) -> None:
+        """Every group of the plan, in order, with instrument timers."""
+        w = self.w
         for i, gp in enumerate(self.plan.group_plans):
             w.emit()
             w.emit(f"/* group {i}: "
@@ -492,9 +510,85 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                 # the group loop is serial at this level, so no atomics
                 w.emit(f"repro_group_s[{i}] += repro_now() - _g{i}_t0;")
 
-        self._emit_frees()
+    def _emit_batch_entry(self) -> None:
+        """The multi-frame entry point ``<func>_batch``.
+
+        Same per-frame semantics as the single-frame function — the
+        outputs are byte-identical — but the fixed per-call costs are
+        paid once for the whole batch: one ctypes crossing, one
+        ``omp_set_num_threads``, one arena reservation, and one
+        allocation of the full intermediate buffers (re-zeroed per frame
+        to preserve the single-frame ``calloc`` semantics).  Inputs and
+        outputs arrive as per-frame pointer arrays indexed ``[frame]``;
+        parameter values are shared by every frame in the batch.
+        """
+        w = self.w
+        w.emit()
+        w.emit("/* batch entry point: fixed costs amortized over "
+               "_nframes frames */")
+        args = ["int _nframes", "int _nthreads"]
+        args += [f"long {self.param(p)}" for p in self.params]
+        for img in self.images:
+            args.append(f"const {img.dtype.c_name}* const* "
+                        f"{self.buf(img)}_frames")
+        for out in self.outputs:
+            args.append(f"{out.dtype.c_name}* const* "
+                        f"{self.buf(out)}_frames")
+        w.open(f"void {self.func_name}_batch({', '.join(args)})")
+        w.emit("#ifdef _OPENMP")
+        w.emit("if (_nthreads > 0) omp_set_num_threads(_nthreads);")
+        w.emit("#endif")
+        w.emit("(void)_nthreads;")
+        if self._uses_arena:
+            w.emit("#ifdef _OPENMP")
+            w.emit("repro_arena_reserve(omp_get_max_threads());")
+            w.emit("#else")
+            w.emit("repro_arena_reserve(1);")
+            w.emit("#endif")
+        self._emit_buffer_geometry()
+        # full intermediates: one allocation for the whole batch,
+        # re-zeroed at the top of every frame (calloc parity)
+        output_set = set(self.outputs)
+        inter: list[tuple[str, str, str]] = []
+        for stage, decision in self.plan.storage.items():
+            if decision.kind == SCRATCH or stage in output_set:
+                continue
+            base = self.buf(stage)
+            stage_ir = self.plan.ir[stage]
+            size = " * ".join(f"{base}_n{d}"
+                              for d in range(stage_ir.ndim))
+            ctype = stage.dtype.c_name
+            w.emit(f"{ctype}* {base} = ({ctype}*)malloc({size} * "
+                   f"sizeof({ctype}));")
+            inter.append((base, size, ctype))
+        w.open("for (int _f = 0; _f < _nframes; _f++)")
+        for img in self.images:
+            base = self.buf(img)
+            w.emit(f"const {img.dtype.c_name}* restrict {base} = "
+                   f"{base}_frames[_f];")
+        for out in self.outputs:
+            base = self.buf(out)
+            w.emit(f"{out.dtype.c_name}* restrict {base} = "
+                   f"{base}_frames[_f];")
+        for base, size, ctype in inter:
+            w.emit(f"memset({base}, 0, {size} * sizeof({ctype}));")
+        if self.plan.options.specialize:
+            if self.outputs:
+                w.emit("/* outputs: caller provides zero-filled "
+                       "buffers (see the single-frame ABI) */")
+        else:
+            for out in self.outputs:
+                base = self.buf(out)
+                stage_ir = self.plan.ir[out]
+                size = " * ".join(f"{base}_n{d}"
+                                  for d in range(stage_ir.ndim))
+                w.emit(f"memset({base}, 0, {size} * "
+                       f"sizeof({out.dtype.c_name}));")
+        self._emit_group_bodies()
         w.close()
-        return str(w)
+        for base, _, _ in inter:
+            w.emit(f"free({base});")
+        w.close()
 
     def _emit_instrument_globals(self) -> None:
         """Stats storage and the exported accessor / reset functions."""

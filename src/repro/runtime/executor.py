@@ -196,6 +196,39 @@ def execute_plan(plan: PipelinePlan,
     return outputs
 
 
+def execute_plan_batch(plan: PipelinePlan,
+                       param_values: Mapping[Parameter, int],
+                       inputs_list,
+                       *, vectorize: bool = True,
+                       n_threads: int = 1,
+                       tracer: Tracer | None = None,
+                       deadline=None,
+                       out_pool=None) -> list[dict[str, np.ndarray]]:
+    """Run a batch of frames sharing one set of parameter values.
+
+    The interpreter has no fixed per-call cost worth amortizing, so this
+    is simply ``len(inputs_list)`` sequential :func:`execute_plan` calls
+    — it exists as the differential-checking twin of
+    :meth:`repro.codegen.build.NativePipeline.run_batch` and obeys the
+    same contract: one output dict per frame, in order, byte-identical
+    to the single-frame path.  On an exception, outputs of frames that
+    already completed are released back to ``out_pool``.
+    """
+    results: list[dict[str, np.ndarray]] = []
+    try:
+        for inputs in inputs_list:
+            results.append(execute_plan(
+                plan, param_values, inputs, vectorize=vectorize,
+                n_threads=n_threads, tracer=tracer, deadline=deadline,
+                out_pool=out_pool))
+    except BaseException:
+        if out_pool is not None:
+            for outputs in results:
+                out_pool.release(*outputs.values())
+        raise
+    return results
+
+
 # ---------------------------------------------------------------------------
 # Untiled execution
 # ---------------------------------------------------------------------------

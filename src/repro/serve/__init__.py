@@ -19,7 +19,11 @@ to native when it is ready, and falls back to the interpreter — counting
 every degradation — if the build fails, the artifact cannot be loaded,
 or native calls keep erroring.  ``submit`` on a full queue raises
 :class:`Overloaded`; frames that miss their deadline fail with
-:class:`DeadlineExceeded`.  See ``docs/internals.md`` §16.
+:class:`DeadlineExceeded`.  Under load, compatible queued requests
+(same params, same input shapes/dtypes) are coalesced into one batched
+native call (``max_batch=``/``coalesce=``) — late members are dropped
+individually, never the whole batch.  See ``docs/internals.md``
+§16–17.
 
 Demo: ``python -m repro.serve --app harris``.
 """

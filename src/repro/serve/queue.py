@@ -13,6 +13,7 @@ accepted (or hands the backlog back for cancellation with
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Iterable, TypeVar
 
@@ -72,14 +73,43 @@ class BoundedQueue:
 
         Raises :class:`QueueClosed` once the queue is closed *and*
         drained, and :class:`TimeoutError` if ``timeout`` elapses first.
+
+        ``timeout`` is a budget for the whole call: the expiry is
+        computed once and every ``Condition.wait`` gets only the
+        *remaining* time, so a spurious wakeup — or a notify consumed by
+        a faster sibling consumer — cannot restart the clock and stall
+        the caller past its budget.
         """
+        expiry = (None if timeout is None
+                  else time.monotonic() + timeout)
         with self._not_empty:
             while not self._items:
                 if self._closed:
                     raise QueueClosed
-                if not self._not_empty.wait(timeout):
+                if expiry is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = expiry - time.monotonic()
+                if remaining <= 0 or not self._not_empty.wait(remaining):
                     raise TimeoutError("queue.get timed out")
             return self._items.popleft()
+
+    def take_while(self, pred, max_n: int) -> list:
+        """Pop up to ``max_n - 1`` additional head items matching ``pred``.
+
+        The coalescing window: called by a worker that already holds one
+        request, it atomically pops consecutive head items for which
+        ``pred(item)`` is true, stopping at the first mismatch (FIFO
+        order is preserved — nothing behind a non-matching item is
+        taken).  Never blocks; returns ``[]`` when the queue is empty or
+        the head does not match.
+        """
+        taken: list = []
+        with self._lock:
+            while (len(taken) < max_n - 1 and self._items
+                   and pred(self._items[0])):
+                taken.append(self._items.popleft())
+        return taken
 
     def close(self, drain: bool = True) -> list:
         """Stop accepting submissions and wake all blocked consumers.

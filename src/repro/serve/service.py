@@ -25,6 +25,14 @@ into a long-lived, thread-based execution service:
   come from a per-service :class:`~repro.runtime.buffers.BufferPool`;
   steady-state serving recycles every buffer (callers hand arrays back
   with :meth:`Frame.release`).
+* **Request coalescing** — once the native artifact is serving, a worker
+  that dequeues a frame opportunistically pops consecutive *compatible*
+  queued requests (same parameter values, same input shapes/dtypes) and
+  serves them through one ``NativePipeline.run_batch`` call, amortizing
+  the ctypes crossing, thread-team wakeup and arena setup that dominate
+  small-frame latency.  Per-request deadlines survive batching: members
+  already late are failed before the call, and late members are dropped
+  individually on return.  See ``docs/internals.md`` §17.
 """
 
 from __future__ import annotations
@@ -89,7 +97,15 @@ class Frame:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Snapshot of a service's counters, rates and latency distribution."""
+    """Snapshot of a service's counters, rates and latency distribution.
+
+    ``submitted`` counts only *accepted* enqueues — a rejected
+    submission increments ``rejected`` alone, so
+    ``submitted == accepted`` and ``completed / submitted`` measures
+    accepted throughput.  ``batches``/``batched_frames`` count coalesced
+    native dispatches of two or more frames and the frames they carried;
+    singleton dispatches contribute to neither.
+    """
 
     name: str
     backend: str
@@ -101,6 +117,8 @@ class ServiceStats:
     cancelled: int
     native_frames: int
     interp_frames: int
+    batches: int
+    batched_frames: int
     fallbacks: dict[str, int]
     queue_depth: int
     inflight: int
@@ -109,11 +127,14 @@ class ServiceStats:
 
     @property
     def accepted(self) -> int:
-        return self.submitted - self.rejected
+        # submitted is counted on successful enqueue only, so the two
+        # are synonymous; kept for callers of the old name
+        return self.submitted
 
     @property
     def rejection_rate(self) -> float:
-        return self.rejected / self.submitted if self.submitted else 0.0
+        offered = self.submitted + self.rejected
+        return self.rejected / offered if offered else 0.0
 
     @property
     def timeout_rate(self) -> float:
@@ -123,6 +144,11 @@ class ServiceStats:
     def native_rate(self) -> float:
         return self.native_frames / self.completed if self.completed else 0.0
 
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean frames per coalesced batch (0.0 while nothing batched)."""
+        return self.batched_frames / self.batches if self.batches else 0.0
+
     def as_dict(self) -> dict:
         return {
             "name": self.name, "backend": self.backend,
@@ -131,6 +157,9 @@ class ServiceStats:
             "failures": self.failures, "cancelled": self.cancelled,
             "native_frames": self.native_frames,
             "interp_frames": self.interp_frames,
+            "batches": self.batches,
+            "batched_frames": self.batched_frames,
+            "mean_batch_size": self.mean_batch_size,
             "fallbacks": dict(self.fallbacks),
             "queue_depth": self.queue_depth, "inflight": self.inflight,
             "rejection_rate": self.rejection_rate,
@@ -155,6 +184,9 @@ class ServiceStats:
             f"({self.rejection_rate * 100.0:.1f}%), "
             f"{self.timeouts} deadline-exceeded, {self.failures} failed, "
             f"{self.cancelled} cancelled; fallbacks: {fb}",
+            f"  batching: {self.batched_frames} frames in "
+            f"{self.batches} batches "
+            f"(mean size {self.mean_batch_size:.1f})",
             f"  latency: p50 {lat.get('p50_ms', 0.0):.2f} ms, "
             f"p90 {lat.get('p90_ms', 0.0):.2f} ms, "
             f"p99 {lat.get('p99_ms', 0.0):.2f} ms "
@@ -207,6 +239,13 @@ class PipelineService:
     pool:
         ``True`` (default) pools output/intermediate buffers per
         service; ``False`` allocates per frame.
+    max_batch:
+        Upper bound on frames coalesced into one native batch call
+        (``1`` disables coalescing).  The batching window is whatever
+        the bounded queue already holds — no artificial delay is added.
+    coalesce:
+        ``False`` turns request coalescing off regardless of
+        ``max_batch``; frames are then always dispatched one at a time.
     build_kwargs:
         Forwarded to :func:`repro.codegen.build.build_native`
         (``vectorize``, ``instrument``, ``cache_dir``, ...).
@@ -220,6 +259,8 @@ class PipelineService:
                  n_threads: int = 1,
                  vectorize: bool = True,
                  pool: bool = True,
+                 max_batch: int = 8,
+                 coalesce: bool = True,
                  max_native_errors: int = 3,
                  build_kwargs: Mapping | None = None,
                  name: str | None = None,
@@ -230,12 +271,16 @@ class PipelineService:
                 f"got {backend!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.plan = compiled.plan
         self.name = name or getattr(compiled, "name", "pipeline")
         self.backend_mode = backend
         self.default_deadline_s = default_deadline_s
         self._n_threads = n_threads
         self._vectorize = vectorize
+        self._max_batch = max_batch
+        self._coalesce = coalesce and max_batch > 1
         self._tracer = tracer if tracer is not None else get_tracer()
         self._pool = BufferPool() if pool else None
         self._queue = BoundedQueue(max_queue)
@@ -251,6 +296,7 @@ class PipelineService:
             "submitted": 0, "completed": 0, "rejected": 0,
             "timeouts": 0, "failures": 0, "cancelled": 0,
             "native_frames": 0, "interp_frames": 0, "inflight": 0,
+            "batches": 0, "batched_frames": 0,
         }
         self._closed = False
         self._close_lock = threading.Lock()
@@ -309,7 +355,9 @@ class PipelineService:
         future: Future = Future()
         request = _Request(dict(param_values), dict(inputs), deadline,
                            future)
-        self._count("submitted")
+        # count submitted only once the queue has the request — a
+        # rejected submission must inflate neither submitted nor the
+        # completed/submitted throughput ratio
         try:
             self._queue.put(request)
         except Overloaded:
@@ -318,6 +366,7 @@ class PipelineService:
         except ServiceClosed:
             self._count("rejected")
             raise
+        self._count("submitted")
         return future
 
     def run(self, param_values, inputs, *,
@@ -335,18 +384,167 @@ class PipelineService:
                 request = self._queue.get()
             except QueueClosed:
                 return
-            self._gate.wait()
-            self._count("inflight")
+            if not self._pass_gate(request):
+                continue
+            requests = [request] + self._coalesce_window(request)
+            self._count("inflight", len(requests))
             try:
-                self._handle(request)
+                if len(requests) == 1:
+                    self._handle(request)
+                else:
+                    self._handle_batch(requests)
             finally:
-                self._count("inflight", -1)
+                self._count("inflight", -len(requests))
+
+    def _pass_gate(self, request: _Request) -> bool:
+        """Wait out a pause *without* letting the request's deadline burn
+        silently.
+
+        A worker can dequeue a frame and then find the service paused.
+        Blocking on the bare gate here would strand an accepted frame
+        whose deadline keeps ticking; instead the wait is bounded by the
+        deadline, and an expired request fails promptly with
+        :class:`DeadlineExceeded` so the caller learns within its budget.
+        Returns False when the frame was failed (the worker moves on).
+        """
+        deadline = request.deadline
+        if deadline is None:
+            self._gate.wait()
+            return True
+        while not self._gate.wait(deadline.remaining()):
+            if deadline.expired():
+                if request.future.set_running_or_notify_cancel():
+                    self._count("timeouts")
+                    request.future.set_exception(DeadlineExceeded(
+                        "paused at gate", -deadline.remaining()))
+                else:
+                    self._count("cancelled")
+                return False
+        # the gate reopened in time; _handle re-checks the deadline
+        # before running ("queue wait"), covering the reopened-too-late
+        # window as well
+        return True
+
+    # -- coalescing --------------------------------------------------------
+    def _coalesce_window(self, request: _Request) -> list:
+        """Pop queued requests batchable with ``request`` (maybe none).
+
+        Coalescing only pays when the *native* batch entry point will
+        serve the frames — interpreter batching would serialize frames
+        that parallel workers could overlap — so the window stays shut
+        until the policy is in the native state with a batch-capable
+        artifact.
+        """
+        if not self._coalesce:
+            return []
+        self._poll_build()
+        backend, native = self._policy.backend_for_frame()
+        if backend != NATIVE or not getattr(native, "has_batch", False):
+            return []
+        return self._queue.take_while(
+            lambda other: self._batchable(request, other),
+            self._max_batch)
+
+    @staticmethod
+    def _batchable(request: _Request, other: _Request) -> bool:
+        """Same param values and same input shapes/dtypes?"""
+        if other.params != request.params:
+            return False
+        if other.inputs.keys() != request.inputs.keys():
+            return False
+        for image, array in request.inputs.items():
+            candidate = other.inputs[image]
+            if np.shape(candidate) != np.shape(array):
+                return False
+            if (getattr(candidate, "dtype", None)
+                    != getattr(array, "dtype", None)):
+                return False
+        return True
+
+    def _handle_batch(self, requests: list) -> None:
+        """Serve coalesced requests through one native batch call.
+
+        Deadline semantics: members already expired fail before the
+        call; the call itself cannot be interrupted, so on return each
+        member's deadline is re-checked and *late members are dropped
+        individually* — one slow batch never silently extends anyone's
+        budget.  If the native call fails (or the window closed between
+        take and dispatch), every claimed member is re-served through
+        the ordinary single-frame path with its own fallback handling.
+        """
+        live = []
+        for request in requests:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                self._count("cancelled")
+        ready = []
+        for request in live:
+            deadline = request.deadline
+            if deadline is not None and deadline.expired():
+                self._count("timeouts")
+                request.future.set_exception(
+                    DeadlineExceeded("queue wait", -deadline.remaining()))
+            else:
+                ready.append(request)
+        if not ready:
+            return
+        self._poll_build()
+        backend, native = self._policy.backend_for_frame()
+        if (len(ready) == 1 or backend != NATIVE
+                or not getattr(native, "has_batch", False)):
+            for request in ready:
+                self._execute(request)
+            return
+        try:
+            with self._tracer.span(f"serve.{self.name}.batch",
+                                   cat="serve", n_frames=len(ready)):
+                outputs_list = native.run_batch(
+                    ready[0].params,
+                    [request.inputs for request in ready],
+                    n_threads=self._n_threads, tracer=self._tracer,
+                    pool=self._pool)
+            self._policy.note_native_ok()
+        except Exception as exc:
+            # crash-free native failure: re-serve each member alone so
+            # a bad frame only sinks itself
+            self._policy.note_native_error(exc)
+            self._count("fallbacks")
+            for request in ready:
+                self._execute(request)
+            return
+        self._count("batches")
+        self._count("batched_frames", len(ready))
+        now = time.monotonic()
+        done = 0
+        for request, outputs in zip(ready, outputs_list):
+            deadline = request.deadline
+            if deadline is not None and deadline.expired():
+                if self._pool is not None:
+                    self._pool.release(
+                        *{id(a): a for a in outputs.values()}.values())
+                self._count("timeouts")
+                request.future.set_exception(DeadlineExceeded(
+                    "after batched native call", -deadline.remaining()))
+                continue
+            latency = now - request.submitted_at
+            self._latency.record(latency)
+            done += 1
+            request.future.set_result(
+                Frame(outputs, NATIVE, latency, self._pool))
+        if done:
+            self._count("completed", done)
+            self._count("native_frames", done)
 
     def _handle(self, request: _Request) -> None:
-        future = request.future
-        if not future.set_running_or_notify_cancel():
+        if not request.future.set_running_or_notify_cancel():
             self._count("cancelled")
             return
+        self._execute(request)
+
+    def _execute(self, request: _Request) -> None:
+        """Run one claimed request (its future is already RUNNING)."""
+        future = request.future
         deadline = request.deadline
         with self._tracer.span(f"serve.{self.name}.frame", cat="serve"):
             self._poll_build()
@@ -453,6 +651,8 @@ class PipelineService:
             cancelled=counts["cancelled"],
             native_frames=counts["native_frames"],
             interp_frames=counts["interp_frames"],
+            batches=counts["batches"],
+            batched_frames=counts["batched_frames"],
             fallbacks=self._policy.fallbacks(),
             queue_depth=len(self._queue),
             inflight=counts["inflight"],

@@ -66,6 +66,10 @@ class PipelineSpec:
     tile_sizes: tuple[int, int]
     overlap_threshold: float = 0.4
     specialize: bool = True
+    #: 0 = skip the batch leg; N >= 2 additionally checks that
+    #: ``run_batch`` over N random frames is bit-identical to N
+    #: sequential single-frame calls, on both backends
+    batch: int = 0
 
     def options(self) -> CompileOptions:
         opts = CompileOptions.optimized(self.tile_sizes)
@@ -120,8 +124,9 @@ def random_spec(rng: np.random.Generator) -> PipelineSpec:
     tiles = (int(rng.choice(TILE_CHOICES)), int(rng.choice(TILE_CHOICES)))
     threshold = float(rng.choice(THRESHOLD_CHOICES))
     specialize = bool(rng.random() < 0.85)
+    batch = int(rng.integers(2, 6)) if rng.random() < 0.4 else 0
     return PipelineSpec(rows, cols, tuple(stages), tiles, threshold,
-                        specialize)
+                        specialize, batch)
 
 
 def build_pipeline(spec: PipelineSpec):
@@ -213,6 +218,23 @@ def check_spec(spec: PipelineSpec, *, native: bool = True,
         return (f"tiled interpreter diverges from untiled at "
                 f"{len(bad)} points, first {tuple(bad[0])}: "
                 f"{got[tuple(bad[0])]} vs {want[tuple(bad[0])]}")
+
+    frames = []
+    if spec.batch >= 2:
+        frame_rng = np.random.default_rng(11)
+        frames = [{image: make_input(spec, frame_rng)}
+                  for _ in range(spec.batch)]
+        try:
+            seq = [compiled(values, frame)[out_name] for frame in frames]
+            bat = [r[out_name]
+                   for r in compiled.run_batch(values, frames)]
+        except Exception as exc:
+            return f"interp batch: {type(exc).__name__}: {exc}"
+        for i, (a, b) in enumerate(zip(seq, bat)):
+            if not np.array_equal(a, b):
+                return (f"interpreter run_batch(n={spec.batch}) is not "
+                        f"bit-identical to sequential calls at frame {i}")
+
     if native:
         from repro.codegen.build import build_native
         try:
@@ -226,6 +248,18 @@ def check_spec(spec: PipelineSpec, *, native: bool = True,
             return (f"native diverges from interpreter at {len(bad)} "
                     f"points, first {tuple(bad[0])}: "
                     f"{got_nat[tuple(bad[0])]} vs {got[tuple(bad[0])]}")
+        if frames:
+            try:
+                seq_n = [nat(values, frame)[out_name] for frame in frames]
+                bat_n = [r[out_name]
+                         for r in nat.run_batch(values, frames)]
+            except Exception as exc:
+                return f"native batch: {type(exc).__name__}: {exc}"
+            for i, (a, b) in enumerate(zip(seq_n, bat_n)):
+                if not np.array_equal(a, b):
+                    return (f"native run_batch(n={spec.batch}) is not "
+                            f"bit-identical to sequential calls at "
+                            f"frame {i}")
     return None
 
 
@@ -285,6 +319,10 @@ def shrink_candidates(spec: PipelineSpec):
             yield replace(spec, stages=spec.stages[:i] + (solo,)
                           + spec.stages[i + 1:])
     # tame the configuration
+    if spec.batch > 2:
+        yield replace(spec, batch=2)
+    if spec.batch:
+        yield replace(spec, batch=0)
     if spec.tile_sizes != (32, 32):
         yield replace(spec, tile_sizes=(32, 32))
     if not spec.specialize:
