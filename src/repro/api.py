@@ -107,6 +107,14 @@ class CompiledPipeline:
         :class:`~repro.serve.PipelineService` (``workers``,
         ``max_queue``, ``backend``, ``default_deadline_s``, ...).
         Close it (or use it as a context manager) when done.
+
+        Observability knobs ride along in ``config``: every request is
+        stamped with a lifecycle timeline (``frame.timeline()``),
+        ``events_path=`` streams lifecycle events to a JSON-lines file,
+        ``sample_rate=`` promotes a deterministic subset of requests to
+        Chrome-trace async spans, and
+        ``service.serve_metrics(port=...)`` exposes counters and
+        per-stage latency histograms in Prometheus text format.
         """
         from repro.serve import PipelineService
         config.setdefault("name", self.name)

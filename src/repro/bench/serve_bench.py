@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench.serve_bench [--app harris] [--scale small]
         [--frames 120] [--clients 4] [--workers 2] [--threads 1]
         [--backend auto] [--warmup 16] [--max-batch 8] [--no-coalesce]
+        [--events events.jsonl] [--metrics-port 0]
+        [--metrics-out metrics.prom] [--sample-rate 0.0]
         [--json BENCH_serve.json]
 
 Streams frames through one :class:`~repro.serve.PipelineService` from
@@ -16,7 +18,15 @@ reports the serving-centric numbers single-shot benchmarks hide:
   what a caller experiences, unlike per-call kernel time),
 * the **pool hit rate across the measured window only** — steady-state
   serving should allocate nothing, so after warmup the rate must be
-  100% (asserted into the JSON, not just printed).
+  100% (asserted into the JSON, not just printed),
+* the **server-side stage breakdown** (queue_wait / batch_wait /
+  execute / total medians from the service's lifecycle histograms) so a
+  latency regression points at the guilty stage, not just the total.
+
+``--events PATH`` streams every lifecycle event to a JSON-lines file;
+``--metrics-port N`` starts the Prometheus endpoint during the run,
+scrapes it after the measured phase, validates the exposition text and
+records the result (``--metrics-out`` keeps the scraped text).
 
 The warmup phase batch-submits all its frames and holds every result
 until the last completes before releasing them: the pool ends warmup
@@ -73,10 +83,36 @@ def _run_phase(service: PipelineService, instance, clients: int,
     return errors
 
 
+def _scrape_metrics(service) -> dict:
+    """Scrape the service's own metrics endpoint over HTTP (stdlib
+    urllib) and validate the exposition text; returns the scrape record
+    (including the raw text for ``--metrics-out``)."""
+    import urllib.request
+
+    from repro.observe.export import validate_exposition_text
+
+    server = service.serve_metrics()
+    with urllib.request.urlopen(server.url, timeout=10) as resp:
+        text = resp.read().decode("utf-8")
+        content_type = resp.headers.get("Content-Type", "")
+    problems = validate_exposition_text(text)
+    return {
+        "url": server.url,
+        "content_type": content_type,
+        "bytes": len(text),
+        "problems": problems,
+        "scrape_ok": not problems,
+        "text": text,
+    }
+
+
 def bench_serving(app: str, scale: str, *, frames: int, clients: int,
                   workers: int, n_threads: int, backend: str,
                   warmup: int, max_batch: int = 8,
-                  coalesce: bool = True) -> dict:
+                  coalesce: bool = True,
+                  events_path: str | None = None,
+                  metrics_port: int | None = None,
+                  sample_rate: float = 0.0) -> dict:
     """Benchmark one app behind a service; returns the JSON record."""
     instance = make_instance(app, scale)
     options = CompileOptions.optimized(DEFAULT_TILES[app])
@@ -92,9 +128,12 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
     with PipelineService(compiled, workers=workers, backend=backend,
                          max_queue=max(64, clients * 4, warmup),
                          max_batch=max_batch, coalesce=coalesce,
-                         n_threads=n_threads) as service:
+                         n_threads=n_threads, events_path=events_path,
+                         sample_rate=sample_rate) as service:
         if backend != "interpreter":
             service.wait_ready()
+        if metrics_port is not None:
+            service.serve_metrics(port=metrics_port)
 
         # batch-submit and hold every warmup frame so the pool ends
         # warmup owning `warmup` buffer sets (see module docstring)
@@ -118,6 +157,8 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
 
         stats = service.stats()
         pool_after = stats.pool
+        scrape = _scrape_metrics(service) \
+            if metrics_port is not None else None
 
     measured = per_client * clients - len(errors)
     hits = pool_after.get("hits", 0) - pool_before.get("hits", 0)
@@ -142,12 +183,14 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
             "mean_batch_size": stats.mean_batch_size,
         },
         "latency_ms": latency,
+        "stages": stats.to_dict()["stages"],
         "pool_window": {
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / (hits + misses) if hits + misses else 1.0,
         },
         "service": stats.as_dict(),
+        "metrics_scrape": scrape,
         "errors": warm_errors + errors,
     }
 
@@ -172,15 +215,39 @@ def main(argv=None) -> int:
                              "call (1 disables)")
     parser.add_argument("--no-coalesce", action="store_true",
                         help="disable request coalescing entirely")
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="stream lifecycle events to this "
+                             "JSON-lines file")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose and scrape the Prometheus metrics "
+                             "endpoint during the run (0 = ephemeral)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the scraped exposition text here "
+                             "(implies --metrics-port 0)")
+    parser.add_argument("--sample-rate", type=float, default=0.0,
+                        help="fraction of requests promoted to "
+                             "Chrome-trace async spans")
     parser.add_argument("--json", default="BENCH_serve.json",
                         help="output path (default BENCH_serve.json)")
     args = parser.parse_args(argv)
+    metrics_port = args.metrics_port
+    if metrics_port is None and args.metrics_out is not None:
+        metrics_port = 0
 
     record = bench_serving(args.app, args.scale, frames=args.frames,
                            clients=args.clients, workers=args.workers,
                            n_threads=args.threads, backend=args.backend,
                            warmup=args.warmup, max_batch=args.max_batch,
-                           coalesce=not args.no_coalesce)
+                           coalesce=not args.no_coalesce,
+                           events_path=args.events,
+                           metrics_port=metrics_port,
+                           sample_rate=args.sample_rate)
+    scrape = record.get("metrics_scrape")
+    if scrape is not None:
+        text = scrape.pop("text")  # keep BENCH_serve.json small
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(text)
     doc = {
         "benchmark": "serving",
         "machine": {
@@ -204,9 +271,24 @@ def main(argv=None) -> int:
     print(f"  batching: {batching['batched_frames']} frames in "
           f"{batching['batches']} batches "
           f"(mean size {batching['mean_batch_size']:.1f})")
+    stages = record["stages"]
+    if any(s.get("count") for s in stages.values()):
+        print("  stages (p50 ms): " + ", ".join(
+            f"{name} {stages[name]['p50_ms']:.2f}"
+            for name in ("queue_wait", "batch_wait", "execute", "total")
+            if name in stages and stages[name]["count"]))
     print(f"  pool (measured window): {pool['hits']} hits / "
           f"{pool['misses']} misses "
           f"({pool['hit_rate'] * 100.0:.1f}% hit rate)")
+    if scrape is not None:
+        verdict = "ok" if scrape["scrape_ok"] else \
+            f"INVALID ({len(scrape['problems'])} problem(s))"
+        print(f"  metrics scrape: {verdict}, {scrape['bytes']} bytes "
+              f"from {scrape['url']}")
+    if args.events:
+        print(f"  events streamed to {args.events}")
+    if args.metrics_out and scrape is not None:
+        print(f"  exposition text written to {args.metrics_out}")
     if record["errors"]:
         print(f"  {len(record['errors'])} frame error(s), first: "
               f"{record['errors'][0]}")

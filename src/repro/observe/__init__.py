@@ -1,4 +1,4 @@
-"""End-to-end observability: tracing, metrics, and plan explanation.
+"""End-to-end observability: tracing, metrics, events, and exposition.
 
 Everything here is dependency-free and dormant by default — a disabled
 :class:`Tracer` costs one attribute check per instrumentation point.
@@ -12,16 +12,28 @@ Typical use::
         compiled(values, inputs)
     print(tracer.render_tree())
     tracer.write_chrome("trace.json")   # chrome://tracing / Perfetto
+
+The serving runtime adds request-lifecycle observability on top:
+:class:`EventLog`/:class:`Timeline` record per-request event timelines
+(:mod:`repro.observe.events`), :class:`Histogram` holds mergeable
+per-stage latency distributions, and :mod:`repro.observe.export`
+renders any :class:`MetricsRegistry` as Prometheus text — scrapeable
+via ``service.serve_metrics(port=...)`` or aggregatable offline with
+``python -m repro.observe.export``.
 """
 
 from repro.observe.decisions import DecisionLog, MergeDecision
-from repro.observe.metrics import LatencyWindow, MetricsRegistry
+from repro.observe.events import Event, EventLog, Timeline
+from repro.observe.metrics import (
+    Histogram, LatencyWindow, MetricsRegistry, default_latency_buckets,
+)
 from repro.observe.trace import (
     Span, Tracer, get_tracer, set_tracer, tracing, validate_chrome_trace,
 )
 
 __all__ = [
-    "DecisionLog", "LatencyWindow", "MergeDecision", "MetricsRegistry",
-    "Span", "Tracer", "get_tracer", "set_tracer", "tracing",
+    "DecisionLog", "Event", "EventLog", "Histogram", "LatencyWindow",
+    "MergeDecision", "MetricsRegistry", "Span", "Timeline", "Tracer",
+    "default_latency_buckets", "get_tracer", "set_tracer", "tracing",
     "validate_chrome_trace",
 ]

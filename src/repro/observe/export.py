@@ -1,0 +1,344 @@
+"""Metrics exposition: Prometheus text format, HTTP endpoint, CLI.
+
+Renders a :class:`~repro.observe.metrics.MetricsRegistry` snapshot in
+the Prometheus text exposition format (version 0.0.4) — counters,
+gauges, and histograms with the full ``_bucket``/``_sum``/``_count``
+series — entirely from the stdlib::
+
+    text = registry.expose_text(prefix="repro_serve_")
+
+:class:`MetricsServer` wraps that in a tiny threaded HTTP endpoint
+(``service.serve_metrics(port=9464)`` → ``GET /metrics``), and
+:func:`validate_exposition_text` is the matching checker (bucket
+monotonicity, ``+Inf``-equals-``_count`` consistency) used by tests and
+the CI scrape step, mirroring ``validate_chrome_trace``.
+
+The CLI aggregates per-process registry snapshots — the cross-process
+story multi-worker sharding needs::
+
+    python -m repro.observe.export shard0.json shard1.json  # merged text
+    python -m repro.observe.export --check metrics.prom     # validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable
+
+from repro.observe.metrics import Histogram
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into the Prometheus charset
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``); dots and dashes become ``_``."""
+    cleaned = _SANITIZE.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Format a sample value: integral floats print as integers,
+    infinities as +Inf/-Inf."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(snapshot: dict, prefix: str = "") -> str:
+    """Render a ``MetricsRegistry.as_dict()`` snapshot as Prometheus
+    text.
+
+    Counters gain the conventional ``_total`` suffix (unless already
+    present); histograms emit the cumulative ``_bucket{le=...}`` series
+    ending at ``le="+Inf"`` plus ``_sum`` and ``_count``.  Output is
+    sorted by metric name, so renders are stable and diffable.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prefix + sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = prefix + sanitize_metric_name(name)
+        hist = Histogram.from_dict(snapshot["histograms"][name])
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, cumulative in hist.bucket_counts():
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Aggregate registry snapshots: counters add, gauges last-write-
+    wins, histograms merge bucket-exactly.  The cross-process primitive:
+    each worker dumps ``registry.as_dict()``, the aggregator merges and
+    re-exposes."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snapshot.get("gauges", {}))
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = Histogram.from_dict(data)
+            if name in histograms:
+                histograms[name].merge(incoming)
+            else:
+                histograms[name] = incoming
+    merged: dict = {"counters": counters, "gauges": gauges}
+    if histograms:
+        merged["histograms"] = {name: h.to_dict()
+                                for name, h in histograms.items()}
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Exposition-text validation (tests + CI scrape step)
+# ---------------------------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$')
+_LE = re.compile(r'le="(?P<le>[^"]+)"')
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def validate_exposition_text(text: str) -> list[str]:
+    """Check Prometheus exposition text for structural consistency.
+
+    Returns a list of problems (empty = valid).  Validates the subset
+    :func:`render_exposition` emits: parseable sample lines, known
+    ``# TYPE`` kinds, and for every histogram — cumulative bucket
+    monotonicity, a terminal ``le="+Inf"`` bucket, and the sample
+    consistency invariants ``+Inf bucket == _count`` and
+    ``_count == 0 ⇒ _sum == 0``.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    seen_any = False
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    problems.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                _, _, metric, kind = parts
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    problems.append(
+                        f"line {lineno}: unknown metric type {kind!r}")
+                types[metric] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        seen_any = True
+        name = match.group("name")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {match.group('value')!r}")
+            continue
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            le_match = _LE.search(match.group("labels") or "")
+            if le_match is None:
+                problems.append(
+                    f"line {lineno}: histogram bucket without le label")
+                continue
+            try:
+                bound = _parse_value(le_match.group("le"))
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: bad le value {le_match.group('le')!r}")
+                continue
+            buckets.setdefault(base, []).append((bound, value))
+        elif name.endswith("_sum"):
+            sums[name[: -len("_sum")]] = value
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = value
+
+    if not seen_any:
+        problems.append("no samples found")
+
+    for base, series in buckets.items():
+        bounds = [b for b, _ in series]
+        values = [v for _, v in series]
+        if bounds != sorted(bounds):
+            problems.append(f"{base}: bucket bounds not ascending")
+        for earlier, later in zip(values, values[1:]):
+            if later < earlier:
+                problems.append(
+                    f"{base}: cumulative bucket counts decrease "
+                    f"({earlier} -> {later})")
+                break
+        if not bounds or bounds[-1] != math.inf:
+            problems.append(f"{base}: missing le=\"+Inf\" bucket")
+        elif base in counts and values[-1] != counts[base]:
+            problems.append(
+                f"{base}: +Inf bucket {values[-1]} != _count "
+                f"{counts[base]}")
+        if base not in sums:
+            problems.append(f"{base}: missing _sum sample")
+        if base not in counts:
+            problems.append(f"{base}: missing _count sample")
+        elif counts[base] == 0 and sums.get(base, 0) != 0:
+            problems.append(
+                f"{base}: _count is 0 but _sum is {sums.get(base)}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# HTTP exposition endpoint (stdlib-only)
+# ---------------------------------------------------------------------------
+
+class MetricsServer:
+    """Threaded HTTP endpoint serving ``render()`` at every GET.
+
+    ``render`` is called per scrape on the server thread, so gauges can
+    be refreshed lazily.  ``port=0`` binds an ephemeral port (read it
+    back from :attr:`port`).  Daemon-threaded; :meth:`close` shuts the
+    listener down.
+    """
+
+    def __init__(self, render: Callable[[], str],
+                 host: str = "127.0.0.1", port: int = 0):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - http.server API
+                try:
+                    body = server._render().encode("utf-8")
+                    status = 200
+                except Exception as exc:  # noqa: BLE001 - surfaced as 500
+                    body = f"# render error: {exc}\n".encode("utf-8")
+                    status = 500
+                self.send_response(status)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args):  # silence per-request spam
+                pass
+
+        self._render = render
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="repro-metrics-exposition")
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI: merge snapshots / validate exposition text
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe.export",
+        description="Render (and merge) MetricsRegistry JSON snapshots "
+                    "as Prometheus text, or validate exposition text.")
+    parser.add_argument("snapshots", nargs="*",
+                        help="registry as_dict() JSON files to merge "
+                             "and render")
+    parser.add_argument("--prefix", default="",
+                        help="metric name prefix (e.g. repro_serve_)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate a Prometheus text file instead "
+                             "of rendering; exits 1 on problems")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write rendered text here instead of stdout")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        text = Path(args.check).read_text()
+        problems = validate_exposition_text(text)
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}", file=sys.stderr)
+            return 1
+        samples = sum(1 for line in text.splitlines()
+                      if line and not line.startswith("#"))
+        print(f"{args.check}: OK ({samples} samples)")
+        return 0
+
+    if not args.snapshots:
+        parser.error("provide snapshot files to render, or --check FILE")
+    merged = merge_snapshots(
+        [json.loads(Path(p).read_text()) for p in args.snapshots])
+    text = render_exposition(merged, prefix=args.prefix)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._local = threading.local()
+        self._thread_names: dict[int, str] = {}
+        self._async_events: list[dict] = []
 
     # -- spans -------------------------------------------------------------
     def span(self, name: str, cat: str = "", **args) -> Span | _NullSpan:
@@ -122,6 +124,59 @@ class Tracer:
             with self._lock:
                 self._roots.append(span)
 
+    # -- thread names ------------------------------------------------------
+    def name_thread(self, name: str | None = None) -> None:
+        """Label the calling thread in Chrome-trace exports.
+
+        Emitted as ``ph: "M"`` / ``thread_name`` metadata events by
+        :meth:`to_chrome`, so serve worker threads show up by name in
+        chrome://tracing instead of as bare TIDs.  Defaults to the
+        Python thread's own name; last write per thread wins.
+        """
+        if not self.enabled:
+            return
+        if name is None:
+            name = threading.current_thread().name
+        with self._lock:
+            self._thread_names[threading.get_ident()] = name
+
+    # -- async (cross-thread) spans ----------------------------------------
+    def _async_event(self, ph: str, name: str, aid, cat: str,
+                     args: dict) -> None:
+        event = {"ph": ph, "name": name, "id": aid, "cat": cat or "async",
+                 "ts": (time.perf_counter() - self._epoch) * 1e6,
+                 "tid": threading.get_ident()}
+        if args:
+            event["args"] = {k: _jsonable(v) for k, v in args.items()}
+        with self._lock:
+            self._async_events.append(event)
+
+    def async_begin(self, name: str, aid, cat: str = "", **args) -> None:
+        """Open a cross-thread async span (Chrome nestable ``b``).
+
+        Async spans correlate by ``(name, id)`` rather than by thread
+        stack, so one logical operation — a sampled serve request — can
+        begin on the submit thread, step on a worker thread and end
+        wherever it resolves.  No-op when the tracer is disabled.
+        """
+        if self.enabled:
+            self._async_event("b", name, aid, cat, args)
+
+    def async_instant(self, name: str, aid, cat: str = "", **args) -> None:
+        """Mark a point inside an open async span (Chrome ``n``)."""
+        if self.enabled:
+            self._async_event("n", name, aid, cat, args)
+
+    def async_end(self, name: str, aid, cat: str = "", **args) -> None:
+        """Close an async span opened with :meth:`async_begin`."""
+        if self.enabled:
+            self._async_event("e", name, aid, cat, args)
+
+    def async_events(self) -> list[dict]:
+        """Recorded async events (Chrome ``b``/``n``/``e``), in order."""
+        with self._lock:
+            return [dict(e) for e in self._async_events]
+
     # -- metrics (delegates; no-ops when disabled) -------------------------
     def count(self, name: str, n: int | float = 1) -> None:
         if self.enabled:
@@ -150,6 +205,8 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._roots.clear()
+            self._async_events.clear()
+            self._thread_names.clear()
         self.metrics.clear()
 
     # -- Chrome trace_event export -----------------------------------------
@@ -157,6 +214,9 @@ class Tracer:
         """The trace as a Chrome ``trace_event`` JSON object.
 
         Spans become complete ("X") events with microsecond timestamps;
+        threads labeled via :meth:`name_thread` get ``thread_name``
+        metadata ("M") events; async spans (:meth:`async_begin` et al.)
+        are emitted as nestable "b"/"n"/"e" events correlated by id;
         counters and gauges are appended as counter ("C") events so they
         show up as tracks in the viewer.
         """
@@ -181,7 +241,19 @@ class Tracer:
 
         for root in self.roots():
             emit(root)
-        end_us = max((e["ts"] + e["dur"] for e in events), default=0.0)
+        for async_event in self.async_events():
+            async_event["pid"] = pid
+            async_event["tid"] = tid_of(async_event["tid"])
+            async_event["id"] = str(async_event["id"])
+            events.append(async_event)
+        with self._lock:
+            thread_names = dict(self._thread_names)
+        for raw_tid, name in thread_names.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid_of(raw_tid), "cat": "__metadata",
+                           "args": {"name": name}})
+        end_us = max((e["ts"] + e.get("dur", 0.0) for e in events
+                      if "ts" in e), default=0.0)
         snapshot = self.metrics.as_dict()
         for name, value in {**snapshot["counters"],
                             **snapshot["gauges"]}.items():
@@ -273,7 +345,9 @@ def validate_chrome_trace(data: object) -> list[str]:
 
     Returns a list of problems (empty = valid).  Validates the subset the
     tracer emits: a ``traceEvents`` list of dicts where "X" events carry
-    name/ts/dur/pid/tid and "C" events carry name/ts/args.
+    name/ts/dur/pid/tid, "C" events carry name/ts/args, "M" metadata
+    events named ``thread_name`` carry pid/tid and an ``args.name``
+    label, and nestable async events ("b"/"n"/"e") carry name/id/ts.
     """
     errors: list[str] = []
     if not isinstance(data, dict):
@@ -288,11 +362,15 @@ def validate_chrome_trace(data: object) -> list[str]:
             errors.append(f"event {i} is not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "C", "B", "E", "M", "I"):
+        if ph not in ("X", "C", "B", "E", "M", "I", "b", "n", "e"):
             errors.append(f"event {i} has unknown phase {ph!r}")
             continue
         required = {"X": ("name", "ts", "dur", "pid", "tid"),
-                    "C": ("name", "ts", "args")}.get(ph, ("name",))
+                    "C": ("name", "ts", "args"),
+                    "M": ("name", "pid", "tid"),
+                    "b": ("name", "id", "ts"),
+                    "n": ("name", "id", "ts"),
+                    "e": ("name", "id", "ts")}.get(ph, ("name",))
         for key in required:
             if key not in event:
                 errors.append(f"event {i} ({ph}) lacks {key!r}")
@@ -300,4 +378,9 @@ def validate_chrome_trace(data: object) -> list[str]:
             for key in ("ts", "dur"):
                 if not isinstance(event.get(key), (int, float)):
                     errors.append(f"event {i} field {key!r} is not numeric")
+        if ph == "M" and event.get("name") == "thread_name":
+            if not isinstance(event.get("args"), dict) \
+                    or "name" not in event["args"]:
+                errors.append(
+                    f"event {i} (M thread_name) lacks args.name")
     return errors

@@ -22,8 +22,12 @@ or native calls keep erroring.  ``submit`` on a full queue raises
 :class:`DeadlineExceeded`.  Under load, compatible queued requests
 (same params, same input shapes/dtypes) are coalesced into one batched
 native call (``max_batch=``/``coalesce=``) — late members are dropped
-individually, never the whole batch.  See ``docs/internals.md``
-§16–17.
+individually, never the whole batch.  Every request carries a lifecycle
+:class:`~repro.observe.events.Timeline` (``submitted → dequeued →
+coalesced → dispatched → completed | dropped``) mirrored into the
+service's event ring, per-stage latencies land in mergeable histograms,
+and :meth:`PipelineService.serve_metrics` exposes them over HTTP in
+Prometheus text format.  See ``docs/internals.md`` §16–18.
 
 Demo: ``python -m repro.serve --app harris``.
 """
@@ -31,10 +35,12 @@ Demo: ``python -m repro.serve --app harris``.
 from repro.serve.deadlines import Deadline, DeadlineExceeded
 from repro.serve.fallback import FallbackPolicy
 from repro.serve.queue import BoundedQueue, Overloaded, ServiceClosed
-from repro.serve.service import Frame, PipelineService, ServiceStats
+from repro.serve.service import (
+    STAGES, Frame, PipelineService, ServiceStats,
+)
 
 __all__ = [
     "BoundedQueue", "Deadline", "DeadlineExceeded", "FallbackPolicy",
-    "Frame", "Overloaded", "PipelineService", "ServiceClosed",
-    "ServiceStats",
+    "Frame", "Overloaded", "PipelineService", "STAGES",
+    "ServiceClosed", "ServiceStats",
 ]

@@ -35,11 +35,18 @@ class FallbackPolicy:
     """
 
     def __init__(self, max_native_errors: int = 3,
-                 native_enabled: bool = True):
+                 native_enabled: bool = True,
+                 on_transition=None):
         if max_native_errors < 1:
             raise ValueError(
                 f"max_native_errors must be >= 1, got {max_native_errors}")
         self.max_native_errors = max_native_errors
+        #: optional ``callback(transition, fields)`` invoked outside the
+        #: policy lock for every state-machine transition —
+        #: ``build_ready``, ``build_failed``, ``load_failed``,
+        #: ``native_error``, ``demoted`` — so the service can mirror
+        #: them into its event log without risking lock-order cycles
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = BUILDING if native_enabled else INTERPRETER
         self._native = None
@@ -71,17 +78,33 @@ class FallbackPolicy:
                 return None
             self._build_resolved = True
             if exc is None:
-                if self._state == BUILDING:
+                promoted = self._state == BUILDING
+                if promoted:
                     self._native = native
                     self._state = NATIVE
-                return None
-            reason = "build_failed" if isinstance(exc, BuildError) \
-                else "load_failed"
-            self._state = INTERPRETER
-            self._native = None
-            self._last_error = exc
-            self._fallbacks[reason] = self._fallbacks.get(reason, 0) + 1
-            return reason
+            else:
+                reason = "build_failed" if isinstance(exc, BuildError) \
+                    else "load_failed"
+                self._state = INTERPRETER
+                self._native = None
+                self._last_error = exc
+                self._fallbacks[reason] = self._fallbacks.get(reason, 0) + 1
+        if exc is None:
+            if promoted:
+                self._emit("build_ready")
+            return None
+        self._emit(reason, error=f"{type(exc).__name__}: {exc}")
+        return reason
+
+    def _emit(self, transition: str, **fields) -> None:
+        """Report a transition to the observer callback, outside the
+        lock; observer errors never poison the state machine."""
+        if self._on_transition is None:
+            return
+        try:
+            self._on_transition(transition, fields)
+        except Exception:  # noqa: BLE001 - observability must not wedge
+            pass
 
     def note_build_ready(self, native) -> None:
         """The background build produced a loadable native pipeline."""
@@ -103,14 +126,19 @@ class FallbackPolicy:
             self._fallbacks["native_error"] = \
                 self._fallbacks.get("native_error", 0) + 1
             self._consecutive_errors += 1
-            if (self._state == NATIVE
-                    and self._consecutive_errors >= self.max_native_errors):
+            errors = self._consecutive_errors
+            demoted = (self._state == NATIVE
+                       and errors >= self.max_native_errors)
+            if demoted:
                 self._state = INTERPRETER
                 self._native = None
                 self._fallbacks["demoted"] = \
                     self._fallbacks.get("demoted", 0) + 1
-                return True
-            return False
+        self._emit("native_error", error=f"{type(exc).__name__}: {exc}",
+                   consecutive=errors)
+        if demoted:
+            self._emit("demoted", after_errors=errors)
+        return demoted
 
     def note_native_ok(self) -> None:
         """A native call succeeded; reset the consecutive-error streak."""

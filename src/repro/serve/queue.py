@@ -52,6 +52,7 @@ class BoundedQueue:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        self._max_depth = 0
 
     def put(self, item: T) -> None:
         """Enqueue or reject; never blocks.
@@ -66,6 +67,8 @@ class BoundedQueue:
                 raise Overloaded(
                     f"queue full ({self.maxsize} pending)")
             self._items.append(item)
+            if len(self._items) > self._max_depth:
+                self._max_depth = len(self._items)
             self._not_empty.notify()
 
     def get(self, timeout: float | None = None) -> T:
@@ -127,6 +130,14 @@ class BoundedQueue:
                 self._items.clear()
             self._not_empty.notify_all()
             return abandoned
+
+    @property
+    def max_depth(self) -> int:
+        """High-watermark of queued items since construction — the
+        backlog-pressure signal (alongside instantaneous ``len``) the
+        observability layer exposes as a gauge."""
+        with self._lock:
+            return self._max_depth
 
     @property
     def closed(self) -> bool:

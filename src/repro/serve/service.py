@@ -33,20 +33,35 @@ into a long-lived, thread-based execution service:
   small-frame latency.  Per-request deadlines survive batching: members
   already late are failed before the call, and late members are dropped
   individually on return.  See ``docs/internals.md`` §17.
+* **Request-lifecycle observability** — every request is stamped with a
+  :class:`~repro.observe.events.Timeline`
+  (``submitted → dequeued → coalesced → dispatched → completed |
+  dropped``) mirrored into a bounded service
+  :class:`~repro.observe.events.EventLog`; per-stage latencies
+  (``queue_wait``/``batch_wait``/``execute``/``total``) land in
+  mergeable :class:`~repro.observe.metrics.Histogram`\\ s, deadline
+  drops are counted *by reason*, and
+  :meth:`PipelineService.serve_metrics` exposes everything in
+  Prometheus text format.  ``sample_rate=`` promotes a deterministic
+  subset of requests to cross-thread Chrome-trace async spans on the
+  service tracer.  See ``docs/internals.md`` §18.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
 from repro.codegen import build as _build
-from repro.observe.metrics import LatencyWindow
+from repro.observe.events import EventLog, Timeline
+from repro.observe.metrics import LatencyWindow, MetricsRegistry
 from repro.observe.trace import Tracer, get_tracer
 from repro.runtime.buffers import BufferPool
 from repro.runtime.executor import execute_plan
@@ -57,6 +72,27 @@ from repro.serve.fallback import (
 from repro.serve.queue import (
     BoundedQueue, Overloaded, QueueClosed, ServiceClosed,
 )
+
+#: lifecycle stages recorded as service histograms (seconds)
+STAGES = ("queue_wait", "batch_wait", "execute", "total")
+
+
+def _timeout_reason(where: str) -> str:
+    """Classify a :class:`DeadlineExceeded` checkpoint into the drop-
+    reason buckets ``stats()`` reports: expiry while still queued
+    (``queue_wait``), behind a paused gate (``paused_at_gate``), after
+    an uninterruptible native call (``late_native`` /
+    ``late_batch_member``), or at a cooperative checkpoint inside
+    interpreter execution (``in_execution``)."""
+    if "paused at gate" in where:
+        return "paused_at_gate"
+    if "after batched native call" in where:
+        return "late_batch_member"
+    if "after native call" in where:
+        return "late_native"
+    if where in ("queue wait", "before native call"):
+        return "queue_wait"
+    return "in_execution"
 
 
 @dataclass
@@ -75,6 +111,14 @@ class Frame:
     latency_s: float
     _pool: BufferPool | None = field(default=None, repr=False)
     _released: bool = field(default=False, repr=False)
+    _timeline: Timeline | None = field(default=None, repr=False)
+
+    def timeline(self) -> Timeline | None:
+        """This frame's lifecycle :class:`~repro.observe.events.
+        Timeline` — ``timeline().durations()`` decomposes the observed
+        latency into queue_wait + batch_wait + execute stages that sum
+        to total exactly."""
+        return self._timeline
 
     def release(self) -> None:
         """Return the output buffers to the service's pool (idempotent).
@@ -105,6 +149,14 @@ class ServiceStats:
     accepted throughput.  ``batches``/``batched_frames`` count coalesced
     native dispatches of two or more frames and the frames they carried;
     singleton dispatches contribute to neither.
+
+    ``timeouts_by_reason`` splits the aggregate ``timeouts`` count by
+    *where* each deadline died (``queue_wait``, ``paused_at_gate``,
+    ``late_native``, ``late_batch_member``, ``in_execution``);
+    ``stages`` carries per-stage latency summaries (count/mean/p50/p90/
+    p99 in ms) derived from the service's histograms.  The snapshot
+    round-trips through :meth:`to_dict`/:meth:`from_dict`, so shards can
+    ship stats across process boundaries.
     """
 
     name: str
@@ -124,6 +176,8 @@ class ServiceStats:
     inflight: int
     pool: dict
     latency: dict
+    timeouts_by_reason: dict = field(default_factory=dict)
+    stages: dict = field(default_factory=dict)
 
     @property
     def accepted(self) -> int:
@@ -149,11 +203,13 @@ class ServiceStats:
         """Mean frames per coalesced batch (0.0 while nothing batched)."""
         return self.batched_frames / self.batches if self.batches else 0.0
 
-    def as_dict(self) -> dict:
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot; :meth:`from_dict` restores it."""
         return {
             "name": self.name, "backend": self.backend,
             "submitted": self.submitted, "completed": self.completed,
             "rejected": self.rejected, "timeouts": self.timeouts,
+            "timeouts_by_reason": dict(self.timeouts_by_reason),
             "failures": self.failures, "cancelled": self.cancelled,
             "native_frames": self.native_frames,
             "interp_frames": self.interp_frames,
@@ -166,15 +222,47 @@ class ServiceStats:
             "timeout_rate": self.timeout_rate,
             "native_rate": self.native_rate,
             "pool": dict(self.pool), "latency": dict(self.latency),
+            "stages": {name: dict(summary)
+                       for name, summary in self.stages.items()},
         }
+
+    # legacy name, kept for existing callers
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`to_dict` output (derived rates
+        are recomputed from the counters, extra keys are ignored)."""
+        return cls(
+            name=data["name"], backend=data["backend"],
+            submitted=data["submitted"], completed=data["completed"],
+            rejected=data["rejected"], timeouts=data["timeouts"],
+            failures=data["failures"], cancelled=data["cancelled"],
+            native_frames=data["native_frames"],
+            interp_frames=data["interp_frames"],
+            batches=data["batches"],
+            batched_frames=data["batched_frames"],
+            fallbacks=dict(data.get("fallbacks", {})),
+            queue_depth=data["queue_depth"], inflight=data["inflight"],
+            pool=dict(data.get("pool", {})),
+            latency=dict(data.get("latency", {})),
+            timeouts_by_reason=dict(data.get("timeouts_by_reason", {})),
+            stages={name: dict(summary)
+                    for name, summary in data.get("stages", {}).items()},
+        )
 
     def render(self) -> str:
         """Human-readable multi-line report (``explain()``-style)."""
         fb = ", ".join(f"{k}={v}" for k, v in sorted(self.fallbacks.items())) \
             or "none"
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.timeouts_by_reason.items()))
+        timeouts = f"{self.timeouts} deadline-exceeded"
+        if reasons:
+            timeouts += f" ({reasons})"
         lat = self.latency
         pool = self.pool
-        return "\n".join([
+        lines = [
             f"service {self.name}: backend={self.backend}",
             f"  frames: {self.submitted} submitted, "
             f"{self.completed} completed "
@@ -182,7 +270,7 @@ class ServiceStats:
             f"{self.inflight} in flight, {self.queue_depth} queued",
             f"  degradations: {self.rejected} rejected "
             f"({self.rejection_rate * 100.0:.1f}%), "
-            f"{self.timeouts} deadline-exceeded, {self.failures} failed, "
+            f"{timeouts}, {self.failures} failed, "
             f"{self.cancelled} cancelled; fallbacks: {fb}",
             f"  batching: {self.batched_frames} frames in "
             f"{self.batches} batches "
@@ -191,24 +279,36 @@ class ServiceStats:
             f"p90 {lat.get('p90_ms', 0.0):.2f} ms, "
             f"p99 {lat.get('p99_ms', 0.0):.2f} ms "
             f"(n={lat.get('count', 0)})",
+        ]
+        if any(summary.get("count") for summary in self.stages.values()):
+            lines.append("  stages (p50/p99 ms): " + ", ".join(
+                f"{name} {self.stages[name]['p50_ms']:.2f}/"
+                f"{self.stages[name]['p99_ms']:.2f}"
+                for name in STAGES if name in self.stages))
+        lines.append(
             f"  pool: {pool.get('hits', 0)} hits / "
             f"{pool.get('misses', 0)} misses "
             f"({pool.get('hit_rate', 0.0) * 100.0:.1f}%), "
             f"{pool.get('outstanding', 0)} leased, "
-            f"{pool.get('idle', 0)} idle",
-        ])
+            f"{pool.get('idle', 0)} idle")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
 
 
 class _Request:
     """One queued frame submission."""
 
-    __slots__ = ("params", "inputs", "deadline", "future", "submitted_at")
+    __slots__ = ("params", "inputs", "deadline", "future", "timeline",
+                 "submitted_at")
 
-    def __init__(self, params, inputs, deadline, future):
+    def __init__(self, params, inputs, deadline, future, timeline):
         self.params = params
         self.inputs = inputs
         self.deadline = deadline
         self.future = future
+        self.timeline = timeline
         self.submitted_at = time.monotonic()
 
 
@@ -246,6 +346,20 @@ class PipelineService:
     coalesce:
         ``False`` turns request coalescing off regardless of
         ``max_batch``; frames are then always dispatched one at a time.
+    sample_rate:
+        Fraction (0..1) of requests promoted to full cross-thread
+        Chrome-trace async spans on the service tracer (deterministic:
+        every ``round(1/rate)``-th request).  ``0`` (default) disables
+        trace promotion; lifecycle events are captured regardless.
+    event_capacity:
+        Ring capacity of the service :class:`~repro.observe.events.
+        EventLog` (older events are evicted).
+    events_path:
+        Optional JSON-lines file every lifecycle event is streamed to
+        as it happens (the full history, beyond the bounded ring).
+    event_log:
+        Share an existing :class:`EventLog` instead of creating one
+        (overrides ``event_capacity``/``events_path``).
     build_kwargs:
         Forwarded to :func:`repro.codegen.build.build_native`
         (``vectorize``, ``instrument``, ``cache_dir``, ...).
@@ -262,6 +376,10 @@ class PipelineService:
                  max_batch: int = 8,
                  coalesce: bool = True,
                  max_native_errors: int = 3,
+                 sample_rate: float = 0.0,
+                 event_capacity: int = 4096,
+                 events_path: str | Path | None = None,
+                 event_log: EventLog | None = None,
                  build_kwargs: Mapping | None = None,
                  name: str | None = None,
                  tracer: Tracer | None = None):
@@ -273,6 +391,9 @@ class PipelineService:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}")
         self.plan = compiled.plan
         self.name = name or getattr(compiled, "name", "pipeline")
         self.backend_mode = backend
@@ -287,9 +408,24 @@ class PipelineService:
         self._gate = threading.Event()  # cleared = paused
         self._gate.set()
         self._latency = LatencyWindow()
+
+        # observability: event ring, per-stage histograms, sampling
+        self._events = event_log if event_log is not None else EventLog(
+            capacity=event_capacity, sink=events_path)
+        self._metrics = MetricsRegistry()
+        self._stage_hists = {
+            stage: self._metrics.histogram(f"{stage}_seconds")
+            for stage in STAGES}
+        self._sample_every = round(1.0 / sample_rate) if sample_rate \
+            else 0
+        self._rid = itertools.count()
+        self._timeout_reasons: dict[str, int] = {}
+        self._metrics_server = None
+
         self._policy = FallbackPolicy(
             max_native_errors=max_native_errors,
-            native_enabled=backend != "interpreter")
+            native_enabled=backend != "interpreter",
+            on_transition=self._on_backend_transition)
 
         self._counts_lock = threading.Lock()
         self._counts = {
@@ -318,9 +454,54 @@ class PipelineService:
 
     # -- bookkeeping -------------------------------------------------------
     def _count(self, key: str, n: int = 1) -> None:
+        # the per-frame counters live in self._counts alone; they are
+        # overlaid onto the metrics registry at scrape time
+        # (_refresh_gauges) instead of double-booked on the hot path
         with self._counts_lock:
             self._counts[key] = self._counts.get(key, 0) + n
         self._tracer.count(f"serve.{self.name}.{key}", n)
+
+    def _on_backend_transition(self, transition: str, fields: dict) -> None:
+        """Mirror fallback state-machine transitions into the event log
+        (as ``backend`` events) and the metrics registry."""
+        self._events.append("backend", None, transition=transition,
+                            **fields)
+        self._metrics.count(f"backend_{transition}")
+
+    def _fail_deadline(self, request: _Request,
+                       exc: DeadlineExceeded) -> None:
+        """Count (by reason), stamp and fail one deadline-dropped
+        request; the request's timeline rides on the exception as
+        ``exc.timeline`` so callers can still ask where the time went."""
+        reason = _timeout_reason(exc.where)
+        with self._counts_lock:
+            self._counts["timeouts"] = self._counts.get("timeouts", 0) + 1
+            self._timeout_reasons[reason] = \
+                self._timeout_reasons.get(reason, 0) + 1
+        self._tracer.count(f"serve.{self.name}.timeouts")
+        timeline = request.timeline
+        timeline.mark("dropped", reason=reason, where=exc.where)
+        if timeline.sampled:
+            self._tracer.async_end(f"serve.{self.name}.request",
+                                   timeline.request_id, cat="serve",
+                                   outcome="dropped", reason=reason)
+        exc.timeline = timeline
+        request.future.set_exception(exc)
+
+    def _record_completion(self, request: _Request, backend: str,
+                           latency: float) -> None:
+        """Stamp completion and feed the per-stage histograms."""
+        self._latency.record(latency)
+        timeline = request.timeline
+        timeline.mark("completed", backend=backend)
+        durations = timeline.durations()
+        for stage, hist in self._stage_hists.items():
+            if stage in durations:
+                hist.observe(durations[stage])
+        if timeline.sampled:
+            self._tracer.async_end(f"serve.{self.name}.request",
+                                   timeline.request_id, cat="serve",
+                                   outcome="completed", backend=backend)
 
     def _poll_build(self) -> None:
         """Fold a finished background build into the fallback policy."""
@@ -352,19 +533,30 @@ class PipelineService:
                 else self.default_deadline_s
             if seconds is not None:
                 deadline = Deadline.after(seconds)
+        rid = next(self._rid)
+        sampled = bool(self._sample_every) \
+            and rid % self._sample_every == 0
+        timeline = Timeline(rid, self._events, sampled=sampled)
         future: Future = Future()
         request = _Request(dict(param_values), dict(inputs), deadline,
-                           future)
+                           future, timeline)
+        timeline.mark("submitted")
+        if sampled:
+            self._tracer.async_begin(f"serve.{self.name}.request", rid,
+                                     cat="serve")
         # count submitted only once the queue has the request — a
         # rejected submission must inflate neither submitted nor the
         # completed/submitted throughput ratio
         try:
             self._queue.put(request)
-        except Overloaded:
+        except (Overloaded, ServiceClosed) as exc:
             self._count("rejected")
-            raise
-        except ServiceClosed:
-            self._count("rejected")
+            reason = "overloaded" if isinstance(exc, Overloaded) \
+                else "closed"
+            timeline.mark("rejected", reason=reason)
+            if sampled:
+                self._tracer.async_end(f"serve.{self.name}.request", rid,
+                                       cat="serve", outcome="rejected")
             raise
         self._count("submitted")
         return future
@@ -378,15 +570,22 @@ class PipelineService:
 
     # -- worker loop -------------------------------------------------------
     def _worker_loop(self) -> None:
+        self._tracer.name_thread()  # label in chrome://tracing exports
         while True:
             self._gate.wait()
             try:
                 request = self._queue.get()
             except QueueClosed:
                 return
+            self._mark_dequeued(request)
             if not self._pass_gate(request):
                 continue
             requests = [request] + self._coalesce_window(request)
+            if len(requests) > 1:
+                batch_id = requests[0].timeline.request_id
+                for member in requests:
+                    member.timeline.mark("coalesced", batch_id=batch_id,
+                                         size=len(requests))
             self._count("inflight", len(requests))
             try:
                 if len(requests) == 1:
@@ -395,6 +594,13 @@ class PipelineService:
                     self._handle_batch(requests)
             finally:
                 self._count("inflight", -len(requests))
+
+    def _mark_dequeued(self, request: _Request) -> None:
+        request.timeline.mark("dequeued")
+        if request.timeline.sampled:
+            self._tracer.async_instant(
+                f"serve.{self.name}.request",
+                request.timeline.request_id, cat="serve", at="dequeued")
 
     def _pass_gate(self, request: _Request) -> bool:
         """Wait out a pause *without* letting the request's deadline burn
@@ -414,11 +620,11 @@ class PipelineService:
         while not self._gate.wait(deadline.remaining()):
             if deadline.expired():
                 if request.future.set_running_or_notify_cancel():
-                    self._count("timeouts")
-                    request.future.set_exception(DeadlineExceeded(
+                    self._fail_deadline(request, DeadlineExceeded(
                         "paused at gate", -deadline.remaining()))
                 else:
                     self._count("cancelled")
+                    request.timeline.mark("dropped", reason="cancelled")
                 return False
         # the gate reopened in time; _handle re-checks the deadline
         # before running ("queue wait"), covering the reopened-too-late
@@ -441,9 +647,12 @@ class PipelineService:
         backend, native = self._policy.backend_for_frame()
         if backend != NATIVE or not getattr(native, "has_batch", False):
             return []
-        return self._queue.take_while(
+        taken = self._queue.take_while(
             lambda other: self._batchable(request, other),
             self._max_batch)
+        for member in taken:
+            self._mark_dequeued(member)
+        return taken
 
     @staticmethod
     def _batchable(request: _Request, other: _Request) -> bool:
@@ -478,13 +687,13 @@ class PipelineService:
                 live.append(request)
             else:
                 self._count("cancelled")
+                request.timeline.mark("dropped", reason="cancelled")
         ready = []
         for request in live:
             deadline = request.deadline
             if deadline is not None and deadline.expired():
-                self._count("timeouts")
-                request.future.set_exception(
-                    DeadlineExceeded("queue wait", -deadline.remaining()))
+                self._fail_deadline(request, DeadlineExceeded(
+                    "queue wait", -deadline.remaining()))
             else:
                 ready.append(request)
         if not ready:
@@ -496,6 +705,9 @@ class PipelineService:
             for request in ready:
                 self._execute(request)
             return
+        for request in ready:
+            request.timeline.mark("dispatched", backend=NATIVE,
+                                  batch_size=len(ready))
         try:
             with self._tracer.span(f"serve.{self.name}.batch",
                                    cat="serve", n_frames=len(ready)):
@@ -523,15 +735,15 @@ class PipelineService:
                 if self._pool is not None:
                     self._pool.release(
                         *{id(a): a for a in outputs.values()}.values())
-                self._count("timeouts")
-                request.future.set_exception(DeadlineExceeded(
+                self._fail_deadline(request, DeadlineExceeded(
                     "after batched native call", -deadline.remaining()))
                 continue
             latency = now - request.submitted_at
-            self._latency.record(latency)
+            self._record_completion(request, NATIVE, latency)
             done += 1
             request.future.set_result(
-                Frame(outputs, NATIVE, latency, self._pool))
+                Frame(outputs, NATIVE, latency, self._pool,
+                      _timeline=request.timeline))
         if done:
             self._count("completed", done)
             self._count("native_frames", done)
@@ -539,6 +751,7 @@ class PipelineService:
     def _handle(self, request: _Request) -> None:
         if not request.future.set_running_or_notify_cancel():
             self._count("cancelled")
+            request.timeline.mark("dropped", reason="cancelled")
             return
         self._execute(request)
 
@@ -552,6 +765,7 @@ class PipelineService:
             try:
                 if deadline is not None:
                     deadline.check("queue wait")
+                request.timeline.mark("dispatched", backend=backend)
                 if backend == NATIVE:
                     try:
                         outputs = self._run_native(native, request)
@@ -564,23 +778,34 @@ class PipelineService:
                         self._policy.note_native_error(exc)
                         self._count("fallbacks")
                         backend = INTERPRETER
+                        request.timeline.mark("dispatched",
+                                              backend=INTERPRETER,
+                                              retry=True)
                         outputs = self._run_interp(request)
                 else:
                     outputs = self._run_interp(request)
             except DeadlineExceeded as exc:
-                self._count("timeouts")
-                future.set_exception(exc)
+                self._fail_deadline(request, exc)
                 return
             except Exception as exc:
                 self._count("failures")
+                request.timeline.mark(
+                    "dropped", reason="error",
+                    error=f"{type(exc).__name__}: {exc}")
+                if request.timeline.sampled:
+                    self._tracer.async_end(
+                        f"serve.{self.name}.request",
+                        request.timeline.request_id, cat="serve",
+                        outcome="error")
                 future.set_exception(exc)
                 return
         latency = time.monotonic() - request.submitted_at
-        self._latency.record(latency)
+        self._record_completion(request, backend, latency)
         self._count("completed")
         self._count("native_frames" if backend == NATIVE
                     else "interp_frames")
-        future.set_result(Frame(outputs, backend, latency, self._pool))
+        future.set_result(Frame(outputs, backend, latency, self._pool,
+                                _timeline=request.timeline))
 
     def _run_native(self, native, request: _Request) -> dict:
         deadline = request.deadline
@@ -635,11 +860,88 @@ class PipelineService:
             self._build_handle.wait(timeout)
         return self.backend
 
+    @property
+    def event_log(self) -> EventLog:
+        """The service's lifecycle :class:`EventLog` ring."""
+        return self._events
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's :class:`MetricsRegistry` (counters + stage
+        histograms), refreshed from the hot-path counters on access;
+        rendered by :meth:`serve_metrics`."""
+        self._refresh_gauges()
+        return self._metrics
+
+    def events(self, request_id=None, kind: str | None = None) -> list:
+        """Filtered snapshot of the event ring (see
+        :meth:`EventLog.events`)."""
+        return self._events.events(request_id=request_id, kind=kind)
+
+    def _refresh_gauges(self) -> None:
+        """Sync hot-path counters and instantaneous state into the
+        metrics registry.  The per-frame counters are kept in
+        ``self._counts`` alone (one lock on the serving path) and
+        mirrored here, at scrape/access time — idempotent via
+        ``set_counter``, so repeated scrapes never double-count."""
+        metrics = self._metrics
+        with self._counts_lock:
+            counts = dict(self._counts)
+            reasons = dict(self._timeout_reasons)
+        inflight = counts.pop("inflight", 0)
+        for key, value in counts.items():
+            metrics.set_counter(key, value)
+        for reason, value in reasons.items():
+            metrics.set_counter(f"timeouts_{reason}", value)
+        metrics.gauge("queue_depth", float(len(self._queue)))
+        metrics.gauge("queue_max_depth", float(self._queue.max_depth))
+        metrics.gauge("inflight", float(inflight))
+        metrics.gauge("paused", 0.0 if self._gate.is_set() else 1.0)
+        state = self._policy.state
+        for candidate in (BUILDING, NATIVE, INTERPRETER):
+            metrics.gauge(f"backend_is_{candidate}",
+                          1.0 if state == candidate else 0.0)
+        if self._pool is not None:
+            pool = self._pool.stats()
+            for key in ("hits", "misses", "outstanding", "idle"):
+                metrics.gauge(f"pool_{key}", float(pool.get(key, 0)))
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start (or return the already-running) stdlib HTTP endpoint
+        exposing this service's metrics in Prometheus text format.
+
+        ``port=0`` picks an ephemeral port — read it back from the
+        returned server's ``.port``/``.url``.  The server runs on a
+        daemon thread and is shut down by :meth:`close`.
+        """
+        if self._metrics_server is None:
+            from repro.observe.export import MetricsServer
+
+            def render() -> str:
+                self._poll_build()
+                self._refresh_gauges()
+                return self._metrics.expose_text(prefix="repro_serve_")
+
+            self._metrics_server = MetricsServer(render, host=host,
+                                                 port=port)
+        return self._metrics_server
+
     def stats(self) -> ServiceStats:
         """Snapshot counters, rates, latency percentiles and pool state."""
         self._poll_build()
         with self._counts_lock:
             counts = dict(self._counts)
+            reasons = dict(self._timeout_reasons)
+        stages = {}
+        for stage in STAGES:
+            summary = self._stage_hists[stage].summary()
+            stages[stage] = {
+                "count": summary["count"],
+                "mean_ms": summary["mean"] * 1000.0,
+                "p50_ms": summary["p50"] * 1000.0,
+                "p90_ms": summary["p90"] * 1000.0,
+                "p99_ms": summary["p99"] * 1000.0,
+            }
         return ServiceStats(
             name=self.name,
             backend=self._policy.state,
@@ -658,6 +960,8 @@ class PipelineService:
             inflight=counts["inflight"],
             pool=self._pool.stats() if self._pool is not None else {},
             latency=self._latency.snapshot(),
+            timeouts_by_reason=reasons,
+            stages=stages,
         )
 
     # -- resource management ----------------------------------------------
@@ -694,6 +998,9 @@ class PipelineService:
         if not already:
             for worker in self._workers:
                 worker.join(timeout)
+            if self._metrics_server is not None:
+                self._metrics_server.close()
+            self._events.close()
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,156 @@
+"""EventLog ring semantics and Timeline stage decomposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import EventLog, Timeline
+
+
+# -- ring bounds -------------------------------------------------------------
+
+def test_ring_keeps_most_recent_and_counts_evictions():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.append("tick", i)
+    assert len(log) == 3
+    assert log.appended == 5
+    assert log.evicted == 2
+    assert [e.request_id for e in log.events()] == [2, 3, 4]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_event_filters_and_fields():
+    log = EventLog()
+    log.append("submitted", 1)
+    log.append("submitted", 2)
+    log.append("dropped", 1, reason="queue_wait")
+    assert [e.kind for e in log.events(request_id=1)] == \
+        ["submitted", "dropped"]
+    assert [e.request_id for e in log.events(kind="submitted")] == [1, 2]
+    dropped = log.events(kind="dropped")[0]
+    assert dropped.fields == {"reason": "queue_wait"}
+    assert dropped.to_dict()["reason"] == "queue_wait"
+    assert "dropped" in repr(dropped)
+
+
+def test_concurrent_appends_never_lose_counts():
+    log = EventLog(capacity=64)
+    n_threads, per_thread = 4, 500
+
+    def writer(k):
+        for i in range(per_thread):
+            log.append("tick", k * per_thread + i)
+
+    threads = [threading.Thread(target=writer, args=(k,))
+               for k in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert log.appended == n_threads * per_thread
+    assert len(log) == 64
+    assert log.evicted == n_threads * per_thread - 64
+
+
+# -- JSONL sink / export -----------------------------------------------------
+
+def test_sink_streams_every_event_beyond_ring_capacity(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(capacity=2, sink=path)
+    for i in range(5):
+        log.append("tick", i, step=i * 10)
+    log.close()
+    log.close()  # idempotent
+    lines = [json.loads(line) for line in
+             path.read_text().splitlines()]
+    assert len(lines) == 5  # the sink got them all; the ring kept 2
+    assert [rec["request_id"] for rec in lines] == list(range(5))
+    assert lines[3]["step"] == 30
+    assert all("t_rel" in rec and "wall" in rec for rec in lines)
+    # relative timestamps are non-decreasing
+    rels = [rec["t_rel"] for rec in lines]
+    assert rels == sorted(rels)
+
+
+def test_write_jsonl_dumps_buffered_ring(tmp_path):
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.append("tick", i)
+    out = log.write_jsonl(tmp_path / "ring.jsonl")
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert [rec["request_id"] for rec in lines] == [2, 3, 4]
+    empty = EventLog().write_jsonl(tmp_path / "empty.jsonl")
+    assert empty.read_text() == ""
+
+
+# -- timelines ---------------------------------------------------------------
+
+def test_timeline_marks_mirror_into_log_with_same_ts():
+    log = EventLog()
+    tl = Timeline(7, log)
+    tl.mark("submitted")
+    tl.mark("dequeued")
+    own = tl.events()
+    mirrored = log.events(request_id=7)
+    assert [e.kind for e in own] == [e.kind for e in mirrored]
+    assert [e.ts for e in own] == [e.ts for e in mirrored]
+
+
+def test_timeline_stage_durations_sum_exactly_to_total():
+    tl = Timeline(0)
+    for kind in ("submitted", "dequeued", "dispatched", "completed"):
+        tl.mark(kind)
+    d = tl.durations()
+    assert set(d) == {"queue_wait", "batch_wait", "execute", "total"}
+    assert all(v >= 0 for v in d.values())
+    # exact, not approximate: stages are differences of shared stamps
+    assert d["queue_wait"] + d["batch_wait"] + d["execute"] == d["total"]
+
+
+def test_timeline_durations_partial_and_dropped():
+    tl = Timeline(1)
+    tl.mark("submitted")
+    assert tl.durations() == {}
+    tl.mark("dequeued")
+    assert set(tl.durations()) == {"queue_wait"}
+    tl.mark("dropped", reason="queue_wait")
+    d = tl.durations()
+    assert "total" in d and "execute" not in d  # never dispatched
+
+
+def test_timeline_retry_dispatch_stays_inside_execute():
+    tl = Timeline(2)
+    tl.mark("submitted")
+    tl.mark("dequeued")
+    tl.mark("dispatched", backend="native")
+    tl.mark("dispatched", backend="interpreter", retry=True)
+    tl.mark("completed", backend="interpreter")
+    d = tl.durations()
+    # first dispatch anchors execute, so the retry is inside it
+    assert tl.ts("dispatched") == tl.events()[2].ts
+    assert d["queue_wait"] + d["batch_wait"] + d["execute"] == d["total"]
+    assert tl.last("dispatched").fields["backend"] == "interpreter"
+
+
+def test_timeline_render_and_to_dict():
+    tl = Timeline(3, sampled=True)
+    tl.mark("submitted")
+    tl.mark("dequeued")
+    tl.mark("dispatched", backend="native")
+    tl.mark("completed", backend="native")
+    text = tl.render()
+    assert "request 3 (sampled):" in text
+    assert "stages:" in text
+    doc = json.loads(json.dumps(tl.to_dict()))
+    assert doc["request_id"] == 3
+    assert doc["sampled"] is True
+    assert [e["kind"] for e in doc["events"]] == \
+        ["submitted", "dequeued", "dispatched", "completed"]
+    assert "total" in doc["durations"]
+    assert Timeline(9).render() == "request 9: <no events>"

@@ -1,0 +1,284 @@
+"""Histogram + Prometheus exposition tests: observe/merge/round-trip,
+registry integration, golden renders, validator negatives, and a
+concurrent-writer stress run."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.observe import Histogram, MetricsRegistry, default_latency_buckets
+from repro.observe.export import (
+    merge_snapshots, render_exposition, sanitize_metric_name,
+    validate_exposition_text,
+)
+
+
+# -- bucket construction -----------------------------------------------------
+
+def test_default_buckets_are_log_spaced_and_cover_range():
+    buckets = default_latency_buckets()
+    assert buckets[0] == pytest.approx(1e-4)
+    assert buckets[-1] >= 60.0
+    ratios = [b / a for a, b in zip(buckets, buckets[1:])]
+    assert all(r == pytest.approx(2.0) for r in ratios)
+
+
+def test_bad_buckets_rejected():
+    with pytest.raises(ValueError):
+        Histogram(buckets=[1.0, 1.0, 2.0])  # not strictly ascending
+    with pytest.raises(ValueError):
+        Histogram(buckets=[])
+    with pytest.raises(ValueError):
+        default_latency_buckets(lo=0.0)
+    with pytest.raises(ValueError):
+        default_latency_buckets(factor=1.0)
+
+
+# -- observe / summarize -----------------------------------------------------
+
+def test_observe_counts_sum_min_max():
+    h = Histogram(buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.5)
+    pairs = h.bucket_counts()
+    assert pairs == [(1.0, 1), (2.0, 3), (4.0, 4), (math.inf, 5)]
+    s = h.summary()
+    assert s["min"] == pytest.approx(0.5)
+    assert s["max"] == pytest.approx(100.0)
+    assert s["mean"] == pytest.approx(106.5 / 5)
+
+
+def test_observe_on_bucket_boundary_lands_in_that_bucket():
+    # bisect_left: a value exactly equal to a bound counts as <= bound,
+    # matching Prometheus le semantics
+    h = Histogram(buckets=[1.0, 2.0])
+    h.observe(1.0)
+    assert h.bucket_counts()[0] == (1.0, 1)
+
+
+def test_percentile_interpolates_and_overflow_uses_max():
+    h = Histogram(buckets=[10.0, 20.0])
+    for _ in range(100):
+        h.observe(15.0)
+    # all mass in (10, 20]; p50 interpolates inside it
+    assert 10.0 < h.percentile(50) <= 20.0
+    h2 = Histogram(buckets=[1.0])
+    h2.observe(500.0)
+    assert h2.percentile(99) == pytest.approx(500.0)  # overflow → max seen
+    assert Histogram().percentile(50) == 0.0  # empty
+
+
+def test_empty_summary_is_all_zero():
+    s = Histogram().summary()
+    assert s == {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                 "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+# -- merge / serialization ---------------------------------------------------
+
+def test_merge_is_bucket_exact():
+    a = Histogram(buckets=[1.0, 2.0, 4.0])
+    b = Histogram(buckets=[1.0, 2.0, 4.0])
+    both = Histogram(buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 3.0):
+        a.observe(v)
+        both.observe(v)
+    for v in (0.1, 8.0):
+        b.observe(v)
+        both.observe(v)
+    a.merge(b)
+    assert a.bucket_counts() == both.bucket_counts()
+    assert a.sum == pytest.approx(both.sum)
+    assert a.summary() == both.summary()
+
+
+def test_merge_rejects_different_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=[1.0]).merge(Histogram(buckets=[2.0]))
+
+
+def test_to_dict_round_trips_through_json():
+    h = Histogram(buckets=[0.01, 0.1, 1.0])
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    restored = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+    assert restored.bucket_counts() == h.bucket_counts()
+    assert restored.sum == pytest.approx(h.sum)
+    assert restored.summary() == h.summary()
+    # empty histograms round-trip too (min/max are None in the dict)
+    empty = Histogram.from_dict(json.loads(json.dumps(Histogram().to_dict())))
+    assert empty.count == 0
+    empty.observe(1.0)
+    assert empty.summary()["min"] == pytest.approx(1.0)
+
+
+def test_from_dict_rejects_mismatched_counts():
+    data = Histogram(buckets=[1.0, 2.0]).to_dict()
+    data["counts"] = [0, 0]  # needs len(buckets) + 1
+    with pytest.raises(ValueError):
+        Histogram.from_dict(data)
+
+
+# -- registry integration ----------------------------------------------------
+
+def test_registry_histogram_is_shared_and_snapshotted():
+    m = MetricsRegistry()
+    h = m.histogram("lat", buckets=[1.0, 2.0])
+    assert m.histogram("lat") is h
+    m.observe("lat", 1.5)
+    assert h.count == 1
+    snap = m.as_dict()
+    assert "histograms" in snap
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_registry_without_histograms_keeps_legacy_shape():
+    m = MetricsRegistry()
+    m.count("frames")
+    assert set(m.as_dict()) == {"counters", "gauges"}
+
+
+def test_registry_merge_folds_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.observe("lat", 0.5, buckets=[1.0, 2.0])
+    b.observe("lat", 1.5, buckets=[1.0, 2.0])
+    b.count("frames", 3)
+    a.merge(b)
+    assert a.histogram("lat").count == 2
+    assert a.counter("frames") == 3
+    a.clear()
+    assert a.as_dict() == {"counters": {}, "gauges": {}}
+
+
+# -- exposition rendering (golden) -------------------------------------------
+
+def test_expose_text_golden():
+    m = MetricsRegistry()
+    m.count("frames", 3)
+    m.gauge("depth", 2.0)
+    h = m.histogram("lat_seconds", buckets=[0.1, 1.0])
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    text = m.expose_text(prefix="repro_")
+    assert text == (
+        "# TYPE repro_frames_total counter\n"
+        "repro_frames_total 3\n"
+        "# TYPE repro_depth gauge\n"
+        "repro_depth 2\n"
+        "# TYPE repro_lat_seconds histogram\n"
+        'repro_lat_seconds_bucket{le="0.1"} 1\n'
+        'repro_lat_seconds_bucket{le="1"} 2\n'
+        'repro_lat_seconds_bucket{le="+Inf"} 3\n'
+        "repro_lat_seconds_sum 5.55\n"
+        "repro_lat_seconds_count 3\n"
+    )
+    assert validate_exposition_text(text) == []
+
+
+def test_counter_total_suffix_not_doubled():
+    m = MetricsRegistry()
+    m.count("frames_total", 1)
+    text = m.expose_text()
+    assert "frames_total_total" not in text
+    assert "frames_total 1" in text
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("serve.harris-p99") == "serve_harris_p99"
+    assert sanitize_metric_name("0bad") == "_0bad"
+
+
+def test_merge_snapshots_cross_process():
+    def shard(values):
+        m = MetricsRegistry()
+        for v in values:
+            m.observe("lat", v, buckets=[1.0, 2.0])
+            m.count("frames")
+        return m.as_dict()
+
+    merged = merge_snapshots([shard([0.5, 1.5]), shard([3.0])])
+    assert merged["counters"]["frames"] == 3
+    text = render_exposition(merged)
+    assert 'lat_bucket{le="+Inf"} 3' in text
+    assert validate_exposition_text(text) == []
+
+
+# -- validator negatives -----------------------------------------------------
+
+def test_validator_rejects_decreasing_buckets():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+        'h_bucket{le="+Inf"} 3\n'
+        "h_sum 1\n"
+        "h_count 3\n"
+    )
+    problems = validate_exposition_text(bad)
+    assert any("decrease" in p for p in problems)
+
+
+def test_validator_rejects_missing_inf_bucket_and_samples():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+    )
+    problems = validate_exposition_text(bad)
+    assert any("+Inf" in p for p in problems)
+    assert any("_sum" in p for p in problems)
+    assert any("_count" in p for p in problems)
+
+
+def test_validator_rejects_inf_count_mismatch_and_garbage():
+    bad = (
+        'h_bucket{le="+Inf"} 4\n'
+        "h_sum 1\n"
+        "h_count 5\n"
+        "not a sample line !!!\n"
+    )
+    problems = validate_exposition_text(bad)
+    assert any("_count" in p for p in problems)
+    assert any("unparseable" in p for p in problems)
+    assert validate_exposition_text("") == ["no samples found"]
+
+
+# -- concurrency -------------------------------------------------------------
+
+def test_concurrent_writers_and_renders():
+    m = MetricsRegistry()
+    h = m.histogram("lat", buckets=list(default_latency_buckets()))
+    n_threads, per_thread = 4, 1000
+    renders: list[str] = []
+    stop = threading.Event()
+
+    def writer(k):
+        for i in range(per_thread):
+            h.observe((k + 1) * 1e-4 * (i % 7 + 1))
+            m.count("frames")
+
+    def reader():
+        while not stop.is_set():
+            renders.append(m.expose_text())
+
+    threads = [threading.Thread(target=writer, args=(k,))
+               for k in range(n_threads)]
+    r = threading.Thread(target=reader)
+    r.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    r.join()
+
+    assert h.count == n_threads * per_thread
+    assert m.counter("frames") == n_threads * per_thread
+    final = m.expose_text()
+    assert validate_exposition_text(final) == []
+    # every mid-flight render must have been internally consistent too
+    for text in renders:
+        assert validate_exposition_text(text) == []

@@ -225,3 +225,97 @@ def test_decision_render_mentions_overlap_and_reason():
     assert "0.125" in text or "0.12" in text
     assert "overlap within threshold" in text
     assert d.to_dict()["accepted"] is True
+
+
+# -- thread-name metadata and async spans ------------------------------------
+
+def test_name_thread_emits_metadata_event():
+    tracer = Tracer(enabled=True)
+    tracer.name_thread("serve-worker-0")
+    with tracer.span("work"):
+        pass
+    doc = tracer.to_chrome()
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(meta) == 1
+    assert meta[0]["name"] == "thread_name"
+    assert meta[0]["cat"] == "__metadata"
+    assert meta[0]["args"] == {"name": "serve-worker-0"}
+    assert validate_chrome_trace(doc) == []
+
+
+def test_name_thread_defaults_to_python_thread_name():
+    tracer = Tracer(enabled=True)
+
+    def worker():
+        tracer.name_thread()
+
+    t = threading.Thread(target=worker, name="my-worker")
+    t.start()
+    t.join()
+    with tracer.span("anchor"):
+        pass
+    names = [e["args"]["name"] for e in tracer.to_chrome()["traceEvents"]
+             if e["ph"] == "M"]
+    assert names == ["my-worker"]
+
+
+def test_async_events_correlate_across_threads():
+    tracer = Tracer(enabled=True)
+    tracer.async_begin("req", 42, cat="serve")
+
+    def worker():
+        tracer.async_instant("req", 42, cat="serve", at="dequeued")
+        tracer.async_end("req", 42, cat="serve", outcome="completed")
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    events = tracer.async_events()
+    assert [e["ph"] for e in events] == ["b", "n", "e"]
+    assert all(e["id"] == 42 and e["name"] == "req" for e in events)
+    # the begin and the instant came from different threads
+    assert events[0]["tid"] != events[1]["tid"]
+    doc = tracer.to_chrome()
+    assert validate_chrome_trace(doc) == []
+    chrome = [e for e in doc["traceEvents"] if e["ph"] in "bne"]
+    assert all(e["id"] == "42" for e in chrome)  # ids stringified
+    assert all("pid" in e for e in chrome)
+
+
+def test_async_and_name_thread_are_noops_when_disabled():
+    tracer = Tracer(enabled=False)
+    tracer.name_thread("nope")
+    tracer.async_begin("req", 1)
+    tracer.async_instant("req", 1)
+    tracer.async_end("req", 1)
+    assert tracer.async_events() == []
+    assert tracer.to_chrome()["traceEvents"] == []
+
+
+def test_clear_drops_async_events_and_thread_names():
+    tracer = Tracer(enabled=True)
+    tracer.name_thread("x")
+    tracer.async_begin("req", 1)
+    tracer.clear()
+    assert tracer.async_events() == []
+    assert tracer.to_chrome()["traceEvents"] == []
+
+
+def test_validator_accepts_metadata_and_async_phases():
+    doc = {"traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+         "args": {"name": "w0"}},
+        {"ph": "b", "name": "req", "id": "1", "ts": 0.0},
+        {"ph": "n", "name": "req", "id": "1", "ts": 1.0},
+        {"ph": "e", "name": "req", "id": "1", "ts": 2.0},
+    ]}
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validator_rejects_malformed_metadata_and_async():
+    problems = validate_chrome_trace({"traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0},
+        {"ph": "b", "name": "req", "ts": 0.0},  # missing id
+    ]})
+    assert any("args.name" in p for p in problems)
+    assert any("lacks 'id'" in p for p in problems)
