@@ -1,0 +1,17 @@
+"""Whole-pipeline static analyses over the PipelineIR.
+
+Currently home to the value-range analysis (:mod:`repro.analysis.ranges`)
+that powers interval-driven precision narrowing in the code generator and
+the RV5xx verify family that audits it.
+"""
+
+from repro.analysis.ranges import (
+    ValueInterval, RangeAnalysis, analyze_ranges, narrowing_decisions,
+)
+
+__all__ = [
+    "RangeAnalysis",
+    "ValueInterval",
+    "analyze_ranges",
+    "narrowing_decisions",
+]

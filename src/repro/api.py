@@ -145,6 +145,25 @@ class CompiledPipeline:
         return report
 
     # -- inspection ------------------------------------------------------------
+    def ranges(self, input_ranges: Mapping | None = None
+               ) -> "dict[str, object]":
+        """Per-stage value ranges, keyed by stage name.
+
+        Forward abstract interpretation over the stage DAG under the
+        compile-time estimates (see :mod:`repro.analysis.ranges`).
+        ``input_ranges`` optionally tightens the assumed range of input
+        images (keyed by :class:`Image` or image name, values are
+        ``(lo, hi)`` pairs or :class:`ValueInterval`).  When the plan
+        was compiled with ``narrow=True`` the ranges already derived at
+        compile time are reused.
+        """
+        from repro.analysis.ranges import analyze_ranges
+        if input_ranges is None and self.plan.value_ranges is not None:
+            by_stage = self.plan.value_ranges
+        else:
+            by_stage = analyze_ranges(self.plan, input_ranges)
+        return {stage.name: r for stage, r in by_stage.items()}
+
     def summary(self) -> str:
         return self.plan.summary()
 

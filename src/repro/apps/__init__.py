@@ -1,11 +1,14 @@
-"""The seven benchmark applications of the paper's evaluation (Table 2).
+"""The seven benchmark applications of the paper's evaluation (Table 2),
+plus ``iunsharp`` — an 8-bit fixed-point unsharp variant exercising the
+integer precision-narrowing path (``CompileOptions.narrow``).
 
 Each module exposes ``build_pipeline(...) -> AppSpec``; :data:`ALL_APPS`
 maps benchmark names to their builders for the harness.
 """
 
 from repro.apps import (
-    bilateral, camera, harris, interpolate, laplacian, pyramid, unsharp,
+    bilateral, camera, harris, interpolate, iunsharp, laplacian, pyramid,
+    unsharp,
 )
 from repro.apps.base import AppSpec
 
@@ -18,7 +21,8 @@ ALL_APPS = {
     "pyramid_blend": pyramid.build_pipeline,
     "interpolate": interpolate.build_pipeline,
     "local_laplacian": laplacian.build_pipeline,
+    "iunsharp": iunsharp.build_pipeline,
 }
 
 __all__ = ["ALL_APPS", "AppSpec", "bilateral", "camera", "harris",
-           "interpolate", "laplacian", "pyramid", "unsharp"]
+           "interpolate", "iunsharp", "laplacian", "pyramid", "unsharp"]

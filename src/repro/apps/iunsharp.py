@@ -1,0 +1,106 @@
+"""Integer unsharp mask (8-bit in, 8-bit out, exact fixed-point core).
+
+The unsharp-mask chain re-expressed in pure integer arithmetic, the way
+camera ISPs implement it: a separable 5-tap binomial blur accumulated in
+``Int`` (``[1 4 6 4 1]``, no normalisation until the end), then a
+fixed-point sharpen ``(512 * I - blury) // 256`` and a clamp back to
+``UChar``.  Every intermediate has a small, statically provable value
+range — ``blurx`` in ``[0, 4080]`` and ``blury`` in ``[0, 65280]`` —
+which makes this the showcase (and regression anchor) for the
+interval-driven precision narrowing of ``CompileOptions.narrow``: both
+blur stages store in ``uint16_t`` instead of ``int32_t``, halving the
+scratchpad footprint, with bit-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.apps.base import AppSpec
+from repro.lang import (
+    Case, Cast, Condition, Function, Image, Int, Interval, Max, Min,
+    Parameter, UChar, Variable,
+)
+
+PAPER_ROWS, PAPER_COLS = 2048, 2048
+
+KERNEL = (1, 4, 6, 4, 1)  # sums to 16; two passes scale by 256
+
+
+def build_pipeline(name_prefix: str = "") -> AppSpec:
+    """Construct the 4-stage integer unsharp-mask pipeline."""
+    R, C = Parameter(Int, "R"), Parameter(Int, "C")
+    I = Image(UChar, [R + 4, C + 4], name=name_prefix + "Ii")
+
+    x, y = Variable("x"), Variable("y")
+    row = Interval(0, R + 3, 1)
+    col = Interval(0, C + 3, 1)
+
+    inner_x = Condition(x, ">=", 2) & Condition(x, "<=", R + 1)
+    inner_y = Condition(y, ">=", 2) & Condition(y, "<=", C + 1)
+
+    blurx = Function(varDom=([x, y], [row, col]), typ=Int,
+                     name=name_prefix + "iblurx")
+    blurx.defn = [Case(inner_x, sum(
+        KERNEL[i] * Cast(Int, I(x + i - 2, y)) for i in range(5)))]
+
+    blury = Function(varDom=([x, y], [row, col]), typ=Int,
+                     name=name_prefix + "iblury")
+    blury.defn = [Case(inner_x & inner_y, sum(
+        KERNEL[j] * blurx(x, y + j - 2) for j in range(5)))]
+
+    # 2 * I - blur in 8.8 fixed point: blury carries a factor of 256
+    sharp = Function(varDom=([x, y], [row, col]), typ=Int,
+                     name=name_prefix + "isharp")
+    sharp.defn = [Case(inner_x & inner_y,
+                       (Cast(Int, I(x, y)) * 512 - blury(x, y)) // 256)]
+
+    masked = Function(varDom=([x, y], [row, col]), typ=UChar,
+                      name=name_prefix + "imasked")
+    masked.defn = [Case(inner_x & inner_y,
+                        Cast(UChar, Min(255, Max(0, sharp(x, y)))))]
+
+    def make_inputs(values: Mapping[Parameter, int],
+                    rng: np.random.Generator) -> dict[Image, np.ndarray]:
+        r, cl = values[R], values[C]
+        return {I: rng.integers(0, 256, size=(r + 4, cl + 4),
+                                dtype=np.uint8)}
+
+    def reference(inputs, values) -> dict[str, np.ndarray]:
+        return {masked.name: reference_iunsharp(np.asarray(inputs[I]))}
+
+    return AppSpec(
+        name="iunsharp",
+        params={"R": R, "C": C},
+        images=(I,),
+        outputs=(masked,),
+        default_estimates={R: PAPER_ROWS, C: PAPER_COLS},
+        reference=reference,
+        make_inputs=make_inputs,
+    )
+
+
+def reference_iunsharp(I: np.ndarray) -> np.ndarray:
+    """Stage-at-a-time int32 oracle with zero-boundary semantics."""
+    I = I.astype(np.int32)
+    rows, cols = I.shape
+    R, C = rows - 4, cols - 4
+    k = np.array(KERNEL, dtype=np.int32)
+
+    blurx = np.zeros_like(I)
+    for i in range(5):
+        blurx[2:R + 2, :] += k[i] * I[i:R + i, :]
+    blury = np.zeros_like(I)
+    for j in range(5):
+        blury[:, 2:C + 2] += k[j] * blurx[:, j:C + j]
+    blury[:2, :] = 0
+    blury[R + 2:, :] = 0
+
+    core = np.s_[2:R + 2, 2:C + 2]
+    sharp = np.zeros_like(I)
+    sharp[core] = (I[core] * 512 - blury[core]) // 256
+    masked = np.zeros(I.shape, dtype=np.uint8)
+    masked[core] = np.clip(sharp[core], 0, 255).astype(np.uint8)
+    return masked

@@ -39,30 +39,37 @@ class TuneConfig:
     tile_sizes: tuple[int, ...]
     overlap_threshold: float
     specialize: bool = True
+    narrow: bool = False
 
     def options(self) -> CompileOptions:
         base = CompileOptions.optimized(self.tile_sizes,
                                         self.overlap_threshold)
-        if self.specialize:
-            return base
-        return base.with_specialize(False, simd=False)
+        if not self.specialize:
+            base = base.with_specialize(False, simd=False)
+        if self.narrow:
+            base = base.with_narrow(True)
+        return base
 
     def __str__(self) -> str:
         tiles = "x".join(map(str, self.tile_sizes))
         out = f"tiles={tiles} othresh={self.overlap_threshold}"
         if not self.specialize:
             out += " specialize=False"
+        if self.narrow:
+            out += " narrow"
         return out
 
     def to_dict(self) -> dict:
         return {"tile_sizes": list(self.tile_sizes),
                 "overlap_threshold": self.overlap_threshold,
-                "specialize": self.specialize}
+                "specialize": self.specialize,
+                "narrow": self.narrow}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TuneConfig":
         return cls(tuple(data["tile_sizes"]), data["overlap_threshold"],
-                   bool(data.get("specialize", True)))
+                   bool(data.get("specialize", True)),
+                   bool(data.get("narrow", False)))
 
 
 @dataclass
@@ -305,7 +312,9 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     (:mod:`repro.verify`) on every successfully compiled configuration
     before timing it; configurations with error-severity findings are
     never run — they join ``report.skipped`` with the diagnostic codes
-    as the reason.
+    as the reason.  Configurations with ``narrow=True`` additionally get
+    the RV5xx range-audit checks, so an unsound narrowing decision is
+    caught before it can produce (fast) wrong answers.
     """
     space = list(space) if space is not None else default_space(n_dims)
     n_workers = max(1, n_workers)

@@ -23,6 +23,15 @@ With ``--throughput`` a sustained frames/sec figure (after warm-up) is
 measured as well — the view that rewards removing per-call overheads
 such as scratch allocation, which single-shot latency can hide.
 
+Each app is additionally recompiled with ``CompileOptions.narrow`` on;
+the record carries the per-thread scratch-arena bytes with and without
+narrowing, the footprint-reduction ratio and the narrowed-stage count.
+When narrowing actually fires the narrowed build is also timed
+interleaved with the other variants (bit-identity of its outputs
+asserted); with zero decisions the emitted source is byte-identical —
+the compile cache returns the same artifact — so no third timing is
+taken.
+
 With ``--batch-sweep`` each app additionally sweeps the batched entry
 point over N in {1, 2, 4, 8, 16}: ``run_batch`` on N identical frames
 against N sequential single-frame calls, asserting bit-identical
@@ -70,6 +79,14 @@ def _time_once(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return (time.perf_counter() - t0) * 1000.0
+
+
+def _scratch_bytes(plan) -> int:
+    """Total per-thread scratch arena footprint across tiled groups."""
+    from repro.codegen.cgen import CGenerator
+    gen = CGenerator(plan)
+    return sum(gen._arena_layout(gp)[1]
+               for gp in plan.group_plans if gp.is_tiled)
 
 
 #: batch sizes explored by --batch-sweep
@@ -128,26 +145,49 @@ def bench_app(name: str, scale: str, runs: int, n_threads: int,
     on_opts = base_opts.with_specialize(True, simd=True)
     off_opts = base_opts.with_specialize(False, simd=False)
 
+    narrow_opts = on_opts.with_narrow(True)
+
     run_on, plan_on, native_on = _build(instance, on_opts, "spec",
                                         n_threads)
     run_off, plan_off, _ = _build(instance, off_opts, "legacy", n_threads)
 
-    out_name = instance.output_name
-    identical = bool(np.array_equal(run_on()[out_name],
-                                    run_off()[out_name]))
+    # the narrowing leg is only *timed* when decisions exist: with none,
+    # the emitted source is byte-identical and the compile cache returns
+    # the same artifact, so a third timing would measure pure noise
+    narrow_plan = compile_pipeline(
+        instance.app.outputs, instance.values, narrow_opts,
+        name=f"cgb_{instance.name}_nplan").plan
+    narrow_timed = bool(narrow_plan.narrowing)
+    native_nar = None
+    if narrow_timed:
+        run_nar, plan_nar, native_nar = _build(instance, narrow_opts,
+                                               "narrow", n_threads)
+    else:
+        run_nar, plan_nar = run_on, narrow_plan
 
-    # interleaved A/B timing; first pair is warm-up
-    on_ms, off_ms = [], []
+    out_name = instance.output_name
+    want = run_on()[out_name]
+    identical = bool(np.array_equal(want, run_off()[out_name]))
+    narrow_identical = not narrow_timed or bool(
+        np.array_equal(want, run_nar()[out_name]))
+
+    # interleaved A/B(/C) timing; first round is warm-up
+    on_ms, off_ms, nar_ms = [], [], []
     for i in range(runs + 1):
         a = _time_once(run_on)
         b = _time_once(run_off)
+        c = _time_once(run_nar) if narrow_timed else a
         if i == 0:
             continue
         on_ms.append(a)
         off_ms.append(b)
+        nar_ms.append(c)
 
     median_on = float(np.median(on_ms))
     median_off = float(np.median(off_ms))
+    median_nar = float(np.median(nar_ms))
+    scratch = _scratch_bytes(plan_on)
+    narrow_scratch = _scratch_bytes(plan_nar)
     record = {
         "app": name,
         "scale": scale,
@@ -161,6 +201,19 @@ def bench_app(name: str, scale: str, runs: int, n_threads: int,
         "times_off_ms": off_ms,
         "outputs_identical": identical,
         "uses_arena": native_on.has_arena,
+        # precision narrowing (CompileOptions.narrow) on top of the
+        # specialized variant: per-thread scratch arena bytes, the
+        # footprint reduction, and the runtime cost/benefit
+        "scratch_bytes": scratch,
+        "narrow_scratch_bytes": narrow_scratch,
+        "narrow_footprint_ratio":
+            scratch / narrow_scratch if narrow_scratch > 0 else 1.0,
+        "narrowed_stages": len(plan_nar.narrowing or {}),
+        "narrow_timed": narrow_timed,
+        "median_narrow_ms": median_nar,
+        "narrow_overhead":
+            median_nar / median_on if median_on > 0 else 1.0,
+        "narrow_outputs_identical": narrow_identical,
     }
     if throughput:
         record["throughput_on"] = throughput_stats(run_on).as_dict()
@@ -169,6 +222,8 @@ def bench_app(name: str, scale: str, runs: int, n_threads: int,
         record["batch_sweep"] = batch_sweep(instance, native_on,
                                             n_threads)
     native_on.release()
+    if native_nar is not None:
+        native_nar.release()
     return record
 
 
@@ -200,6 +255,13 @@ def run_bench(apps: list[str], scale: str, runs: int, n_threads: int,
             "min_speedup": min(speedups) if speedups else 0.0,
             "all_outputs_identical":
                 all(r["outputs_identical"] for r in records),
+            "all_narrow_outputs_identical":
+                all(r["narrow_outputs_identical"] for r in records),
+            "max_narrow_footprint_ratio":
+                max((r["narrow_footprint_ratio"] for r in records),
+                    default=1.0),
+            "max_narrow_overhead":
+                max((r["narrow_overhead"] for r in records), default=1.0),
         },
     }
     if json_path:
@@ -226,6 +288,18 @@ def run_bench(apps: list[str], scale: str, runs: int, n_threads: int,
           f"{s['apps_at_or_above_1_25x']}/{len(records)} apps >= 1.25x, "
           f"min {s['min_speedup']:.2f}x, outputs identical: "
           f"{s['all_outputs_identical']}", file=out)
+
+    print(f"\n## Precision narrowing: scratch footprint and runtime "
+          f"(scale={scale})\n", file=out)
+    nheaders = ["app", "scratch B", "narrowed B", "ratio", "stages",
+                "overhead", "identical"]
+    nrows = [[r["app"], r["scratch_bytes"], r["narrow_scratch_bytes"],
+              f'{r["narrow_footprint_ratio"]:.2f}x', r["narrowed_stages"],
+              f'{r["narrow_overhead"]:.2f}x' if r["narrow_timed"]
+              else "-",
+              "yes" if r["narrow_outputs_identical"] else "NO"]
+             for r in records]
+    print(format_table(nheaders, nrows), file=out)
 
     if batch:
         print(f"\n## Batch entry point: run_batch(N) vs N sequential "

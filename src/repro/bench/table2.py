@@ -70,7 +70,8 @@ def run_table2(scale: str = "small", threads: int = 4,
         tracer.enabled = trace_path is not None
         for name in apps:
             instance = make_instance(name, scale)
-            paper = PAPER_TABLE2[name]
+            # non-paper apps (iunsharp) have no Table 2 reference row
+            paper = PAPER_TABLE2.get(name, {})
             n_stages = len(PipelineGraph(instance.app.outputs))
 
             opt = build_variant(instance, "opt+vec", instrument=profile)
@@ -96,8 +97,8 @@ def run_table2(scale: str = "small", threads: int = 4,
                 t1.min_ms, t2.min_ms, tn.min_ms, tn.std_ms, t_cv,
                 (t_rand / tn.min_ms) if t_rand else None,
                 t_nf / tn.min_ms,
-                paper["t16_ms"], paper["speedup_opentuner"],
-                paper["speedup_htuned"],
+                paper.get("t16_ms"), paper.get("speedup_opentuner"),
+                paper.get("speedup_htuned"),
             ])
             print(f"  [{name}] done", file=sys.stderr)
         if trace_path:

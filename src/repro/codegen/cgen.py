@@ -25,6 +25,14 @@ clamped code; scratchpads move from per-invocation ``malloc`` into a
 persistent per-thread arena released via the exported
 ``<func>_release()``.
 
+Under ``CompileOptions.narrow`` stages whose value range the static
+analysis proved (:mod:`repro.analysis.ranges`) store into the narrowest
+safe C type: scratchpads, arena slots and full intermediates shrink and
+loads get SIMD-friendlier, while every computation keeps its original
+arithmetic type (sub-``int`` loads re-promote to ``int`` exactly;
+``double`` stages narrowed to ``float`` are re-widened at each use).
+With ``narrow`` off the output is byte-identical to previous versions.
+
 Every translation unit additionally exports a multi-frame entry point
 ``<func>_batch(int n, int nthreads, params..., const T* const*
 in_frames..., T* const* out_frames...)`` that runs the identical
@@ -244,6 +252,23 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
     def param(self, p: Parameter) -> str:
         return self.names.name(p, "", p.name)
 
+    # -- precision narrowing ---------------------------------------------------
+    def storage_dtype(self, producer) -> DType:
+        """Storage type of a stage's buffers: the narrowed type when the
+        range analysis proved one safe (``plan.narrowing``), the declared
+        type otherwise.  Images and outputs always keep their declared
+        type (caller-visible ABI)."""
+        narrowing = self.plan.narrowing
+        if narrowing:
+            return narrowing.get(producer, producer.dtype)
+        return producer.dtype
+
+    def _stage_ctype(self, producer) -> str:
+        return self.storage_dtype(producer).c_name
+
+    def _stage_itemsize(self, producer) -> int:
+        return int(self.storage_dtype(producer).np_dtype.itemsize)
+
     # -- affine emission -------------------------------------------------------
     def affine_int(self, aff: AffExpr, rounding: str,
                    var_names: Mapping[Hashable, str] | None = None) -> str:
@@ -403,9 +428,14 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             access = self._scratch_access(producer, indices, hoist)
         else:
             access = self._full_access(producer, indices, hoist)
-        if ctx is not None:
-            return ctx.load(access, producer.dtype.c_name)
-        return access
+        storage = self.storage_dtype(producer)
+        out = ctx.load(access, storage.c_name) if ctx is not None else access
+        if storage is not producer.dtype and producer.dtype.is_float:
+            # Double stage stored as float: re-widen the load so consumer
+            # arithmetic stays in double precision (sub-int integer loads
+            # need no cast — C integer promotion already restores ``int``)
+            out = f"(({producer.dtype.c_name})({out}))"
+        return out
 
     def _extent_names(self, producer, d: int) -> tuple[str, str]:
         base = self.scratch(producer) if producer in self._scratch_sizes \
@@ -557,7 +587,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             stage_ir = self.plan.ir[stage]
             size = " * ".join(f"{base}_n{d}"
                               for d in range(stage_ir.ndim))
-            ctype = stage.dtype.c_name
+            ctype = self._stage_ctype(stage)
             w.emit(f"{ctype}* {base} = ({ctype}*)malloc({size} * "
                    f"sizeof({ctype}));")
             inter.append((base, size, ctype))
@@ -687,7 +717,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             base = self.buf(stage)
             stage_ir = self.plan.ir[stage]
             size = " * ".join(f"{base}_n{d}" for d in range(stage_ir.ndim))
-            ctype = stage.dtype.c_name
+            ctype = self._stage_ctype(stage)
             w.emit(f"{ctype}* {base} = ({ctype}*)calloc({size}, "
                    f"sizeof({ctype}));")
             self._intermediate_fulls.append(base)
@@ -844,7 +874,15 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                     else:
                         w.emit("#pragma GCC ivdep")
             w.open(f"for (long {v} = c{d}lb; {v} <= c{d}ub; {v}++)")
-        body = f"{store} = ({stage_ir.stage.dtype.c_name})({value});"
+        declared = stage_ir.stage.dtype.c_name
+        storage = self._stage_ctype(stage_ir.stage)
+        if storage != declared:
+            # narrowed store: the declared-type cast first (preserving
+            # the original truncation semantics), then the proven-safe
+            # narrowing conversion
+            body = f"{store} = ({storage})(({declared})({value}));"
+        else:
+            body = f"{store} = ({declared})({value});"
         if case.split.residual:
             conds = " && ".join(self.cond(c, var_names)
                                 for c in case.split.residual)
@@ -1006,7 +1044,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             total = 1
             for s in self._scratch_size(stage, gp):
                 total *= s
-            nbytes = total * int(stage.dtype.np_dtype.itemsize)
+            nbytes = total * self._stage_itemsize(stage)
             offsets[stage] = off
             off += -(-nbytes // ARENA_ALIGN) * ARENA_ALIGN
         return offsets, off
@@ -1071,7 +1109,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
             w.emit("#endif")
             w.emit("char* _arena = repro_arena_get(_tid);")
             for stage in scratch_stages:
-                ctype = stage.dtype.c_name
+                ctype = self._stage_ctype(stage)
                 w.emit(f"{ctype}* {self.scratch(stage)} = "
                        f"({ctype}*)(_arena + {offsets[stage]}L);")
         else:
@@ -1080,7 +1118,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                 total = 1
                 for s in sizes:
                     total *= s
-                ctype = stage.dtype.c_name
+                ctype = self._stage_ctype(stage)
                 w.emit(f"{ctype}* {self.scratch(stage)} = "
                        f"({ctype}*)malloc({total} * sizeof({ctype}));")
         w.emit("#pragma omp for schedule(dynamic)")
@@ -1173,7 +1211,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
                 for s in sizes:
                     total *= s
                 w.emit(f"memset({self.scratch(stage)}, 0, "
-                       f"{total} * sizeof({stage.dtype.c_name}));")
+                       f"{total} * sizeof({self._stage_ctype(stage)}));")
             self._emit_case_loops(stage_ir, region)
             if stage in self._liveout_local:
                 # copy the owned sub-region out to the full buffer
@@ -1256,7 +1294,7 @@ NativePipeline` reads back through ctypes.  Uninstrumented output is
         """memset one box of the stage's scratchpad (absolute coords)."""
         w = self.w
         ndim = len(box)
-        ctype = stage.dtype.c_name
+        ctype = self._stage_ctype(stage)
         w.open("")
         for dd in range(ndim - 1):
             w.open(f"for (long z{dd} = {box[dd][0]}; "

@@ -52,6 +52,11 @@ class CompileOptions:
     #: emit ``#pragma omp simd`` on provably unit-stride, alias-free
     #: innermost fast-path loops (requires ``specialize``)
     simd: bool = True
+    #: interval-driven precision narrowing: store intermediates in the
+    #: narrowest C type their statically proven value range fits (see
+    #: :mod:`repro.analysis.ranges`); off reproduces today's output
+    #: byte for byte
+    narrow: bool = False
 
     def __post_init__(self):
         if not self.tile_sizes:
@@ -93,3 +98,6 @@ class CompileOptions:
                         simd: bool | None = None) -> "CompileOptions":
         return replace(self, specialize=specialize,
                        simd=self.simd if simd is None else simd)
+
+    def with_narrow(self, narrow: bool) -> "CompileOptions":
+        return replace(self, narrow=narrow)

@@ -117,6 +117,14 @@ class PipelinePlan:
     #: populated when compiled with ``check != "none"`` (a
     #: :class:`repro.verify.VerifyReport`)
     verify_report: object | None = None
+    #: populated when compiled with ``options.narrow``: stage ->
+    #: :class:`repro.analysis.ranges.ValueInterval` derived under the
+    #: compile-time estimates
+    value_ranges: dict | None = None
+    #: populated when compiled with ``options.narrow``: stage -> narrowed
+    #: storage :class:`~repro.lang.types.DType` (absent stages keep their
+    #: declared type)
+    narrowing: dict | None = None
 
     @property
     def outputs(self) -> list[Stage]:
@@ -230,6 +238,22 @@ class PipelinePlan:
                 lines.append("(no specializable stages)")
             for fi in infos:
                 lines.append(f"  {fi.render()}")
+        if self.value_ranges is not None:
+            lines += ["", "== value ranges & narrowing =="]
+            narrowing = self.narrowing or {}
+            for gp in self.group_plans:
+                for stage in gp.ordered_stages:
+                    r = self.value_ranges.get(stage)
+                    if r is None:
+                        continue
+                    line = f"  {stage.name}: {r!r}"
+                    target = narrowing.get(stage)
+                    if target is not None:
+                        line += (f" -> narrowed {stage.dtype.name} "
+                                 f"to {target.name}")
+                    lines.append(line)
+            if not narrowing:
+                lines.append("  (no stage narrowed)")
         return "\n".join(lines)
 
 
@@ -338,6 +362,13 @@ def compile_plan(outputs: Sequence[Stage],
         output_map=output_map,
         inlined_names=inlined_names,
     )
+    if options.narrow:
+        # Imported lazily: repro.analysis walks the same IR types.
+        from repro.analysis.ranges import analyze_ranges, narrowing_decisions
+        with tracer.span("ranges", cat="compiler") as sp:
+            plan.value_ranges = analyze_ranges(plan)
+            plan.narrowing = narrowing_decisions(plan, plan.value_ranges)
+            sp.set(narrowed=len(plan.narrowing))
     if check != "none":
         # Imported lazily: repro.verify depends on this module.
         from repro.verify import CHECKS, VerifyError, verify_plan

@@ -73,8 +73,15 @@ class IntInterval:
         return IntInterval(math.floor(lo), math.ceil(hi))
 
     def floordiv(self, divisor: int) -> "IntInterval":
-        if divisor <= 0:
-            raise ValueError("divisor must be positive")
+        """Elementwise flooring division (Python ``//`` semantics).
+
+        Monotone increasing in the dividend for a positive divisor,
+        decreasing for a negative one — the endpoints swap accordingly.
+        """
+        if divisor == 0:
+            raise ValueError("divisor must be non-zero")
+        if divisor < 0:
+            return IntInterval(self.hi // divisor, self.lo // divisor)
         return IntInterval(self.lo // divisor, self.hi // divisor)
 
     def __add__(self, other: "IntInterval") -> "IntInterval":
@@ -150,8 +157,9 @@ def evaluate_expr(expr,
     (:mod:`repro.codegen.opt`): where :func:`evaluate_affine` only
     handles affine forms, this walks arbitrary index expressions — the
     boundary-clamping ``min``/``max`` compositions, flooring ``//`` by a
-    constant, ``%`` (DSL/NumPy semantics: result in ``[0, m)`` for a
-    positive modulus) and ``Select`` hulls — and returns the integer
+    non-zero constant of either sign, ``%`` (DSL/NumPy semantics: the
+    result takes the divisor's sign) and ``Select`` hulls — and returns
+    the integer
     hull of the value range, or ``None`` when the expression falls
     outside the supported fragment (data-dependent loads, float
     arithmetic, symbols missing from ``env``).
@@ -192,11 +200,15 @@ def evaluate_expr(expr,
                 right = e.right
                 if not (isinstance(right, Literal)
                         and isinstance(right.value, int)
-                        and right.value > 0):
+                        and right.value != 0):
                     return None
+                m = right.value
                 if e.op == "%":
-                    return IntInterval(0, right.value - 1)
-                return left.floordiv(right.value)
+                    # Python/NumPy sign semantics: the result takes the
+                    # divisor's sign — [0, m) for m > 0, (m, 0] for m < 0
+                    return (IntInterval(0, m - 1) if m > 0
+                            else IntInterval(m + 1, 0))
+                return left.floordiv(m)
             right = rec(e.right)
             if right is None:
                 return None

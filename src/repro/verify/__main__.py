@@ -50,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="DIR|-", default=None,
                         help="write per-app JSON reports into DIR "
                              "('-' prints a JSON array to stdout)")
+    parser.add_argument("--narrow", action="store_true",
+                        help="compile with precision narrowing enabled "
+                             "so the RV5xx checks audit real narrowing "
+                             "decisions")
     parser.add_argument("--lint-c", action="store_true",
                         help="also generate instrumented C and lint it "
                              "for un-atomic shared writes (slower)")
@@ -83,7 +87,8 @@ def main(argv: list[str] | None = None) -> int:
         spec = ALL_APPS[name]()
         estimates = (spec.small_estimates(args.size) if args.size
                      else spec.default_estimates)
-        plan = compile_plan(spec.outputs, estimates, CompileOptions())
+        options = CompileOptions(narrow=args.narrow)
+        plan = compile_plan(spec.outputs, estimates, options)
         report = verify_plan(plan, lint_c=args.lint_c,
                              severity_overrides=overrides, name=name)
         reports.append(report)

@@ -19,10 +19,11 @@ from repro.verify.diagnostics import Emitter, VerifyError, VerifyReport
 from repro.verify.legality import PlanFacts, legality_diagnostics
 from repro.verify.lint import lint_diagnostics
 from repro.verify.races import lint_c_source, race_diagnostics
+from repro.verify.rangecheck import NarrowScratchBytesFn, range_diagnostics
 from repro.verify.storagecheck import ScratchSizeFn, storage_diagnostics
 
 #: the default checker set, in report order
-CHECKS = ("legality", "bounds", "storage", "races", "lint")
+CHECKS = ("legality", "bounds", "storage", "races", "lint", "ranges")
 
 
 def _bounds_check(plan: PipelinePlan, emit: Emitter,
@@ -45,6 +46,7 @@ def verify_plan(plan: PipelinePlan, *,
                 lint_c: bool = False,
                 severity_overrides: Mapping[str, str] | None = None,
                 scratch_sizes: ScratchSizeFn | None = None,
+                narrow_scratch_bytes: NarrowScratchBytesFn | None = None,
                 name: str | None = None) -> VerifyReport:
     """Statically verify a compiled plan; never raises on findings.
 
@@ -52,8 +54,9 @@ def verify_plan(plan: PipelinePlan, *,
     ``checks`` selects a subset of :data:`CHECKS`.  ``lint_c`` (off by
     default, it costs a codegen run) additionally generates the
     instrumented C and lints it for un-atomic shared writes.
-    ``scratch_sizes`` overrides the scratchpad sizing under test (used
-    by the mutation tests to model a broken code generator).
+    ``scratch_sizes`` and ``narrow_scratch_bytes`` override the
+    scratchpad sizing claims under test (used by the mutation tests to
+    model a broken code generator).
     """
     env = dict(param_env if param_env is not None else plan.estimates)
     selected = CHECKS if checks is None else tuple(checks)
@@ -81,6 +84,9 @@ def verify_plan(plan: PipelinePlan, *,
                                           facts=facts),
         "lint": lambda: lint_diagnostics(plan.ir, emit, checked, env=env,
                                          facts=facts),
+        "ranges": lambda: range_diagnostics(
+            plan, emit, checked, env=env,
+            narrow_scratch_bytes=narrow_scratch_bytes, facts=facts),
     }
     for check in CHECKS:
         if check in selected:

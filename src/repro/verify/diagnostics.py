@@ -10,6 +10,8 @@ stage/access provenance and a fix hint, collected into a
 * ``RV2xx`` — storage coverage (scratchpad allocation and tile regions)
 * ``RV3xx`` — parallelism races (tile ownership, un-atomic shared writes)
 * ``RV4xx`` — DSL lint (dead stages, non-affine accesses, shadowing, ...)
+* ``RV5xx`` — value-range audit (narrowing proofs, claimed-range
+  containment, narrowed scratch byte sizing)
 
 Severities can be overridden per code — suppressed with ``"ignore"`` or
 escalated/demoted to any of ``"info"``/``"warning"``/``"error"`` — so a
@@ -56,6 +58,12 @@ CODES: dict[str, tuple[str, str]] = {
     "RV404": (WARNING, "overlapping case conditions "
                        "(evaluation-order dependent)"),
     "RV405": (WARNING, "implicit type narrowing in a stage expression"),
+    # value-range audit
+    "RV501": (ERROR, "integer narrowing not proven overflow-safe"),
+    "RV502": (ERROR, "float narrowing not proven exact (precision loss)"),
+    "RV503": (ERROR, "claimed value range does not contain the "
+                     "independently derived range"),
+    "RV504": (ERROR, "narrowed scratchpad byte allocation under-sized"),
 }
 
 

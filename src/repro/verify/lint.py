@@ -12,13 +12,17 @@ even considered:
 * ``RV404`` — overlapping pure-bounds case conditions, where the result
   depends on case evaluation order;
 * ``RV405`` — a float-valued expression assigned to a non-float stage
-  without an explicit ``Cast`` (implicit narrowing truncates).
+  without an explicit ``Cast`` (implicit narrowing truncates).  The
+  value-range analysis vouches for expressions that are provably
+  integral and in-range (e.g. ``Floor``/``Ceil`` results): truncating
+  those cannot change any value, so they do not warn.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Mapping
 
+from repro.analysis.ranges import RangeAnalysis
 from repro.codegen.cgen import _is_float_expr
 from repro.lang.constructs import Parameter, Variable
 from repro.lang.expr import Cast
@@ -98,6 +102,7 @@ def lint_diagnostics(ir: PipelineIR, emit: Emitter,
                           f"variable of stage {stage_ir.name}",
                           stage=stage_ir.name)
 
+    ranges: RangeAnalysis | None = None  # built lazily for RV405
     for stage_ir in ordered:
         name = stage_ir.name
 
@@ -157,21 +162,35 @@ def lint_diagnostics(ir: PipelineIR, emit: Emitter,
                             hint="make the guards disjoint (or rely on "
                                  "ordering deliberately and document it)")
 
-        # RV405: implicit float -> integer narrowing.
+        # RV405: implicit float -> integer narrowing.  Only warn when
+        # the truncation can actually change a value: an expression the
+        # range analysis proves integral and in-range for the stage's
+        # dtype is stored unchanged, Cast or no Cast.
         if not stage_ir.stage.dtype.is_float:
-            exprs = [c.expression for c in stage_ir.cases]
+            candidates = [(c.expression, c) for c in stage_ir.cases]
             if stage_ir.accumulate is not None:
-                exprs.append(stage_ir.accumulate.value)
-            for expr in exprs:
-                if not isinstance(expr, Cast) and _is_float_expr(expr):
-                    emit.emit(
-                        "RV405",
-                        f"stage {name} has dtype "
-                        f"{stage_ir.stage.dtype.name} but computes a "
-                        "floating-point expression without an explicit "
-                        "Cast",
-                        stage=name,
-                        hint="the backends truncate implicitly; wrap the "
-                             "expression in Cast(dtype, ...) to make the "
-                             "narrowing visible")
-                    break
+                # in-flight partials are unbounded by the final range;
+                # no proof of safety is available for reductions
+                candidates.append((stage_ir.accumulate.value, None))
+            for expr, case in candidates:
+                if isinstance(expr, Cast) or not _is_float_expr(expr):
+                    continue
+                if env and case is not None:
+                    if ranges is None:
+                        ranges = RangeAnalysis.run(ir, env)
+                    case_env = ranges._case_env(stage_ir, case)
+                    if case_env is not None:
+                        r = ranges.expr_range(expr, case_env)
+                        if r.integral and r.fits(stage_ir.stage.dtype):
+                            continue  # provably value-preserving
+                emit.emit(
+                    "RV405",
+                    f"stage {name} has dtype "
+                    f"{stage_ir.stage.dtype.name} but computes a "
+                    "floating-point expression without an explicit "
+                    "Cast",
+                    stage=name,
+                    hint="the backends truncate implicitly; wrap the "
+                         "expression in Cast(dtype, ...) to make the "
+                         "narrowing visible")
+                break

@@ -1,0 +1,417 @@
+"""Value-range audit checks (``RV5xx``).
+
+Audits the range analysis and the precision-narrowing pass behind
+``CompileOptions.narrow``:
+
+* ``RV501`` — an integer stage was narrowed without a proof that every
+  value it can produce fits the narrowed type (overflow risk);
+* ``RV502`` — a double stage was narrowed to ``float`` without a proof
+  that every value is exactly representable (precision-loss risk);
+* ``RV503`` — a range the plan *claims* (``plan.value_ranges``) does not
+  contain the range this checker derives — the two derivations disagree;
+* ``RV504`` — a narrowed scratchpad's claimed byte allocation is smaller
+  than what sampled tiles actually need under the narrowed item size.
+
+Following the verifier's post-hoc doctrine, the per-stage ranges are
+re-derived here by a *separate* abstract evaluator over the raw IR — the
+arithmetic is deliberately duplicated rather than imported from
+:mod:`repro.analysis.ranges`, so a bug in the compiler-side analysis
+cannot certify itself.  Both evaluators implement the same abstract
+semantics (store-side casts, zero-crossing divisor guards, ``Select``
+widening, float32 endpoint padding); any divergence surfaces as RV503.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Mapping
+
+import numpy as np
+
+from repro.compiler.plan import GroupPlan, PipelinePlan
+from repro.compiler.storage import SCRATCH
+from repro.lang.constructs import Parameter, Variable
+from repro.lang.expr import (
+    BinOp, Call, Cast, Literal, Reference, Select, UnOp,
+)
+from repro.lang.types import (
+    Char, Double, Float, Int, Short, UChar, UShort,
+)
+from repro.verify.diagnostics import Emitter
+from repro.verify.legality import PlanFacts
+from repro.verify.storagecheck import _halo_region, sample_tiles
+
+#: (stage, group_plan) -> claimed scratch allocation in *bytes* under the
+#: narrowed storage type (injectable for the mutation tests)
+NarrowScratchBytesFn = Callable[[object, GroupPlan], int]
+
+_INF = math.inf
+_TOP = (-_INF, _INF, False)
+_F32_EXACT = 1 << 24
+
+#: declared types whose narrowed loads re-promote to ``int`` exactly
+_PROMOTE_SAFE = (Int, Short, UShort, Char, UChar)
+#: admissible sub-``int`` storage targets
+_INT_TARGETS = (UChar, Char, UShort, Short)
+
+
+# ---------------------------------------------------------------------------
+# Independent range derivation (tuple lattice: (lo, hi, integral))
+# ---------------------------------------------------------------------------
+
+def _finite(r) -> bool:
+    return not (math.isinf(r[0]) or math.isinf(r[1]))
+
+
+def _hull(a, b):
+    return (min(a[0], b[0]), max(a[1], b[1]), a[2] and b[2])
+
+
+def _of_dtype(dtype):
+    if dtype.is_float:
+        return _TOP
+    info = np.iinfo(dtype.np_dtype)
+    return (int(info.min), int(info.max), True)
+
+
+def _int_fits(r, dtype) -> bool:
+    if not (r[2] and _finite(r)):
+        return False
+    info = np.iinfo(dtype.np_dtype)
+    return info.min <= r[0] and r[1] <= info.max
+
+
+def _float32_exact(r) -> bool:
+    return r[2] and _finite(r) and max(abs(r[0]), abs(r[1])) <= _F32_EXACT
+
+
+def _mulc(a, b):
+    if a == 0 or b == 0:
+        return 0
+    return a * b
+
+
+def _store(r, dtype):
+    """Range after the store-side cast to the declared type."""
+    if dtype.is_float:
+        if dtype is Float and not _float32_exact(r) and _finite(r):
+            pad = max(abs(r[0]), abs(r[1])) * 2.0 ** -23
+            return (r[0] - pad, r[1] + pad, False)
+        return r
+    if _int_fits(r, dtype):
+        return (int(r[0]), int(r[1]), True)
+    return _of_dtype(dtype)
+
+
+def _cast(r, dtype):
+    if dtype.is_float:
+        if dtype is Float and not _float32_exact(r) and _finite(r):
+            pad = max(abs(r[0]), abs(r[1])) * 2.0 ** -23
+            return (r[0] - pad, r[1] + pad, False)
+        return r
+    if _int_fits(r, dtype):
+        return (int(r[0]), int(r[1]), True)
+    if r[2] and _finite(r):
+        return _of_dtype(dtype)
+    if _finite(r):
+        t = (math.trunc(r[0]), math.trunc(r[1]), True)
+        return t if _int_fits(t, dtype) else _of_dtype(dtype)
+    return _of_dtype(dtype)
+
+
+def _binop(op, left, right):
+    integral = left[2] and right[2]
+    if op == "+":
+        return (left[0] + right[0], left[1] + right[1], integral)
+    if op == "-":
+        return (left[0] - right[1], left[1] - right[0], integral)
+    if op == "*":
+        corners = [_mulc(a, b) for a in left[:2] for b in right[:2]]
+        return (min(corners), max(corners), integral)
+    if op in ("/", "//"):
+        if right[0] <= 0 <= right[1] or not _finite(right) \
+                or not _finite(left):
+            return _TOP
+        if op == "/":
+            corners = [a / d for a in left[:2] for d in right[:2]]
+            return (min(corners), max(corners), False)
+        corners = [math.floor(a / d) for a in left[:2] for d in right[:2]]
+        return (min(corners), max(corners), True)
+    if op == "%":
+        if not _finite(right):
+            return _TOP
+        if right[0] > 0:
+            return (0, right[1] - 1 if integral else float(right[1]),
+                    integral)
+        if right[1] < 0:
+            return (right[0] + 1 if integral else float(right[0]), 0,
+                    integral)
+        return _TOP
+    return _TOP
+
+
+def _call(name, args):
+    integral = all(a[2] for a in args)
+    if name == "min":
+        return (min(a[0] for a in args), min(a[1] for a in args), integral)
+    if name == "max":
+        return (max(a[0] for a in args), max(a[1] for a in args), integral)
+    a = args[0]
+    if name == "abs":
+        if a[0] >= 0:
+            return a
+        if a[1] <= 0:
+            return (-a[1], -a[0], a[2])
+        return (0, max(-a[0], a[1]), a[2])
+    if name in ("floor", "ceil"):
+        f = math.floor if name == "floor" else math.ceil
+        lo = f(a[0]) if not math.isinf(a[0]) else a[0]
+        hi = f(a[1]) if not math.isinf(a[1]) else a[1]
+        return (lo, hi, not (math.isinf(lo) or math.isinf(hi)))
+    if name == "sqrt":
+        if a[1] < 0:
+            return _TOP
+        hi = math.sqrt(a[1]) if not math.isinf(a[1]) else _INF
+        return (math.sqrt(max(0, a[0])), hi, False)
+    if name == "exp":
+        try:
+            lo = math.exp(a[0]) if not math.isinf(a[0]) else (
+                0.0 if a[0] < 0 else _INF)
+            hi = math.exp(a[1]) if not math.isinf(a[1]) else _INF
+        except OverflowError:
+            return (0.0, _INF, False)
+        return (lo, hi, False)
+    if name == "log":
+        if a[0] <= 0:
+            return _TOP
+        hi = math.log(a[1]) if not math.isinf(a[1]) else _INF
+        return (math.log(a[0]), hi, False)
+    if name == "atan":
+        lo = math.atan(a[0]) if not math.isinf(a[0]) else -math.pi / 2
+        hi = math.atan(a[1]) if not math.isinf(a[1]) else math.pi / 2
+        return (lo, hi, False)
+    if name in ("sin", "cos"):
+        return (-1.0, 1.0, False)
+    return _TOP
+
+
+class _RangeDeriver:
+    """Forward pass over the stage DAG, re-deriving (lo, hi, integral)."""
+
+    def __init__(self, plan: PipelinePlan):
+        self.ir = plan.ir
+        self.est = dict(plan.estimates)
+        self.known: dict = {}
+        for image in plan.ir.graph.inputs:
+            self.known[image] = _of_dtype(image.dtype)
+
+    def derive(self) -> dict:
+        out: dict = {}
+        for stage_ir in self.ir.ordered():
+            r = self._stage(stage_ir)
+            out[stage_ir.stage] = r
+            self.known[stage_ir.stage] = r
+        return out
+
+    def _stage(self, stage_ir):
+        if stage_ir.is_accumulator or stage_ir.is_self_referential:
+            return _of_dtype(stage_ir.stage.dtype)
+        result = (0, 0, True)  # calloc/memset zero on uncovered points
+        for case in stage_ir.cases:
+            box = case.box.concretize(self.est)
+            if box is None:
+                box = stage_ir.domain.concretize(self.est)
+                if box is None:
+                    continue
+            env: dict = {}
+            for var, ivl in zip(stage_ir.variables, box):
+                env[var] = (ivl.lo, ivl.hi, True)
+            for param, value in self.est.items():
+                env[param] = (int(value), int(value), True)
+            r = self._expr(case.expression, env)
+            result = _hull(result, _store(r, stage_ir.stage.dtype))
+        return result
+
+    def _expr(self, expr, env):
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, bool):
+                return _TOP
+            v = expr.value
+            return (v, v, isinstance(v, int))
+        if isinstance(expr, (Variable, Parameter)):
+            return env.get(expr, _TOP)
+        if isinstance(expr, UnOp):
+            r = self._expr(expr.operand, env)
+            return (-r[1], -r[0], r[2])
+        if isinstance(expr, Cast):
+            return _cast(self._expr(expr.operand, env), expr.dtype)
+        if isinstance(expr, Select):
+            return _hull(self._expr(expr.true_expr, env),
+                         self._expr(expr.false_expr, env))
+        if isinstance(expr, Reference):
+            producer = expr.function
+            r = self.known.get(producer)
+            return r if r is not None else _of_dtype(producer.dtype)
+        if isinstance(expr, BinOp):
+            return _binop(expr.op, self._expr(expr.left, env),
+                          self._expr(expr.right, env))
+        if isinstance(expr, Call):
+            return _call(expr.name, [self._expr(a, env)
+                                     for a in expr.args])
+        return _TOP
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+def _default_narrow_scratch_bytes(plan: PipelinePlan) -> NarrowScratchBytesFn:
+    """The C generator's own byte sizing — the claim under test."""
+    from repro.codegen.cgen import CGenerator
+    gen = CGenerator(plan)
+
+    def claimed(stage, gp: GroupPlan) -> int:
+        total = 1
+        for extent in gen._scratch_size(stage, gp):
+            total *= extent
+        return total * gen._stage_itemsize(stage)
+
+    return claimed
+
+
+def range_diagnostics(plan: PipelinePlan, emit: Emitter,
+                      checked: dict[str, int],
+                      env: Mapping[Hashable, int] | None = None,
+                      narrow_scratch_bytes: NarrowScratchBytesFn
+                      | None = None,
+                      facts: PlanFacts | None = None) -> None:
+    """Run the ``RV5xx`` checks.  Cheap no-op on plans compiled without
+    ``narrow`` (no claimed ranges, no narrowing decisions to audit).
+
+    Value ranges are re-derived under the plan's *estimates* — the
+    environment the claims were made in — while the RV504 tile regions
+    honour ``env`` like the other storage checks."""
+    narrowing = plan.narrowing or {}
+    claims = plan.value_ranges
+    if not narrowing and claims is None:
+        return
+    env = dict(env if env is not None else plan.estimates)
+    if facts is None:
+        facts = PlanFacts(plan, env)
+
+    derived = _RangeDeriver(plan).derive()
+    checked["range_stages"] = checked.get("range_stages", 0) + len(derived)
+
+    # RV503: every claimed range must contain the one derived here.
+    if claims is not None:
+        for stage, claim in claims.items():
+            d = derived.get(stage)
+            if d is None:
+                continue
+            disagrees = claim.lo > d[0] or d[1] > claim.hi \
+                or (claim.integral and not d[2])
+            if disagrees:
+                kind = "int" if d[2] else "real"
+                emit.emit(
+                    "RV503",
+                    f"plan claims {stage.name} has range {claim!r} but "
+                    f"independent derivation finds [{d[0]}, {d[1]}] {kind}",
+                    stage=stage.name,
+                    hint="the compiler-side analysis and the verifier "
+                         "disagree; one of the two abstract evaluators "
+                         "is wrong")
+
+    # RV501/RV502: every narrowing decision must be re-provable.
+    for stage, target in narrowing.items():
+        checked["narrowed"] = checked.get("narrowed", 0) + 1
+        stage_ir = plan.ir[stage]
+        structural = (stage_ir.is_output or stage_ir.is_accumulator
+                      or stage_ir.is_self_referential)
+        d = derived.get(stage)
+        if target.is_float:
+            proven = (stage.dtype is Double and not structural
+                      and d is not None and _float32_exact(d))
+            if not proven:
+                found = "no derived range" if d is None else \
+                    f"derived range [{d[0]}, {d[1]}]" \
+                    f"{' int' if d[2] else ' real'}"
+                emit.emit(
+                    "RV502",
+                    f"{stage.name} ({stage.dtype.name}) is narrowed to "
+                    f"float storage but {found} is not proven exactly "
+                    "representable (integral, |v| <= 2^24)",
+                    stage=stage.name,
+                    hint="float rounding would silently perturb values "
+                         "consumers re-widen to double")
+        else:
+            proven = (not structural
+                      and stage.dtype in _PROMOTE_SAFE
+                      and target in _INT_TARGETS
+                      and (target.np_dtype.itemsize
+                           < stage.dtype.np_dtype.itemsize)
+                      and d is not None and _int_fits(d, target))
+            if not proven:
+                lo, hi = (("?", "?") if d is None else (d[0], d[1]))
+                emit.emit(
+                    "RV501",
+                    f"{stage.name} ({stage.dtype.name}) is narrowed to "
+                    f"{target.name} but the derived range [{lo}, {hi}] "
+                    "is not proven to fit it",
+                    stage=stage.name,
+                    hint="an out-of-range store would wrap silently; "
+                         "only a proven-contained integral range may "
+                         "narrow")
+
+    # RV504: narrowed scratch allocations must cover sampled tiles in
+    # *bytes* under the narrowed item size.
+    claimed_fn: NarrowScratchBytesFn | None = None
+    for gi, gp in enumerate(plan.group_plans):
+        if not gp.is_tiled:
+            continue
+        if any(s not in gp.group.halos or s not in gp.transforms
+               for s in gp.ordered_stages):
+            continue  # RV004 already reported by the legality pass
+        space = facts.tile_space(gp)
+        if space is None:
+            continue
+        members = set(gp.ordered_stages)
+        liveouts = facts.liveouts(gp)
+        liveout_local = {s for s in liveouts
+                         if any(c in members
+                                for c in plan.ir.graph.consumers(s))}
+        scratch_like = [
+            s for s in gp.ordered_stages
+            if s in narrowing
+            and (plan.storage[s].kind == SCRATCH or s in liveout_local)]
+        if not scratch_like:
+            continue
+        doms = {s: facts.dom(s) for s in scratch_like}
+        if any(doms[s] is None for s in scratch_like):
+            continue
+        if claimed_fn is None:
+            claimed_fn = (narrow_scratch_bytes
+                          or _default_narrow_scratch_bytes(plan))
+        allocs = {s: claimed_fn(s, gp) for s in scratch_like}
+
+        for tile_box in sample_tiles(space, gp.tile_sizes):
+            for stage in scratch_like:
+                checked["narrow_scratch"] = \
+                    checked.get("narrow_scratch", 0) + 1
+                region = _halo_region(plan, gp, stage, tile_box,
+                                      doms[stage])
+                if region is None:
+                    continue
+                cells = 1
+                for ivl in region:
+                    cells *= ivl.size
+                need = cells * int(narrowing[stage].np_dtype.itemsize)
+                if allocs[stage] < need:
+                    emit.emit(
+                        "RV504",
+                        f"narrowed scratchpad of {stage.name} "
+                        f"({narrowing[stage].name}) claims "
+                        f"{allocs[stage]} bytes but tile {tile_box} "
+                        f"needs {need}",
+                        stage=stage.name, group=gi,
+                        hint="the byte allocation must cover tile + "
+                             "halo at the narrowed item size")

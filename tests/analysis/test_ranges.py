@@ -1,0 +1,249 @@
+"""Unit tests for the value-range lattice and its transfer functions."""
+
+import math
+
+import pytest
+
+from repro.analysis.ranges import (
+    F32_EXACT_INT, TOP, RangeAnalysis, ValueInterval, narrow_target,
+    narrowing_decisions,
+)
+from repro.lang.types import (
+    Char, Double, Float, Int, Long, Short, UChar, UShort,
+)
+
+INF = math.inf
+
+
+# ---------------------------------------------------------------------------
+# ValueInterval structure
+# ---------------------------------------------------------------------------
+
+def test_point_constructors():
+    p = ValueInterval.point(7)
+    assert (p.lo, p.hi, p.integral) == (7, 7, True)
+    q = ValueInterval.point(0.5)
+    assert (q.lo, q.hi, q.integral) == (0.5, 0.5, False)
+
+
+def test_of_dtype():
+    assert ValueInterval.of_dtype(UChar) == ValueInterval(0, 255, True)
+    assert ValueInterval.of_dtype(Char) == ValueInterval(-128, 127, True)
+    assert ValueInterval.of_dtype(UShort) == ValueInterval(0, 65535, True)
+    assert ValueInterval.of_dtype(Int) == ValueInterval(-2**31, 2**31 - 1,
+                                                        True)
+    assert ValueInterval.of_dtype(Float) is TOP
+    assert ValueInterval.of_dtype(Double) is TOP
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(ValueError):
+        ValueInterval(3, 2)
+    with pytest.raises(ValueError):
+        ValueInterval(0.0, 0.5, True)  # non-integer endpoints
+
+
+def test_integral_endpoints_coerced_to_int():
+    r = ValueInterval(1.0, 4.0, True)
+    assert isinstance(r.lo, int) and isinstance(r.hi, int)
+
+
+def test_hull_integrality():
+    a = ValueInterval(0, 10, True)
+    b = ValueInterval(-2.5, 3.0, False)
+    h = a.hull(b)
+    assert (h.lo, h.hi, h.integral) == (-2.5, 10, False)
+    assert a.hull(ValueInterval(5, 20, True)).integral
+
+
+def test_contains_integrality_only_tightens():
+    real = ValueInterval(0.0, 10.0, False)
+    ints = ValueInterval(0, 10, True)
+    assert real.contains(ints)
+    assert real.contains(real)
+    assert ints.contains(ints)
+    # an integral claim does NOT contain a merely-real derivation
+    assert not ints.contains(real)
+    assert not real.contains(ValueInterval(-1, 5, True))
+
+
+def test_fits():
+    assert ValueInterval(0, 255, True).fits(UChar)
+    assert not ValueInterval(0, 256, True).fits(UChar)
+    assert not ValueInterval(-1, 10, True).fits(UChar)
+    assert ValueInterval(-128, 127, True).fits(Char)
+    assert ValueInterval(0, 4080, True).fits(UShort)
+    # float32: only exactly-representable integer ranges fit
+    assert ValueInterval(-F32_EXACT_INT, F32_EXACT_INT, True).fits(Float)
+    assert not ValueInterval(0, F32_EXACT_INT + 1, True).fits(Float)
+    assert not ValueInterval(0.0, 1.0, False).fits(Float)
+    assert TOP.fits(Double)
+    assert not TOP.fits(Int)
+
+
+def test_repr_forms():
+    assert repr(ValueInterval(0, 4080, True)) == "[0, 4080] int"
+    assert repr(TOP) == "[-inf, inf] real"
+
+
+# ---------------------------------------------------------------------------
+# Binary-operator transfer functions
+# ---------------------------------------------------------------------------
+
+binop = RangeAnalysis._binop_range
+
+
+def iv(lo, hi, integral=True):
+    return ValueInterval(lo, hi, integral)
+
+
+def test_add_sub_mul():
+    assert binop("+", iv(1, 2), iv(10, 20)) == iv(11, 22)
+    assert binop("-", iv(1, 2), iv(10, 20)) == iv(-19, -8)
+    assert binop("*", iv(-2, 3), iv(-5, 7)) == iv(-15, 21)
+    assert not binop("+", iv(0, 1), iv(0.0, 1.0, False)).integral
+
+
+def test_mul_zero_times_infinity_is_zero():
+    r = binop("*", ValueInterval.point(0), TOP)
+    assert (r.lo, r.hi) == (0, 0)
+    assert not r.integral  # TOP is non-integral, and integrality ANDs
+
+
+def test_true_division():
+    r = binop("/", iv(10, 20), iv(2, 4))
+    assert (r.lo, r.hi, r.integral) == (2.5, 10.0, False)
+    # negative divisor flips the order
+    r = binop("/", iv(10, 20), iv(-4, -2))
+    assert (r.lo, r.hi) == (-10.0, -2.5)
+    # a divisor range crossing zero is unbounded
+    assert binop("/", iv(1, 2), iv(-1, 1)) is TOP
+    assert binop("/", iv(1, 2), TOP) is TOP
+
+
+def test_floor_division_negative_divisor():
+    assert binop("//", iv(1, 7), iv(2, 2)) == iv(0, 3)
+    # Python floor semantics: 7 // -2 == -4, 1 // -2 == -1
+    assert binop("//", iv(1, 7), iv(-2, -2)) == iv(-4, -1)
+    assert binop("//", iv(-7, 7), iv(-3, -2)) == iv(-4, 3)  # 7 // -2 == -4
+    assert binop("//", iv(1, 7), iv(-1, 1)) is TOP
+
+
+def test_modulo_takes_divisor_sign():
+    assert binop("%", iv(-100, 100), iv(5, 8)) == iv(0, 7)
+    assert binop("%", iv(-100, 100), iv(-8, -5)) == iv(-7, 0)
+    assert binop("%", iv(0, 10), iv(-1, 1)) is TOP
+
+
+# ---------------------------------------------------------------------------
+# Call transfer functions
+# ---------------------------------------------------------------------------
+
+call = RangeAnalysis._call_range
+
+
+def test_min_max():
+    assert call("min", [iv(0, 10), iv(3, 5)]) == iv(0, 5)
+    assert call("max", [iv(0, 10), iv(3, 5)]) == iv(3, 10)
+
+
+def test_abs_sign_cases():
+    assert call("abs", [iv(2, 5)]) == iv(2, 5)
+    assert call("abs", [iv(-5, -2)]) == iv(2, 5)
+    assert call("abs", [iv(-3, 5)]) == iv(0, 5)
+
+
+def test_floor_ceil_produce_integral():
+    r = call("floor", [iv(-1.5, 2.5, False)])
+    assert (r.lo, r.hi, r.integral) == (-2, 2, True)
+    r = call("ceil", [iv(-1.5, 2.5, False)])
+    assert (r.lo, r.hi, r.integral) == (-1, 3, True)
+    assert not call("floor", [TOP]).integral
+
+
+def test_sqrt_clamps_negative_lo():
+    r = call("sqrt", [iv(-4, 9)])
+    assert (r.lo, r.hi) == (0.0, 3.0)
+    assert call("sqrt", [iv(-9, -4)]) is TOP
+
+
+def test_trig_and_unsupported():
+    assert call("sin", [TOP]) == ValueInterval(-1.0, 1.0, False)
+    assert call("cos", [iv(0, 1)]) == ValueInterval(-1.0, 1.0, False)
+    assert call("tan", [iv(0, 1)]) is TOP
+    assert call("pow", [iv(0, 1), iv(0, 1)]) is TOP
+
+
+# ---------------------------------------------------------------------------
+# Cast transfer function
+# ---------------------------------------------------------------------------
+
+cast = RangeAnalysis._cast_range
+
+
+def test_cast_fitting_integer_is_exact():
+    assert cast(iv(0, 200), UChar) == iv(0, 200)
+
+
+def test_cast_out_of_range_integer_widens_to_dtype():
+    assert cast(iv(0, 300), UChar) == ValueInterval.of_dtype(UChar)
+
+
+def test_cast_float_truncates_toward_zero():
+    r = cast(iv(-1.9, 2.9, False), Int)
+    assert (r.lo, r.hi, r.integral) == (-1, 2, True)
+
+
+def test_cast_unbounded_to_int_is_dtype_range():
+    assert cast(TOP, Int) == ValueInterval.of_dtype(Int)
+
+
+def test_cast_to_float32_pads_inexact_range():
+    r = cast(iv(0, 10**9), Float)  # not exactly representable
+    assert r.lo < 0 < 10**9 < r.hi
+    assert not r.integral
+    # exactly representable ranges pass through unchanged
+    assert cast(iv(0, 100), Float) == iv(0, 100)
+
+
+# ---------------------------------------------------------------------------
+# Narrowing decisions
+# ---------------------------------------------------------------------------
+
+def test_narrow_target_integers():
+    assert narrow_target(Int, iv(0, 200)) is UChar
+    assert narrow_target(Int, iv(-5, 100)) is Char
+    assert narrow_target(Int, iv(-5, 200)) is Short
+    assert narrow_target(Int, iv(0, 4080)) is UShort
+    assert narrow_target(Int, iv(0, 10**6)) is None
+    assert narrow_target(Short, iv(0, 200)) is UChar
+    # already the narrowest type: nothing below a byte
+    assert narrow_target(UChar, iv(0, 10)) is None
+    # unproven (non-integral or unbounded) ranges never narrow
+    assert narrow_target(Int, iv(0.0, 10.0, False)) is None
+    assert narrow_target(Int, TOP) is None
+    # 64-bit types are excluded (their consumers compute in long)
+    assert narrow_target(Long, iv(0, 10)) is None
+
+
+def test_narrow_target_floats():
+    assert narrow_target(Double, iv(0, 255)) is Float
+    assert narrow_target(Double, iv(0, F32_EXACT_INT + 1)) is None
+    assert narrow_target(Double, iv(0.0, 1.0, False)) is None
+    assert narrow_target(Float, iv(0, 10)) is None
+
+
+def test_narrowing_decisions_skip_outputs():
+    from repro import CompileOptions, compile_pipeline
+    from repro.analysis import analyze_ranges
+    from repro.apps import iunsharp
+
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    compiled = compile_pipeline(app.outputs, values, CompileOptions())
+    ranges = analyze_ranges(compiled.plan)
+    decisions = narrowing_decisions(compiled.plan, ranges)
+    by_name = {s.name: d for s, d in decisions.items()}
+    assert by_name == {"iblurx": UShort, "iblury": UShort}
+    # the output stage fits UChar but must keep its declared type
+    assert "imasked" not in by_name

@@ -1,0 +1,118 @@
+"""Golden per-stage range tables for every benchmark app.
+
+Float-typed input images seed the lattice top, so purely-float pipelines
+(unsharp, harris, ...) derive unbounded stage ranges unless the caller
+supplies ``input_ranges`` — that behaviour is itself part of the golden
+contract.  Integer inputs (camera's 16-bit raw, iunsharp's 8-bit image)
+propagate finite ranges through every stage that stays affine in the
+input values.
+"""
+
+import math
+
+import pytest
+
+from repro import CompileOptions, compile_pipeline
+from repro.apps import (
+    bilateral, camera, harris, interpolate, iunsharp, laplacian, pyramid,
+    unsharp,
+)
+
+CASES = [
+    ("unsharp", unsharp, {}, {"R": 48, "C": 40}, 3),
+    ("harris", harris, {}, {"R": 61, "C": 45}, 6),
+    ("bilateral", bilateral, {}, {"R": 64, "C": 48}, 9),
+    ("camera", camera, {}, {"R": 48, "C": 40}, 24),
+    ("pyramid_blend", pyramid, {"levels": 3}, {"R": 64, "C": 64}, 22),
+    ("interpolate", interpolate, {"levels": 4}, {"R": 64, "C": 64}, 17),
+    ("local_laplacian", laplacian, {"j_levels": 4, "levels": 3},
+     {"R": 64, "C": 64}, 32),
+    ("iunsharp", iunsharp, {}, {"R": 48, "C": 40}, 3),
+]
+
+#: stages whose derived range is finite (everything else in the app is
+#: the full lattice top, i.e. ``[-inf, inf] real``), with golden reprs
+#: for a representative subset
+GOLDEN = {
+    "unsharp": {},
+    "harris": {},
+    "bilateral": {},
+    "pyramid_blend": {},
+    "interpolate": {},
+    "local_laplacian": {},
+    "iunsharp": {
+        "iblurx": "[0, 4080] int",
+        "iblury": "[0, 65280] int",
+        "imasked": "[0, 255] int",
+    },
+    # camera: the raw input is UShort scaled by matrix coefficients, so
+    # the demosaic front-end stays finite; the LUT stages (curve is a
+    # reduction, processed indexes it) fall to top
+    "camera": {
+        "denoised": "[-7.63674e-06, 64.0616] real",
+        "g_r": "[-3.05469e-05, 64.0616] real",
+        "full_red": "[-64.0617, 137.733] real",
+        "full_blue": "[-64.0617, 144.139] real",
+        "curve": "[-inf, inf] real",
+        "processed": "[-inf, inf] real",
+    },
+}
+
+#: camera stages expected to carry finite derived ranges
+CAMERA_FINITE = {
+    "denoised", "raw_r", "raw_gb", "raw_gr", "raw_b",
+    "gv_r", "gh_b", "gh_r", "gv_b", "g_r", "g_b",
+    "r_gb", "r_gr", "r_b", "full_g", "b_gb", "b_r", "b_gr",
+    "full_red", "full_blue",
+}
+
+
+def _ranges(module, kwargs, size):
+    app = module.build_pipeline(**kwargs)
+    values = {app.params[k]: v for k, v in size.items()}
+    compiled = compile_pipeline(app.outputs, values, CompileOptions())
+    return compiled, compiled.ranges()
+
+
+@pytest.mark.parametrize("name,module,kwargs,size,n_stages", CASES,
+                         ids=[c[0] for c in CASES])
+def test_golden_range_table(name, module, kwargs, size, n_stages):
+    _, ranges = _ranges(module, kwargs, size)
+    assert len(ranges) == n_stages
+    golden = GOLDEN[name]
+    for stage, want in golden.items():
+        assert repr(ranges[stage]) == want, stage
+    if name == "camera":
+        finite = {s for s, r in ranges.items() if r.is_finite}
+        assert finite == CAMERA_FINITE
+    elif not golden:
+        # float-image apps: every stage is the lattice top
+        assert all(math.isinf(r.lo) and math.isinf(r.hi)
+                   for r in ranges.values())
+
+
+def test_input_ranges_override_tightens_float_apps():
+    app = unsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    compiled = compile_pipeline(app.outputs, values, CompileOptions())
+    ranges = compiled.ranges(input_ranges={"Iu": (0.0, 1.0)})
+    for r in ranges.values():
+        assert r.is_finite
+    blurx = ranges["blurx"]
+    # a convex combination of [0, 1] pixels, padded by one f32 epsilon
+    assert blurx.lo == pytest.approx(0.0, abs=1e-6)
+    assert blurx.hi == pytest.approx(1.0, abs=1e-6)
+    masked = ranges["masked"]
+    assert -4.0 < masked.lo <= 0.0 and 1.0 <= masked.hi < 5.0
+
+
+def test_ranges_prefers_plan_value_ranges_under_narrow():
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    compiled = compile_pipeline(
+        app.outputs, values, CompileOptions().with_narrow(True))
+    assert compiled.plan.value_ranges is not None
+    table = compiled.ranges()
+    assert table == {s.name: r
+                     for s, r in compiled.plan.value_ranges.items()}
+    assert repr(table["iblury"]) == "[0, 65280] int"

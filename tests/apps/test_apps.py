@@ -5,8 +5,8 @@ import numpy as np
 import pytest
 
 from repro import CompileOptions, compile_pipeline
-from repro.apps import bilateral, camera, harris, interpolate, laplacian
-from repro.apps import pyramid, unsharp
+from repro.apps import bilateral, camera, harris, interpolate, iunsharp
+from repro.apps import laplacian, pyramid, unsharp
 from repro.codegen.build import build_native, compiler_available
 
 RNG = np.random.default_rng(21)
@@ -24,6 +24,7 @@ CASES = [
     ("interpolate", interpolate, {"levels": 4}, {"R": 64, "C": 64}, "exact"),
     ("local_laplacian", laplacian, {"j_levels": 4, "levels": 3},
      {"R": 64, "C": 64}, "quantized"),
+    ("iunsharp", iunsharp, {}, {"R": 48, "C": 40}, "exact"),
 ]
 
 

@@ -7,10 +7,10 @@ from repro.apps import ALL_APPS
 from repro.apps.harris import build_pipeline
 
 
-def test_registry_has_all_seven():
+def test_registry_has_all_apps():
     assert set(ALL_APPS) == {
         "unsharp", "bilateral", "harris", "camera", "pyramid_blend",
-        "interpolate", "local_laplacian"}
+        "interpolate", "local_laplacian", "iunsharp"}
 
 
 def test_small_estimates_scales_down():

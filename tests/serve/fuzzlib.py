@@ -29,8 +29,8 @@ import numpy as np
 
 from repro import CompileOptions, compile_pipeline
 from repro.lang import (
-    Case, Condition, Float, Function, Image, Int, Interval, Parameter,
-    Variable,
+    Case, Cast, Condition, Float, Function, Image, Int, Interval,
+    Parameter, UChar, Variable,
 )
 
 #: tile-size choices per dimension explored by the fuzzer
@@ -70,6 +70,10 @@ class PipelineSpec:
     #: ``run_batch`` over N random frames is bit-identical to N
     #: sequential single-frame calls, on both backends
     batch: int = 0
+    #: integer mode: a ``UChar`` input image, ``Int`` stages with integer
+    #: tap weights and a per-stage ``// 16`` to bound growth — the regime
+    #: where ``CompileOptions.narrow`` actually narrows storage types
+    integer: bool = False
 
     def options(self) -> CompileOptions:
         opts = CompileOptions.optimized(self.tile_sizes)
@@ -81,8 +85,18 @@ class PipelineSpec:
 
 def random_spec(rng: np.random.Generator) -> PipelineSpec:
     """Draw a random pipeline spec: depth 2..7, stencil reach <= 2,
-    fan-in 1..2, ~1/4 of stages case-split, ~1/5 pointwise products."""
+    fan-in 1..2, ~1/4 of stages case-split, ~1/5 pointwise products;
+    ~1/4 of specs run in integer mode (small integer weights, products
+    disabled so int32 provably cannot overflow)."""
     n_stages = int(rng.integers(2, 8))
+    integer = bool(rng.random() < 0.25)
+
+    def weight(lo: float, hi: float) -> float | int:
+        if integer:
+            w = int(rng.integers(-3, 4))
+            return w if w else 1
+        return round(float(rng.uniform(lo, hi)), 3)
+
     stages = []
     for i in range(n_stages):
         # candidate producers: image (-1) and all earlier stages; bias
@@ -95,26 +109,25 @@ def random_spec(rng: np.random.Generator) -> PipelineSpec:
                 extra = int(rng.integers(-1, i))
                 if extra not in producers:
                     producers = producers + (extra,)
-        multiply = len(producers) == 2 and rng.random() < 0.2
+        multiply = (not integer and len(producers) == 2
+                    and rng.random() < 0.2)
         taps = []
         for _ in producers:
             if multiply or rng.random() < 0.25:
                 # pointwise read (no reach)
-                taps.append(((0, 0, round(float(rng.uniform(0.5, 1.5)),
-                                          3)),))
+                taps.append(((0, 0, weight(0.5, 1.5)),))
                 continue
             reach = int(rng.integers(1, 3))
             n_taps = int(rng.integers(2, 6))
             seen = {(0, 0)}
-            stage_taps = [(0, 0, round(float(rng.uniform(0.1, 0.5)), 3))]
+            stage_taps = [(0, 0, weight(0.1, 0.5))]
             for _ in range(n_taps):
                 dx = int(rng.integers(-reach, reach + 1))
                 dy = int(rng.integers(-reach, reach + 1))
                 if (dx, dy) in seen:
                     continue
                 seen.add((dx, dy))
-                stage_taps.append(
-                    (dx, dy, round(float(rng.uniform(-0.5, 0.5)), 3)))
+                stage_taps.append((dx, dy, weight(-0.5, 0.5)))
             taps.append(tuple(stage_taps))
         band = int(rng.integers(8, 24)) if rng.random() < 0.25 else 0
         stages.append(StageSpec(tuple(producers), tuple(taps), band,
@@ -126,7 +139,7 @@ def random_spec(rng: np.random.Generator) -> PipelineSpec:
     specialize = bool(rng.random() < 0.85)
     batch = int(rng.integers(2, 6)) if rng.random() < 0.4 else 0
     return PipelineSpec(rows, cols, tuple(stages), tiles, threshold,
-                        specialize, batch)
+                        specialize, batch, integer)
 
 
 def build_pipeline(spec: PipelineSpec):
@@ -137,20 +150,27 @@ def build_pipeline(spec: PipelineSpec):
     of the graph).
     """
     R, C = Parameter(Int, "R"), Parameter(Int, "C")
-    I = Image(Float, [R + 2, C + 2], name="fz_I")
+    I = Image(UChar if spec.integer else Float, [R + 2, C + 2],
+              name="fz_I")
     x, y = Variable("x"), Variable("y")
     row, col = Interval(0, R + 1, 1), Interval(0, C + 1, 1)
 
     built = []
     for i, ss in enumerate(spec.stages):
-        f = Function(varDom=([x, y], [row, col]), typ=Float,
+        f = Function(varDom=([x, y], [row, col]),
+                     typ=Int if spec.integer else Float,
                      name=f"fz_s{i}")
 
         def term(producer_idx: int, taps) -> object:
             producer = I if producer_idx < 0 else built[producer_idx]
             expr = None
             for dx, dy, w in taps:
-                t = producer(x + dx, y + dy) * w
+                tap = producer(x + dx, y + dy)
+                if spec.integer and producer_idx < 0:
+                    # keep interpreter arithmetic in int32, like C's
+                    # integer promotion of the uint8 load
+                    tap = Cast(Int, tap)
+                t = tap * w
                 expr = t if expr is None else expr + t
             return expr
 
@@ -161,6 +181,11 @@ def build_pipeline(spec: PipelineSpec):
             expr = terms[0]
             for t in terms[1:]:
                 expr = expr + t
+        if spec.integer and i > 0:
+            # per-stage amplification is at most 2 producers * 6 taps *
+            # |w|<=3 = 36x; dividing by 16 caps depth-7 magnitudes at
+            # 255*36 * (36/16)^6 ~ 1.2e6, far inside int32
+            expr = expr // 16
         margin = max((max(abs(dx), abs(dy)) for taps in ss.taps
                       for dx, dy, _ in taps), default=0)
         if margin == 0 and ss.band == 0:
@@ -174,7 +199,8 @@ def build_pipeline(spec: PipelineSpec):
             else:
                 left = cond & Condition(y, "<=", ss.band)
                 right = cond & Condition(y, ">=", ss.band + 1)
-                f.defn = [Case(left, expr), Case(right, expr * -1.0)]
+                flip = expr * (-1 if spec.integer else -1.0)
+                f.defn = [Case(left, expr), Case(right, flip)]
         built.append(f)
 
     values = {R: spec.rows, C: spec.cols}
@@ -182,7 +208,10 @@ def build_pipeline(spec: PipelineSpec):
 
 
 def make_input(spec: PipelineSpec, rng: np.random.Generator) -> np.ndarray:
-    return rng.random((spec.rows + 2, spec.cols + 2), dtype=np.float32)
+    shape = (spec.rows + 2, spec.cols + 2)
+    if spec.integer:
+        return rng.integers(0, 256, size=shape, dtype=np.uint8)
+    return rng.random(shape, dtype=np.float32)
 
 
 def check_spec(spec: PipelineSpec, *, native: bool = True,
@@ -192,8 +221,11 @@ def check_spec(spec: PipelineSpec, *, native: bool = True,
     Checks, in order: the static verifier reports no errors; the tiled
     interpreter matches the untiled (``CompileOptions.base()``)
     interpreter; and (when ``native`` and a compiler is available) the
-    native backend matches the interpreter.  Returns ``None`` on
-    agreement or a failure description.
+    native backend matches the interpreter — first as compiled, then
+    recompiled with precision narrowing (``narrow=True``, verified
+    including the RV5xx range audit), whose output must be bit-identical
+    for integer pipelines and within one ulp for float32.  Returns
+    ``None`` on agreement or a failure description.
     """
     outputs, values, image, out_name = build_pipeline(spec)
     data = make_input(spec, np.random.default_rng(7))
@@ -260,6 +292,31 @@ def check_spec(spec: PipelineSpec, *, native: bool = True,
                     return (f"native run_batch(n={spec.batch}) is not "
                             f"bit-identical to sequential calls at "
                             f"frame {i}")
+
+        # precision-narrowing leg: the narrowed build must agree with
+        # the unnarrowed native output
+        try:
+            narrowed = compile_pipeline(outputs, values,
+                                        spec.options().with_narrow(True),
+                                        name="fuzz_narrow")
+            report = narrowed.verify()
+            if report.errors:
+                return ("narrow verify errors: "
+                        + "; ".join(d.code + " " + d.message
+                                    for d in report.errors))
+            nat_narrow = build_native(narrowed.plan, "fuzz_narrow")
+            got_narrow = nat_narrow(values, inputs)[out_name]
+        except Exception as exc:
+            return f"narrow: {type(exc).__name__}: {exc}"
+        if np.issubdtype(got_nat.dtype, np.integer):
+            if not np.array_equal(got_narrow, got_nat):
+                bad = np.argwhere(got_narrow != got_nat)
+                return (f"narrowed native output not bit-identical at "
+                        f"{len(bad)} points, first {tuple(bad[0])}: "
+                        f"{got_narrow[tuple(bad[0])]} vs "
+                        f"{got_nat[tuple(bad[0])]}")
+        elif not np.allclose(got_narrow, got_nat, rtol=2e-7, atol=0):
+            return "narrowed native output diverges beyond one ulp"
     return None
 
 

@@ -9,7 +9,8 @@ compile options.
 import pytest
 
 from repro.apps import (
-    bilateral, camera, harris, interpolate, laplacian, pyramid, unsharp,
+    bilateral, camera, harris, interpolate, iunsharp, laplacian, pyramid,
+    unsharp,
 )
 from repro.compiler.options import CompileOptions
 from repro.compiler.plan import compile_plan
@@ -24,6 +25,7 @@ CASES = [
     ("interpolate", interpolate, {"levels": 4}, {"R": 64, "C": 64}),
     ("local_laplacian", laplacian, {"j_levels": 4, "levels": 3},
      {"R": 64, "C": 64}),
+    ("iunsharp", iunsharp, {}, {"R": 48, "C": 40}),
 ]
 
 

@@ -178,3 +178,29 @@ def test_implicit_narrowing_fires_rv405():
     f.defn = [Case(Condition(x, ">=", 0), x * 0.5)]  # float expr, int stage
     report = _lint_report([f], {R: 32})
     assert "RV405" in report.codes(), report.render()
+
+
+def test_provably_integral_expr_passes_rv405():
+    """The range analysis vouches for float-typed expressions that are
+    provably integral and in-range: truncation cannot change them."""
+    from repro.lang import Floor
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1)]), typ=Int, name="f")
+    f.defn = [Case(Condition(x, ">=", 0), Floor(x * 0.5))]
+    report = _lint_report([f], {R: 32})
+    assert "RV405" not in report.codes(), report.render()
+
+
+def test_accumulator_float_expr_still_fires_rv405():
+    """Reductions get no range-based pardon: their in-flight partials
+    are not bounded by the final range."""
+    from repro.lang import Accumulate, Accumulator, Floor, Sum
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    r = Variable("r")
+    acc = Accumulator(redDom=([r], [Interval(0, R - 1)]),
+                      varDom=([x], [Interval(0, 0)]), typ=Int, name="acc")
+    acc.defn = Accumulate(acc(0 * r), Floor(r * 0.5), Sum)
+    report = _lint_report([acc], {R: 32})
+    assert "RV405" in report.codes(), report.render()

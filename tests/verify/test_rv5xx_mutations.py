@@ -1,0 +1,117 @@
+"""Mutation tests for the RV5xx value-range audit.
+
+Each test corrupts one aspect of a *clean* narrowed plan — a bogus
+narrowing decision, a lying claimed range, an under-sized narrowed
+scratch allocation — and asserts the exact diagnostic fires.  The
+checker re-derives ranges independently from the IR, so a corrupted
+compiler-side result cannot certify itself.
+"""
+
+import pytest
+
+from repro.analysis.ranges import ValueInterval
+from repro.apps import iunsharp
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.lang import (
+    Case, Condition, Double, Float, Function, Int, Interval, Parameter,
+    UChar, UShort, Variable,
+)
+from repro.lang.types import Char
+from repro.verify import verify_plan
+
+
+@pytest.fixture()
+def plan():
+    """A fresh narrowed iunsharp plan (tiled, two UShort scratchpads)."""
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    options = CompileOptions.optimized((16, 16)).with_narrow(True)
+    return compile_plan(app.outputs, values, options)
+
+
+def _stage(plan, name):
+    return plan.stage_by_name(name)
+
+
+def test_clean_narrowed_plan_passes(plan):
+    by_name = {s.name: d for s, d in plan.narrowing.items()}
+    assert by_name == {"iblurx": UShort, "iblury": UShort}
+    report = verify_plan(plan)
+    assert report.ok, report.render()
+    assert not any(c.startswith("RV5") for c in report.codes())
+    assert report.checked["range_stages"] > 0
+    assert report.checked["narrowed"] == 2
+    assert report.checked["narrow_scratch"] > 0
+
+
+def test_unproven_integer_narrowing_fires_rv501(plan):
+    # iblurx's true range is [0, 4080]; Char cannot hold it
+    plan.narrowing[_stage(plan, "iblurx")] = Char
+    report = verify_plan(plan, checks=("ranges",))
+    assert "RV501" in report.codes(), report.render()
+    [diag] = report.by_code("RV501")
+    assert "4080" in diag.message
+
+
+def test_narrowed_output_fires_rv501(plan):
+    # outputs are caller-visible ABI: even a range-fitting narrowing of
+    # one is structurally unsound
+    plan.narrowing[_stage(plan, "imasked")] = Char
+    report = verify_plan(plan, checks=("ranges",))
+    assert "RV501" in report.codes(), report.render()
+
+
+def test_unproven_float_narrowing_fires_rv502():
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    g = Function(varDom=([x], [Interval(0, R - 1)]), typ=Double, name="g")
+    g.defn = [Case(Condition(x, ">=", 0), x * 0.5)]  # non-integral values
+    out = Function(varDom=([x], [Interval(0, R - 1)]), typ=Double,
+                   name="gout")
+    out.defn = [Case(Condition(x, ">=", 0), g(x) + 1.0)]
+    plan = compile_plan([out], {R: 32}, CompileOptions(inline=False))
+    plan.narrowing = {plan.stage_by_name("g"): Float}
+    report = verify_plan(plan, checks=("ranges",))
+    assert "RV502" in report.codes(), report.render()
+    [diag] = report.by_code("RV502")
+    assert "not proven exactly representable" in diag.message
+
+
+def test_lying_claimed_range_fires_rv503(plan):
+    plan.value_ranges[_stage(plan, "iblury")] = ValueInterval(0, 10, True)
+    report = verify_plan(plan, checks=("ranges",))
+    assert "RV503" in report.codes(), report.render()
+    [diag] = report.by_code("RV503")
+    assert "65280" in diag.message  # the independently derived truth
+
+
+def test_integral_claim_on_real_range_fires_rv503():
+    # claiming integrality the derivation cannot prove is also a lie
+    R = Parameter(Int, "R")
+    x = Variable("x")
+    f = Function(varDom=([x], [Interval(0, R - 1)]), typ=Float, name="fr")
+    f.defn = [Case(Condition(x, ">=", 0), x * 0.5)]
+    plan = compile_plan([f], {R: 32}, CompileOptions())
+    plan.value_ranges = {
+        plan.stage_by_name("fr"): ValueInterval(0, 16, True)}
+    report = verify_plan(plan, checks=("ranges",))
+    assert "RV503" in report.codes(), report.render()
+
+
+def test_undersized_narrow_scratch_fires_rv504(plan):
+    report = verify_plan(plan, checks=("ranges",),
+                         narrow_scratch_bytes=lambda stage, gp: 1)
+    assert "RV504" in report.codes(), report.render()
+    diag = report.by_code("RV504")[0]
+    assert "claims 1 bytes" in diag.message
+
+
+def test_rv5xx_noop_without_narrowing():
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    plan = compile_plan(app.outputs, values, CompileOptions())
+    assert plan.narrowing is None and plan.value_ranges is None
+    report = verify_plan(plan, checks=("ranges",))
+    assert report.ok
+    assert "range_stages" not in report.checked
