@@ -115,9 +115,19 @@ class CompiledPipeline:
         Chrome-trace async spans, and
         ``service.serve_metrics(port=...)`` exposes counters and
         per-stage latency histograms in Prometheus text format.
+
+        ``processes=N`` (N ≥ 1) returns a
+        :class:`~repro.serve.ShardedService` instead: the same
+        submit/Frame API served by N spawn-mode worker processes with
+        shared-memory frame transport, load balancing, worker respawn
+        and optional autoscaling (see :mod:`repro.serve.router`).
         """
-        from repro.serve import PipelineService
         config.setdefault("name", self.name)
+        processes = config.pop("processes", 0)
+        if processes:
+            from repro.serve import ShardedService
+            return ShardedService(self, workers=processes, **config)
+        from repro.serve import PipelineService
         return PipelineService(self, **config)
 
     # -- verification ----------------------------------------------------------

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench.serve_bench [--app harris] [--scale small]
         [--frames 120] [--clients 4] [--workers 2] [--threads 1]
         [--backend auto] [--warmup 16] [--max-batch 8] [--no-coalesce]
+        [--process-workers 0] [--workers-sweep 1,2,4] [--burst]
         [--events events.jsonl] [--metrics-port 0]
         [--metrics-out metrics.prom] [--sample-rate 0.0]
         [--json BENCH_serve.json]
@@ -28,6 +29,17 @@ reports the serving-centric numbers single-shot benchmarks hide:
 scrapes it after the measured phase, validates the exposition text and
 records the result (``--metrics-out`` keeps the scraped text).
 
+``--process-workers N`` serves the run through the process-sharded
+tier (:class:`~repro.serve.ShardedService`, N spawn-mode workers)
+instead of the in-process thread service.  ``--workers-sweep 1,2,4``
+additionally benchmarks the sharded tier at each worker count and
+records an fps-vs-workers ``scaling`` block (with the machine's CPU
+count — scaling past the physical cores is not expected).  ``--burst``
+measures overload behaviour: it probes the sustainable closed-loop
+rate, then open-loop submits at twice that rate for two seconds and
+records how the backlog resolved — completions, bounded p99, and
+:class:`~repro.serve.Overloaded` rejections (never hangs).
+
 The warmup phase batch-submits all its frames and holds every result
 until the last completes before releasing them: the pool ends warmup
 holding one buffer set per warmup frame, which upper-bounds the measured
@@ -39,8 +51,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -50,7 +64,7 @@ from repro.bench.harness import (
 )
 from repro.compiler.options import CompileOptions
 from repro.observe.metrics import LatencyWindow
-from repro.serve import PipelineService
+from repro.serve import Overloaded, PipelineService, ShardedService
 
 
 def _run_phase(service: PipelineService, instance, clients: int,
@@ -106,10 +120,32 @@ def _scrape_metrics(service) -> dict:
     }
 
 
+def _make_service(compiled, *, workers: int, process_workers: int,
+                  backend: str, max_queue: int, max_batch: int,
+                  coalesce: bool, n_threads: int,
+                  events_path: str | None = None,
+                  sample_rate: float = 0.0):
+    """Thread service by default; the process-sharded tier when
+    ``process_workers`` ≥ 1 (``workers`` then means threads per shard)."""
+    if process_workers:
+        return ShardedService(compiled, workers=process_workers,
+                              max_queue=max_queue, backend=backend,
+                              max_batch=max_batch, coalesce=coalesce,
+                              n_threads=n_threads,
+                              inner_workers=workers,
+                              events_path=events_path)
+    return PipelineService(compiled, workers=workers,
+                           max_queue=max_queue, backend=backend,
+                           max_batch=max_batch, coalesce=coalesce,
+                           n_threads=n_threads, events_path=events_path,
+                           sample_rate=sample_rate)
+
+
 def bench_serving(app: str, scale: str, *, frames: int, clients: int,
                   workers: int, n_threads: int, backend: str,
                   warmup: int, max_batch: int = 8,
                   coalesce: bool = True,
+                  process_workers: int = 0,
                   events_path: str | None = None,
                   metrics_port: int | None = None,
                   sample_rate: float = 0.0) -> dict:
@@ -125,12 +161,14 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
     warmup = max(warmup, clients + workers + 1)
     window = LatencyWindow(capacity=max(2048, per_client * clients))
 
-    with PipelineService(compiled, workers=workers, backend=backend,
-                         max_queue=max(64, clients * 4, warmup),
-                         max_batch=max_batch, coalesce=coalesce,
-                         n_threads=n_threads, events_path=events_path,
-                         sample_rate=sample_rate) as service:
-        if backend != "interpreter":
+    with _make_service(compiled, workers=workers,
+                       process_workers=process_workers,
+                       backend=backend,
+                       max_queue=max(64, clients * 4, warmup),
+                       max_batch=max_batch, coalesce=coalesce,
+                       n_threads=n_threads, events_path=events_path,
+                       sample_rate=sample_rate) as service:
+        if backend != "interpreter" or process_workers:
             service.wait_ready()
         if metrics_port is not None:
             service.serve_metrics(port=metrics_port)
@@ -157,6 +195,7 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
 
         stats = service.stats()
         pool_after = stats.pool
+        transport = service.transport() if process_workers else None
         scrape = _scrape_metrics(service) \
             if metrics_port is not None else None
 
@@ -170,6 +209,7 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
         "backend": stats.backend,
         "clients": clients,
         "workers": workers,
+        "process_workers": process_workers,
         "n_threads": n_threads,
         "max_batch": max_batch,
         "coalesce": coalesce,
@@ -190,8 +230,138 @@ def bench_serving(app: str, scale: str, *, frames: int, clients: int,
             "hit_rate": hits / (hits + misses) if hits + misses else 1.0,
         },
         "service": stats.as_dict(),
+        "transport": transport,
         "metrics_scrape": scrape,
         "errors": warm_errors + errors,
+    }
+
+
+def bench_scaling(app: str, scale: str, *, worker_counts, frames: int,
+                  clients: int, n_threads: int, backend: str,
+                  inner_workers: int = 2, max_batch: int = 8) -> dict:
+    """fps-vs-workers sweep over the process-sharded tier.
+
+    Speedups are relative to the 1-worker run; ``cpus`` records how
+    many cores the sweep actually had — on a single-core box the
+    honest speedup is ~1.0 regardless of worker count.
+    """
+    points = []
+    base_fps = None
+    for count in worker_counts:
+        record = bench_serving(
+            app, scale, frames=frames,
+            clients=max(clients, 2 * count), workers=inner_workers,
+            n_threads=n_threads, backend=backend, warmup=8,
+            max_batch=max_batch, process_workers=count)
+        if base_fps is None:
+            base_fps = record["fps"] or 1e-9
+        points.append({
+            "workers": count,
+            "fps": record["fps"],
+            "speedup_vs_1": record["fps"] / base_fps,
+            "latency_ms": record["latency_ms"],
+            "measured_frames": record["measured_frames"],
+            "errors": len(record["errors"]),
+        })
+    return {
+        "app": app,
+        "scale": scale,
+        "backend": backend,
+        "cpus": os.cpu_count() or 1,
+        "inner_workers": inner_workers,
+        "points": points,
+    }
+
+
+def bench_burst(app: str, scale: str, *, process_workers: int,
+                n_threads: int, backend: str, inner_workers: int = 2,
+                burst_factor: float = 2.0, burst_s: float = 2.0,
+                probe_s: float = 3.0) -> dict:
+    """Overload burst: probe the sustainable rate, then submit at
+    ``burst_factor``× that rate for ``burst_s`` seconds (open loop) and
+    report how the backlog resolved — every future must settle, the
+    overflow must surface as :class:`Overloaded` rejections, and the
+    completion p99 stays bounded by the queue depth, not the burst."""
+    instance = make_instance(app, scale)
+    options = CompileOptions.optimized(DEFAULT_TILES[app])
+    compiled = compile_pipeline(instance.app.outputs, instance.values,
+                                options, name=f"burst_{app}")
+    max_queue = 32
+    with _make_service(compiled, workers=inner_workers,
+                       process_workers=process_workers,
+                       backend=backend, max_queue=max_queue,
+                       max_batch=8, coalesce=True,
+                       n_threads=n_threads) as service:
+        service.wait_ready()
+        # closed-loop probe: one client at a time = sustainable rate
+        done = 0
+        t0 = time.perf_counter()
+        while time.perf_counter() - t0 < probe_s:
+            with service.run(instance.values, instance.inputs):
+                pass
+            done += 1
+        sustainable_fps = done / (time.perf_counter() - t0)
+
+        target_fps = burst_factor * sustainable_fps
+        interval = 1.0 / target_fps if target_fps > 0 else 0.01
+        window = LatencyWindow(capacity=65536)
+        window_lock = threading.Lock()
+        futures = []
+        submitted = rejected = 0
+        t0 = time.perf_counter()
+
+        def on_done(started, future):
+            # completion latency stamps at resolution time, not at the
+            # post-burst drain (which would read as ~burst_s for every
+            # frame that finished early)
+            elapsed = time.perf_counter() - started
+            if future.exception() is None:
+                with window_lock:
+                    window.record(elapsed)
+
+        while True:
+            now = time.perf_counter()
+            if now - t0 >= burst_s:
+                break
+            # absolute schedule: sleep only when ahead, so a loaded box
+            # degrades to submitting flat-out instead of under-driving
+            due = t0 + (submitted + rejected) * interval
+            if due > now:
+                time.sleep(due - now)
+            started = time.perf_counter()
+            try:
+                future = service.submit(instance.values, instance.inputs)
+            except Overloaded:
+                rejected += 1
+                continue
+            future.add_done_callback(
+                lambda f, s=started: on_done(s, f))
+            futures.append(future)
+            submitted += 1
+
+        completed = failed = 0
+        for future in futures:
+            try:
+                future.result(timeout=120).release()
+                completed += 1
+            except Exception:  # noqa: BLE001 - counted, must not hang
+                failed += 1
+        drained_s = time.perf_counter() - t0
+    return {
+        "app": app,
+        "scale": scale,
+        "process_workers": process_workers,
+        "sustainable_fps": sustainable_fps,
+        "burst_factor": burst_factor,
+        "burst_s": burst_s,
+        "max_queue": max_queue,
+        "submitted": submitted,
+        "rejected": rejected,
+        "completed": completed,
+        "failed": failed,
+        "resolved_all": completed + failed == submitted,
+        "drained_s": drained_s,
+        "latency_ms": window.snapshot(),
     }
 
 
@@ -215,6 +385,19 @@ def main(argv=None) -> int:
                              "call (1 disables)")
     parser.add_argument("--no-coalesce", action="store_true",
                         help="disable request coalescing entirely")
+    parser.add_argument("--process-workers", type=int, default=0,
+                        metavar="N",
+                        help="serve through N worker processes "
+                             "(ShardedService); 0 = thread service")
+    parser.add_argument("--workers-sweep", default=None, metavar="LIST",
+                        help="comma-separated worker counts (e.g. "
+                             "1,2,4): benchmark the sharded tier at "
+                             "each and record an fps-vs-workers "
+                             "scaling block")
+    parser.add_argument("--burst", action="store_true",
+                        help="measure an overload burst (2x the "
+                             "sustainable rate for 2s) through the "
+                             "sharded tier and record how it resolved")
     parser.add_argument("--events", default=None, metavar="PATH",
                         help="stream lifecycle events to this "
                              "JSON-lines file")
@@ -240,6 +423,7 @@ def main(argv=None) -> int:
                            n_threads=args.threads, backend=args.backend,
                            warmup=args.warmup, max_batch=args.max_batch,
                            coalesce=not args.no_coalesce,
+                           process_workers=args.process_workers,
                            events_path=args.events,
                            metrics_port=metrics_port,
                            sample_rate=args.sample_rate)
@@ -253,9 +437,34 @@ def main(argv=None) -> int:
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
+            "cpus": os.cpu_count() or 1,
         },
         "runs": [record],
     }
+    if args.workers_sweep:
+        counts = [int(c) for c in args.workers_sweep.split(",") if c]
+        doc["scaling"] = bench_scaling(
+            args.app, args.scale, worker_counts=counts,
+            frames=args.frames, clients=args.clients,
+            n_threads=args.threads, backend=args.backend,
+            inner_workers=args.workers, max_batch=args.max_batch)
+        print(f"scaling ({doc['scaling']['cpus']} cpu(s)): " + ", ".join(
+            f"{p['workers']}w {p['fps']:.1f} fps "
+            f"({p['speedup_vs_1']:.2f}x)"
+            for p in doc["scaling"]["points"]))
+    if args.burst:
+        doc["overload_burst"] = bench_burst(
+            args.app, args.scale,
+            process_workers=max(args.process_workers, 2),
+            n_threads=args.threads, backend=args.backend,
+            inner_workers=args.workers)
+        burst = doc["overload_burst"]
+        print(f"burst ({burst['burst_factor']:.0f}x sustainable "
+              f"{burst['sustainable_fps']:.1f} fps for "
+              f"{burst['burst_s']:.0f}s): {burst['submitted']} accepted, "
+              f"{burst['rejected']} rejected, {burst['completed']} "
+              f"completed, p99 {burst['latency_ms']['p99_ms']:.1f} ms, "
+              f"resolved_all={burst['resolved_all']}")
     Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
 
     lat = record["latency_ms"]

@@ -189,6 +189,26 @@ class Timeline:
             self._log.append_event(event)
         return event
 
+    def graft(self, marks, base_ts: float | None = None,
+              prefix: str = "worker_") -> None:
+        """Splice marks recorded in another process into this timeline.
+
+        ``marks`` is a sequence of ``(dt, kind, fields)`` tuples with
+        ``dt`` relative to the sender's anchor (its clock never crosses
+        the pipe); ``base_ts`` — default *now* — re-anchors them on this
+        process's monotonic clock.  Every kind gains ``prefix`` so the
+        local lifecycle decomposition (:meth:`durations`) keeps reading
+        only this process's own marks while the full render still shows
+        where the remote time went.
+        """
+        anchor = base_ts if base_ts is not None else time.monotonic()
+        for dt, kind, fields in marks:
+            event = Event(anchor + dt, prefix + kind, self.request_id,
+                          dict(fields))
+            self._marks.append(event)
+            if self._log is not None:
+                self._log.append_event(event)
+
     def events(self) -> list[Event]:
         return list(self._marks)
 

@@ -93,6 +93,60 @@ def render_exposition(snapshot: dict, prefix: str = "") -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+def render_sharded_exposition(shards: dict, prefix: str = "",
+                              label: str = "shard") -> str:
+    """Render per-shard registry snapshots as *one* labeled exposition.
+
+    ``shards`` maps a label value (e.g. the shard index as a string) to
+    that shard's ``MetricsRegistry.as_dict()`` snapshot.  Every metric
+    gets a single ``# TYPE`` line with one labeled sample per shard —
+    histograms emit full per-shard ``_bucket``/``_sum``/``_count``
+    series with the ``label`` alongside ``le`` — which is the form a
+    Prometheus server aggregates across shards with ``sum by``/
+    ``histogram_quantile``.
+    """
+    counters: dict[str, dict[str, float]] = {}
+    gauges: dict[str, dict[str, float]] = {}
+    hists: dict[str, dict[str, dict]] = {}
+    for shard, snapshot in shards.items():
+        shard = str(shard)
+        for name, value in snapshot.get("counters", {}).items():
+            counters.setdefault(name, {})[shard] = value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges.setdefault(name, {})[shard] = value
+        for name, data in snapshot.get("histograms", {}).items():
+            hists.setdefault(name, {})[shard] = data
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = prefix + sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for shard in sorted(counters[name]):
+            lines.append(f'{metric}{{{label}="{shard}"}} '
+                         f"{_fmt(counters[name][shard])}")
+    for name in sorted(gauges):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for shard in sorted(gauges[name]):
+            lines.append(f'{metric}{{{label}="{shard}"}} '
+                         f"{_fmt(gauges[name][shard])}")
+    for name in sorted(hists):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for shard in sorted(hists[name]):
+            hist = Histogram.from_dict(hists[name][shard])
+            for bound, cumulative in hist.bucket_counts():
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}",'
+                    f'{label}="{shard}"}} {cumulative}')
+            lines.append(f'{metric}_sum{{{label}="{shard}"}} '
+                         f"{_fmt(hist.sum)}")
+            lines.append(f'{metric}_count{{{label}="{shard}"}} '
+                         f"{hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def merge_snapshots(snapshots: list[dict]) -> dict:
     """Aggregate registry snapshots: counters add, gauges last-write-
     wins, histograms merge bucket-exactly.  The cross-process primitive:
@@ -126,6 +180,18 @@ _SAMPLE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$')
 _LE = re.compile(r'le="(?P<le>[^"]+)"')
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+
+
+def _label_key(labels: str | None) -> str:
+    """Canonical labels-minus-``le`` form, so one histogram's series
+    group together per label set (a sharded exposition interleaves
+    ``le`` series of several shards under one metric name)."""
+    if not labels:
+        return ""
+    pairs = [f'{m.group("key")}="{m.group("val")}"'
+             for m in _LABEL.finditer(labels) if m.group("key") != "le"]
+    return ",".join(sorted(pairs))
 
 
 def _parse_value(raw: str) -> float:
@@ -140,17 +206,19 @@ def validate_exposition_text(text: str) -> list[str]:
     """Check Prometheus exposition text for structural consistency.
 
     Returns a list of problems (empty = valid).  Validates the subset
-    :func:`render_exposition` emits: parseable sample lines, known
-    ``# TYPE`` kinds, and for every histogram — cumulative bucket
-    monotonicity, a terminal ``le="+Inf"`` bucket, and the sample
+    :func:`render_exposition` / :func:`render_sharded_exposition` emit:
+    parseable sample lines, known ``# TYPE`` kinds, and for every
+    histogram *series* (grouped by metric name plus labels other than
+    ``le``, so per-shard series validate independently) — cumulative
+    bucket monotonicity, a terminal ``le="+Inf"`` bucket, and the sample
     consistency invariants ``+Inf bucket == _count`` and
     ``_count == 0 ⇒ _sum == 0``.
     """
     problems: list[str] = []
     types: dict[str, str] = {}
-    buckets: dict[str, list[tuple[float, float]]] = {}
-    sums: dict[str, float] = {}
-    counts: dict[str, float] = {}
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    sums: dict[tuple[str, str], float] = {}
+    counts: dict[tuple[str, str], float] = {}
     seen_any = False
 
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -182,9 +250,10 @@ def validate_exposition_text(text: str) -> list[str]:
             problems.append(
                 f"line {lineno}: non-numeric value {match.group('value')!r}")
             continue
+        labels = match.group("labels")
         if name.endswith("_bucket"):
             base = name[: -len("_bucket")]
-            le_match = _LE.search(match.group("labels") or "")
+            le_match = _LE.search(labels or "")
             if le_match is None:
                 problems.append(
                     f"line {lineno}: histogram bucket without le label")
@@ -195,16 +264,18 @@ def validate_exposition_text(text: str) -> list[str]:
                 problems.append(
                     f"line {lineno}: bad le value {le_match.group('le')!r}")
                 continue
-            buckets.setdefault(base, []).append((bound, value))
+            buckets.setdefault((base, _label_key(labels)), []).append(
+                (bound, value))
         elif name.endswith("_sum"):
-            sums[name[: -len("_sum")]] = value
+            sums[(name[: -len("_sum")], _label_key(labels))] = value
         elif name.endswith("_count"):
-            counts[name[: -len("_count")]] = value
+            counts[(name[: -len("_count")], _label_key(labels))] = value
 
     if not seen_any:
         problems.append("no samples found")
 
-    for base, series in buckets.items():
+    for (name, lk), series in buckets.items():
+        base = f"{name}{{{lk}}}" if lk else name
         bounds = [b for b, _ in series]
         values = [v for _, v in series]
         if bounds != sorted(bounds):
@@ -215,19 +286,20 @@ def validate_exposition_text(text: str) -> list[str]:
                     f"{base}: cumulative bucket counts decrease "
                     f"({earlier} -> {later})")
                 break
+        key = (name, lk)
         if not bounds or bounds[-1] != math.inf:
             problems.append(f"{base}: missing le=\"+Inf\" bucket")
-        elif base in counts and values[-1] != counts[base]:
+        elif key in counts and values[-1] != counts[key]:
             problems.append(
                 f"{base}: +Inf bucket {values[-1]} != _count "
-                f"{counts[base]}")
-        if base not in sums:
+                f"{counts[key]}")
+        if key not in sums:
             problems.append(f"{base}: missing _sum sample")
-        if base not in counts:
+        if key not in counts:
             problems.append(f"{base}: missing _count sample")
-        elif counts[base] == 0 and sums.get(base, 0) != 0:
+        elif counts[key] == 0 and sums.get(key, 0) != 0:
             problems.append(
-                f"{base}: _count is 0 but _sum is {sums.get(base)}")
+                f"{base}: _count is 0 but _sum is {sums.get(key)}")
     return problems
 
 

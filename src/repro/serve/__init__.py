@@ -29,18 +29,32 @@ service's event ring, per-stage latencies land in mergeable histograms,
 and :meth:`PipelineService.serve_metrics` exposes them over HTTP in
 Prometheus text format.  See ``docs/internals.md`` §16–18.
 
-Demo: ``python -m repro.serve --app harris``.
+To scale past one process, :class:`ShardedService` serves the same
+``submit()``/``Frame`` contract from a fleet of spawn-mode worker
+processes: pixel data moves through shared-memory slabs
+(:mod:`repro.serve.shm` — headers only on the command pipe), placement
+is least-outstanding-work with sticky coalescing, dead workers are
+respawned with their in-flight frames requeued-or-failed (never hung),
+and an optional :class:`AutoscaleConfig` grows/shrinks the fleet from
+queue-depth and p99 signals.  See ``docs/internals.md`` §20.
+
+Demo: ``python -m repro.serve --app harris`` (``--workers N`` for the
+process-sharded tier).
 """
 
 from repro.serve.deadlines import Deadline, DeadlineExceeded
 from repro.serve.fallback import FallbackPolicy
 from repro.serve.queue import BoundedQueue, Overloaded, ServiceClosed
+from repro.serve.router import (
+    AutoscaleConfig, ShardedService, WorkerCrashed,
+)
 from repro.serve.service import (
     STAGES, Frame, PipelineService, ServiceStats,
 )
 
 __all__ = [
-    "BoundedQueue", "Deadline", "DeadlineExceeded", "FallbackPolicy",
-    "Frame", "Overloaded", "PipelineService", "STAGES",
-    "ServiceClosed", "ServiceStats",
+    "AutoscaleConfig", "BoundedQueue", "Deadline", "DeadlineExceeded",
+    "FallbackPolicy", "Frame", "Overloaded", "PipelineService",
+    "STAGES", "ServiceClosed", "ServiceStats", "ShardedService",
+    "WorkerCrashed",
 ]

@@ -3,14 +3,19 @@
 Usage::
 
     python -m repro.serve [--app harris] [--scale small] [--frames 32]
-        [--clients 2] [--workers 2] [--deadline-ms 0] [--backend auto]
-        [--threads 1]
+        [--clients 2] [--workers 0] [--service-threads 2]
+        [--deadline-ms 0] [--backend auto] [--threads 1]
 
 Compiles the chosen benchmark app, starts a service (background native
 build when a C compiler is present), pushes ``--frames`` frames from
 ``--clients`` concurrent client threads, and prints the service's stats
 report — backend transitions, rejection/timeout counts, latency
 percentiles and buffer-pool hit rate.
+
+``--workers N`` (N ≥ 1) serves through the process-sharded tier
+instead — N spawn-mode worker processes behind the shared-memory
+router — and prints each shard's stats followed by the merged view.
+``--workers 0`` (the default) keeps the in-process thread service.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import threading
 from repro import compile_pipeline
 from repro.bench.harness import APP_BUILDERS, DEFAULT_TILES, make_instance
 from repro.compiler.options import CompileOptions
-from repro.serve import Overloaded, PipelineService
+from repro.serve import Overloaded, PipelineService, ShardedService
 
 
 def main(argv=None) -> int:
@@ -36,8 +41,12 @@ def main(argv=None) -> int:
                         help="total frames to submit (default 32)")
     parser.add_argument("--clients", type=int, default=2,
                         help="concurrent client threads (default 2)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="service worker threads (default 2)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes; 0 = in-process thread "
+                             "service (default)")
+    parser.add_argument("--service-threads", type=int, default=2,
+                        help="consumer threads per service/shard "
+                             "(default 2)")
     parser.add_argument("--threads", type=int, default=1,
                         help="execution threads per frame (default 1)")
     parser.add_argument("--deadline-ms", type=float, default=0.0,
@@ -52,17 +61,28 @@ def main(argv=None) -> int:
     compiled = compile_pipeline(instance.app.outputs, instance.values,
                                 options, name=args.app)
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+    tier = f"{args.workers} worker processes" if args.workers \
+        else "thread service"
     print(f"serving {args.app} at {args.scale} scale "
           f"({args.clients} clients x {args.frames} frames, "
-          f"backend={args.backend})")
+          f"backend={args.backend}, {tier})")
 
     per_client = max(1, args.frames // args.clients)
     errors: list[str] = []
 
-    with PipelineService(compiled, workers=args.workers,
-                         max_queue=args.max_queue, backend=args.backend,
-                         default_deadline_s=deadline_s,
-                         n_threads=args.threads) as service:
+    if args.workers:
+        service = ShardedService(
+            compiled, workers=args.workers, max_queue=args.max_queue,
+            backend=args.backend, default_deadline_s=deadline_s,
+            n_threads=args.threads,
+            inner_workers=args.service_threads)
+    else:
+        service = PipelineService(
+            compiled, workers=args.service_threads,
+            max_queue=args.max_queue, backend=args.backend,
+            default_deadline_s=deadline_s, n_threads=args.threads)
+
+    with service:
 
         def client(k: int) -> None:
             for i in range(per_client):
@@ -84,6 +104,11 @@ def main(argv=None) -> int:
             t.start()
         for t in threads:
             t.join()
+        if args.workers:
+            for index, stats in service.shard_stats().items():
+                print(f"--- shard {index} ---")
+                print(stats.render())
+            print("--- merged ---")
         print(service.stats().render())
 
     if errors:

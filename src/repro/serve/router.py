@@ -1,0 +1,997 @@
+"""The sharded serving front door: route frames to worker processes.
+
+:class:`ShardedService` exposes the same ``submit()``/``Frame`` contract
+as the thread-based :class:`~repro.serve.service.PipelineService`, but
+executes frames in a fleet of spawn-mode worker processes
+(:mod:`repro.serve.worker`), so the interpreter fallback escapes the
+GIL and native calls in different shards never serialize on a
+per-artifact lock.  The router owns:
+
+* **Admission** — a bounded count of in-flight frames across all
+  shards; past it, ``submit`` rejects with
+  :class:`~repro.serve.queue.Overloaded` (no hidden backlog).
+* **Placement** — least-outstanding-work across live shards, with a
+  *sticky* override: frames sharing a batch key (same parameter values,
+  same input shapes/dtypes) chase the shard the last such frame went
+  to, so the workers' coalescing windows still form under concurrent
+  same-shape load.
+* **Transport** — inputs are staged once into router-owned shared-
+  memory slabs (zero-copy when the caller fills a
+  :meth:`ShardedService.lease_input` array directly); outputs come back
+  as headers and are mapped as zero-copy views over the worker's
+  slabs.  Pixels never cross the command pipe (:mod:`repro.serve.shm`).
+* **Fault handling** — a receiver thread per shard notices a broken
+  pipe, reaps the dead worker's segments by name prefix, respawns a
+  replacement under a bumped generation, and *requeues* that shard's
+  in-flight frames onto live shards (inputs are router-owned, so no
+  pixel is re-copied); frames out of retries fail with
+  :class:`WorkerCrashed`.  Nothing ever hangs a ``Frame.result()``.
+* **Scaling** — an optional autoscaler grows the fleet when outstanding
+  work per shard (or the client-observed p99) stays above a high
+  watermark, and retires idle shards below a low watermark, with
+  consecutive-interval hysteresis in both directions
+  (:class:`AutoscaleConfig`).
+* **Observability** — :meth:`ShardedService.stats` merges per-worker
+  :class:`~repro.serve.service.ServiceStats` (histograms bucket-exact
+  via :meth:`~repro.observe.metrics.Histogram.merge`);
+  :meth:`serve_metrics` renders one validated Prometheus exposition
+  with a ``shard`` label per worker series.  Worker-side timeline marks
+  are grafted back onto each frame's router timeline as ``worker_*``
+  events.
+
+See ``docs/internals.md`` §20 for the slab layout, the router state
+machine and the autoscaler signals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import pickle
+import threading
+import time
+from concurrent.futures import Future
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.observe.events import EventLog, Timeline
+from repro.observe.metrics import Histogram, LatencyWindow, MetricsRegistry
+from repro.serve.deadlines import Deadline, DeadlineExceeded
+from repro.serve.fallback import BUILDING, INTERPRETER, NATIVE
+from repro.serve.queue import Overloaded, ServiceClosed
+from repro.serve.service import STAGES, Frame, ServiceStats, _timeout_reason
+from repro.serve.shm import (
+    SegmentMap, ShmBufferPool, SlabAllocator, live_segments, new_token,
+    unlink_segments,
+)
+from repro.serve.worker import DEFAULT_INNER_WORKERS, WorkerHandle
+
+
+class WorkerCrashed(RuntimeError):
+    """A frame's worker died and the frame was out of requeue budget."""
+
+    def __init__(self, shard: int, pid: int | None, detail: str = ""):
+        self.shard = shard
+        self.pid = pid
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"worker shard {shard} (pid {pid}) died mid-frame{extra}")
+
+
+@dataclasses.dataclass
+class AutoscaleConfig:
+    """Watermark autoscaler knobs (see the module docstring).
+
+    ``high_watermark``/``low_watermark`` are outstanding frames *per
+    live shard*; ``p99_high_ms`` optionally also triggers scale-up from
+    the router's client-observed latency window.  A signal must persist
+    ``up_after``/``down_after`` consecutive ``interval_s`` ticks before
+    the fleet changes, and scale-down only retires a shard that is
+    completely idle.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 4
+    high_watermark: float = 4.0
+    low_watermark: float = 0.5
+    p99_high_ms: float | None = None
+    up_after: int = 2
+    down_after: int = 8
+    interval_s: float = 0.25
+
+
+class _Pending:
+    """One frame in flight between router and a worker."""
+
+    __slots__ = ("rid", "future", "params", "headers", "leases",
+                 "deadline", "timeline", "submitted_at", "retries",
+                 "shard")
+
+    def __init__(self, rid, future, params, headers, leases, deadline,
+                 timeline):
+        self.rid = rid
+        self.future = future
+        self.params = params
+        self.headers = headers
+        self.leases = leases
+        self.deadline = deadline
+        self.timeline = timeline
+        self.submitted_at = time.monotonic()
+        self.retries = 0
+        self.shard = -1
+
+
+class _RemotePool:
+    """``Frame._pool`` duck-type for router-served frames: ``release``
+    forwards slot frees over the producing shard's pipe (best-effort —
+    a dead worker's slabs are reaped wholesale anyway)."""
+
+    __slots__ = ("_handle", "_slots")
+
+    def __init__(self, handle: WorkerHandle, slots: dict):
+        self._handle = handle
+        self._slots = slots  # id(array) -> ((segment, offset), gen)
+
+    def release(self, *arrays) -> None:
+        keys = [self._slots.pop(id(a)) for a in arrays
+                if id(a) in self._slots]
+        if keys:
+            self._handle.send(("free", keys))
+
+
+class _Shard:
+    """Router-side state of one worker slot (survives respawns)."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.gen = -1
+        self.handle: WorkerHandle | None = None
+        self.receiver: threading.Thread | None = None
+        self.pending: dict[int, _Pending] = {}
+        self.backend = BUILDING
+        self.alive = False
+        self.draining = False
+        self.bye = threading.Event()
+        self.segments: set[str] = set()
+        self.stats_events: dict[int, threading.Event] = {}
+        self.stats_replies: dict[int, dict] = {}
+        self.last_stats: dict | None = None
+        self.fatal: str | None = None
+        self.spawned_at = 0.0
+        self.fast_deaths = 0  # consecutive deaths right after spawn
+
+
+class ShardedService:
+    """Process-sharded pipeline serving behind one submit/Frame API.
+
+    Parameters mirror :class:`~repro.serve.service.PipelineService`
+    where they mean the same thing; the ones that differ:
+
+    ``workers``
+        Number of worker *processes* (shards) to start.
+    ``max_queue``
+        Total in-flight frames the router admits across all shards.
+    ``shard_queue``
+        Per-shard backpressure bound (and each worker's inner queue
+        capacity); defaults to ``max_queue``.
+    ``inner_workers``
+        Consumer threads inside each worker's inner service.
+    ``max_retries``
+        Requeue budget per frame after a worker death (default 1).
+    ``autoscale``
+        :class:`AutoscaleConfig` (or a kwargs dict for one); ``None``
+        keeps the fleet fixed.
+    """
+
+    def __init__(self, compiled, *,
+                 workers: int = 2,
+                 max_queue: int = 64,
+                 backend: str = "auto",
+                 default_deadline_s: float | None = None,
+                 n_threads: int = 1,
+                 vectorize: bool = True,
+                 max_batch: int = 8,
+                 coalesce: bool = True,
+                 inner_workers: int = DEFAULT_INNER_WORKERS,
+                 shard_queue: int | None = None,
+                 max_retries: int = 1,
+                 autoscale: AutoscaleConfig | Mapping | None = None,
+                 event_capacity: int = 4096,
+                 events_path: str | Path | None = None,
+                 build_kwargs: Mapping | None = None,
+                 name: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in ("auto", "interpreter", "native"):
+            raise ValueError(
+                f"backend must be 'auto', 'interpreter' or 'native', "
+                f"got {backend!r}")
+        self.plan = compiled.plan
+        self.name = name or getattr(compiled, "name", "pipeline")
+        self.backend_mode = backend
+        self.default_deadline_s = default_deadline_s
+        self.token = new_token()
+        # identity-keyed Parameter/Image objects do not survive
+        # pickling; the wire protocol is name-keyed and each worker
+        # re-maps names onto its own unpickled plan objects
+        self._plan_bytes = pickle.dumps(
+            (dataclasses.replace(compiled.plan, verify_report=None),
+             self.name))
+        self._cfg = {
+            "name": self.name, "token": self.token, "backend": backend,
+            "n_threads": n_threads, "vectorize": vectorize,
+            "inner_workers": inner_workers,
+            "max_queue": shard_queue if shard_queue is not None
+            else max_queue,
+            "max_batch": max_batch, "coalesce": coalesce,
+            "build_kwargs": dict(build_kwargs or {}),
+        }
+        self._max_queue = max_queue
+        self._shard_queue = self._cfg["max_queue"]
+        self._sticky_limit = max(1, max_batch)
+        self._max_retries = max_retries
+        self._ctx = get_context("spawn")
+
+        # transport: router-owned input slabs (service-global — every
+        # worker attaches, which is what makes requeue copy-free) and a
+        # lazy map over the workers' announced output slabs
+        self._input_alloc = SlabAllocator(self.token, "in")
+        self._input_pool = ShmBufferPool(self._input_alloc)
+        self.segment_map = SegmentMap()
+
+        self._events = EventLog(capacity=event_capacity,
+                                sink=events_path)
+        self._metrics = MetricsRegistry()
+        self._latency = LatencyWindow()
+        self._rid = itertools.count()
+        self._stats_seq = itertools.count()
+        self._lock = threading.RLock()
+        self._counts = {
+            "submitted": 0, "completed": 0, "rejected": 0,
+            "timeouts": 0, "failures": 0, "cancelled": 0,
+            "native_frames": 0, "interp_frames": 0,
+            "requeued": 0, "worker_deaths": 0, "respawns": 0,
+            "input_copies": 0, "leased_inputs": 0,
+            "scale_ups": 0, "scale_downs": 0,
+        }
+        self._timeout_reasons: dict[str, int] = {}
+        self._sticky: dict[tuple, int] = {}
+        self._shards: dict[int, _Shard] = {}
+        self._retired_stats: list[dict] = []
+        self._metrics_server = None
+        self._closing = False
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        for index in range(workers):
+            self._spawn_shard(index)
+
+        self._autoscale = None
+        self._autoscale_thread = None
+        if autoscale is not None:
+            self._autoscale = autoscale if isinstance(
+                autoscale, AutoscaleConfig) else AutoscaleConfig(
+                    **dict(autoscale))
+            self._autoscale_thread = threading.Thread(
+                target=self._autoscale_loop, daemon=True,
+                name=f"repro-router-{self.name}-autoscale")
+            self._autoscale_thread.start()
+
+    # -- bookkeeping -------------------------------------------------------
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + n
+
+    # -- worker lifecycle --------------------------------------------------
+    def _spawn_shard(self, index: int) -> "_Shard":
+        with self._lock:
+            shard = self._shards.get(index)
+            if shard is None:
+                shard = self._shards[index] = _Shard(index)
+            shard.gen += 1
+            if shard.gen:
+                self._count("respawns")
+            cfg = dict(self._cfg, shard=index, gen=shard.gen)
+            shard.handle = WorkerHandle(self._ctx, self._plan_bytes, cfg)
+            shard.alive = True
+            shard.draining = False
+            shard.bye = threading.Event()
+            shard.fatal = None
+            shard.backend = INTERPRETER \
+                if self.backend_mode == "interpreter" else BUILDING
+            shard.spawned_at = time.monotonic()
+            shard.receiver = threading.Thread(
+                target=self._receive_loop, args=(shard, shard.handle),
+                daemon=True,
+                name=f"repro-router-{self.name}-rx{index}g{shard.gen}")
+            shard.receiver.start()
+        self._events.append("worker_spawn", None, shard=index,
+                            gen=shard.gen)
+        return shard
+
+    def _receive_loop(self, shard: _Shard, handle: WorkerHandle) -> None:
+        """Drain one worker's pipe until EOF, then handle its death."""
+        conn = handle.conn
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError, ValueError):
+                break
+            kind = msg[0]
+            if kind == "done":
+                self._on_done(shard, handle, msg)
+            elif kind == "err":
+                self._on_err(shard, handle, msg)
+            elif kind == "segment":
+                with self._lock:
+                    shard.segments.add(msg[1])
+            elif kind == "backend":
+                shard.backend = msg[1]
+                self._events.append("backend", None, shard=shard.index,
+                                    state=msg[1])
+            elif kind == "stats":
+                _, seq, payload = msg
+                shard.last_stats = payload
+                with self._lock:
+                    shard.stats_replies[seq] = payload
+                    event = shard.stats_events.pop(seq, None)
+                if event is not None:
+                    event.set()
+            elif kind == "bye":
+                shard.bye.set()
+            elif kind == "fatal":
+                shard.fatal = msg[1]
+        self._on_pipe_down(shard, handle)
+
+    def _on_done(self, shard: _Shard, handle: WorkerHandle,
+                 msg: tuple) -> None:
+        _, rid, headers, backend, marks, _worker_latency = msg
+        with self._lock:
+            pending = shard.pending.pop(rid, None)
+        if pending is None:
+            # frame already failed/requeued (death race) — hand the
+            # output slots straight back so they are not stranded
+            handle.send(("free", [((h[0], h[1]), h[2])
+                                  for h in headers.values()]))
+            return
+        now = time.monotonic()
+        pending.timeline.graft(marks, now)
+        outputs: dict[str, np.ndarray] = {}
+        slots: dict[int, tuple] = {}
+        for out_name, header in headers.items():
+            array = self.segment_map.view(header)
+            outputs[out_name] = array
+            slots[id(array)] = ((header[0], header[1]), header[2])
+        self._free_inputs(pending)
+        if not pending.future.set_running_or_notify_cancel():
+            handle.send(("free", list(slots.values())))
+            self._count("cancelled")
+            pending.timeline.mark("dropped", reason="cancelled")
+            return
+        latency = now - pending.submitted_at
+        self._latency.record(latency)
+        pending.timeline.mark("completed", backend=backend,
+                              shard=shard.index)
+        self._count("completed")
+        self._count("native_frames" if backend == NATIVE
+                    else "interp_frames")
+        pending.future.set_result(
+            Frame(outputs, backend, latency, _RemotePool(handle, slots),
+                  _timeline=pending.timeline))
+
+    def _on_err(self, shard: _Shard, handle: WorkerHandle,
+                msg: tuple) -> None:
+        _, rid, kind, detail, marks = msg
+        with self._lock:
+            pending = shard.pending.pop(rid, None)
+        if pending is None:
+            return
+        pending.timeline.graft(marks, time.monotonic())
+        if kind == "overloaded" and self._maybe_requeue(pending):
+            # shard backpressure raced the router's view; another shard
+            # takes the frame and the client never notices
+            return
+        if kind == "deadline":
+            exc: Exception = DeadlineExceeded(detail, 0.0)
+            reason = _timeout_reason(detail)
+            with self._lock:
+                self._counts["timeouts"] += 1
+                self._timeout_reasons[reason] = \
+                    self._timeout_reasons.get(reason, 0) + 1
+        elif kind == "overloaded":
+            exc = Overloaded(detail)
+            self._count("failures")
+        elif kind == "cancelled":
+            exc = ServiceClosed(
+                f"shard {shard.index} dropped the frame: {detail}")
+            self._count("cancelled")
+        else:
+            exc = RuntimeError(f"shard {shard.index}: {detail}")
+            self._count("failures")
+        pending.timeline.mark("dropped", reason=kind, shard=shard.index)
+        self._free_inputs(pending)
+        if pending.future.set_running_or_notify_cancel():
+            pending.future.set_exception(exc)
+        else:
+            self._count("cancelled")
+
+    def _on_pipe_down(self, shard: _Shard,
+                      handle: WorkerHandle) -> None:
+        """The receiver saw EOF: reap, maybe respawn, requeue-or-fail."""
+        with self._lock:
+            if handle is not shard.handle:
+                return  # stale receiver of an already-replaced worker
+            shard.alive = False
+            orphans = list(shard.pending.values())
+            shard.pending.clear()
+            shard.segments.clear()
+            self._sticky = {key: idx for key, idx in
+                            self._sticky.items() if idx != shard.index}
+            closing = self._closing
+            graceful = shard.bye.is_set()
+            if shard.last_stats is not None:
+                self._retired_stats.append(shard.last_stats)
+                shard.last_stats = None
+        handle.close_conn()
+        handle.join(timeout=5.0)
+        if handle.alive():
+            handle.kill()
+            handle.join(timeout=5.0)
+        # this generation can no longer unlink anything: reap its output
+        # slabs by name prefix (router-owned input slabs are untouched;
+        # already-mapped client views stay valid — unlink removes the
+        # name, not the pages)
+        unlink_segments(self.token, role=handle.role)
+        if not graceful and not closing:
+            self._count("worker_deaths")
+            self._events.append("worker_death", None, shard=shard.index,
+                                pid=handle.pid, fatal=shard.fatal)
+        # crash-loop guard: a worker that keeps dying within seconds of
+        # spawning (bad environment, startup fatal) is not respawned
+        # forever — the shard is left dead and placement skips it
+        fast = time.monotonic() - shard.spawned_at < 5.0
+        shard.fast_deaths = shard.fast_deaths + 1 if fast else 0
+        crash_looping = shard.fast_deaths >= 3
+        if crash_looping:
+            self._events.append("worker_disabled", None,
+                                shard=shard.index, fatal=shard.fatal)
+        if not closing and not shard.draining and not crash_looping:
+            self._spawn_shard(shard.index)
+        for pending in orphans:
+            alive_deadline = pending.deadline is None \
+                or not pending.deadline.expired()
+            if (not closing and pending.retries < self._max_retries
+                    and alive_deadline):
+                pending.retries += 1
+                if self._dispatch(pending, sticky_key=None):
+                    self._count("requeued")
+                    pending.timeline.mark("requeued",
+                                          from_shard=shard.index)
+                    continue
+            exc = WorkerCrashed(shard.index, handle.pid,
+                                shard.fatal or "")
+            pending.timeline.mark("dropped", reason="worker_crashed")
+            self._free_inputs(pending)
+            self._count("failures")
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(exc)
+            else:
+                self._count("cancelled")
+
+    # -- placement ---------------------------------------------------------
+    @staticmethod
+    def _batch_key(params: dict, headers: dict) -> tuple:
+        return (tuple(sorted(params.items())),
+                tuple(sorted((name, header[3], header[4])
+                             for name, header in headers.items())))
+
+    def _place(self, sticky_key, exclude: set) -> "_Shard | None":
+        """Pick a shard (lock held): sticky first, else least loaded.
+
+        Stickiness is soft: it routes compatible frames to the same
+        shard only while that shard's backlog is below the coalescing
+        window (``max_batch``), so a uniform workload still spreads
+        across the fleet once one worker has enough queued to batch —
+        hard stickiness would collapse every identical frame onto a
+        single shard and forfeit scaling entirely.
+        """
+        candidates = [s for s in self._shards.values()
+                      if s.alive and not s.draining
+                      and s.index not in exclude
+                      and len(s.pending) < self._shard_queue]
+        if not candidates:
+            return None
+        if sticky_key is not None:
+            index = self._sticky.get(sticky_key)
+            for shard in candidates:
+                if shard.index == index \
+                        and len(shard.pending) < self._sticky_limit:
+                    return shard
+        best = min(candidates, key=lambda s: (len(s.pending), s.index))
+        if sticky_key is not None:
+            if len(self._sticky) > 512:
+                self._sticky.clear()
+            self._sticky[sticky_key] = best.index
+        return best
+
+    def _dispatch(self, pending: _Pending, sticky_key) -> bool:
+        """Register + send one frame; retries across shards if a pipe
+        turns out to be dead at send time.  False = nobody could take
+        it."""
+        exclude: set[int] = set()
+        while True:
+            with self._lock:
+                shard = self._place(sticky_key, exclude)
+                if shard is None:
+                    return False
+                pending.shard = shard.index
+                shard.pending[pending.rid] = pending
+                handle = shard.handle
+            remaining = pending.deadline.remaining() \
+                if pending.deadline is not None else None
+            if handle.send(("frame", pending.rid, pending.params,
+                            pending.headers, remaining)):
+                pending.timeline.mark("shipped", shard=shard.index)
+                return True
+            with self._lock:
+                shard.pending.pop(pending.rid, None)
+            exclude.add(shard.index)
+
+    # -- submission --------------------------------------------------------
+    def lease_input(self, shape, dtype) -> np.ndarray:
+        """A writable input array backed by the router's shared-memory
+        slabs.  Fill it and pass it (the exact array) to :meth:`submit`
+        and the input path is zero-copy end to end; the slot recycles
+        automatically once the frame resolves.  Each leased array is
+        consumed by one submit."""
+        return self._input_pool.acquire(shape, dtype)
+
+    def submit(self, param_values, inputs, *,
+               deadline_s: float | None = None,
+               deadline: Deadline | None = None) -> Future:
+        """Enqueue one frame; returns a future resolving to a
+        :class:`~repro.serve.service.Frame` (same contract as the
+        thread service — :class:`Overloaded` on a full router,
+        :class:`ServiceClosed` after :meth:`close`)."""
+        if self._closing:
+            raise ServiceClosed(f"service {self.name} is closed")
+        if deadline is None:
+            seconds = deadline_s if deadline_s is not None \
+                else self.default_deadline_s
+            if seconds is not None:
+                deadline = Deadline.after(seconds)
+        rid = next(self._rid)
+        timeline = Timeline(rid, self._events)
+        with self._lock:
+            outstanding = sum(len(s.pending)
+                              for s in self._shards.values())
+        if outstanding >= self._max_queue:
+            self._count("rejected")
+            timeline.mark("rejected", reason="overloaded")
+            raise Overloaded(
+                f"router backlog {outstanding} >= {self._max_queue}")
+        params = {getattr(p, "name", p): int(v)
+                  for p, v in param_values.items()}
+        headers: dict[str, tuple] = {}
+        leases = []
+        for image, array in inputs.items():
+            image_name = getattr(image, "name", image)
+            array = np.ascontiguousarray(array)
+            lease = self._input_pool.export([array]).get(id(array))
+            if lease is not None:
+                self._count("leased_inputs")  # zero-copy path
+            else:
+                lease = self._input_alloc.alloc(max(array.nbytes, 1))
+                staged = lease.ndarray(array.shape, array.dtype)
+                staged[...] = array  # the one client-facing staging copy
+                self._count("input_copies")
+            headers[image_name] = lease.header(array.shape, array.dtype)
+            leases.append(lease)
+        pending = _Pending(rid, Future(), params, headers, leases,
+                           deadline, timeline)
+        timeline.mark("submitted")
+        if not self._dispatch(pending,
+                              self._batch_key(params, headers)):
+            self._free_inputs(pending)
+            self._count("rejected")
+            timeline.mark("rejected", reason="no_shard")
+            raise Overloaded("no shard can accept the frame")
+        self._count("submitted")
+        return pending.future
+
+    def run(self, param_values, inputs, *,
+            deadline_s: float | None = None,
+            timeout: float | None = None) -> Frame:
+        """Blocking convenience: ``submit`` + ``result``."""
+        return self.submit(param_values, inputs,
+                           deadline_s=deadline_s).result(timeout)
+
+    def _maybe_requeue(self, pending: _Pending) -> bool:
+        """Second chance on a different shard (retry budget allowing)."""
+        if pending.retries >= self._max_retries or self._closing:
+            return False
+        if pending.deadline is not None and pending.deadline.expired():
+            return False
+        pending.retries += 1
+        if self._dispatch(pending, sticky_key=None):
+            self._count("requeued")
+            pending.timeline.mark("requeued")
+            return True
+        return False
+
+    def _free_inputs(self, pending: _Pending) -> None:
+        for lease in pending.leases:
+            self._input_alloc.free(lease.key, lease.gen)
+        pending.leases = []
+
+    # -- autoscaler --------------------------------------------------------
+    def _autoscale_loop(self) -> None:
+        cfg = self._autoscale
+        above = below = 0
+        while not self._closing:
+            time.sleep(cfg.interval_s)
+            if self._closing:
+                return
+            with self._lock:
+                live = [s for s in self._shards.values()
+                        if s.alive and not s.draining]
+                outstanding = sum(len(s.pending) for s in live)
+                n = len(live)
+            if n == 0:
+                continue
+            per_shard = outstanding / n
+            p99 = self._latency.percentile(99)
+            hot = per_shard >= cfg.high_watermark or (
+                cfg.p99_high_ms is not None and p99 >= cfg.p99_high_ms)
+            cold = per_shard <= cfg.low_watermark and not hot
+            above = above + 1 if hot else 0
+            below = below + 1 if cold else 0
+            if hot and above >= cfg.up_after and n < cfg.max_workers:
+                above = 0
+                with self._lock:
+                    index = max(self._shards) + 1 if self._shards else 0
+                self._spawn_shard(index)
+                self._count("scale_ups")
+                self._events.append(
+                    "autoscale", None, action="up", workers=n + 1,
+                    per_shard=round(per_shard, 2), p99_ms=round(p99, 2))
+            elif cold and below >= cfg.down_after and n > cfg.min_workers:
+                below = 0
+                with self._lock:
+                    idle = [s for s in live if not s.pending and s.alive]
+                    if not idle:
+                        continue
+                    victim = max(idle, key=lambda s: s.index)
+                    victim.draining = True
+                    handle = victim.handle
+                handle.send(("close", True))
+                self._count("scale_downs")
+                self._events.append(
+                    "autoscale", None, action="down", workers=n - 1,
+                    shard=victim.index)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Live (non-draining) shard count right now."""
+        with self._lock:
+            return sum(1 for s in self._shards.values()
+                       if s.alive and not s.draining)
+
+    @property
+    def backend(self) -> str:
+        """Fleet backend state, collapsed: the common state when all
+        live shards agree, ``"mixed"`` otherwise."""
+        with self._lock:
+            states = {s.backend for s in self._shards.values()
+                      if s.alive and not s.draining}
+        if not states:
+            return INTERPRETER
+        return states.pop() if len(states) == 1 else "mixed"
+
+    def wait_ready(self, timeout: float | None = None) -> str:
+        """Block until no live shard is still ``building`` (or the
+        timeout lapses); returns the collapsed backend state."""
+        expiry = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                building = any(
+                    s.backend == BUILDING for s in self._shards.values()
+                    if s.alive and not s.draining)
+            if not building:
+                return self.backend
+            if expiry is not None and time.monotonic() >= expiry:
+                return self.backend
+            time.sleep(0.01)
+
+    @property
+    def event_log(self) -> EventLog:
+        return self._events
+
+    def events(self, request_id=None, kind: str | None = None) -> list:
+        return self._events.events(request_id=request_id, kind=kind)
+
+    def _collect_worker_stats(self, timeout: float = 1.0
+                              ) -> dict[int, dict]:
+        """One stats round-trip per live shard (falling back to the
+        shard's last known payload when it does not answer in time)."""
+        seq = next(self._stats_seq)
+        waits: list[tuple[_Shard, threading.Event]] = []
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            if not shard.alive or shard.handle is None:
+                continue
+            event = threading.Event()
+            with self._lock:
+                shard.stats_events[seq] = event
+            if shard.handle.send(("stats", seq)):
+                waits.append((shard, event))
+            else:
+                with self._lock:
+                    shard.stats_events.pop(seq, None)
+        expiry = time.monotonic() + timeout
+        payloads: dict[int, dict] = {}
+        for shard, event in waits:
+            event.wait(max(0.0, expiry - time.monotonic()))
+            with self._lock:
+                payload = shard.stats_replies.pop(seq, None)
+                shard.stats_events.pop(seq, None)
+            if payload is None:
+                payload = shard.last_stats
+            if payload is not None:
+                payloads[shard.index] = payload
+        return payloads
+
+    def shard_stats(self, timeout: float = 1.0
+                    ) -> dict[int, ServiceStats]:
+        """Per-shard :class:`ServiceStats`, straight from each worker."""
+        return {index: ServiceStats.from_dict(payload["stats"])
+                for index, payload in sorted(
+                    self._collect_worker_stats(timeout).items())}
+
+    def stats(self, timeout: float = 1.0) -> ServiceStats:
+        """Cross-shard snapshot with the same shape the thread service
+        reports.
+
+        Client-facing counters (submitted/rejected/completed/timeouts/
+        failures) and the latency window are the router's own — they
+        describe what callers observed, including requeues the workers
+        never saw as one frame.  Backend counters, batching, fallbacks,
+        pool totals and the per-stage histograms are merged from the
+        workers (histograms bucket-exact via :meth:`Histogram.merge`),
+        dead/retired shards included via their final payloads.
+        """
+        payloads = list(self._collect_worker_stats(timeout).values())
+        with self._lock:
+            payloads += list(self._retired_stats)
+            counts = dict(self._counts)
+            reasons = dict(self._timeout_reasons)
+            inflight = sum(len(s.pending)
+                           for s in self._shards.values())
+        worker_stats = [ServiceStats.from_dict(p["stats"])
+                        for p in payloads]
+        fallbacks: dict[str, int] = {}
+        pool = {"hits": 0, "misses": 0, "outstanding": 0, "idle": 0}
+        batches = batched = queue_depth = 0
+        for ws in worker_stats:
+            batches += ws.batches
+            batched += ws.batched_frames
+            queue_depth += ws.queue_depth
+            for key, value in ws.fallbacks.items():
+                fallbacks[key] = fallbacks.get(key, 0) + value
+            for key in pool:
+                pool[key] += ws.pool.get(key, 0)
+        attempts = pool["hits"] + pool["misses"]
+        pool["hit_rate"] = pool["hits"] / attempts if attempts else 0.0
+        stages = {}
+        for stage in STAGES:
+            merged: Histogram | None = None
+            for payload in payloads:
+                data = payload.get("metrics", {}).get(
+                    "histograms", {}).get(f"{stage}_seconds")
+                if data is None:
+                    continue
+                incoming = Histogram.from_dict(data)
+                if merged is None:
+                    merged = incoming
+                else:
+                    merged.merge(incoming)
+            summary = merged.summary() if merged is not None else {
+                "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p99": 0.0}
+            stages[stage] = {
+                "count": summary["count"],
+                "mean_ms": summary["mean"] * 1000.0,
+                "p50_ms": summary["p50"] * 1000.0,
+                "p90_ms": summary["p90"] * 1000.0,
+                "p99_ms": summary["p99"] * 1000.0,
+            }
+        return ServiceStats(
+            name=self.name,
+            backend=self.backend,
+            submitted=counts["submitted"],
+            completed=counts["completed"],
+            rejected=counts["rejected"],
+            timeouts=counts["timeouts"],
+            failures=counts["failures"],
+            cancelled=counts["cancelled"],
+            native_frames=counts["native_frames"],
+            interp_frames=counts["interp_frames"],
+            batches=batches,
+            batched_frames=batched,
+            fallbacks=fallbacks,
+            queue_depth=queue_depth,
+            inflight=inflight,
+            pool=pool,
+            latency=self._latency.snapshot(),
+            timeouts_by_reason=reasons,
+            stages=stages,
+        )
+
+    def transport(self) -> dict:
+        """Transport-layer introspection: slab totals, copy counters,
+        fault counters — what the zero-copy and leak tests pin down."""
+        with self._lock:
+            counts = dict(self._counts)
+        copied_out = 0
+        for payload in self._collect_worker_stats(timeout=0.5).values():
+            copied_out += payload.get("copied_out", 0)
+        return {
+            "token": self.token,
+            "workers": self.workers,
+            "input": self._input_alloc.stats(),
+            "attached_segments": len(self.segment_map.names()),
+            "live_segments": len(live_segments(self.token)),
+            "input_copies": counts["input_copies"],
+            "leased_inputs": counts["leased_inputs"],
+            "copied_out": copied_out,
+            "requeued": counts["requeued"],
+            "worker_deaths": counts["worker_deaths"],
+            "respawns": counts["respawns"],
+            "scale_ups": counts["scale_ups"],
+            "scale_downs": counts["scale_downs"],
+        }
+
+    def _router_snapshot(self) -> dict:
+        """Router-level registry snapshot for the exposition."""
+        with self._lock:
+            counts = dict(self._counts)
+            reasons = dict(self._timeout_reasons)
+            inflight = sum(len(s.pending)
+                           for s in self._shards.values())
+        for key, value in counts.items():
+            self._metrics.set_counter(key, value)
+        for reason, value in reasons.items():
+            self._metrics.set_counter(f"timeouts_{reason}", value)
+        self._metrics.gauge("workers", float(self.workers))
+        self._metrics.gauge("inflight", float(inflight))
+        self._metrics.gauge("attached_segments",
+                            float(len(self.segment_map.names())))
+        return self._metrics.as_dict()
+
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1"):
+        """One Prometheus endpoint for the whole router: router-level
+        series under ``repro_serve_router_`` plus every worker's
+        registry as ``shard``-labeled series under ``repro_serve_``
+        (validated by :func:`~repro.observe.export.
+        validate_exposition_text`)."""
+        if self._metrics_server is None:
+            from repro.observe.export import (
+                MetricsServer, render_exposition,
+                render_sharded_exposition,
+            )
+
+            def render() -> str:
+                shards = {str(index): payload.get("metrics", {})
+                          for index, payload in sorted(
+                              self._collect_worker_stats().items())}
+                text = render_exposition(self._router_snapshot(),
+                                         prefix="repro_serve_router_")
+                text += render_sharded_exposition(
+                    shards, prefix="repro_serve_", label="shard")
+                return text
+
+            self._metrics_server = MetricsServer(render, host=host,
+                                                 port=port)
+        return self._metrics_server
+
+    # -- flow control ------------------------------------------------------
+    def pause(self) -> None:
+        """Pause every shard's inner service (frames keep queueing)."""
+        self._broadcast(("pause",))
+
+    def resume(self) -> None:
+        self._broadcast(("resume",))
+
+    def release(self) -> None:
+        """Ask every shard to drop idle pooled buffers and arenas."""
+        self._broadcast(("release",))
+
+    def _broadcast(self, msg: tuple) -> None:
+        with self._lock:
+            handles = [s.handle for s in self._shards.values()
+                       if s.alive and s.handle is not None]
+        for handle in handles:
+            handle.send(msg)
+
+    # -- teardown ----------------------------------------------------------
+    def close(self, drain: bool = True,
+              timeout: float = 20.0) -> None:
+        """Shut the fleet down; the no-leaked-segments contract lands
+        here.  ``drain=True`` lets every accepted frame finish first;
+        ``drain=False`` cancels the backlog.  Idempotent."""
+        with self._close_lock:
+            already = self._closed
+            self._closed = True
+            self._closing = True
+        if already:
+            return
+        # refresh final per-worker stats so post-close stats() still
+        # reports the merged history
+        self._collect_worker_stats(timeout=min(2.0, timeout))
+        with self._lock:
+            shards = list(self._shards.values())
+        if not drain:
+            for shard in shards:
+                with self._lock:
+                    orphans = list(shard.pending.values())
+                    shard.pending.clear()
+                for pending in orphans:
+                    self._free_inputs(pending)
+                    if pending.future.cancel():
+                        self._count("cancelled")
+                    else:
+                        # already running at a worker; fail it loudly
+                        # rather than leaving the caller hanging
+                        if pending.future.set_running_or_notify_cancel():
+                            pending.future.set_exception(
+                                ServiceClosed("service closed"))
+        for shard in shards:
+            if shard.handle is not None:
+                shard.handle.send(("close", drain))
+        expiry = time.monotonic() + timeout
+        for shard in shards:
+            handle = shard.handle
+            if handle is None:
+                continue
+            handle.join(max(0.1, expiry - time.monotonic()))
+            if handle.alive():
+                handle.terminate()
+                handle.join(2.0)
+            if handle.alive():
+                handle.kill()
+                handle.join(2.0)
+            handle.close_conn()
+        for shard in shards:
+            if shard.receiver is not None:
+                shard.receiver.join(timeout=5.0)
+        if self._autoscale_thread is not None:
+            self._autoscale_thread.join(
+                timeout=self._autoscale.interval_s + 1.0)
+        # the router owns every unlink: close its own slabs, then sweep
+        # whatever any generation of any worker left behind
+        self.segment_map.close()
+        self._input_alloc.close(unlink=True)
+        unlink_segments(self.token)
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
+        self._events.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardedService({self.name!r}, workers={self.workers}, "
+                f"backend={self.backend})")

@@ -338,7 +338,11 @@ class PipelineService:
         Deadline applied to submissions that do not carry their own.
     pool:
         ``True`` (default) pools output/intermediate buffers per
-        service; ``False`` allocates per frame.
+        service; ``False`` allocates per frame.  A
+        :class:`~repro.runtime.buffers.BufferPool` *instance* is used
+        as-is — the process-backed worker tier injects a
+        :class:`~repro.serve.shm.ShmBufferPool` here so outputs land
+        directly in shared memory.
     max_batch:
         Upper bound on frames coalesced into one native batch call
         (``1`` disables coalescing).  The batching window is whatever
@@ -403,7 +407,8 @@ class PipelineService:
         self._max_batch = max_batch
         self._coalesce = coalesce and max_batch > 1
         self._tracer = tracer if tracer is not None else get_tracer()
-        self._pool = BufferPool() if pool else None
+        self._pool = pool if isinstance(pool, BufferPool) \
+            else (BufferPool() if pool else None)
         self._queue = BoundedQueue(max_queue)
         self._gate = threading.Event()  # cleared = paused
         self._gate.set()

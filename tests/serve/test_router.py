@@ -1,0 +1,226 @@
+"""ShardedService integration: API parity, zero-copy, merged stats.
+
+One 2-worker router (interpreter backend — deterministic and fast on any
+box) is shared module-wide; every test feeds it frames and checks one
+slice of the contract.  Worker-death fault injection lives in
+``test_router_faults.py``; the in-process transport layer in
+``test_shm.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.codegen.build import compiler_available
+from repro.observe.export import validate_exposition_text
+from repro.serve import PipelineService, ShardedService
+from repro.serve.shm import live_segments
+
+from .conftest import make_served
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+FUZZ_N = max(2, int(os.environ.get("REPRO_FUZZ_N", "12")) // 3)
+
+
+@pytest.fixture(scope="module")
+def router(served):
+    service = ShardedService(served.compiled, workers=2,
+                             backend="interpreter", max_queue=32,
+                             name="router_t")
+    token = service.token
+    service.wait_ready(timeout=120)
+    yield service
+    service.close()
+    assert live_segments(token) == [], "segments leaked past close()"
+
+
+def test_outputs_bit_identical_to_direct(served, router):
+    futures, refs = [], []
+    for seed in range(6):
+        inputs = served.input_for(seed)
+        refs.append(served.direct(inputs))
+        futures.append(router.submit(served.values, inputs))
+    for future, ref in zip(futures, refs):
+        with future.result(timeout=120) as frame:
+            assert np.array_equal(frame.outputs[served.out], ref)
+            assert frame.backend == "interpreter"
+
+
+def test_frame_timeline_has_worker_marks(served, router):
+    with router.run(served.values, served.input_for(99),
+                    timeout=120) as frame:
+        timeline = frame.timeline()
+        kinds = [event.kind for event in timeline.events()]
+        assert "submitted" in kinds and "shipped" in kinds
+        assert "worker_completed" in kinds, kinds
+        assert kinds[-1] == "completed"
+
+
+def test_outputs_are_shared_memory_views(served, router):
+    """The zero-copy regression: pixel data reaches the client as a view
+    over the worker's shared pages — never re-materialized by a pickle —
+    and the worker never had to stage outputs either."""
+    future = router.submit(served.values, served.input_for(7))
+    frame = future.result(timeout=120)
+    out = frame.outputs[served.out]
+    assert router.segment_map.contains(out), \
+        "output array is not backed by an attached shm segment"
+    frame.release()
+    assert router.transport()["copied_out"] == 0, \
+        "worker staged output copies on the export path"
+
+
+def test_lease_input_is_zero_copy(served, router):
+    before = router.transport()
+    array = router.lease_input((served.rows + 2, served.cols + 2),
+                               np.float32)
+    rng = np.random.default_rng(123)
+    array[...] = rng.random(array.shape, dtype=np.float32)
+    ref = served.direct({served.image: array.copy()})
+    with router.submit(served.values,
+                       {served.image: array}).result(timeout=120) as frame:
+        assert np.array_equal(frame.outputs[served.out], ref)
+    after = router.transport()
+    assert after["leased_inputs"] == before["leased_inputs"] + 1
+    assert after["input_copies"] == before["input_copies"], \
+        "leased input was re-staged — zero-copy path not taken"
+
+
+def test_merged_stats_match_thread_service_shape(served, router):
+    """stats() must speak the exact ServiceStats dialect of the thread
+    service — same fields, same histogram buckets — so dashboards and
+    ``render()`` work unchanged."""
+    with PipelineService(served.compiled, workers=1,
+                         backend="interpreter") as threaded:
+        threaded.run(served.values, served.input_for(0)).release()
+        thread_dict = threaded.stats().to_dict()
+    merged = router.stats()
+    merged_dict = merged.to_dict()
+    assert set(merged_dict) == set(thread_dict)
+    assert set(merged_dict["stages"]) == set(thread_dict["stages"])
+    for stage, summary in merged_dict["stages"].items():
+        assert set(summary) == set(thread_dict["stages"][stage]), stage
+    assert merged.completed >= 6
+    assert merged.submitted >= merged.completed
+    assert "p50" in merged.render()
+
+
+def test_shard_stats_sum_to_merged(served, router):
+    per_shard = router.shard_stats()
+    assert len(per_shard) == 2
+    merged = router.stats()
+    worker_completed = sum(s.completed for s in per_shard.values())
+    # every router-completed frame was completed by exactly one worker
+    assert worker_completed >= merged.completed > 0
+
+
+def test_labeled_prometheus_exposition(served, router):
+    server = router.serve_metrics(port=0)
+    with urllib.request.urlopen(server.url) as response:
+        text = response.read().decode()
+    validate_exposition_text(text)
+    assert "repro_serve_router_submitted" in text
+    assert 'shard="0"' in text and 'shard="1"' in text
+    # per-shard histograms keep their le buckets under the shard label
+    assert 'le="' in text
+
+
+def test_sticky_spills_past_coalescing_window(served):
+    """Identical frames prefer one shard (coalescing) but must spread
+    once its backlog reaches the batch window — a uniform workload on a
+    sticky-only router would never scale."""
+    with ShardedService(served.compiled, workers=2,
+                        backend="interpreter", max_queue=32,
+                        max_batch=2, name="spill_t") as service:
+        service.wait_ready(timeout=120)
+        service.pause()  # freeze workers so backlog is deterministic
+        inputs = served.input_for(5)
+        futures = [service.submit(served.values, inputs)
+                   for _ in range(8)]
+        service.resume()
+        for future in futures:
+            future.result(timeout=120).release()
+        per_shard = service.shard_stats()
+        busy = [index for index, stats in per_shard.items()
+                if stats.submitted > 0]
+        assert len(busy) == 2, \
+            f"uniform workload stuck to one shard: {per_shard}"
+
+
+def test_serve_processes_config(served):
+    service = served.compiled.serve(processes=1, backend="interpreter",
+                                    inner_workers=1)
+    try:
+        assert isinstance(service, ShardedService)
+        with service.run(served.values, served.input_for(1),
+                         timeout=120) as frame:
+            assert np.array_equal(frame.outputs[served.out],
+                                  served.direct(served.input_for(1)))
+    finally:
+        service.close()
+    threaded = served.compiled.serve(backend="interpreter")
+    try:
+        assert isinstance(threaded, PipelineService)
+    finally:
+        threaded.close()
+
+
+def test_autoscaler_grows_and_shrinks(served):
+    from repro.serve import AutoscaleConfig
+
+    config = AutoscaleConfig(min_workers=1, max_workers=2,
+                             high_watermark=2.0, low_watermark=0.5,
+                             up_after=2, down_after=4, interval_s=0.05)
+    with ShardedService(served.compiled, workers=1,
+                        backend="interpreter", max_queue=64,
+                        autoscale=config, name="scale_t") as service:
+        service.wait_ready(timeout=120)
+        service.pause()  # park a backlog to trip the high watermark
+        inputs = served.input_for(6)
+        futures = [service.submit(served.values, inputs)
+                   for _ in range(8)]
+        deadline = time.monotonic() + 60
+        while service.workers < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert service.workers == 2, "backlog never tripped a scale-up"
+        assert service.transport()["scale_ups"] >= 1
+        service.resume()
+        for future in futures:
+            future.result(timeout=120).release()
+        # idle fleet drains back down to min_workers
+        deadline = time.monotonic() + 60
+        while service.workers > 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert service.workers == 1, "idle fleet never scaled down"
+        assert service.transport()["scale_downs"] >= 1
+        # and the shrunken fleet still serves correctly
+        with service.run(served.values, served.input_for(8),
+                         timeout=120) as frame:
+            assert np.array_equal(frame.outputs[served.out],
+                                  served.direct(served.input_for(8)))
+
+
+def test_differential_fuzz_through_router():
+    """Random frames through a 2-worker router vs direct interpreter
+    execution; native backend rides along when a compiler is present
+    (backend="auto" flips mid-stream, outputs must stay identical)."""
+    served = make_served(rows=18, cols=22, tiles=(8, 8), name="rfz")
+    backend = "auto" if compiler_available() else "interpreter"
+    with ShardedService(served.compiled, workers=2, backend=backend,
+                        max_queue=32, name="fuzz_t") as service:
+        service.wait_ready(timeout=240)
+        rng = np.random.default_rng(FUZZ_SEED)
+        for _ in range(FUZZ_N):
+            seed = int(rng.integers(0, 2**31))
+            inputs = served.input_for(seed)
+            ref = served.direct(inputs)
+            with service.submit(served.values,
+                                inputs).result(timeout=240) as frame:
+                assert np.allclose(frame.outputs[served.out], ref,
+                                   rtol=1e-5, atol=1e-5), \
+                    f"router/{frame.backend} diverged at seed {seed}"

@@ -1,0 +1,142 @@
+"""Transport-layer tests: slab allocator, generation tags, views, leaks.
+
+Everything here runs in one process — the cross-process behaviour is
+exercised by ``test_router.py`` / ``test_router_faults.py``; these tests
+pin down the allocator contract those builds on: recycled slots, stale
+generations rejected, headers tiny and picklable, views aliasing the
+same pages, and ``close()`` leaving nothing behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import (
+    MIN_SLOT_BYTES, SegmentMap, ShmBufferPool, SlabAllocator, StaleSlot,
+    _size_class, live_segments, new_token, unlink_segments,
+)
+
+
+@pytest.fixture
+def alloc():
+    token = new_token()
+    allocator = SlabAllocator(token, "t")
+    yield allocator
+    allocator.close(unlink=True)
+    assert live_segments(token) == []
+
+
+def test_size_classes_power_of_two():
+    assert _size_class(1) == MIN_SLOT_BYTES
+    assert _size_class(MIN_SLOT_BYTES) == MIN_SLOT_BYTES
+    assert _size_class(MIN_SLOT_BYTES + 1) == 2 * MIN_SLOT_BYTES
+    assert _size_class(3 * MIN_SLOT_BYTES) == 4 * MIN_SLOT_BYTES
+
+
+def test_alloc_recycles_slots(alloc):
+    a = alloc.alloc(100)
+    key, gen = a.key, a.gen
+    alloc.free(key, gen)
+    b = alloc.alloc(100)
+    assert b.key == key, "freed slot should be recycled"
+    assert b.gen == gen + 1, "recycling must bump the generation"
+    stats = alloc.stats()
+    assert stats["hits"] >= 1 and stats["segments"] == 1
+
+
+def test_stale_generation_rejected(alloc):
+    a = alloc.alloc(64)
+    key, gen = a.key, a.gen
+    alloc.check_current(key, gen)  # live lease passes
+    assert alloc.free(key, gen) is True
+    assert alloc.free(key, gen) is False, "double free is stale"
+    with pytest.raises(StaleSlot):
+        alloc.check_current(key, gen)
+    assert alloc.stats()["stale_frees"] == 1
+
+
+def test_header_is_tiny_and_picklable(alloc):
+    lease = alloc.alloc(1 << 16)
+    header = lease.header((128, 128), np.float32)
+    wire = pickle.dumps(header)
+    assert len(wire) < 256, "headers must not carry pixel data"
+    segment, offset, gen, shape, dtype = header
+    assert shape == (128, 128) and np.dtype(dtype) == np.float32
+    assert gen == lease.gen and segment == lease.key[0]
+
+
+def test_view_round_trip_shares_pages(alloc):
+    lease = alloc.alloc(64 * 64 * 4)
+    src = lease.ndarray((64, 64), np.float32)
+    src[:] = np.arange(64 * 64, dtype=np.float32).reshape(64, 64)
+
+    peer = SegmentMap()
+    try:
+        dst = peer.view(lease.header((64, 64), np.float32))
+        assert np.array_equal(dst, src)
+        # same physical pages: a write on one side shows on the other
+        src[3, 5] = -1.0
+        assert dst[3, 5] == -1.0
+        assert peer.contains(dst)
+        assert not peer.contains(np.zeros(4, dtype=np.float32))
+    finally:
+        del dst
+        peer.close()
+
+
+def test_pool_export_and_free_slot(alloc):
+    pool = ShmBufferPool(alloc)
+    out = pool.acquire((32, 32), np.float32)
+    out[:] = 7.0
+    exported = pool.export([out])
+    assert list(exported) == [id(out)]
+    lease = exported[id(out)]
+    # exported slots stay leased until free_slot (the router's "free")
+    assert alloc.stats()["leased"] == 1
+    assert pool.free_slot(lease.key, lease.gen) is True
+    assert alloc.stats()["leased"] == 0
+    # a second free with the shipped generation is stale, not a crash
+    assert pool.free_slot(lease.key, lease.gen) is False
+
+
+def test_pool_release_unexported(alloc):
+    pool = ShmBufferPool(alloc)
+    a = pool.acquire((8, 8), np.float64)
+    b = pool.acquire((8, 8), np.float64)
+    pool.release(a, b)
+    assert alloc.stats()["leased"] == 0
+    c = pool.acquire((8, 8), np.float64)
+    assert alloc.stats()["hits"] >= 1
+    pool.release(c)
+
+
+def test_unlink_segments_reaps_by_role():
+    token = new_token()
+    a = SlabAllocator(token, "w0g0")
+    b = SlabAllocator(token, "w1g0")
+    a.alloc(10)
+    b.alloc(10)
+    assert len(live_segments(token)) == 2
+    # reap only the "dead worker"'s slabs
+    assert unlink_segments(token, role="w0g0") == 1
+    assert len(live_segments(token)) == 1
+    assert unlink_segments(token) == 1
+    assert live_segments(token) == []
+    a.close(unlink=False)
+    b.close(unlink=False)
+
+
+def test_close_is_idempotent_and_leak_free():
+    token = new_token()
+    allocator = SlabAllocator(token, "t")
+    allocator.alloc(2 * MIN_SLOT_BYTES)
+    allocator.alloc(100)
+    assert len(live_segments(token)) == 2
+    allocator.close(unlink=True)
+    allocator.close(unlink=True)
+    assert live_segments(token) == []
+    with pytest.raises(RuntimeError):
+        allocator.alloc(1)
