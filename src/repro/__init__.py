@@ -11,9 +11,10 @@ Public API::
 from repro.api import CompiledPipeline, compile_pipeline
 from repro.compiler.options import CompileOptions
 from repro.observe import Tracer, get_tracer, set_tracer, tracing
+from repro.schedule import ScheduleHints, ScheduleStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["CompileOptions", "CompiledPipeline", "Tracer",
-           "compile_pipeline", "get_tracer", "set_tracer", "tracing",
-           "__version__"]
+__all__ = ["CompileOptions", "CompiledPipeline", "ScheduleHints",
+           "ScheduleStore", "Tracer", "compile_pipeline", "get_tracer",
+           "set_tracer", "tracing", "__version__"]

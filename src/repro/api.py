@@ -121,8 +121,23 @@ class CompiledPipeline:
         submit/Frame API served by N spawn-mode worker processes with
         shared-memory frame transport, load balancing, worker respawn
         and optional autoscaling (see :mod:`repro.serve.router`).
+
+        ``store="ro"|"rw"`` consults the persistent schedule store
+        (:mod:`repro.schedule`) during the background native build:
+        on a warm store every worker cold-starts by ``dlopen``-ing the
+        already-published artifact — no C compiler invocation.
+        ``store_root=`` overrides the store directory.
         """
         config.setdefault("name", self.name)
+        store = config.pop("store", None)
+        store_root = config.pop("store_root", None)
+        if store is not None or store_root is not None:
+            build_kwargs = dict(config.get("build_kwargs") or {})
+            if store is not None:
+                build_kwargs.setdefault("store", store)
+            if store_root is not None:
+                build_kwargs.setdefault("store_root", str(store_root))
+            config["build_kwargs"] = build_kwargs
         processes = config.pop("processes", 0)
         if processes:
             from repro.serve import ShardedService
@@ -197,7 +212,8 @@ def compile_pipeline(outputs: Sequence[Stage],
                      options: CompileOptions | None = None,
                      name: str = "pipeline",
                      tracer: Tracer | None = None,
-                     check: str = "none") -> CompiledPipeline:
+                     check: str = "none",
+                     hints=None) -> CompiledPipeline:
     """Compile a pipeline given its live-out stages.
 
     ``estimates`` supply a representative value per :class:`Parameter` —
@@ -207,8 +223,11 @@ def compile_pipeline(outputs: Sequence[Stage],
     disabled unless e.g. ``repro.observe.tracing`` enabled it).
     ``check`` runs the static verifier on the result: ``"warn"`` attaches
     the report, ``"strict"`` raises on error diagnostics (see
-    :func:`repro.compiler.plan.compile_plan`).
+    :func:`repro.compiler.plan.compile_plan`).  ``hints`` is an optional
+    :class:`~repro.schedule.ScheduleHints` constraining the automatic
+    scheduler (see :mod:`repro.schedule`); hinted plans still pass the
+    full verifier, with the RV6xx family auditing the hints themselves.
     """
     plan = compile_plan(outputs, estimates, options, tracer=tracer,
-                        check=check)
+                        check=check, hints=hints)
     return CompiledPipeline(plan, name)

@@ -43,6 +43,9 @@ class CompileTask:
     vectorize: bool = True
     #: build with in-library per-group timers (native backend only)
     instrument: bool = False
+    #: optional :class:`~repro.schedule.ScheduleHints` constraining the
+    #: grouping loop for every configuration (frozen, pickles cleanly)
+    hints: object = None
 
 
 @dataclass
@@ -78,8 +81,12 @@ def compile_one(task: CompileTask) -> CompileRecord:
     reason instead, so one broken configuration cannot abort a sweep.
     """
     t0 = time.perf_counter()
+    # hints stay a keyword-only extra so an unhinted sweep calls
+    # compile_plan with its historical 3-arg shape
+    kwargs = {"hints": task.hints} if task.hints is not None else {}
     try:
-        plan = compile_plan(list(task.outputs), task.estimates, task.options)
+        plan = compile_plan(list(task.outputs), task.estimates, task.options,
+                            **kwargs)
     except Exception as exc:
         return CompileRecord(task.index, error=_short_reason("plan", exc))
     record = CompileRecord(task.index, plan=plan,

@@ -290,7 +290,10 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
              n_workers: int = 1,
              cache_dir: str | Path | None = None,
              profile: bool = False,
-             verify: bool = True) -> TuningReport:
+             verify: bool = True,
+             hints=None,
+             store: str | None = None,
+             store_root: str | Path | None = None) -> TuningReport:
     """Time every configuration of the (restricted) space.
 
     ``backend`` is ``"native"`` (generated C, as the paper measures) or
@@ -315,7 +318,27 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     as the reason.  Configurations with ``narrow=True`` additionally get
     the RV5xx range-audit checks, so an unsound narrowing decision is
     caught before it can produce (fast) wrong answers.
+
+    ``hints`` is an optional :class:`~repro.schedule.ScheduleHints`
+    applied to *every* configuration of the sweep; hinted plans still go
+    through the same verifier gate (including the RV6xx hint audit).
+
+    ``store="ro"|"rw"`` consults the persistent schedule store
+    (:mod:`repro.schedule`).  When the store already holds a tuned
+    winner for this pipeline on this machine (under the same hints),
+    only that winning configuration is re-measured — every other
+    configuration of the space is reported as
+    ``SkippedConfig(config, "store_hit")``, so the sweep accounting
+    stays complete (``len(results) + len(skipped)`` still covers the
+    whole space).  With ``"rw"`` the sweep's winner (measurements and
+    artifact coordinates included) is published back to the store.
+    ``store_root`` overrides the store directory (default:
+    ``<cache root>/schedules``).
     """
+    if store not in (None, "ro", "rw"):
+        raise ValueError(f"store must be None, 'ro' or 'rw', got {store!r}")
+    if hints is not None and hints.is_empty():
+        hints = None
     space = list(space) if space is not None else default_space(n_dims)
     n_workers = max(1, n_workers)
     report = TuningReport(backend=backend, n_workers=n_workers,
@@ -324,8 +347,37 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     estimates = dict(estimates)
     measured: list[tuple[int, TuneResult]] = []
     skipped: list[tuple[int, SkippedConfig]] = []
+    hints_doc = hints.to_dict() if hints is not None else None
+
+    sched_store = digest = fingerprint = None
+    stored_entry = None
+    if store is not None:
+        from repro.codegen.build import _schedule_store, get_cache
+        from repro.schedule.store import machine_fingerprint, pipeline_digest
+        sched_store = _schedule_store(get_cache(cache_dir), cache_dir,
+                                      store_root)
+        digest = pipeline_digest(list(outputs), estimates)
+        fingerprint = machine_fingerprint()
+        stored_entry = sched_store.lookup(digest, fingerprint)
+        # only a *tuned* entry under the same hints short-circuits a sweep
+        if stored_entry is not None and (
+                stored_entry.tune_result is None
+                or (stored_entry.hints or None) != hints_doc):
+            stored_entry = None
+
+    sweep = list(enumerate(space))
+    if stored_entry is not None:
+        winner = TuneConfig.from_dict(stored_entry.tune_result)
+        sweep = [(i, c) for i, c in sweep if c == winner]
+        skipped.extend((i, SkippedConfig(c, "store_hit"))
+                       for i, c in enumerate(space) if c != winner)
+        if not sweep:
+            # stored winner from outside the requested space: measure it
+            # anyway — it is the best known schedule for this pipeline
+            sweep = [(len(space), winner)]
+
     tasks = []
-    for i, config in enumerate(space):
+    for i, config in sweep:
         try:
             options = config.options()
         except Exception as exc:
@@ -335,9 +387,13 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
                                  backend=backend,
                                  cache_dir=str(cache_dir) if cache_dir
                                  else None,
-                                 instrument=profile and backend == "native"))
+                                 instrument=profile and backend == "native",
+                                 hints=hints))
+    configs = dict(sweep)
+    infos: dict[int, object] = {}
     for record in run_compile_farm(tasks, n_workers):
-        config = space[record.index]
+        config = configs[record.index]
+        infos[record.index] = record.info
         if not record.ok:
             skipped.append((record.index,
                             SkippedConfig(config, record.error)))
@@ -360,4 +416,18 @@ def autotune(outputs, estimates: Mapping, param_values: Mapping,
     report.results = [r for _, r in sorted(measured, key=lambda t: t[0])]
     report.skipped = [s for _, s in sorted(skipped, key=lambda t: t[0])]
     report.elapsed_s = time.perf_counter() - start
+
+    if store == "rw" and report.results:
+        from repro.schedule.store import StoredSchedule
+        best = report.best(parallel=True)
+        best_index = next(i for i, r in measured if r is best)
+        info = infos.get(best_index)
+        artifact = None
+        if info is not None:
+            artifact = {"key": info.key, "vectorize": True,
+                        "instrument": profile and backend == "native"}
+        sched_store.publish(StoredSchedule(
+            pipeline=digest, fingerprint=fingerprint,
+            options=best.config.options().to_dict(), hints=hints_doc,
+            tune_result=best.to_dict(), artifact=artifact))
     return report

@@ -365,6 +365,80 @@ def bench_burst(app: str, scale: str, *, process_workers: int,
     }
 
 
+def bench_cold_start(app: str, scale: str, *, process_workers: int = 2,
+                     n_threads: int = 1, inner_workers: int = 2,
+                     cache_dir: str | None = None) -> dict:
+    """Warm-store cold start: time-to-first-native-frame with and
+    without a populated schedule store.
+
+    Two runs against the same (initially empty) artifact cache: the
+    first serves with ``store="rw"`` — full pipeline, codegen, gcc —
+    and publishes the schedule; the second serves with ``store="ro"``
+    and must cold-start every shard by ``dlopen``-ing the published
+    artifact (``loaded_from_store`` per shard, zero compile seconds).
+    Records both times; the robust invariants CI asserts are
+    ``warm_from_store`` and ``warm_compile_s == 0``, not the absolute
+    speedup (which varies with machine load).
+    """
+    import tempfile
+
+    instance = make_instance(app, scale)
+    options = CompileOptions.optimized(DEFAULT_TILES[app])
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_coldstart_")
+        cache_dir = tmp.name
+
+    def one_run(store: str) -> dict:
+        # a fresh middle-end compile per run — a real cold process
+        # would not inherit the parent's plan either
+        compiled = compile_pipeline(instance.app.outputs,
+                                    instance.values, options,
+                                    name=f"cold_{app}")
+        t0 = time.perf_counter()
+        with ShardedService(compiled, workers=process_workers,
+                            backend="auto", n_threads=n_threads,
+                            inner_workers=inner_workers,
+                            build_kwargs={"store": store,
+                                          "cache_dir": cache_dir}
+                            ) as service:
+            backend = service.wait_ready(300)
+            with service.run(instance.values, instance.inputs) as frame:
+                first_native_s = time.perf_counter() - t0
+                frame_backend = frame.backend
+            provenance = service.build_provenance()
+        return {
+            "store": store,
+            "backend": backend,
+            "first_frame_backend": frame_backend,
+            "time_to_first_native_s": first_native_s,
+            "shards": provenance,
+        }
+
+    try:
+        cold = one_run("rw")
+        warm = one_run("ro")
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    shards = [p for p in warm["shards"].values() if p]
+    warm_from_store = bool(shards) and \
+        all(p.get("loaded_from_store") for p in shards)
+    warm_compile_s = sum(p.get("compile_s") or 0.0 for p in shards)
+    warm_s = warm["time_to_first_native_s"]
+    return {
+        "app": app,
+        "scale": scale,
+        "process_workers": process_workers,
+        "cold": cold,
+        "warm": warm,
+        "warm_from_store": warm_from_store,
+        "warm_compile_s": warm_compile_s,
+        "speedup": (cold["time_to_first_native_s"] / warm_s)
+        if warm_s > 0 else 0.0,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.serve_bench",
@@ -398,6 +472,11 @@ def main(argv=None) -> int:
                         help="measure an overload burst (2x the "
                              "sustainable rate for 2s) through the "
                              "sharded tier and record how it resolved")
+    parser.add_argument("--cold-start", action="store_true",
+                        help="measure warm-store cold start: "
+                             "time-to-first-native-frame with an empty "
+                             "vs populated schedule store, through the "
+                             "sharded tier")
     parser.add_argument("--events", default=None, metavar="PATH",
                         help="stream lifecycle events to this "
                              "JSON-lines file")
@@ -465,6 +544,18 @@ def main(argv=None) -> int:
               f"{burst['rejected']} rejected, {burst['completed']} "
               f"completed, p99 {burst['latency_ms']['p99_ms']:.1f} ms, "
               f"resolved_all={burst['resolved_all']}")
+    if args.cold_start:
+        doc["cold_start"] = bench_cold_start(
+            args.app, args.scale,
+            process_workers=max(args.process_workers, 2),
+            n_threads=args.threads, inner_workers=args.workers)
+        cs = doc["cold_start"]
+        print(f"cold start ({cs['process_workers']} workers): "
+              f"cold {cs['cold']['time_to_first_native_s']:.2f}s, "
+              f"warm {cs['warm']['time_to_first_native_s']:.2f}s "
+              f"({cs['speedup']:.1f}x), "
+              f"from_store={cs['warm_from_store']}, "
+              f"warm_compile_s={cs['warm_compile_s']:.2f}")
     Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
 
     lat = record["latency_ms"]

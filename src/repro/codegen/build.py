@@ -367,6 +367,9 @@ class NativePipeline:
         self.source = source
         self.lib_path = lib_path
         self.build_info = build_info
+        #: True when this pipeline was resolved through the persistent
+        #: schedule store (no generate_c, no compiler invocation)
+        self.loaded_from_store = False
         self._lib = ctypes.CDLL(str(lib_path))
         self._func = getattr(self._lib, func_name)
         self._func.restype = None
@@ -673,21 +676,109 @@ def load_native(plan: PipelinePlan, name: str = "pipeline",
                           build_info=info)
 
 
+def _schedule_store(cache: CompileCache | None,
+                    cache_dir: str | Path | None,
+                    store_root: str | Path | None):
+    """The :class:`~repro.schedule.ScheduleStore` next to this cache."""
+    from repro.schedule.store import STORE_SUBDIR, ScheduleStore
+    if store_root is not None:
+        return ScheduleStore(store_root)
+    root = cache.root if cache is not None else \
+        Path(cache_dir) if cache_dir else default_cache_dir()
+    return ScheduleStore(Path(root) / STORE_SUBDIR)
+
+
+def _plan_store_key(plan: PipelinePlan) -> str:
+    """Pipeline digest of the *original* (pre-inline) outputs a plan was
+    compiled from — the store key is pipeline identity, not schedule."""
+    from repro.schedule.store import pipeline_digest
+    return pipeline_digest(list(plan.output_map), plan.estimates)
+
+
+def _hints_dict(plan: PipelinePlan) -> dict | None:
+    return plan.hints.to_dict() if plan.hints is not None else None
+
+
+def _try_store_load(plan: PipelinePlan, name: str, *, entry,
+                    vectorize: bool, instrument: bool,
+                    cache: CompileCache) -> NativePipeline | None:
+    """Load the stored artifact if it matches this plan's schedule and
+    build configuration — the cold-start fast path: no ``generate_c``,
+    no compiler invocation, just a ``dlopen`` of the published ``.so``."""
+    if entry is None or entry.artifact is None:
+        return None
+    if entry.compile_options() != plan.options:
+        return None
+    if (entry.hints or None) != (_hints_dict(plan) or None):
+        return None
+    if bool(entry.artifact.get("vectorize", True)) != bool(vectorize):
+        return None
+    if bool(entry.artifact.get("instrument", False)) != bool(instrument):
+        return None
+    so_path = cache.so_path(entry.artifact["key"])
+    if not so_path.exists():
+        return None
+    info = BuildInfo(entry.artifact["key"], so_path, True, 0.0)
+    native = load_native(plan, name, info)
+    native.loaded_from_store = True
+    return native
+
+
 def build_native(plan: PipelinePlan, name: str = "pipeline",
                  *, vectorize: bool = True,
                  instrument: bool = False,
                  cache_dir: str | Path | None = None,
                  extra_flags: tuple[str, ...] = (),
-                 cache: CompileCache | None = None) -> NativePipeline:
+                 cache: CompileCache | None = None,
+                 store: str | None = None,
+                 store_root: str | Path | None = None) -> NativePipeline:
     """Generate, compile and load the C implementation of a plan.
 
     ``instrument=True`` builds with per-group timers and tile counters;
     the loaded :class:`NativePipeline` then fills ``last_stats`` after
-    every call."""
+    every call.
+
+    ``store="ro"|"rw"`` consults the persistent schedule store
+    (:mod:`repro.schedule`) before compiling: when the store holds an
+    entry for this pipeline (content digest) on this machine
+    (fingerprint) whose schedule and build configuration match the
+    plan's, the published artifact is loaded directly — no codegen, no
+    compiler invocation (``native.loaded_from_store`` is True).  With
+    ``"rw"`` a fresh build additionally publishes its artifact
+    coordinates, unless a tuned entry already exists (autotune winners
+    are never clobbered by untimed builds).  ``store_root`` overrides
+    the store directory (default: ``<cache root>/schedules``)."""
+    if store not in (None, "ro", "rw"):
+        raise ValueError(f"store must be None, 'ro' or 'rw', got {store!r}")
+    entry = None
+    if store is not None:
+        from repro.schedule.store import (
+            StoredSchedule, machine_fingerprint,
+        )
+        if cache is None:
+            cache = get_cache(cache_dir)
+        sched_store = _schedule_store(cache, cache_dir, store_root)
+        digest = _plan_store_key(plan)
+        fingerprint = machine_fingerprint()
+        entry = sched_store.lookup(digest, fingerprint)
+        native = _try_store_load(plan, name, entry=entry,
+                                 vectorize=vectorize,
+                                 instrument=instrument, cache=cache)
+        if native is not None:
+            return native
     info = compile_artifact(plan, vectorize=vectorize, instrument=instrument,
                             cache_dir=cache_dir, extra_flags=extra_flags,
                             cache=cache)
-    return load_native(plan, name, info)
+    native = load_native(plan, name, info)
+    if store == "rw" and (entry is None or entry.tune_result is None):
+        sched_store.publish(StoredSchedule(
+            pipeline=digest, fingerprint=fingerprint,
+            options=plan.options.to_dict(), hints=_hints_dict(plan),
+            tune_result=entry.tune_result if entry is not None else None,
+            artifact={"key": info.key, "vectorize": bool(vectorize),
+                      "instrument": bool(instrument)},
+            created=time.time()))
+    return native
 
 
 class AsyncBuild:

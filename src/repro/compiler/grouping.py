@@ -139,8 +139,8 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
                    overlap_threshold: float | Fraction,
                    min_size: int = 0,
                    tight_overlap: bool = True,
-                   decision_log: DecisionLog | None = None
-                   ) -> GroupingResult:
+                   decision_log: DecisionLog | None = None,
+                   hints=None) -> GroupingResult:
     """Run Algorithm 1 and return the final grouping.
 
     ``tile_sizes`` is indexed per group dimension (cycled if a group has
@@ -150,9 +150,20 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
     evaluates — accepted or not, with its overlap cost — is recorded in
     ``decision_log`` (one is created if not supplied) and surfaced on the
     returned :class:`GroupingResult`.
+
+    ``hints`` (a :class:`~repro.schedule.ScheduleHints`) constrains the
+    enumeration: merges that would co-locate a ``forbid_group`` pair are
+    rejected outright; candidates spanning a ``force_group`` set are
+    visited first and exempted from the *heuristic* gates (``min_size``
+    and the overlap threshold) — but never from legality: a hint-forced
+    merge still needs alignment/scaling and constant halos, exactly like
+    an automatic one.  Hint-influenced decisions are recorded with
+    ``hinted=True``.
     """
     threshold = Fraction(overlap_threshold).limit_denominator(10 ** 6)
     log = decision_log if decision_log is not None else DecisionLog()
+    if hints is not None and hints.is_empty():
+        hints = None
 
     groups: list[Group] = []
     assignment: dict[Stage, Group] = {}
@@ -178,31 +189,46 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
                 continue
             child = id_to_group[children.pop()]
             candidates.append((group, child))
-        candidates.sort(key=lambda gc: -_group_size(ir, gc[0], estimates))
+
+        def _forced(gc) -> bool:
+            return hints is not None and hints.forces_merge(
+                (s.name for s in gc[0].stages),
+                (s.name for s in gc[1].stages))
+
+        # hint-forced candidates first, then decreasing size (Algorithm 1)
+        candidates.sort(key=lambda gc: (not _forced(gc),
+                                        -_group_size(ir, gc[0], estimates)))
 
         for group, child in candidates:
             size = _group_size(ir, group, estimates)
+            forced = _forced((group, child))
 
             def record(accepted: bool, reason: str, overlap=None,
-                       diagnostic=None,
+                       diagnostic=None, hinted=False,
                        _group=group, _child=child, _size=size):
                 log.record(MergeDecision(
                     round_no, _group.name, _child.name, _size,
                     float(overlap) if overlap is not None else None,
                     float(threshold), accepted, reason,
-                    diagnostic=diagnostic))
+                    diagnostic=diagnostic, hinted=hinted))
 
-            if min_size and size < min_size:
+            if hints is not None and hints.forbids_merge(
+                    (s.name for s in group.stages),
+                    (s.name for s in child.stages)):
+                record(False, "merge forbidden by scheduling hint",
+                       hinted=True)
+                continue
+            if min_size and size < min_size and not forced:
                 record(False, f"group size {size} below "
                               f"min_group_size {min_size}")
                 continue
             if any(_is_unmergeable(ir, s) for s in group.stages):
                 record(False, "group holds an accumulator or "
-                              "self-referential stage")
+                              "self-referential stage", hinted=forced)
                 continue
             if any(_is_unmergeable(ir, s) for s in child.stages):
                 record(False, "child holds an accumulator or "
-                              "self-referential stage")
+                              "self-referential stage", hinted=forced)
                 continue
             merged_stages = [
                 s for s in ir.graph.topological_order()
@@ -210,12 +236,13 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
             transforms = compute_group_transforms(ir, merged_stages,
                                                   child.root)
             if transforms is None:
-                # cannot make dependence vectors constant
+                # cannot make dependence vectors constant; a hint-forced
+                # candidate fails here too — hints never bypass legality
                 record(False, "alignment/scaling failed: no constant "
                               "dependence vectors",
                        diagnostic="RV003 dependence not constant under "
                                   "any alignment/scaling of the merged "
-                                  "group")
+                                  "group", hinted=forced)
                 continue
             from repro.compiler.deps import NonConstantDependence
             halo_fn = group_halos if tight_overlap else naive_halos
@@ -225,16 +252,20 @@ def group_pipeline(ir: PipelineIR, estimates: Mapping[Parameter, int],
                 # constant-index dependence over parametric extent
                 record(False, "non-constant dependence range over "
                               "parametric extent",
-                       diagnostic=f"RV003 {exc}")
+                       diagnostic=f"RV003 {exc}", hinted=forced)
                 continue
             relative_overlap = estimate_relative_overlap(halos, tile_sizes)
-            if relative_overlap >= threshold:
+            if relative_overlap >= threshold and not forced:
                 # too much redundant computation
                 record(False, "relative overlap exceeds threshold",
                        overlap=relative_overlap)
                 continue
-            record(True, "overlap within threshold",
-                   overlap=relative_overlap)
+            if forced:
+                record(True, "merge forced by scheduling hint",
+                       overlap=relative_overlap, hinted=True)
+            else:
+                record(True, "overlap within threshold",
+                       overlap=relative_overlap)
             merged = Group(merged_stages, child.root, transforms, halos)
             groups.remove(group)
             groups.remove(child)

@@ -10,7 +10,7 @@ configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 #: tile sizes explored by the autotuner (paper Section 3.8)
@@ -101,3 +101,19 @@ class CompileOptions:
 
     def with_narrow(self, narrow: bool) -> "CompileOptions":
         return replace(self, narrow=narrow)
+
+    # -- serialization (schedule store) ----------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form, round-tripped by :meth:`from_dict` (used by
+        the persistent schedule store)."""
+        from dataclasses import asdict
+        doc = asdict(self)
+        doc["tile_sizes"] = list(self.tile_sizes)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc) -> "CompileOptions":
+        doc = dict(doc)
+        doc["tile_sizes"] = tuple(doc.get("tile_sizes", (32, 256)))
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})

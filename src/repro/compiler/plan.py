@@ -125,6 +125,10 @@ class PipelinePlan:
     #: storage :class:`~repro.lang.types.DType` (absent stages keep their
     #: declared type)
     narrowing: dict | None = None
+    #: the :class:`~repro.schedule.ScheduleHints` the plan was compiled
+    #: under (``None`` for an unhinted compile); audited post hoc by the
+    #: RV6xx verify family
+    hints: object | None = None
 
     @property
     def outputs(self) -> list[Stage]:
@@ -212,8 +216,10 @@ class PipelinePlan:
                  f"overlap_threshold={opt.overlap_threshold} "
                  f"group={opt.group} tile={opt.tile} "
                  f"tight_overlap={opt.tight_overlap} "
-                 f"specialize={opt.specialize} simd={opt.simd}",
-                 "", "== grouping decisions (Algorithm 1) =="]
+                 f"specialize={opt.specialize} simd={opt.simd}"]
+        if self.hints is not None:
+            lines.append(f"hints: {self.hints.describe()}")
+        lines += ["", "== grouping decisions (Algorithm 1) =="]
         decisions = self.grouping.decisions
         if not decisions:
             lines.append("(no merge candidates were evaluated"
@@ -221,6 +227,13 @@ class PipelinePlan:
                          + ")")
         for decision in decisions:
             lines.append(decision.render())
+        hinted = [d for d in decisions if d.hinted]
+        if hinted:
+            n_forced = sum(1 for d in hinted if d.accepted)
+            n_forbidden = sum(1 for d in hinted if not d.accepted)
+            lines.append(f"({n_forced} merge(s) hint-forced, "
+                         f"{n_forbidden} candidate(s) hint-rejected; "
+                         f"all other decisions automatic)")
         lines += ["", "== final groups =="]
         for i, gp in enumerate(self.group_plans):
             lines.append(self._group_line(i, gp))
@@ -261,7 +274,8 @@ def compile_plan(outputs: Sequence[Stage],
                  estimates: Mapping[Parameter, int],
                  options: CompileOptions | None = None,
                  tracer: Tracer | None = None,
-                 check: str = "none") -> PipelinePlan:
+                 check: str = "none",
+                 hints=None) -> PipelinePlan:
     """Run the middle end and produce a :class:`PipelinePlan`.
 
     ``outputs`` are the live-out stages; ``estimates`` map every parameter
@@ -274,6 +288,14 @@ def compile_plan(outputs: Sequence[Stage],
     result: ``"none"`` skips it, ``"warn"`` attaches the report as
     ``plan.verify_report``, ``"strict"`` additionally raises
     :class:`repro.verify.VerifyError` on any error-severity finding.
+
+    ``hints`` is an optional :class:`~repro.schedule.ScheduleHints`:
+    ``inline`` restricts the inlining pass to the named stages,
+    ``force_group``/``forbid_group`` constrain Algorithm 1's candidate
+    enumeration (never its legality checks), and ``tile_override``
+    replaces the tile sizes of any group containing an overridden stage.
+    The plan records the hints (``plan.hints``) and the RV6xx verify
+    family audits that every directive was sound and actually applied.
     """
     if check not in ("none", "warn", "strict"):
         raise ValueError(f"check must be 'none', 'warn' or 'strict', "
@@ -282,11 +304,18 @@ def compile_plan(outputs: Sequence[Stage],
     tracer = tracer if tracer is not None else get_tracer()
     estimates = dict(estimates)
     original_outputs = tuple(outputs)
+    if hints is not None and hints.is_empty():
+        hints = None
 
     with tracer.span("compile_plan", cat="compiler") as root:
         with tracer.span("inline", cat="compiler") as sp:
-            if options.inline:
-                inlined = inline_pipeline(original_outputs, estimates)
+            hint_inline = set(hints.inline) if hints is not None else set()
+            if options.inline or hint_inline:
+                # an inline hint restricts the pass to the named stages
+                # (and runs it even when options.inline is off)
+                only = hint_inline if hint_inline else None
+                inlined = inline_pipeline(original_outputs, estimates,
+                                          only=only)
                 plan_outputs = inlined.outputs
                 inlined_names = tuple(s.name for s in inlined.inlined)
             else:
@@ -304,7 +333,8 @@ def compile_plan(outputs: Sequence[Stage],
                 grouping = group_pipeline(ir, estimates, options.tile_sizes,
                                           options.overlap_threshold,
                                           options.min_group_size,
-                                          options.tight_overlap)
+                                          options.tight_overlap,
+                                          hints=hints)
                 sp.set(n_groups=len(grouping.groups),
                        merges=sum(1 for d in grouping.decisions
                                   if d.accepted),
@@ -347,6 +377,16 @@ def compile_plan(outputs: Sequence[Stage],
                     if group.transforms is not None else 0
                 tile_sizes = tuple(options.tile_size(d)
                                    for d in range(ndim))
+                if hints is not None and ndim:
+                    # apply a hinted tile override when the group's
+                    # members agree on exactly one; conflicting
+                    # overrides are left unapplied for RV602 to flag
+                    overrides = {hints.tile_for(s.name)
+                                 for s in group.stages} - {None}
+                    if len(overrides) == 1:
+                        ov = overrides.pop()
+                        tile_sizes = tuple(ov[d % len(ov)]
+                                           for d in range(ndim))
                 group_plans.append(GroupPlan(group, ordered, liveouts,
                                              tile_sizes))
         root.set(n_stages=len(ir.stages), n_groups=len(group_plans))
@@ -361,6 +401,7 @@ def compile_plan(outputs: Sequence[Stage],
         estimates=estimates,
         output_map=output_map,
         inlined_names=inlined_names,
+        hints=hints,
     )
     if options.narrow:
         # Imported lazily: repro.analysis walks the same IR types.

@@ -34,14 +34,19 @@ class MergeDecision:
     #: the verifier-style diagnostic that would have fired had the merge
     #: been forced (set on rejections caused by illegal dependences)
     diagnostic: str | None = None
+    #: True when a scheduling hint influenced this verdict (a forced or
+    #: forbidden merge) — ``explain()`` tags these ``[hint]`` so
+    #: hint-driven decisions are distinguishable from automatic ones
+    hinted: bool = False
 
     def render(self) -> str:
         verdict = "merge" if self.accepted else "keep "
         cost = (f"overlap {self.overlap:.3f}" if self.overlap is not None
                 else "overlap n/a")
+        tag = " [hint]" if self.hinted else ""
         line = (f"round {self.round}: {verdict} {self.group} -> "
                 f"{self.child} [{cost}, threshold {self.threshold:.2f}] "
-                f"({self.reason})")
+                f"({self.reason}){tag}")
         if self.diagnostic:
             line += f"\n    would fire: {self.diagnostic}"
         return line
@@ -51,7 +56,7 @@ class MergeDecision:
                 "child": self.child, "group_size": self.group_size,
                 "overlap": self.overlap, "threshold": self.threshold,
                 "accepted": self.accepted, "reason": self.reason,
-                "diagnostic": self.diagnostic}
+                "diagnostic": self.diagnostic, "hinted": self.hinted}
 
 
 class DecisionLog:

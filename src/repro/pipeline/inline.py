@@ -166,12 +166,21 @@ class InlineResult:
         self.inlined = inlined
 
 
-def inline_pipeline(outputs, estimates: Mapping[Parameter, int]
-                    ) -> InlineResult:
-    """Run the inlining pass over a pipeline given by its outputs."""
+def inline_pipeline(outputs, estimates: Mapping[Parameter, int],
+                    only: "set[str] | None" = None) -> InlineResult:
+    """Run the inlining pass over a pipeline given by its outputs.
+
+    ``only`` restricts inlining to the named stages (used by scheduling
+    hints): a stage is folded only when it is *both* named and satisfies
+    every inlinability criterion — a hinted stage that fails the
+    criteria survives, and the RV606 verify audit reports the unapplied
+    hint rather than this pass silently forcing an unsound inline.
+    """
     graph = PipelineGraph(outputs)
     ir = PipelineIR(graph)
     inlinable = find_inlinable(ir, estimates)
+    if only is not None:
+        inlinable = {s for s in inlinable if s.name in only}
 
     # body of each inlined stage, with upstream rewrites already applied
     bodies: dict[Stage, Expr] = {}

@@ -1,0 +1,72 @@
+"""Schedule-store CLI.
+
+Usage::
+
+    python -m repro.schedule                 # list entries (table)
+    python -m repro.schedule --json out.json # manifest as JSON
+    python -m repro.schedule --root DIR      # non-default store root
+    python -m repro.schedule --clear         # delete every entry
+
+The default root is ``<artifact cache root>/schedules`` (so
+``REPRO_CACHE_DIR`` moves it together with the ``.so`` cache).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.schedule.store import ScheduleStore, fingerprint_digest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.schedule",
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="store root (default: <cache>/schedules)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the manifest as JSON ('-' = stdout)")
+    parser.add_argument("--clear", action="store_true",
+                        help="delete every stored schedule")
+    args = parser.parse_args(argv)
+
+    store = ScheduleStore(args.root)
+    if args.clear:
+        n = store.clear()
+        print(f"cleared {n} entr{'y' if n == 1 else 'ies'} "
+              f"from {store.root}")
+        return 0
+
+    manifest = store.manifest()
+    if args.json:
+        text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote {args.json}")
+        return 0
+
+    entries = manifest["entries"]
+    print(f"schedule store: {manifest['root']} "
+          f"({len(entries)} entr{'y' if len(entries) == 1 else 'ies'})")
+    for e in entries:
+        tuned = (f"{e['tuned_ms']:.2f} ms"
+                 if e["tuned_ms"] is not None else "untimed")
+        age = ""
+        if e["created"]:
+            age = time.strftime(" %Y-%m-%d %H:%M",
+                                time.localtime(e["created"]))
+        hinted = " hinted" if e["hinted"] else ""
+        print(f"  {e['pipeline']} @ {e['fingerprint']} "
+              f"({e['cpus']} cpus): {tuned}, "
+              f"artifact {e['artifact_key'] or '-'}{hinted}{age}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Scheduling hints: user/tool-supplied directives over Algorithm 1.
+
+A :class:`ScheduleHints` value carries per-stage directives that
+*constrain* the automatic scheduler — in the spirit of guided
+optimization (Ikarashi et al.), hints narrow the candidate space the
+grouping loop enumerates but never bypass legality: a hint-forced merge
+still runs the same alignment/scaling and halo checks as an automatic
+one, and every hinted plan is re-audited by :mod:`repro.verify` (the
+RV6xx family rejects stale, contradictory, or unapplied hints).
+
+Directives
+----------
+
+``force_group``
+    Iterable of stage-name groups; the stages of each set should end in
+    the same tile group.  Forced merge candidates are considered first
+    and exempted from the *heuristic* gates (minimum group size, overlap
+    threshold) — but not from legality.
+``forbid_group``
+    Iterable of stage-name sets; no two stages of a set may share a
+    group.  Any merge that would co-locate two members is rejected.
+``tile_override``
+    Mapping of stage name → per-dimension tile sizes; every stage of the
+    group containing that stage is tiled with the override.  Conflicting
+    overrides within one final group are a hint error (RV602/RV605).
+``inline``
+    Set of stage names to inline into their consumers.  Restricts the
+    inline pass to exactly those stages (intersected with what the
+    pointwise-inlining criteria allow — an inlinability failure
+    surfaces as RV606, not a silent drop).
+``n_threads``
+    Preferred executor thread count, carried to runtimes that accept
+    one (serving, autotune measurement); purely advisory for codegen.
+
+Hints are frozen, hashable, JSON round-trippable
+(:meth:`ScheduleHints.to_dict` / :meth:`ScheduleHints.from_dict`), and
+normalized on construction so equal directives compare equal regardless
+of input ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+def _freeze_groups(groups) -> tuple[frozenset[str], ...]:
+    """Normalize an iterable of stage-name collections: each inner
+    collection becomes a frozenset of str, the outer tuple is sorted so
+    construction order never affects equality."""
+    out = []
+    for g in groups or ():
+        if isinstance(g, str):
+            raise TypeError(
+                "hint groups must be collections of stage names, got a "
+                f"bare string {g!r} (did you mean ({g!r},)?)")
+        names = frozenset(str(n) for n in g)
+        if not names:
+            continue
+        out.append(names)
+    return tuple(sorted(out, key=lambda s: tuple(sorted(s))))
+
+
+def _freeze_tiles(tile_override) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    if not tile_override:
+        return ()
+    if isinstance(tile_override, Mapping):
+        items = tile_override.items()
+    else:
+        items = tile_override
+    out = []
+    for name, sizes in items:
+        if isinstance(sizes, int):
+            sizes = (sizes,)
+        sizes = tuple(int(s) for s in sizes)
+        if not sizes or any(s < 1 for s in sizes):
+            raise ValueError(
+                f"tile_override for {name!r} must be positive ints, "
+                f"got {sizes}")
+        out.append((str(name), sizes))
+    out.sort()
+    seen: dict[str, tuple[int, ...]] = {}
+    for name, sizes in out:
+        if name in seen and seen[name] != sizes:
+            raise ValueError(
+                f"conflicting tile_override entries for stage {name!r}: "
+                f"{seen[name]} vs {sizes}")
+        seen[name] = sizes
+    return tuple(sorted(seen.items()))
+
+
+@dataclass(frozen=True)
+class ScheduleHints:
+    """Per-stage scheduling directives (see module docstring)."""
+
+    force_group: tuple[frozenset[str], ...] = ()
+    forbid_group: tuple[frozenset[str], ...] = ()
+    tile_override: tuple[tuple[str, tuple[int, ...]], ...] = ()
+    inline: frozenset[str] = frozenset()
+    n_threads: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "force_group",
+                           _freeze_groups(self.force_group))
+        object.__setattr__(self, "forbid_group",
+                           _freeze_groups(self.forbid_group))
+        object.__setattr__(self, "tile_override",
+                           _freeze_tiles(self.tile_override))
+        object.__setattr__(
+            self, "inline",
+            frozenset(str(n) for n in (self.inline or ())))
+        for g in self.force_group:
+            if len(g) < 2:
+                raise ValueError(
+                    f"force_group set {sorted(g)} needs >= 2 stages")
+        for g in self.forbid_group:
+            if len(g) < 2:
+                raise ValueError(
+                    f"forbid_group set {sorted(g)} needs >= 2 stages")
+        if self.n_threads is not None:
+            n = int(self.n_threads)
+            if n < 1:
+                raise ValueError(f"n_threads must be >= 1, got {n}")
+            object.__setattr__(self, "n_threads", n)
+
+    # -- queries used by the grouping loop --------------------------------
+    def is_empty(self) -> bool:
+        return not (self.force_group or self.forbid_group
+                    or self.tile_override or self.inline
+                    or self.n_threads is not None)
+
+    def stage_names(self) -> frozenset[str]:
+        """Every stage name any directive mentions."""
+        names: set[str] = set(self.inline)
+        for g in self.force_group + self.forbid_group:
+            names |= g
+        names.update(name for name, _ in self.tile_override)
+        return frozenset(names)
+
+    def forbids_merge(self, a: Iterable[str], b: Iterable[str]) -> bool:
+        """True when merging member sets ``a`` and ``b`` would put two
+        stages of some ``forbid_group`` set in one group."""
+        a, b = set(a), set(b)
+        merged = a | b
+        for s in self.forbid_group:
+            hit = s & merged
+            if len(hit) >= 2 and (s & a) and (s & b):
+                return True
+        return False
+
+    def forces_merge(self, a: Iterable[str], b: Iterable[str]) -> bool:
+        """True when some ``force_group`` set spans both sides — merging
+        ``a`` and ``b`` moves toward satisfying it."""
+        a, b = set(a), set(b)
+        return any((s & a) and (s & b) for s in self.force_group)
+
+    def tile_for(self, name: str) -> tuple[int, ...] | None:
+        for n, sizes in self.tile_override:
+            if n == name:
+                return sizes
+        return None
+
+    def contradictions(self) -> list[str]:
+        """Human-readable descriptions of internally contradictory
+        directives (force vs forbid overlap, inline vs force)."""
+        problems = []
+        for f in self.force_group:
+            for s in self.forbid_group:
+                both = f & s
+                if len(both) >= 2:
+                    problems.append(
+                        f"stages {sorted(both)} are both forced together "
+                        f"and forbidden from sharing a group")
+        for f in self.force_group:
+            inlined = f & self.inline
+            if inlined:
+                problems.append(
+                    f"stages {sorted(inlined)} are hinted inline but also "
+                    f"appear in force_group {sorted(f)} — an inlined "
+                    f"stage has no group of its own")
+        return problems
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "force_group": [sorted(g) for g in self.force_group],
+            "forbid_group": [sorted(g) for g in self.forbid_group],
+            "tile_override": {name: list(sizes)
+                              for name, sizes in self.tile_override},
+            "inline": sorted(self.inline),
+            "n_threads": self.n_threads,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ScheduleHints":
+        return cls(
+            force_group=tuple(frozenset(g)
+                              for g in doc.get("force_group", ())),
+            forbid_group=tuple(frozenset(g)
+                               for g in doc.get("forbid_group", ())),
+            tile_override={k: tuple(v) for k, v in
+                           (doc.get("tile_override") or {}).items()},
+            inline=frozenset(doc.get("inline", ())),
+            n_threads=doc.get("n_threads"),
+        )
+
+    def describe(self) -> str:
+        """One-line rendering for ``explain()`` headers and logs."""
+        parts = []
+        if self.force_group:
+            parts.append("force=" + "+".join(
+                "{" + ",".join(sorted(g)) + "}" for g in self.force_group))
+        if self.forbid_group:
+            parts.append("forbid=" + "+".join(
+                "{" + ",".join(sorted(g)) + "}" for g in self.forbid_group))
+        if self.tile_override:
+            parts.append("tile=" + ",".join(
+                f"{n}:{'x'.join(str(s) for s in sizes)}"
+                for n, sizes in self.tile_override))
+        if self.inline:
+            parts.append("inline={" + ",".join(sorted(self.inline)) + "}")
+        if self.n_threads is not None:
+            parts.append(f"n_threads={self.n_threads}")
+        return " ".join(parts) if parts else "(none)"

@@ -54,6 +54,13 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="auto",
                         choices=("auto", "interpreter", "native"))
     parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--store", default=None, choices=("ro", "rw"),
+                        help="consult the persistent schedule store "
+                             "during the native build (rw also "
+                             "publishes)")
+    parser.add_argument("--store-root", default=None,
+                        help="schedule store directory (default: "
+                             "<cache root>/schedules)")
     args = parser.parse_args(argv)
 
     instance = make_instance(args.app, args.scale)
@@ -70,17 +77,25 @@ def main(argv=None) -> int:
     per_client = max(1, args.frames // args.clients)
     errors: list[str] = []
 
+    build_kwargs = {}
+    if args.store:
+        build_kwargs["store"] = args.store
+    if args.store_root:
+        build_kwargs["store_root"] = args.store_root
+
     if args.workers:
         service = ShardedService(
             compiled, workers=args.workers, max_queue=args.max_queue,
             backend=args.backend, default_deadline_s=deadline_s,
             n_threads=args.threads,
-            inner_workers=args.service_threads)
+            inner_workers=args.service_threads,
+            build_kwargs=build_kwargs or None)
     else:
         service = PipelineService(
             compiled, workers=args.service_threads,
             max_queue=args.max_queue, backend=args.backend,
-            default_deadline_s=deadline_s, n_threads=args.threads)
+            default_deadline_s=deadline_s, n_threads=args.threads,
+            build_kwargs=build_kwargs or None)
 
     with service:
 

@@ -753,6 +753,16 @@ class ShardedService:
                 for index, payload in sorted(
                     self._collect_worker_stats(timeout).items())}
 
+    def build_provenance(self, timeout: float = 1.0
+                         ) -> dict[int, dict | None]:
+        """Per-shard native build provenance: compile seconds,
+        compile-cache hit and whether the shard cold-started from the
+        persistent schedule store (``loaded_from_store``).  ``None``
+        for shards whose native build has not resolved."""
+        return {index: payload.get("build")
+                for index, payload in sorted(
+                    self._collect_worker_stats(timeout).items())}
+
     def stats(self, timeout: float = 1.0) -> ServiceStats:
         """Cross-shard snapshot with the same shape the thread service
         reports.

@@ -865,6 +865,25 @@ class PipelineService:
             self._build_handle.wait(timeout)
         return self.backend
 
+    def build_provenance(self) -> dict | None:
+        """How this service's native artifact was obtained, or ``None``
+        while no native pipeline is resolved: compile seconds,
+        compile-cache hit, artifact key, and whether the artifact was
+        cold-started from the persistent schedule store
+        (``loaded_from_store`` — no codegen, no C compiler run)."""
+        self._poll_build()
+        native = self._policy.native
+        if native is None:
+            return None
+        info = getattr(native, "build_info", None)
+        return {
+            "key": info.key if info is not None else None,
+            "compile_s": info.compile_s if info is not None else None,
+            "cache_hit": info.cache_hit if info is not None else None,
+            "loaded_from_store": getattr(native, "loaded_from_store",
+                                         False),
+        }
+
     @property
     def event_log(self) -> EventLog:
         """The service's lifecycle :class:`EventLog` ring."""

@@ -211,6 +211,7 @@ def worker_main(conn, plan_bytes: bytes, cfg: dict) -> None:
                 "metrics": service.metrics.as_dict(),
                 "transport": allocator.stats(),
                 "copied_out": copied_out,
+                "build": service.build_provenance(),
             }
             send(("stats", msg[1], payload))
         elif kind == "pause":

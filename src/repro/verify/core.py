@@ -16,6 +16,7 @@ from typing import Callable, Hashable, Mapping
 from repro.compiler.plan import PipelinePlan
 from repro.pipeline.boundscheck import collect_bounds_violations
 from repro.verify.diagnostics import Emitter, VerifyError, VerifyReport
+from repro.verify.hintcheck import hint_diagnostics
 from repro.verify.legality import PlanFacts, legality_diagnostics
 from repro.verify.lint import lint_diagnostics
 from repro.verify.races import lint_c_source, race_diagnostics
@@ -23,7 +24,8 @@ from repro.verify.rangecheck import NarrowScratchBytesFn, range_diagnostics
 from repro.verify.storagecheck import ScratchSizeFn, storage_diagnostics
 
 #: the default checker set, in report order
-CHECKS = ("legality", "bounds", "storage", "races", "lint", "ranges")
+CHECKS = ("legality", "bounds", "storage", "races", "lint", "ranges",
+          "hints")
 
 
 def _bounds_check(plan: PipelinePlan, emit: Emitter,
@@ -87,6 +89,7 @@ def verify_plan(plan: PipelinePlan, *,
         "ranges": lambda: range_diagnostics(
             plan, emit, checked, env=env,
             narrow_scratch_bytes=narrow_scratch_bytes, facts=facts),
+        "hints": lambda: hint_diagnostics(plan, emit, checked),
     }
     for check in CHECKS:
         if check in selected:

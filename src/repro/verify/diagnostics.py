@@ -12,6 +12,8 @@ stage/access provenance and a fix hint, collected into a
 * ``RV4xx`` — DSL lint (dead stages, non-affine accesses, shadowing, ...)
 * ``RV5xx`` — value-range audit (narrowing proofs, claimed-range
   containment, narrowed scratch byte sizing)
+* ``RV6xx`` — scheduling-hint audit (stale/contradictory hints,
+  unsatisfied force/forbid/tile/inline directives)
 
 Severities can be overridden per code — suppressed with ``"ignore"`` or
 escalated/demoted to any of ``"info"``/``"warning"``/``"error"`` — so a
@@ -64,6 +66,14 @@ CODES: dict[str, tuple[str, str]] = {
     "RV503": (ERROR, "claimed value range does not contain the "
                      "independently derived range"),
     "RV504": (ERROR, "narrowed scratchpad byte allocation under-sized"),
+    # scheduling-hint audit
+    "RV601": (ERROR, "hint references a stage the pipeline does not "
+                     "contain"),
+    "RV602": (ERROR, "scheduling hints contradict each other"),
+    "RV603": (ERROR, "force_group hint not satisfied in the final plan"),
+    "RV604": (ERROR, "forbid_group hint violated by the final grouping"),
+    "RV605": (ERROR, "tile_override hint not applied to its group"),
+    "RV606": (ERROR, "inline hint not applied"),
 }
 
 

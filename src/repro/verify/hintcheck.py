@@ -1,0 +1,148 @@
+"""RV6xx: audit of scheduling hints against the final plan.
+
+The grouping loop *consumes* :class:`~repro.schedule.ScheduleHints`; this
+checker re-derives, from the finished plan alone, whether every directive
+was sound and actually honoured — so a compiler bug that silently drops
+or violates a hint (or a stale hint file naming stages that no longer
+exist) cannot certify itself.
+
+Codes:
+
+* ``RV601`` — a hint names a stage the plan does not contain
+* ``RV602`` — hints contradict each other (force vs forbid, inline vs
+  force, conflicting tile overrides within one final group)
+* ``RV603`` — a ``force_group`` set did not end up co-located
+* ``RV604`` — a ``forbid_group`` pair shares a final group
+* ``RV605`` — a ``tile_override`` was not applied to its group
+* ``RV606`` — an ``inline`` hint was not applied
+
+The check is a no-op (no counters) on unhinted plans.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.plan import PipelinePlan
+from repro.verify.diagnostics import Emitter
+
+
+def hint_diagnostics(plan: PipelinePlan, emit: Emitter,
+                     checked: dict[str, int]) -> None:
+    hints = plan.hints
+    if hints is None or hints.is_empty():
+        return
+
+    stage_names = {s.name for s in plan.ir.stages}
+    inlined = set(plan.inlined_names)
+    known = stage_names | inlined
+
+    n_directives = (len(hints.force_group) + len(hints.forbid_group)
+                    + len(hints.tile_override) + len(hints.inline))
+    checked["hint_directives"] = n_directives
+    checked["hint_stages"] = len(hints.stage_names())
+
+    # RV601: stale names ---------------------------------------------------
+    for name in sorted(hints.stage_names() - known):
+        emit.emit("RV601",
+                  f"hint references stage {name!r}, which the pipeline "
+                  f"does not contain",
+                  stage=name,
+                  hint="the hint set is stale for this pipeline: drop "
+                       "the directive or update it to current stage "
+                       "names")
+
+    # RV602: internal contradictions --------------------------------------
+    for problem in hints.contradictions():
+        emit.emit("RV602", problem,
+                  hint="contradictory directives cannot all be honoured; "
+                       "remove one side")
+
+    # membership: stage name -> group index, from the final plan only
+    group_of: dict[str, int] = {}
+    for i, gp in enumerate(plan.group_plans):
+        for stage in gp.ordered_stages:
+            group_of[stage.name] = i
+
+    # RV603: unsatisfied force_group --------------------------------------
+    for force in hints.force_group:
+        members = sorted(force & known)
+        if len(members) < 2:
+            continue  # RV601 already covers missing names
+        folded = sorted(force & inlined)
+        if folded:
+            emit.emit("RV603",
+                      f"force_group {sorted(force)} cannot be satisfied: "
+                      f"stage(s) {folded} were inlined away",
+                      stage=folded[0], related=tuple(members),
+                      hint="an inlined stage has no group; drop it from "
+                           "the force set or suppress its inlining")
+            continue
+        indices = {group_of[name] for name in members if name in group_of}
+        if len(indices) > 1:
+            emit.emit("RV603",
+                      f"force_group {sorted(force)} spans "
+                      f"{len(indices)} final groups "
+                      f"{sorted(indices)} — the forced merge was "
+                      f"rejected (illegal or contradicted)",
+                      stage=members[0], related=tuple(members),
+                      group=min(indices),
+                      hint="see explain(): a hint-forced merge still "
+                           "needs legal alignment/scaling and constant "
+                           "halos")
+
+    # RV604: violated forbid_group ----------------------------------------
+    for forbid in hints.forbid_group:
+        by_group: dict[int, list[str]] = {}
+        for name in sorted(forbid & stage_names):
+            if name in group_of:
+                by_group.setdefault(group_of[name], []).append(name)
+        for gi, names in sorted(by_group.items()):
+            if len(names) >= 2:
+                emit.emit("RV604",
+                          f"forbid_group {sorted(forbid)} violated: "
+                          f"stages {names} share final group {gi}",
+                          stage=names[0], related=tuple(names), group=gi,
+                          hint="the grouping loop must reject merges "
+                               "co-locating forbidden stages; this plan "
+                               "was not produced under these hints")
+
+    # RV605: unapplied tile overrides -------------------------------------
+    for name, sizes in hints.tile_override:
+        if name not in group_of:
+            continue  # stale (RV601) or inlined (no group to tile)
+        gi = group_of[name]
+        gp = plan.group_plans[gi]
+        ndim = len(gp.tile_sizes)
+        if ndim == 0:
+            emit.emit("RV605",
+                      f"tile_override {name}:"
+                      f"{'x'.join(str(s) for s in sizes)} targets an "
+                      f"untiled group {gi}",
+                      stage=name, group=gi,
+                      hint="untiled groups (accumulators, "
+                           "self-referential stages, tile=False) have "
+                           "no tile sizes to override")
+            continue
+        expected = tuple(sizes[d % len(sizes)] for d in range(ndim))
+        if gp.tile_sizes != expected:
+            emit.emit("RV605",
+                      f"tile_override {name}:"
+                      f"{'x'.join(str(s) for s in sizes)} not applied: "
+                      f"group {gi} is tiled "
+                      f"{'x'.join(str(t) for t in gp.tile_sizes)}",
+                      stage=name, group=gi,
+                      hint="conflicting overrides within one group are "
+                           "left unapplied; give the group's stages one "
+                           "consistent override")
+
+    # RV606: unapplied inline hints ---------------------------------------
+    for name in sorted(hints.inline):
+        if name in inlined:
+            continue
+        if name not in stage_names:
+            continue  # RV601 already covers unknown names
+        emit.emit("RV606",
+                  f"inline hint for stage {name!r} was not applied",
+                  stage=name,
+                  hint="only single-case point-wise non-output stages "
+                       "whose case region covers every consumer access "
+                       "can be inlined; the stage fails those criteria")

@@ -1,0 +1,168 @@
+"""Unit and compiler-integration tests for :class:`ScheduleHints`."""
+
+import pytest
+
+from repro.apps import iunsharp
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.schedule import ScheduleHints
+
+
+def _groups(plan):
+    return [frozenset(s.name for s in gp.ordered_stages)
+            for gp in plan.group_plans]
+
+
+def _compile(options=None, hints=None):
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    return compile_plan(app.outputs, values,
+                        options or CompileOptions.optimized((16, 16)),
+                        hints=hints)
+
+
+# -- construction and normalization -----------------------------------------
+
+def test_normalization_makes_order_irrelevant():
+    a = ScheduleHints(force_group=[("b", "a")], forbid_group=[("d", "c")],
+                      tile_override={"s": (8, 16)})
+    b = ScheduleHints(force_group=[("a", "b")], forbid_group=[("c", "d")],
+                      tile_override=[("s", (8, 16))])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_bare_string_group_rejected():
+    with pytest.raises(TypeError, match="bare string"):
+        ScheduleHints(force_group=["ab"])
+
+
+def test_singleton_sets_rejected():
+    with pytest.raises(ValueError, match="needs >= 2"):
+        ScheduleHints(force_group=[("only",)])
+    with pytest.raises(ValueError, match="needs >= 2"):
+        ScheduleHints(forbid_group=[("only",)])
+
+
+def test_tile_override_validation():
+    with pytest.raises(ValueError, match="positive"):
+        ScheduleHints(tile_override={"s": (0, 16)})
+    with pytest.raises(ValueError, match="conflicting"):
+        ScheduleHints(tile_override=[("s", (8, 8)), ("s", (16, 16))])
+    # scalar spreads to a 1-tuple; consistent duplicates collapse
+    h = ScheduleHints(tile_override=[("s", 8), ("s", (8,))])
+    assert h.tile_for("s") == (8,)
+    assert h.tile_for("other") is None
+
+
+def test_n_threads_validation():
+    assert ScheduleHints(n_threads=2).n_threads == 2
+    with pytest.raises(ValueError, match="n_threads"):
+        ScheduleHints(n_threads=0)
+
+
+def test_is_empty_and_stage_names():
+    assert ScheduleHints().is_empty()
+    h = ScheduleHints(force_group=[("a", "b")], inline=("c",),
+                      tile_override={"d": (8, 8)})
+    assert not h.is_empty()
+    assert h.stage_names() == {"a", "b", "c", "d"}
+
+
+def test_forbids_and_forces_merge():
+    h = ScheduleHints(force_group=[("a", "b")], forbid_group=[("x", "y")])
+    assert h.forces_merge({"a"}, {"b", "z"})
+    assert not h.forces_merge({"a"}, {"z"})
+    assert h.forbids_merge({"x"}, {"y"})
+    assert not h.forbids_merge({"x"}, {"z"})
+    # both members already on one side: the merge itself is innocent
+    assert not h.forbids_merge({"x", "y"}, {"z"})
+
+
+def test_contradictions():
+    clean = ScheduleHints(force_group=[("a", "b")],
+                          forbid_group=[("b", "c")])
+    assert clean.contradictions() == []
+    both = ScheduleHints(force_group=[("a", "b")],
+                         forbid_group=[("a", "b")])
+    assert len(both.contradictions()) == 1
+    inl = ScheduleHints(force_group=[("a", "b")], inline=("a",))
+    assert len(inl.contradictions()) == 1
+
+
+def test_json_round_trip():
+    h = ScheduleHints(force_group=[("a", "b")], forbid_group=[("c", "d")],
+                      tile_override={"e": (8, 16)}, inline=("f",),
+                      n_threads=4)
+    assert ScheduleHints.from_dict(h.to_dict()) == h
+    assert ScheduleHints.from_dict(ScheduleHints().to_dict()).is_empty()
+
+
+def test_describe_mentions_every_directive():
+    h = ScheduleHints(force_group=[("a", "b")], tile_override={"e": (8,)},
+                      inline=("f",), n_threads=2)
+    text = h.describe()
+    for token in ("force={a,b}", "tile=e:8", "inline={f}", "n_threads=2"):
+        assert token in text
+    assert ScheduleHints().describe() == "(none)"
+
+
+# -- compiler integration ----------------------------------------------------
+
+def test_forbid_hint_splits_grouping():
+    auto = _compile()
+    assert _groups(auto) == [frozenset({"iblurx", "iblury", "imasked"})]
+    hinted = _compile(hints=ScheduleHints(
+        forbid_group=[("iblurx", "imasked")]))
+    assert all(not ({"iblurx", "imasked"} <= g) for g in _groups(hinted))
+    assert hinted.verify_report is None  # plan still un-audited
+    from repro.verify import verify_plan
+    assert verify_plan(hinted).ok
+
+
+def test_force_hint_overrides_threshold_not_legality():
+    # 0.01 threshold splits iblurx off; forcing re-merges it
+    split = _compile(CompileOptions.optimized((16, 16), 0.01))
+    assert len(split.group_plans) == 2
+    forced = _compile(CompileOptions.optimized((16, 16), 0.01),
+                      hints=ScheduleHints(
+                          force_group=[("iblurx", "iblury")]))
+    merged = [g for g in _groups(forced) if {"iblurx", "iblury"} <= g]
+    assert merged, _groups(forced)
+    from repro.verify import verify_plan
+    assert verify_plan(forced).ok
+
+
+def test_tile_override_retiles_group():
+    hinted = _compile(hints=ScheduleHints(
+        tile_override={"imasked": (32, 8)}))
+    [gp] = hinted.group_plans
+    assert gp.tile_sizes == (32, 8)
+    from repro.verify import verify_plan
+    assert verify_plan(hinted).ok
+
+
+def test_inline_hint_restricts_inline_pass():
+    # the automatic pass inlines isharp; hinting it keeps that choice,
+    # hinting nothing inlinable keeps every stage materialized
+    auto = _compile()
+    assert auto.inlined_names == ("isharp",)
+    hinted = _compile(hints=ScheduleHints(inline=("isharp",)))
+    assert hinted.inlined_names == ("isharp",)
+
+
+def test_explain_reports_hint_provenance():
+    hinted = _compile(CompileOptions.optimized((16, 16), 0.01),
+                      hints=ScheduleHints(
+                          force_group=[("iblurx", "iblury")]))
+    text = hinted.explain()
+    assert "hints: force={iblurx,iblury}" in text
+    assert "[hint]" in text
+    assert "hint-forced" in text
+
+
+def test_empty_hints_equal_no_hints():
+    a = _compile()
+    b = _compile(hints=ScheduleHints())
+    assert b.hints is None
+    assert _groups(a) == _groups(b)

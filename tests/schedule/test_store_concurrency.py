@@ -1,0 +1,114 @@
+"""N processes racing on one schedule store: readers never observe a
+torn entry, writers never leak temporaries."""
+
+import json
+import multiprocessing
+
+from repro.codegen.build import compiler_available
+from repro.compiler.options import CompileOptions
+from repro.schedule.store import (
+    ScheduleStore, StoredSchedule, machine_fingerprint,
+)
+
+PIPELINE = "f" * 32
+ROUNDS = 40
+
+
+def _worker_race(args):
+    """Interleave publishes and lookups against one store root.
+
+    Every lookup that returns an entry must see a *complete* document —
+    the fingerprint check and options round-trip both throw on a torn
+    read.  Returns (published, observed, bad) counts.
+    """
+    root, idx = args
+    from repro.compiler.options import CompileOptions
+    from repro.schedule.store import (
+        ScheduleStore, StoredSchedule, machine_fingerprint,
+    )
+
+    store = ScheduleStore(root)
+    fp = machine_fingerprint()
+    published = observed = bad = 0
+    for round_no in range(ROUNDS):
+        store.publish(StoredSchedule(
+            pipeline="f" * 32, fingerprint=fp,
+            options=CompileOptions.optimized((16, 16)).to_dict(),
+            tune_result={"tile_sizes": [16, 16], "overlap_threshold": 0.4,
+                         "time_parallel_ms": float(idx * ROUNDS + round_no)},
+            created=float(idx * ROUNDS + round_no + 1)))
+        published += 1
+        entry = store.lookup("f" * 32, fp)
+        if entry is None:
+            bad += 1  # the key exists from our own publish; None = torn
+            continue
+        observed += 1
+        if entry.compile_options() != CompileOptions.optimized((16, 16)):
+            bad += 1
+        if "time_parallel_ms" not in (entry.tune_result or {}):
+            bad += 1
+    return published, observed, bad
+
+
+def test_racing_processes_never_tear_entries(tmp_path):
+    n = 4
+    with multiprocessing.get_context("spawn").Pool(n) as pool:
+        results = pool.map(_worker_race,
+                           [(str(tmp_path), i) for i in range(n)])
+
+    assert sum(p for p, _, _ in results) == n * ROUNDS
+    assert all(bad == 0 for _, _, bad in results), results
+    assert all(obs == ROUNDS for _, obs, _ in results), results
+
+    # exactly one entry file survives, it parses, and no temporaries leak
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1
+    assert not list(tmp_path.glob(".*.tmp"))
+    final = json.loads(files[0].read_text())
+    winner = StoredSchedule.from_dict(final)
+    assert winner.pipeline == PIPELINE
+    assert winner.created >= 1  # one of the racers, whole
+
+    store = ScheduleStore(tmp_path)
+    assert store.lookup(PIPELINE, machine_fingerprint()) == winner
+
+
+def _worker_store_build(args):
+    """Cold-start path under contention: every process builds the same
+    pipeline with ``store="rw"`` against one cache root."""
+    cache_dir, idx = args
+    import numpy as np
+
+    from repro import CompileOptions, compile_pipeline
+    from repro.apps import iunsharp
+    from repro.codegen.build import build_native
+
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    plan = compile_pipeline(app.outputs, values,
+                            CompileOptions.optimized((16, 16)),
+                            name="race").plan
+    pipe = build_native(plan, f"race_{idx}", cache_dir=cache_dir,
+                        store="rw")
+    out = pipe(values, app.make_inputs(values, np.random.default_rng(0)))
+    total = float(sum(a.sum() for a in out.values()))
+    return pipe.build_info.key, pipe.loaded_from_store, total
+
+
+def test_concurrent_store_builds_agree(tmp_path):
+    if not compiler_available():
+        import pytest
+        pytest.skip("no C compiler available")
+    n = 4
+    with multiprocessing.get_context("spawn").Pool(n) as pool:
+        results = pool.map(_worker_store_build,
+                           [(str(tmp_path), i) for i in range(n)])
+
+    keys = {k for k, _, _ in results}
+    sums = {s for _, _, s in results}
+    assert len(keys) == 1 and len(sums) == 1
+
+    store = ScheduleStore(tmp_path / "schedules")
+    [entry] = store.entries()
+    assert entry.artifact["key"] == keys.pop()
+    assert not list((tmp_path / "schedules").glob(".*.tmp"))

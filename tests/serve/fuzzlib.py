@@ -74,6 +74,11 @@ class PipelineSpec:
     #: tap weights and a per-stage ``// 16`` to bound growth — the regime
     #: where ``CompileOptions.narrow`` actually narrows storage types
     integer: bool = False
+    #: hinted mode: derive *legal* scheduling hints from the unhinted
+    #: plan (a force over an actually-merged group, a forbid across two
+    #: final groups, a tile override), recompile under them, and require
+    #: a clean verify (RV6xx included) plus bit-identical output
+    hinted: bool = False
 
     def options(self) -> CompileOptions:
         opts = CompileOptions.optimized(self.tile_sizes)
@@ -138,8 +143,9 @@ def random_spec(rng: np.random.Generator) -> PipelineSpec:
     threshold = float(rng.choice(THRESHOLD_CHOICES))
     specialize = bool(rng.random() < 0.85)
     batch = int(rng.integers(2, 6)) if rng.random() < 0.4 else 0
+    hinted = bool(rng.random() < 0.3)
     return PipelineSpec(rows, cols, tuple(stages), tiles, threshold,
-                        specialize, batch, integer)
+                        specialize, batch, integer, hinted)
 
 
 def build_pipeline(spec: PipelineSpec):
@@ -214,6 +220,41 @@ def make_input(spec: PipelineSpec, rng: np.random.Generator) -> np.ndarray:
     return rng.random(shape, dtype=np.float32)
 
 
+def derive_hints(plan):
+    """Legal-by-construction scheduling hints for a compiled plan.
+
+    Derived from the final grouping the automatic scheduler already
+    chose: a ``force_group`` over two stages that *did* merge, a
+    ``forbid_group`` across two stages in *different* final groups, and
+    a ``tile_override`` restating a tiled group's sizes — so every
+    directive is satisfiable and a hinted recompile must verify clean
+    (RV6xx included).  Returns ``None`` when the plan offers nothing to
+    hint (single pointwise group, untiled)."""
+    from repro.schedule import ScheduleHints
+
+    force = []
+    forbid = []
+    tile = []
+    groups = plan.group_plans
+    for gp in groups:
+        names = sorted(s.name for s in gp.ordered_stages)
+        if len(names) >= 2:
+            force.append((names[0], names[1]))
+            break
+    if len(groups) >= 2:
+        forbid.append((groups[0].ordered_stages[0].name,
+                       groups[1].ordered_stages[0].name))
+    for gp in groups:
+        if gp.tile_sizes:
+            tile.append((gp.ordered_stages[0].name,
+                         tuple(gp.tile_sizes)))
+            break
+    if not (force or forbid or tile):
+        return None
+    return ScheduleHints(force_group=force, forbid_group=forbid,
+                         tile_override=tile)
+
+
 def check_spec(spec: PipelineSpec, *, native: bool = True,
                rtol: float = 1e-4, atol: float = 1e-5) -> str | None:
     """Compile and differentially execute one spec.
@@ -250,6 +291,35 @@ def check_spec(spec: PipelineSpec, *, native: bool = True,
         return (f"tiled interpreter diverges from untiled at "
                 f"{len(bad)} points, first {tuple(bad[0])}: "
                 f"{got[tuple(bad[0])]} vs {want[tuple(bad[0])]}")
+
+    if spec.hinted:
+        # hinted leg: hints derived from the unhinted plan are legal by
+        # construction; the hinted plan must verify clean (including the
+        # RV6xx hint audit, which runs automatically on hinted plans)
+        # and produce bit-identical output — grouping and tiling hints
+        # never change per-point arithmetic
+        hints = derive_hints(compiled.plan)
+        if hints is not None:
+            try:
+                hinted = compile_pipeline(outputs, values, spec.options(),
+                                          name="fuzz_hinted", hints=hints)
+                h_report = hinted.verify()
+                if h_report.errors:
+                    return ("hinted verify errors "
+                            f"(hints {hints.describe()}): "
+                            + "; ".join(d.code + " " + d.message
+                                        for d in h_report.errors))
+                got_hinted = hinted(values, inputs)[out_name]
+            except Exception as exc:
+                return (f"hinted ({hints.describe()}): "
+                        f"{type(exc).__name__}: {exc}")
+            if not np.array_equal(got_hinted, got):
+                bad = np.argwhere(got_hinted != got)
+                return (f"hinted compile (hints {hints.describe()}) not "
+                        f"bit-identical to unhinted at {len(bad)} "
+                        f"points, first {tuple(bad[0])}: "
+                        f"{got_hinted[tuple(bad[0])]} vs "
+                        f"{got[tuple(bad[0])]}")
 
     frames = []
     if spec.batch >= 2:
@@ -376,6 +446,8 @@ def shrink_candidates(spec: PipelineSpec):
             yield replace(spec, stages=spec.stages[:i] + (solo,)
                           + spec.stages[i + 1:])
     # tame the configuration
+    if spec.hinted:
+        yield replace(spec, hinted=False)
     if spec.batch > 2:
         yield replace(spec, batch=2)
     if spec.batch:

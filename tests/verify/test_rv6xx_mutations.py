@@ -1,0 +1,148 @@
+"""Mutation tests for the RV6xx scheduling-hint audit.
+
+Each test attaches one corrupted hint set to a *clean* compiled plan —
+a stale stage name, a contradiction, a force/forbid/tile/inline
+directive the plan visibly does not honour — and asserts the exact
+diagnostic fires.  The checker re-derives hint satisfaction from the
+final plan alone, so a compiler bug that silently drops or violates a
+hint cannot certify itself.  The flip side is pinned too: plans
+compiled *under* legal hints verify clean, and unhinted plans skip the
+check entirely.
+"""
+
+import pytest
+
+from repro.apps import iunsharp
+from repro.compiler.options import CompileOptions
+from repro.compiler.plan import compile_plan
+from repro.schedule import ScheduleHints
+from repro.verify import verify_plan
+
+
+def _plan(options=None, hints=None):
+    app = iunsharp.build_pipeline()
+    values = {app.params["R"]: 48, app.params["C"]: 40}
+    return compile_plan(app.outputs, values,
+                        options or CompileOptions.optimized((16, 16)),
+                        hints=hints)
+
+
+@pytest.fixture()
+def plan():
+    """A fresh unhinted iunsharp plan: one tiled 16x16 group
+    [iblurx, iblury, imasked], with isharp inlined away."""
+    return _plan()
+
+
+@pytest.fixture()
+def split_plan():
+    """The same pipeline under a threshold that keeps iblurx in its own
+    group — two final groups to aim cross-group hints at."""
+    return _plan(CompileOptions.optimized((16, 16), 0.01))
+
+
+def test_clean_hinted_plan_passes():
+    # hints the scheduler satisfies: force a merge it makes anyway,
+    # restate the tile sizes, inline the stage it already inlines
+    hints = ScheduleHints(force_group=[("iblurx", "iblury")],
+                          tile_override=[("imasked", (16, 16))],
+                          inline=("isharp",))
+    hinted = _plan(hints=hints)
+    report = verify_plan(hinted)
+    assert report.ok, report.render()
+    assert not any(c.startswith("RV6") for c in report.codes())
+    assert report.checked["hint_directives"] == 3
+    assert report.checked["hint_stages"] == 4
+
+
+def test_stale_stage_name_fires_rv601(plan):
+    plan.hints = ScheduleHints(force_group=[("iblurx", "ghost")])
+    report = verify_plan(plan, checks=("hints",))
+    assert report.codes() == {"RV601"}, report.render()
+    [diag] = report.by_code("RV601")
+    assert "ghost" in diag.message
+
+
+def test_contradictory_hints_fire_rv602(split_plan):
+    # force and forbid the same cross-group pair: the contradiction is
+    # structural, before either directive is judged against the plan
+    pair = ("iblurx", "iblury")
+    split_plan.hints = ScheduleHints(force_group=[pair],
+                                     forbid_group=[pair])
+    report = verify_plan(split_plan, checks=("hints",))
+    assert "RV602" in report.codes(), report.render()
+    [diag] = report.by_code("RV602")
+    assert "forced together and forbidden" in diag.message
+
+
+def test_inline_vs_force_contradiction_fires_rv602(plan):
+    plan.hints = ScheduleHints(force_group=[("isharp", "imasked")],
+                               inline=("isharp",))
+    report = verify_plan(plan, checks=("hints",))
+    assert "RV602" in report.codes(), report.render()
+
+
+def test_force_spanning_final_groups_fires_rv603(split_plan):
+    # iblurx and imasked sit in different final groups of this plan;
+    # a post-hoc force over them was visibly not honoured
+    split_plan.hints = ScheduleHints(force_group=[("iblurx", "imasked")])
+    report = verify_plan(split_plan, checks=("hints",))
+    assert report.codes() == {"RV603"}, report.render()
+    [diag] = report.by_code("RV603")
+    assert "spans 2 final groups" in diag.message
+
+
+def test_force_over_inlined_stage_fires_rv603(plan):
+    # isharp was inlined away — it has no group to co-locate into
+    plan.hints = ScheduleHints(force_group=[("isharp", "imasked")])
+    report = verify_plan(plan, checks=("hints",))
+    assert report.codes() == {"RV603"}, report.render()
+    [diag] = report.by_code("RV603")
+    assert "inlined away" in diag.message
+
+
+def test_forbid_violated_fires_rv604(plan):
+    # all three stages share the single final group
+    plan.hints = ScheduleHints(forbid_group=[("iblurx", "iblury")])
+    report = verify_plan(plan, checks=("hints",))
+    assert report.codes() == {"RV604"}, report.render()
+    [diag] = report.by_code("RV604")
+    assert "share final group" in diag.message
+
+
+def test_unapplied_tile_override_fires_rv605(plan):
+    plan.hints = ScheduleHints(tile_override=[("iblurx", (64, 64))])
+    report = verify_plan(plan, checks=("hints",))
+    assert report.codes() == {"RV605"}, report.render()
+    [diag] = report.by_code("RV605")
+    assert "16x16" in diag.message
+
+
+def test_tile_override_on_untiled_group_fires_rv605():
+    base = _plan(CompileOptions.base())
+    assert all(not gp.tile_sizes for gp in base.group_plans)
+    base.hints = ScheduleHints(tile_override=[("imasked", (16, 16))])
+    report = verify_plan(base, checks=("hints",))
+    assert report.codes() == {"RV605"}, report.render()
+    [diag] = report.by_code("RV605")
+    assert "untiled group" in diag.message
+
+
+def test_unapplied_inline_hint_fires_rv606(plan):
+    # iblurx is a stencil stage the inliner must refuse
+    plan.hints = ScheduleHints(inline=("iblurx",))
+    report = verify_plan(plan, checks=("hints",))
+    assert report.codes() == {"RV606"}, report.render()
+
+
+def test_rv6xx_noop_without_hints(plan):
+    assert plan.hints is None
+    report = verify_plan(plan, checks=("hints",))
+    assert report.ok
+    assert "hint_directives" not in report.checked
+
+
+def test_hint_check_runs_in_default_check_set(plan):
+    plan.hints = ScheduleHints(forbid_group=[("iblurx", "iblury")])
+    report = verify_plan(plan)  # no checks= filter
+    assert "RV604" in report.codes(), report.render()
